@@ -1,0 +1,282 @@
+// Command epre is the reproduction driver: it compiles Mini-Fortran,
+// optimizes at the paper's levels, interprets with dynamic operation
+// counting, and regenerates the paper's tables.
+//
+// Usage:
+//
+//	epre compile [-o out.iloc] file.mf             # Mini-Fortran → ILOC
+//	epre opt -level L [-o out.iloc] file.{mf,iloc} # optimize
+//	epre run [-level L] -fn driver [-args 1,2] file.{mf,iloc}
+//	epre table1                                    # the paper's Table 1
+//	epre table2                                    # the paper's Table 2
+//	epre example                                   # Figures 2–10 walkthrough
+//	epre levels                                    # list levels and passes
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	epre "repro"
+	"repro/internal/core"
+	"repro/internal/suite"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "opt":
+		err = cmdOpt(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "table1":
+		err = cmdTable1()
+	case "table2":
+		err = cmdTable2()
+	case "example":
+		err = cmdExample()
+	case "levels":
+		cmdLevels()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "epre: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epre:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  epre compile [-o out.iloc] file.mf
+  epre opt -level LEVEL [-o out.iloc] file.{mf,iloc}
+  epre run [-level LEVEL] -fn NAME [-args a,b,...] file.{mf,iloc}
+  epre table1        regenerate the paper's Table 1 over the suite
+  epre table2        regenerate the paper's Table 2 (code expansion)
+  epre example       print the Figures 2-10 walkthrough
+  epre levels        list optimization levels and passes`)
+}
+
+// load reads a program from a .mf (Mini-Fortran) or .iloc file.
+func load(path string) (*epre.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".iloc") {
+		return epre.ParseILOC(string(data))
+	}
+	return epre.Compile(string(data))
+}
+
+func output(out string, text string) error {
+	if out == "" || out == "-" {
+		_, err := os.Stdout.WriteString(text)
+		return err
+	}
+	return os.WriteFile(out, []byte(text), 0o644)
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compile: need exactly one input file")
+	}
+	p, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return output(*out, p.ILOC())
+}
+
+func cmdOpt(args []string) error {
+	fs := flag.NewFlagSet("opt", flag.ExitOnError)
+	level := fs.String("level", "reassoc", "optimization level (baseline|partial|reassoc|dist)")
+	passes := fs.String("passes", "", "comma-separated explicit pass list (overrides -level)")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("opt: need exactly one input file")
+	}
+	p, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *passes != "" {
+		p, err = p.OptimizePasses(strings.Split(*passes, ",")...)
+	} else {
+		var lv epre.Level
+		lv, err = epre.ParseLevel(*level)
+		if err == nil {
+			p, err = p.Optimize(lv)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return output(*out, p.ILOC())
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	level := fs.String("level", "none", "optimization level before running")
+	fn := fs.String("fn", "driver", "function to call")
+	argSpec := fs.String("args", "", "comma-separated arguments (42 int, 4.2 float)")
+	regs := fs.Int("regs", 0, "allocate to this many physical registers first (0 = keep virtual registers)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need exactly one input file")
+	}
+	p, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lv, err := epre.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	if lv != epre.LevelNone {
+		if p, err = p.Optimize(lv); err != nil {
+			return err
+		}
+	}
+	spilled := -1
+	if *regs > 0 {
+		if spilled, err = p.AllocateRegisters(*regs); err != nil {
+			return err
+		}
+	}
+	var vals []epre.Value
+	if *argSpec != "" {
+		for _, tok := range strings.Split(*argSpec, ",") {
+			tok = strings.TrimSpace(tok)
+			if strings.ContainsAny(tok, ".eE") {
+				f, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return fmt.Errorf("bad argument %q", tok)
+				}
+				vals = append(vals, epre.Float(f))
+			} else {
+				i, err := strconv.ParseInt(tok, 10, 64)
+				if err != nil {
+					return fmt.Errorf("bad argument %q", tok)
+				}
+				vals = append(vals, epre.Int(i))
+			}
+		}
+	}
+	res, err := p.Run(*fn, vals...)
+	if err != nil {
+		return err
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	fmt.Printf("result      = %s\n", res.Value)
+	fmt.Printf("dynamic ops = %d\n", res.DynamicOps)
+	fmt.Printf("static ops  = %d\n", p.StaticOps())
+	if spilled >= 0 {
+		fmt.Printf("spills      = %d (K=%d)\n", spilled, *regs)
+	}
+	return nil
+}
+
+func cmdTable1() error {
+	rows, err := suite.Table1()
+	if err != nil {
+		return err
+	}
+	suite.WriteTable1(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable2() error {
+	rows, err := suite.Table2()
+	if err != nil {
+		return err
+	}
+	suite.WriteTable2(os.Stdout, rows)
+	return nil
+}
+
+func cmdLevels() {
+	fmt.Println("optimization levels (Table 1 columns):")
+	for _, l := range epre.Levels {
+		fmt.Printf("  %-14s passes: %s\n", l, strings.Join(core.PassNames(l), " → "))
+	}
+	fmt.Println("\nindividual passes (for -passes and ilocfilter):")
+	for _, p := range core.AllPasses() {
+		fmt.Printf("  %s\n", p.Name)
+	}
+}
+
+// cmdExample prints the paper's running example at each stage: the
+// Figure 2 source, its naive translation (Figure 3), and the code
+// after each pass of the distribution-level pipeline, ending with the
+// Figure 10 shape.
+func cmdExample() error {
+	const src = `
+func foo(y: int, z: int): int {
+    var s: int = 0
+    var x: int = y + z
+    for i = x to 100 {
+        s = 1 + s + x
+    }
+    return s
+}
+`
+	fmt.Println("=== Figure 2: source ===")
+	fmt.Print(src)
+	p, err := epre.Compile(src)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n=== Figure 3: naive ILOC translation ===")
+	fmt.Print(p.ILOC())
+	stages := []struct {
+		title  string
+		passes []string
+	}{
+		{"Figures 4-7: after global reassociation (SSA, ranks, forward propagation, sorting)", []string{"reassoc"}},
+		{"Figure 8: after global value numbering (renaming only)", []string{"gvn"}},
+		{"Figure 9: after PRE (invariants hoisted, redundancies removed)", []string{"normalize", "pre"}},
+		{"Figure 10: after coalescing and cleanup", []string{"sccp", "peephole", "dce", "coalesce", "emptyblocks", "dce"}},
+	}
+	cur := p
+	for _, st := range stages {
+		cur, err = cur.OptimizePasses(st.passes...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== %s ===\n", st.title)
+		fmt.Print(cur.ILOC())
+	}
+	for _, level := range epre.Levels {
+		opt, err := p.Optimize(level)
+		if err != nil {
+			return err
+		}
+		res, err := opt.Run("foo", epre.Int(1), epre.Int(2))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s foo(1,2) = %-6s dynamic ops = %d\n", level, res.Value, res.DynamicOps)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command ilocfilter runs a single optimization pass as a Unix filter:
+// it reads ILOC text on stdin, applies the named pass to every
+// function, and writes ILOC text on stdout.  This mirrors the paper's
+// optimizer structure (§4): "each pass is a Unix filter that consumes
+// and produces ILOC ... its flexibility makes it ideal for
+// experimentation".  Passes compose with ordinary shell pipelines:
+//
+//	epre compile prog.mf | ilocfilter reassoc | ilocfilter gvn |
+//	    ilocfilter normalize | ilocfilter pre | ilocfilter sccp |
+//	    ilocfilter peephole | ilocfilter dce | ilocfilter coalesce |
+//	    ilocfilter emptyblocks
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func main() {
+	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "--help" {
+		fmt.Fprintln(os.Stderr, "usage: ilocfilter PASS   (reads ILOC on stdin, writes ILOC on stdout)")
+		fmt.Fprintln(os.Stderr, "passes:")
+		for _, p := range core.AllPasses() {
+			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
+		}
+		os.Exit(2)
+	}
+	pass, err := core.PassByName(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
+		os.Exit(2)
+	}
+	text, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
+		os.Exit(1)
+	}
+	prog, err := ir.ParseProgramString(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
+		os.Exit(1)
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		fmt.Fprintln(os.Stderr, "ilocfilter: input:", err)
+		os.Exit(1)
+	}
+	for _, f := range prog.Funcs {
+		pass.Run(f)
+		if err := ir.Verify(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ilocfilter: after %s: %v\n", pass.Name, err)
+			os.Exit(1)
+		}
+	}
+	prog.Fprint(os.Stdout)
+}

@@ -1,0 +1,42 @@
+package epre
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minift"
+	"repro/internal/suite"
+)
+
+// TestDeterministicOutput guards against map-iteration-order leaks:
+// every pipeline must produce byte-identical ILOC on repeated runs.
+// (Register numbering feeds sorting tie-breaks, so even
+// semantics-preserving reordering would make Table 1 unreproducible.)
+func TestDeterministicOutput(t *testing.T) {
+	routines := []string{"fmin", "sgemv", "tomcatv", "foo"}
+	for _, name := range routines {
+		r, ok := suite.ByName(name)
+		if !ok {
+			t.Fatalf("no routine %q", name)
+		}
+		for _, level := range core.Levels {
+			var golden string
+			for trial := 0; trial < 3; trial++ {
+				prog, err := minift.Compile(r.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt, err := core.Optimize(prog, level)
+				if err != nil {
+					t.Fatal(err)
+				}
+				text := opt.String()
+				if trial == 0 {
+					golden = text
+				} else if text != golden {
+					t.Fatalf("%s at %s: output differs between runs", name, level)
+				}
+			}
+		}
+	}
+}

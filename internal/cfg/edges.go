@@ -1,0 +1,151 @@
+package cfg
+
+import "repro/internal/ir"
+
+// SplitEdge inserts a fresh block on the edge pred→succ and returns it.
+// The new block consists of a single jump to succ.  φ-operands in succ
+// are preserved: the new block takes over pred's operand slot.
+//
+// Both PRE's edge placement (Drechsler–Stadel) and the paper's forward
+// propagation ("if necessary, the entering edges are split and
+// appropriate predecessor blocks are created", §3.1) rely on this.
+func SplitEdge(pred, succ *ir.Block) *ir.Block {
+	f := pred.Fn
+	mid := f.NewBlock()
+	mid.Instrs = []*ir.Instr{{Op: ir.OpJump}}
+	pred.ReplaceSucc(succ, mid)
+	succ.ReplacePred(pred, mid)
+	mid.Preds = []*ir.Block{pred}
+	mid.Succs = []*ir.Block{succ}
+	return mid
+}
+
+// IsCriticalEdge reports whether pred→succ is a critical edge: pred has
+// several successors and succ several predecessors, so code cannot be
+// placed "on" the edge without a new block.
+func IsCriticalEdge(pred, succ *ir.Block) bool {
+	return len(pred.Succs) > 1 && len(succ.Preds) > 1
+}
+
+// SplitCriticalEdges splits every critical edge in f and returns the
+// number of edges split.
+func SplitCriticalEdges(f *ir.Func) int {
+	n := 0
+	// Snapshot the block list: splitting appends new blocks.
+	blocks := append([]*ir.Block(nil), f.Blocks...)
+	for _, b := range blocks {
+		for _, s := range append([]*ir.Block(nil), b.Succs...) {
+			if IsCriticalEdge(b, s) {
+				SplitEdge(b, s)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RemoveEmptyBlocks deletes blocks that contain only a jump, rerouting
+// their predecessors directly to the jump target.  Blocks whose target
+// has φ-nodes are kept when removal would create a duplicate
+// predecessor slot ambiguity.  This is the paper's "final pass to
+// eliminate empty basic blocks" (§4.1).  Returns the number removed.
+func RemoveEmptyBlocks(f *ir.Func) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 1 || b.Instrs[0].Op != ir.OpJump {
+				continue
+			}
+			succ := b.Succs[0]
+			if succ == b {
+				continue // degenerate self-loop
+			}
+			// If succ has φ-nodes, rerouting a predecessor p of b to
+			// succ is only unambiguous when p is not already a
+			// predecessor of succ.
+			if len(succ.Phis()) > 0 {
+				conflict := false
+				for _, p := range b.Preds {
+					if succ.PredIndex(p) >= 0 {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					continue
+				}
+			}
+			slot := succ.PredIndex(b)
+			// Reroute each predecessor of b to succ.
+			preds := append([]*ir.Block(nil), b.Preds...)
+			for i, p := range preds {
+				p.ReplaceSucc(b, succ)
+				if i == 0 {
+					// First predecessor takes over b's slot in succ.
+					succ.ReplacePred(b, p)
+				} else {
+					succ.Preds = append(succ.Preds, p)
+					for _, phi := range succ.Phis() {
+						phi.Args = append(phi.Args, phi.Args[slot])
+					}
+				}
+			}
+			if len(preds) == 0 {
+				// Unreachable empty block: just unlink from succ.
+				ir.RemoveEdge(b, succ)
+			}
+			b.Preds = nil
+			b.Succs = nil
+			b.Instrs = nil
+			removed++
+			changed = true
+		}
+		if changed {
+			f.RemoveBlocks(func(b *ir.Block) bool {
+				return b != f.Entry() && len(b.Instrs) == 0
+			})
+		}
+	}
+	return removed
+}
+
+// MergeStraightLine merges blocks with a single successor whose
+// successor has a single predecessor (and no φ-nodes), a common cleanup
+// after PRE and empty-block removal.  Returns the number of merges.
+func MergeStraightLine(f *ir.Func) int {
+	merged := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				continue
+			}
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpJump {
+				continue
+			}
+			succ := b.Succs[0]
+			if succ == b || len(succ.Preds) != 1 || len(succ.Phis()) > 0 || succ == f.Entry() {
+				continue
+			}
+			// Splice succ's instructions into b, replacing b's jump.
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], succ.Instrs...)
+			b.Succs = succ.Succs
+			for _, s := range succ.Succs {
+				s.ReplacePred(succ, b)
+			}
+			succ.Instrs = nil
+			succ.Succs = nil
+			succ.Preds = nil
+			merged++
+			changed = true
+		}
+		if changed {
+			f.RemoveBlocks(func(b *ir.Block) bool {
+				return b != f.Entry() && len(b.Instrs) == 0
+			})
+		}
+	}
+	return merged
+}

@@ -1,0 +1,184 @@
+// Package coalesce implements Chaitin-style copy coalescing, the
+// "coalescing phase of a Chaitin-style global register allocator" the
+// paper relies on to "remove unnecessary copy instructions" (§3.2,
+// Figure 10).  Two names joined by a copy are merged when they do not
+// interfere; merging renames every occurrence and deletes the copy.
+package coalesce
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// Stats reports the copies removed.
+type Stats struct {
+	Coalesced int // copies removed by merging names
+	SelfCopy  int // trivial "copy r => r" removed
+	Rounds    int
+}
+
+// Run coalesces copies in f until no more merges are possible.  It
+// must run on φ-free code (after SSA destruction); φ-bearing functions
+// are left untouched.
+func Run(f *ir.Func) Stats {
+	var st Stats
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				return st
+			}
+		}
+	}
+	for {
+		st.Rounds++
+		merged := coalesceRound(f, &st)
+		if !merged {
+			return st
+		}
+	}
+}
+
+// interference is a sparse symmetric adjacency over registers.
+type interference struct {
+	adj []map[ir.Reg]bool
+}
+
+func (g *interference) add(a, b ir.Reg) {
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = map[ir.Reg]bool{}
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = map[ir.Reg]bool{}
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+func (g *interference) has(a, b ir.Reg) bool {
+	return g.adj[a] != nil && g.adj[a][b]
+}
+
+// union merges b's adjacency into a's (conservative after coalescing).
+func (g *interference) union(a, b ir.Reg) {
+	for n := range g.adj[b] {
+		if n != a {
+			g.add(a, n)
+		}
+	}
+}
+
+func coalesceRound(f *ir.Func, st *Stats) bool {
+	lv := dataflow.ComputeLiveness(f)
+	g := &interference{adj: make([]map[ir.Reg]bool, f.NumRegs())}
+
+	// Build interference: at each definition of r, r interferes with
+	// everything live after the instruction; for a copy d ← s, d does
+	// not interfere with s on account of this def.
+	for _, b := range f.Blocks {
+		live := lv.LiveOut[b.ID].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			defs := in.Args
+			if in.Op != ir.OpEnter {
+				defs = nil
+				if in.Dst != ir.NoReg {
+					defs = []ir.Reg{in.Dst}
+				}
+			}
+			for _, d := range defs {
+				skip := ir.NoReg
+				if in.Op == ir.OpCopy {
+					skip = in.Args[0]
+				}
+				live.ForEach(func(l int) {
+					if ir.Reg(l) != skip {
+						g.add(d, ir.Reg(l))
+					}
+				})
+			}
+			for _, d := range defs {
+				live.Clear(int(d))
+			}
+			if in.Op != ir.OpEnter {
+				for _, a := range in.Args {
+					live.Set(int(a))
+				}
+			}
+		}
+	}
+
+	// Union-find over registers so multiple merges compose in one round.
+	parent := make([]ir.Reg, f.NumRegs())
+	for i := range parent {
+		parent[i] = ir.Reg(i)
+	}
+	var find func(r ir.Reg) ir.Reg
+	find = func(r ir.Reg) ir.Reg {
+		if parent[r] != r {
+			parent[r] = find(parent[r])
+		}
+		return parent[r]
+	}
+
+	merged := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCopy {
+				continue
+			}
+			d, s := find(in.Dst), find(in.Args[0])
+			if d == s {
+				continue // already merged; copy removed below
+			}
+			if g.has(d, s) {
+				continue
+			}
+			// Merge d into s.
+			parent[d] = s
+			g.union(s, d)
+			merged = true
+		}
+	}
+	if !merged {
+		// Still remove degenerate self-copies.
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCopy && in.Dst == in.Args[0] {
+					st.SelfCopy++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		return false
+	}
+
+	// Rewrite all registers through the union-find and drop copies
+	// that became self-copies.
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				in.Args[i] = find(a)
+			}
+			if in.Dst != ir.NoReg {
+				in.Dst = find(in.Dst)
+			}
+			if in.Op == ir.OpCopy && in.Dst == in.Args[0] {
+				st.Coalesced++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	for i, p := range f.Params {
+		f.Params[i] = find(p)
+	}
+	return true
+}

@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minift"
+)
+
+// matrixSrc mixes loops, branches, arrays, floats and calls so that
+// every pass has something to chew on.
+const matrixSrc = `
+func leaf(x: real, k: int): real {
+    if k % 2 == 0 {
+        return x * 2.0
+    }
+    return x + 1.0
+}
+
+func main(n: int): real {
+    var a: [16]real
+    var t: real = 0.0
+    for i = 1 to n {
+        a[i] = real(i * i) / 4.0
+    }
+    for i = 1 to n {
+        var u: real = a[i] * 3.0 + 1.0
+        var v: real = a[i] * 3.0 - 1.0
+        t = t + u * v + leaf(t, i)
+    }
+    return t
+}
+`
+
+func runMatrix(t *testing.T, prog *ir.Program) float64 {
+	t.Helper()
+	m := interp.NewMachine(prog)
+	v, err := m.Call("main", interp.IntVal(12))
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	return v.F
+}
+
+// TestEveryPassPreservesSemantics applies each registered pass alone.
+func TestEveryPassPreservesSemantics(t *testing.T) {
+	base, err := minift.Compile(matrixSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runMatrix(t, base.Clone())
+	for _, p := range core.AllPasses() {
+		prog := base.Clone()
+		for _, f := range prog.Funcs {
+			p.Run(f)
+			if err := ir.Verify(f); err != nil {
+				t.Errorf("pass %s: verify: %v", p.Name, err)
+			}
+		}
+		if got := runMatrix(t, prog); got != want {
+			t.Errorf("pass %s changed semantics: %.15g vs %.15g", p.Name, got, want)
+		}
+	}
+}
+
+// TestEveryPassPairPreservesSemantics applies every ordered pair of
+// passes — the Unix-filter architecture promises passes compose in any
+// order.  Floating results may differ once a reassociating pass ran,
+// so pairs involving reassociation compare within a tolerance.
+func TestEveryPassPairPreservesSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic in pass count")
+	}
+	base, err := minift.Compile(matrixSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runMatrix(t, base.Clone())
+	passes := core.AllPasses()
+	reassociating := map[string]bool{"reassoc": true, "reassoc-dist": true}
+	for _, p1 := range passes {
+		for _, p2 := range passes {
+			prog := base.Clone()
+			for _, f := range prog.Funcs {
+				p1.Run(f)
+				p2.Run(f)
+				if err := ir.Verify(f); err != nil {
+					t.Errorf("%s;%s: verify: %v", p1.Name, p2.Name, err)
+				}
+			}
+			got := runMatrix(t, prog)
+			exact := !reassociating[p1.Name] && !reassociating[p2.Name]
+			if exact && got != want {
+				t.Errorf("%s;%s changed semantics: %.15g vs %.15g", p1.Name, p2.Name, got, want)
+			}
+			if !exact {
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-6*abs(want) {
+					t.Errorf("%s;%s drifted: %.15g vs %.15g", p1.Name, p2.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/coalesce"
+	"repro/internal/cse"
+	"repro/internal/dce"
+	"repro/internal/gvn"
+	"repro/internal/ir"
+	"repro/internal/lvn"
+	"repro/internal/peephole"
+	"repro/internal/pre"
+	"repro/internal/reassoc"
+	"repro/internal/sccp"
+	"repro/internal/strength"
+)
+
+// Level names one of the paper's Table 1 optimization levels.
+type Level string
+
+// The four levels of Table 1, in order of increasing transformation.
+const (
+	// LevelNone performs no optimization at all (not in Table 1; the
+	// raw front-end output, useful for debugging and ablations).
+	LevelNone Level = "none"
+	// LevelBaseline is "a sequence of global constant propagation,
+	// global peephole optimization, global dead code elimination,
+	// coalescing, and a final pass to eliminate empty basic blocks".
+	LevelBaseline Level = "baseline"
+	// LevelPartial adds PRE before the baseline sequence.
+	LevelPartial Level = "partial"
+	// LevelReassoc runs global reassociation (without distribution)
+	// and global value numbering before PRE and the baseline.
+	LevelReassoc Level = "reassociation"
+	// LevelDist is LevelReassoc with distribution of multiplication
+	// over addition enabled.
+	LevelDist Level = "distribution"
+)
+
+// Levels lists the Table 1 levels in presentation order.
+var Levels = []Level{LevelBaseline, LevelPartial, LevelReassoc, LevelDist}
+
+// ParseLevel maps a level name (or its common abbreviations) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "none", "raw":
+		return LevelNone, nil
+	case "baseline", "base":
+		return LevelBaseline, nil
+	case "partial", "pre":
+		return LevelPartial, nil
+	case "reassociation", "reassoc":
+		return LevelReassoc, nil
+	case "distribution", "dist":
+		return LevelDist, nil
+	}
+	return "", fmt.Errorf("core: unknown optimization level %q", s)
+}
+
+// Pass is one optimizer phase: a named transformation over a function,
+// mirroring the paper's structure of the optimizer as "a sequence of
+// passes, where each pass is a Unix filter" (§4).
+type Pass struct {
+	Name string
+	Run  func(*ir.Func)
+}
+
+// PassByName returns a single pass for the filter tool; see Passes.
+func PassByName(name string) (Pass, error) {
+	for _, p := range AllPasses() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pass{}, fmt.Errorf("core: unknown pass %q", name)
+}
+
+// AllPasses enumerates every individually runnable pass.
+func AllPasses() []Pass {
+	return []Pass{
+		{"sccp", func(f *ir.Func) { sccp.Run(f) }},
+		{"peephole", func(f *ir.Func) { peephole.Run(f, peephole.Options{}) }},
+		{"peephole-shift", func(f *ir.Func) { peephole.Run(f, peephole.Options{MulToShift: true}) }},
+		{"dce", func(f *ir.Func) { dce.Run(f) }},
+		{"coalesce", func(f *ir.Func) { coalesce.Run(f) }},
+		{"emptyblocks", func(f *ir.Func) {
+			cfg.RemoveUnreachable(f)
+			cfg.RemoveEmptyBlocks(f)
+			cfg.MergeStraightLine(f)
+		}},
+		{"normalize", func(f *ir.Func) { Normalize(f) }},
+		{"pre", func(f *ir.Func) { pre.RunToFixpoint(f) }},
+		{"gvn", func(f *ir.Func) { gvn.Run(f) }},
+		{"reassoc", func(f *ir.Func) { reassoc.Run(f, reassoc.Options{AllowFloat: true}) }},
+		{"reassoc-dist", func(f *ir.Func) { reassoc.Run(f, reassoc.Options{Distribute: true, AllowFloat: true}) }},
+		{"cse-dom", func(f *ir.Func) { cse.RunDominator(f) }},
+		{"cse-avail", func(f *ir.Func) { cse.RunAvail(f) }},
+		// Extensions: the two passes the paper reports missing (§4.1)
+		// and expects to compose with reassociation (§5.2).
+		{"lvn", func(f *ir.Func) { lvn.Run(f) }},
+		{"strength", func(f *ir.Func) { strength.Run(f) }},
+	}
+}
+
+// baselineTail is the paper's baseline sequence, run at the end of
+// every level.
+func baselineTail() []string {
+	return []string{"sccp", "peephole", "dce", "coalesce", "emptyblocks", "dce"}
+}
+
+// PassNames returns the pass sequence for a level.
+func PassNames(level Level) []string {
+	switch level {
+	case LevelNone:
+		return nil
+	case LevelBaseline:
+		return baselineTail()
+	case LevelPartial:
+		return append([]string{"normalize", "pre"}, baselineTail()...)
+	case LevelReassoc:
+		return append([]string{"reassoc", "gvn", "normalize", "pre"}, baselineTail()...)
+	case LevelDist:
+		return append([]string{"reassoc-dist", "gvn", "normalize", "pre"}, baselineTail()...)
+	}
+	return nil
+}
+
+// OptimizeFunc applies a level's pass sequence to one function.
+func OptimizeFunc(f *ir.Func, level Level) error {
+	for _, name := range PassNames(level) {
+		p, err := PassByName(name)
+		if err != nil {
+			return err
+		}
+		p.Run(f)
+		if err := ir.Verify(f); err != nil {
+			return fmt.Errorf("after pass %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Optimize applies a level to every function of a program, returning a
+// new program (the input is not modified).
+func Optimize(p *ir.Program, level Level) (*ir.Program, error) {
+	out := p.Clone()
+	for _, f := range out.Funcs {
+		if err := OptimizeFunc(f, level); err != nil {
+			return nil, fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/minift"
+)
+
+// progGen generates random but well-formed Mini-Fortran programs:
+// integer and floating scalars, a small array, nested counted loops,
+// if/else diamonds, and expressions built from the associative and
+// non-associative operators the optimizer reorders.  Division and
+// modulus are guarded so no input traps.  Every optimization level
+// must agree with the unoptimized interpretation.
+type progGen struct {
+	rng   *rand.Rand
+	sb    strings.Builder
+	depth int
+}
+
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(20)-10)
+		case 1:
+			return "a"
+		case 2:
+			return "b"
+		default:
+			return "i" // innermost loop variable(s) always exist in loops; guarded below
+		}
+	}
+	l := g.intExpr(depth - 1)
+	r := g.intExpr(depth - 1)
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r)
+	case 3:
+		return fmt.Sprintf("(%s / (1 + abs(%s) %% 9))", l, r)
+	case 4:
+		return fmt.Sprintf("(%s %% (1 + abs(%s) %% 9))", l, r)
+	default:
+		return fmt.Sprintf("min(%s, %s)", l, r)
+	}
+}
+
+func (g *progGen) realExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d.%d", g.rng.Intn(10), g.rng.Intn(100))
+		case 1:
+			return "u"
+		default:
+			return "v"
+		}
+	}
+	l := g.realExpr(depth - 1)
+	r := g.realExpr(depth - 1)
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	default:
+		return fmt.Sprintf("(%s * 0.5 + %s * 0.25)", l, r)
+	}
+}
+
+func (g *progGen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.rng.Intn(len(ops))], g.intExpr(1))
+}
+
+func (g *progGen) stmt(indent string, inLoop bool) {
+	switch g.rng.Intn(7) {
+	case 0, 1: // int assignment
+		v := []string{"a", "b"}[g.rng.Intn(2)]
+		fmt.Fprintf(&g.sb, "%s%s = %s\n", indent, v, g.intExpr(2))
+	case 2: // real assignment
+		v := []string{"u", "v"}[g.rng.Intn(2)]
+		fmt.Fprintf(&g.sb, "%s%s = %s\n", indent, v, g.realExpr(2))
+	case 3: // array write + read
+		fmt.Fprintf(&g.sb, "%sw[1 + abs(%s) %% 16] = %s\n", indent, g.intExpr(1), g.intExpr(2))
+		fmt.Fprintf(&g.sb, "%sa = a + w[1 + abs(%s) %% 16]\n", indent, g.intExpr(1))
+	case 4: // if/else
+		fmt.Fprintf(&g.sb, "%sif %s {\n", indent, g.cond())
+		g.stmt(indent+"    ", inLoop)
+		fmt.Fprintf(&g.sb, "%s} else {\n", indent)
+		g.stmt(indent+"    ", inLoop)
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case 5: // nested loop (bounded depth)
+		if g.depth >= 2 {
+			fmt.Fprintf(&g.sb, "%sb = b + %s\n", indent, g.intExpr(2))
+			return
+		}
+		g.depth++
+		v := fmt.Sprintf("i%d", g.depth)
+		fmt.Fprintf(&g.sb, "%sfor %s = 1 to %d {\n", indent, v, 2+g.rng.Intn(5))
+		n := 1 + g.rng.Intn(3)
+		for k := 0; k < n; k++ {
+			g.stmt(indent+"    ", true)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+		g.depth--
+	default:
+		fmt.Fprintf(&g.sb, "%sa = a + i * 3 - b\n", indent)
+	}
+}
+
+func (g *progGen) generate() string {
+	g.sb.Reset()
+	g.sb.WriteString("func main(a0: int, b0: int): real {\n")
+	g.sb.WriteString("    var a: int = a0\n")
+	g.sb.WriteString("    var b: int = b0\n")
+	g.sb.WriteString("    var u: real = 1.5\n")
+	g.sb.WriteString("    var v: real = 0.25\n")
+	g.sb.WriteString("    var w: [16]int\n")
+	g.sb.WriteString("    var i: int = 1\n")
+	g.sb.WriteString("    for i = 1 to " + fmt.Sprintf("%d", 3+g.rng.Intn(6)) + " {\n")
+	n := 2 + g.rng.Intn(5)
+	for k := 0; k < n; k++ {
+		g.stmt("        ", true)
+	}
+	g.sb.WriteString("    }\n")
+	g.sb.WriteString("    return real(a) + real(b) * 0.001 + u + v * 0.01\n")
+	g.sb.WriteString("}\n")
+	return g.sb.String()
+}
+
+// TestRandomProgramsAllLevelsAgree is the end-to-end soundness net:
+// random structured programs, every optimization level, results
+// compared to the unoptimized interpretation.  Integer state is exact;
+// floating results may differ by reassociation, so the comparison uses
+// a relative tolerance.
+func TestRandomProgramsAllLevelsAgree(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{rng: rng}
+		src := g.generate()
+		prog, err := minift.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not compile: %v\n%s", trial, err, src)
+		}
+		args := []interp.Value{
+			interp.IntVal(int64(rng.Intn(21) - 10)),
+			interp.IntVal(int64(rng.Intn(21) - 10)),
+		}
+		base := interp.NewMachine(prog)
+		want, err := base.Call("main", args...)
+		if err != nil {
+			t.Fatalf("trial %d: unoptimized run failed: %v\n%s", trial, err, src)
+		}
+		for _, level := range core.Levels {
+			opt, err := core.Optimize(prog, level)
+			if err != nil {
+				t.Fatalf("trial %d at %s: %v\n%s", trial, level, err, src)
+			}
+			m := interp.NewMachine(opt)
+			got, err := m.Call("main", args...)
+			if err != nil {
+				t.Fatalf("trial %d at %s: run failed: %v\n%s\n%s", trial, level, err, src, opt.Funcs[0])
+			}
+			diff := math.Abs(got.F - want.F)
+			scale := math.Max(math.Abs(want.F), 1)
+			if diff > 1e-9*scale {
+				t.Fatalf("trial %d at %s: main%v = %.15g, want %.15g\nsource:\n%s",
+					trial, level, args, got.F, want.F, src)
+			}
+			if m.Steps > base.Steps {
+				t.Errorf("trial %d at %s: optimization lengthened execution %d -> %d\n%s",
+					trial, level, base.Steps, m.Steps, src)
+			}
+		}
+	}
+}

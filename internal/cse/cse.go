@@ -1,0 +1,263 @@
+// Package cse implements the two weaker redundancy-elimination schemes
+// of the paper's §5.3, for comparison against PRE:
+//
+//  1. Dominator-based removal (Alpern–Wegman–Zadeck): "If a value x is
+//     computed at two points, p and q, and p dominates q, then the
+//     computation at q is redundant and may be deleted."
+//  2. Classic global common-subexpression elimination over AVAIL sets:
+//     "If x is available on every path reaching p, then any
+//     computation of x at p is redundant and may be deleted."
+//
+// These methods form a hierarchy: dominator-CSE removes a subset of
+// what AVAIL-CSE removes, which removes a subset of what PRE removes
+// (PRE also converts partial redundancies).  The §5.3 bench and test
+// demonstrate the containment.
+//
+// Both transformations use the same naming-discipline deletion as PRE
+// Mode A: an expression is only removed when its occurrences share one
+// canonical destination with no other definitions and no non-local
+// uses, so deleting the instruction leaves every reader correct.
+package cse
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// Stats reports removals.
+type Stats struct {
+	Removed int
+}
+
+// RunDominator performs dominator-based redundancy elimination: a
+// computation is deleted when a lexically identical computation
+// strictly dominates it with no intervening kill.
+func RunDominator(f *ir.Func) Stats {
+	var st Stats
+	cfg.RemoveUnreachable(f)
+	u := dataflow.BuildUniverse(f)
+	canon := CanonicalDsts(f, u)
+	dom := cfg.BuildDomTree(f)
+	n := u.NumExprs()
+
+	// available[e] is true while a computation of e dominates the
+	// current walk position with operands unmodified since.
+	available := dataflow.NewBitSet(n)
+
+	var walk func(b *ir.Block, avail *dataflow.BitSet)
+	walk = func(b *ir.Block, avail *dataflow.BitSet) {
+		local := avail.Copy()
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if k, ok := dataflow.KeyOf(in); ok {
+				if e, found := u.Index[k]; found && canon[e] != ir.NoReg {
+					if local.Has(e) {
+						st.Removed++
+						continue // dominated by an identical computation
+					}
+					local.Set(e)
+				}
+			}
+			kept = append(kept, in)
+			killUpdate(u, local, in)
+		}
+		b.Instrs = kept
+		for _, c := range dom.Children(b) {
+			// Availability at a child is the state at the END of b
+			// only when kills between are accounted; since the child
+			// is dominated by b, everything available at b's end that
+			// is transparent on all paths b→child... the classic AWZ
+			// scheme conservatively passes the end-of-block state and
+			// relies on kills being visible in the dominator walk.
+			// Expressions killed on some path around the child are
+			// nevertheless recomputed there and re-established; to stay
+			// sound we clear expressions not transparent everywhere in
+			// between — conservatively approximated by requiring
+			// transparency in the child itself before reuse, which the
+			// in-block kill scan enforces as the child is entered.
+			walk(c, pruneNonTransparentPath(u, dom, b, c, local))
+		}
+	}
+	walk(f.Entry(), available)
+	return st
+}
+
+// pruneNonTransparentPath conservatively clears expressions that might
+// be killed on some path from the end of b to child.  Any block that
+// can lie on such a path (reachable from b without passing through
+// child... approximated as: any block not dominated by child and not
+// equal to b that is a CFG ancestor of child) could kill.  We use a
+// simple sound approximation: keep e only if every block other than
+// those dominated by the child is transparent for e, whenever child
+// has multiple predecessors; when child's only predecessor is b, the
+// state passes through unchanged.
+func pruneNonTransparentPath(u *dataflow.Universe, dom *cfg.DomTree, b, child *ir.Block, avail *dataflow.BitSet) *dataflow.BitSet {
+	out := avail.Copy()
+	if len(child.Preds) == 1 && child.Preds[0] == b {
+		return out
+	}
+	// Conservative: clear anything not transparent in some block that
+	// is not dominated by child (a potential intervening block).
+	for _, blk := range child.Fn.Blocks {
+		if blk == child || dom.Dominates(child, blk) {
+			continue
+		}
+		out.Intersect(u.Transp[blk.ID])
+	}
+	return out
+}
+
+// RunAvail performs classic global CSE over available-expression sets:
+// a computation of e is removed when e ∈ AVIN of its block and no kill
+// precedes it locally.
+func RunAvail(f *ir.Func) Stats {
+	var st Stats
+	cfg.RemoveUnreachable(f)
+	u := dataflow.BuildUniverse(f)
+	canon := CanonicalDsts(f, u)
+	n := u.NumExprs()
+	nb := len(f.Blocks)
+	rpo := cfg.ReversePostorder(f)
+
+	avin := make([]*dataflow.BitSet, nb)
+	avout := make([]*dataflow.BitSet, nb)
+	for _, b := range f.Blocks {
+		avin[b.ID] = dataflow.NewBitSet(n)
+		avout[b.ID] = dataflow.NewBitSet(n)
+		if b != f.Entry() {
+			avout[b.ID].SetAll()
+		} else {
+			avout[b.ID].CopyFrom(u.Comp[b.ID])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			in := avin[b.ID]
+			if len(b.Preds) == 0 {
+				in.ClearAll()
+			} else {
+				in.SetAll()
+				for _, p := range b.Preds {
+					in.Intersect(avout[p.ID])
+				}
+			}
+			out := in.Copy()
+			out.Intersect(u.Transp[b.ID])
+			out.Union(u.Comp[b.ID])
+			if !out.Equal(avout[b.ID]) {
+				avout[b.ID].CopyFrom(out)
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		avail := avin[b.ID].Copy()
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if k, ok := dataflow.KeyOf(in); ok {
+				if e, found := u.Index[k]; found && canon[e] != ir.NoReg {
+					if avail.Has(e) {
+						st.Removed++
+						continue
+					}
+					avail.Set(e)
+				}
+			}
+			kept = append(kept, in)
+			killUpdate(u, avail, in)
+		}
+		b.Instrs = kept
+	}
+	return st
+}
+
+// killUpdate clears expressions invalidated by in: loads on memory
+// writes, and anything whose operand in defines.
+func killUpdate(u *dataflow.Universe, set *dataflow.BitSet, in *ir.Instr) {
+	n := u.NumExprs()
+	if in.Op.WritesMemory() {
+		for e := 0; e < n; e++ {
+			if u.IsLoad[e] {
+				set.Clear(e)
+			}
+		}
+	}
+	if in.Dst == ir.NoReg {
+		return
+	}
+	for e := 0; e < n; e++ {
+		if k := u.Keys[e]; k.A == in.Dst || k.B == in.Dst {
+			set.Clear(e)
+		}
+	}
+}
+
+// CanonicalDsts finds the naming-discipline canonical destination per
+// expression: all occurrences share one dst, the dst has no other
+// defs, is not an operand of its own expression, and has no cross-block
+// (non-local) uses.  Deleting such an occurrence is always safe when
+// the value is already in the register.
+func CanonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
+	n := u.NumExprs()
+	canon := make([]ir.Reg, n)
+	for i := range canon {
+		canon[i] = ir.Reg(-1)
+	}
+	defCount := make([]int, f.NumRegs())
+	exprDefCount := make([]int, n)
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpEnter {
+			for _, p := range in.Args {
+				defCount[p]++
+			}
+			return
+		}
+		if in.Dst != ir.NoReg {
+			defCount[in.Dst]++
+		}
+		if k, ok := dataflow.KeyOf(in); ok {
+			if e, found := u.Index[k]; found {
+				exprDefCount[e]++
+				switch {
+				case canon[e] == ir.Reg(-1):
+					canon[e] = in.Dst
+				case canon[e] != in.Dst:
+					canon[e] = ir.NoReg
+				}
+			}
+		}
+	})
+	nonLocal := make([]bool, f.NumRegs())
+	defined := make([]int, f.NumRegs())
+	gen := 0
+	for _, b := range f.Blocks {
+		gen++
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpEnter {
+				for _, a := range in.Args {
+					if defined[a] != gen {
+						nonLocal[a] = true
+					}
+				}
+			}
+			if in.Dst != ir.NoReg {
+				defined[in.Dst] = gen
+			}
+		}
+	}
+	for e := 0; e < n; e++ {
+		t := canon[e]
+		if t == ir.Reg(-1) || t == ir.NoReg {
+			canon[e] = ir.NoReg
+			continue
+		}
+		k := u.Keys[e]
+		if defCount[t] != exprDefCount[e] || k.A == t || k.B == t || nonLocal[t] {
+			canon[e] = ir.NoReg
+		}
+	}
+	return canon
+}

@@ -1,0 +1,277 @@
+package dataflow_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// mkSet builds a bitset of capacity n from a bitmask over the low 64.
+func mkSet(n int, mask uint64) *dataflow.BitSet {
+	s := dataflow.NewBitSet(n)
+	for i := 0; i < n && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// elems extracts a canonical slice form.
+func elems(s *dataflow.BitSet) []int {
+	var out []int
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+func TestBitSetBasics(t *testing.T) {
+	s := dataflow.NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if !s.Has(0) || !s.Has(64) || !s.Has(129) || s.Has(1) {
+		t.Error("Set/Has broken")
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("Clear broken")
+	}
+	s.SetAll()
+	if s.Count() != 130 {
+		t.Errorf("SetAll count = %d, want 130", s.Count())
+	}
+	s.ClearAll()
+	if !s.Empty() {
+		t.Error("ClearAll broken")
+	}
+	if got := mkSet(10, 0b1010001).String(); got != "{0, 4, 6}" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+// Property-based set laws via testing/quick.
+func TestBitSetLaws(t *testing.T) {
+	const n = 100
+	cfgQ := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+
+	// Union is commutative and idempotent; De Morgan-ish containment.
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := mkSet(n, a), mkSet(n, b)
+		u1 := x.Copy()
+		u1.Union(y)
+		u2 := y.Copy()
+		u2.Union(x)
+		if !u1.Equal(u2) {
+			return false
+		}
+		u3 := u1.Copy()
+		u3.Union(u1)
+		return u3.Equal(u1)
+	}, cfgQ); err != nil {
+		t.Error(err)
+	}
+
+	// Intersection distributes over union.
+	if err := quick.Check(func(a, b, c uint64) bool {
+		x, y, z := mkSet(n, a), mkSet(n, b), mkSet(n, c)
+		l := y.Copy()
+		l.Union(z)
+		l.Intersect(x) // x ∩ (y ∪ z)
+		r1 := x.Copy()
+		r1.Intersect(y)
+		r2 := x.Copy()
+		r2.Intersect(z)
+		r1.Union(r2) // (x∩y) ∪ (x∩z)
+		return l.Equal(r1)
+	}, cfgQ); err != nil {
+		t.Error(err)
+	}
+
+	// Subtract then union restores a superset relationship.
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := mkSet(n, a), mkSet(n, b)
+		d := x.Copy()
+		d.Subtract(y)
+		// d ∩ y = ∅
+		chk := d.Copy()
+		chk.Intersect(y)
+		if !chk.Empty() {
+			return false
+		}
+		// d ∪ (x∩y) = x
+		xy := x.Copy()
+		xy.Intersect(y)
+		d.Union(xy)
+		return d.Equal(x)
+	}, cfgQ); err != nil {
+		t.Error(err)
+	}
+
+	// Count agrees with ForEach.
+	if err := quick.Check(func(a uint64) bool {
+		x := mkSet(n, a)
+		return x.Count() == len(elems(x))
+	}, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	// b0: r3 = r1+r2; cbr r3 -> b1 b2
+	// b1: r4 = r1+r1; jump b3
+	// b2: r4 = r2+r2; jump b3
+	// b3: ret r4        — r4 live into b3; r1 live into b1; r2 into b2.
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    cbr r3 -> b1, b2
+b1:
+    add r1, r1 => r4
+    jump -> b3
+b2:
+    add r2, r2 => r4
+    jump -> b3
+b3:
+    ret r4
+}
+`
+	f := ir.MustParseFunc(src)
+	lv := dataflow.ComputeLiveness(f)
+	byName := map[string]*ir.Block{}
+	for _, b := range f.Blocks {
+		byName[b.Name] = b
+	}
+	check := func(block string, reg ir.Reg, wantIn bool) {
+		t.Helper()
+		if got := lv.LiveIn[byName[block].ID].Has(int(reg)); got != wantIn {
+			t.Errorf("LiveIn[%s][r%d] = %v, want %v", block, reg, got, wantIn)
+		}
+	}
+	check("b3", 4, true)
+	check("b3", 1, false)
+	check("b1", 1, true)
+	check("b1", 2, false)
+	check("b2", 2, true)
+	check("b2", 1, false)
+	check("b0", 1, true)
+	check("b0", 2, true)
+	check("b0", 3, false) // defined in b0
+}
+
+func TestLivenessPhi(t *testing.T) {
+	// φ operands are live out of the corresponding predecessor only.
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    cbr r1 -> b1, b2
+b1:
+    loadI 1 => r3
+    jump -> b3
+b2:
+    loadI 2 => r4
+    jump -> b3
+b3:
+    phi r3, r4 => r5
+    ret r5
+}
+`
+	f := ir.MustParseFunc(src)
+	lv := dataflow.ComputeLiveness(f)
+	byName := map[string]*ir.Block{}
+	for _, b := range f.Blocks {
+		byName[b.Name] = b
+	}
+	if !lv.LiveOut[byName["b1"].ID].Has(3) {
+		t.Error("r3 must be live out of b1 (φ use)")
+	}
+	if lv.LiveOut[byName["b2"].ID].Has(3) {
+		t.Error("r3 must not be live out of b2")
+	}
+	if lv.LiveIn[byName["b3"].ID].Has(3) {
+		t.Error("φ operands are not live-in to the φ's block")
+	}
+}
+
+func TestExprKeyCanonicalization(t *testing.T) {
+	a := ir.NewInstr(ir.OpAdd, 5, 1, 2)
+	b := ir.NewInstr(ir.OpAdd, 6, 2, 1)
+	ka, ok1 := dataflow.KeyOf(a)
+	kb, ok2 := dataflow.KeyOf(b)
+	if !ok1 || !ok2 || ka != kb {
+		t.Errorf("commutative keys differ: %v vs %v", ka, kb)
+	}
+	s := ir.NewInstr(ir.OpSub, 5, 1, 2)
+	s2 := ir.NewInstr(ir.OpSub, 6, 2, 1)
+	ks, _ := dataflow.KeyOf(s)
+	ks2, _ := dataflow.KeyOf(s2)
+	if ks == ks2 {
+		t.Error("sub keys must be order-sensitive")
+	}
+	if _, ok := dataflow.KeyOf(ir.Copy(1, 2)); ok {
+		t.Error("copies are not expressions")
+	}
+	if _, ok := dataflow.KeyOf(&ir.Instr{Op: ir.OpCall, Sym: "f"}); ok {
+		t.Error("calls are not expressions")
+	}
+	if _, ok := dataflow.KeyOf(ir.NewInstr(ir.OpLoadW, 3, 1)); !ok {
+		t.Error("loads are expressions (with memory kills)")
+	}
+}
+
+func TestUniverseLocalProperties(t *testing.T) {
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    stw r3 => [r1]
+    ldw [r1] => r4
+    copy r4 => r1
+    add r1, r2 => r5
+    ret r5
+}
+`
+	f := ir.MustParseFunc(src)
+	u := dataflow.BuildUniverse(f)
+	idx := func(op ir.Op, a, b ir.Reg) int {
+		k, _ := dataflow.KeyOf(ir.NewInstr(op, 99, a, b))
+		e, ok := u.Index[k]
+		if !ok {
+			t.Fatalf("expression %v not in universe", k)
+		}
+		return e
+	}
+	add := idx(ir.OpAdd, 1, 2)
+	ld := idx(ir.OpLoadW, 1, ir.NoReg)
+	bid := f.Entry().ID
+	// add r1,r2 is computed before any kill → ANTLOC; recomputed after
+	// the copy redefines r1, so the *last* computation leaves it
+	// available → COMP; r1 is redefined → not transparent.
+	if !u.AntLoc[bid].Has(add) {
+		t.Error("add should be locally anticipatable")
+	}
+	if !u.Comp[bid].Has(add) {
+		t.Error("add should be locally available (recomputed after kill)")
+	}
+	if u.Transp[bid].Has(add) {
+		t.Error("add must not be transparent (r1 redefined)")
+	}
+	// The load is computed after a store; stores kill loads, but this
+	// load comes after the store and survives until the copy kills its
+	// address... the copy defines r1 which is the load's address.
+	if u.Transp[bid].Has(ld) {
+		t.Error("load must not be transparent (store + address redef)")
+	}
+	if u.AntLoc[bid].Has(ld) {
+		t.Error("load follows a store: not upward-exposed")
+	}
+}

@@ -1,0 +1,197 @@
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// ExprKey identifies an expression lexically: the opcode plus its
+// operand registers (and immediate, for constants).  Two instructions
+// compute "the same expression" in the Morel–Renvoise sense exactly
+// when their keys are equal.  Commutative operations are canonicalized
+// by sorting the two operands, so "add r1, r2" and "add r2, r1" share a
+// key.
+type ExprKey struct {
+	Op    ir.Op
+	A, B  ir.Reg
+	Imm   int64
+	FBits uint64 // float immediate bit pattern (loadF)
+}
+
+// String renders the key for debugging.
+func (k ExprKey) String() string {
+	switch k.Op {
+	case ir.OpLoadI:
+		return fmt.Sprintf("%s %d", k.Op, k.Imm)
+	case ir.OpLoadF:
+		return fmt.Sprintf("%s bits(%x)", k.Op, k.FBits)
+	}
+	if k.B != ir.NoReg {
+		return fmt.Sprintf("%s %s, %s", k.Op, k.A, k.B)
+	}
+	return fmt.Sprintf("%s %s", k.Op, k.A)
+}
+
+// KeyOf returns the lexical expression key of an instruction and
+// whether the instruction is an expression candidate at all.  Pure
+// value-producing operations and memory loads qualify; copies, φs,
+// stores, calls, enter and branches do not.
+func KeyOf(in *ir.Instr) (ExprKey, bool) {
+	op := in.Op
+	switch {
+	case op == ir.OpCopy || op == ir.OpPhi || op == ir.OpEnter:
+		return ExprKey{}, false
+	case op.IsTerminator() || op == ir.OpCall || op.IsStore():
+		return ExprKey{}, false
+	}
+	k := ExprKey{Op: op}
+	switch op {
+	case ir.OpLoadI:
+		k.Imm = in.Imm
+	case ir.OpLoadF:
+		k.FBits = floatBits(in.FImm)
+	default:
+		if len(in.Args) > 0 {
+			k.A = in.Args[0]
+		}
+		if len(in.Args) > 1 {
+			k.B = in.Args[1]
+		}
+		if op.Commutative() && k.B != ir.NoReg && k.B < k.A {
+			k.A, k.B = k.B, k.A
+		}
+	}
+	return k, true
+}
+
+// Universe enumerates the distinct expressions of a function and the
+// per-block local properties PRE needs.
+type Universe struct {
+	Fn    *ir.Func
+	Keys  []ExprKey
+	Index map[ExprKey]int
+	// Float reports whether expression i produces a floating value
+	// (needed to pick the right temporary copy opcode).
+	Float []bool
+	// IsLoad marks memory loads, which are killed by stores and calls.
+	IsLoad []bool
+
+	// Local properties, indexed [block ID] then expression.
+	Transp []*BitSet // operands (and memory, for loads) untouched in block
+	AntLoc []*BitSet // locally anticipatable: computed before any kill
+	Comp   []*BitSet // locally available: computed and not killed after
+}
+
+// BuildUniverse scans f and computes the expression universe and its
+// local dataflow properties.
+func BuildUniverse(f *ir.Func) *Universe {
+	u := &Universe{Fn: f, Index: map[ExprKey]int{}}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			k, ok := KeyOf(in)
+			if !ok {
+				continue
+			}
+			if _, dup := u.Index[k]; !dup {
+				u.Index[k] = len(u.Keys)
+				u.Keys = append(u.Keys, k)
+				u.Float = append(u.Float, in.Op.Float())
+				u.IsLoad = append(u.IsLoad, in.Op.IsLoad())
+			}
+		}
+	}
+	n := len(u.Keys)
+
+	// usedBy[r] lists expressions having register r as an operand.
+	usedBy := make([][]int, f.NumRegs())
+	for i, k := range u.Keys {
+		if k.A != ir.NoReg {
+			usedBy[k.A] = append(usedBy[k.A], i)
+		}
+		if k.B != ir.NoReg && k.B != k.A {
+			usedBy[k.B] = append(usedBy[k.B], i)
+		}
+	}
+	loads := NewBitSet(n)
+	for i, isLd := range u.IsLoad {
+		if isLd {
+			loads.Set(i)
+		}
+	}
+
+	nb := len(f.Blocks)
+	u.Transp = make([]*BitSet, nb)
+	u.AntLoc = make([]*BitSet, nb)
+	u.Comp = make([]*BitSet, nb)
+	for _, b := range f.Blocks {
+		transp := NewBitSet(n)
+		transp.SetAll()
+		antloc := NewBitSet(n)
+		comp := NewBitSet(n)
+		killed := NewBitSet(n) // expressions killed so far in this block
+
+		kill := func(e int) {
+			killed.Set(e)
+			transp.Clear(e)
+			comp.Clear(e)
+		}
+		for _, in := range b.Instrs {
+			if e, ok := u.Index[mustKey(in)]; ok {
+				if !killed.Has(e) {
+					antloc.Set(e)
+				}
+				comp.Set(e)
+			}
+			if in.Op.WritesMemory() {
+				loads.ForEach(kill)
+			}
+			if in.Dst != ir.NoReg {
+				for _, e := range usedBy[in.Dst] {
+					kill(e)
+				}
+			}
+		}
+		u.Transp[b.ID] = transp
+		u.AntLoc[b.ID] = antloc
+		u.Comp[b.ID] = comp
+	}
+	return u
+}
+
+// mustKey wraps KeyOf for instructions that may not be candidates; the
+// zero key never appears in the index.
+func mustKey(in *ir.Instr) ExprKey {
+	k, ok := KeyOf(in)
+	if !ok {
+		return ExprKey{}
+	}
+	return k
+}
+
+// NumExprs returns the size of the universe.
+func (u *Universe) NumExprs() int { return len(u.Keys) }
+
+// MakeInstr materializes expression e into destination register dst.
+func (u *Universe) MakeInstr(e int, dst ir.Reg) *ir.Instr {
+	k := u.Keys[e]
+	in := &ir.Instr{Op: k.Op, Dst: dst}
+	switch k.Op {
+	case ir.OpLoadI:
+		in.Imm = k.Imm
+	case ir.OpLoadF:
+		in.FImm = floatFromBits(k.FBits)
+	default:
+		if k.A != ir.NoReg {
+			in.Args = append(in.Args, k.A)
+		}
+		if k.B != ir.NoReg {
+			in.Args = append(in.Args, k.B)
+		}
+	}
+	return in
+}

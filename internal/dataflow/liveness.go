@@ -1,0 +1,104 @@
+package dataflow
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out register sets.  Registers
+// are the elements; the sets have capacity fn.NumRegs().
+type Liveness struct {
+	LiveIn  []*BitSet // indexed by block ID
+	LiveOut []*BitSet
+}
+
+// ComputeLiveness solves backward liveness over the CFG.  φ-nodes are
+// treated the standard way: a φ's operands are live out of the
+// corresponding predecessor, not live into the φ's own block.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	nr := f.NumRegs()
+	lv := &Liveness{
+		LiveIn:  make([]*BitSet, n),
+		LiveOut: make([]*BitSet, n),
+	}
+	use := make([]*BitSet, n) // upward-exposed non-φ uses
+	def := make([]*BitSet, n) // registers defined in block
+
+	for _, b := range f.Blocks {
+		lv.LiveIn[b.ID] = NewBitSet(nr)
+		lv.LiveOut[b.ID] = NewBitSet(nr)
+		use[b.ID] = NewBitSet(nr)
+		def[b.ID] = NewBitSet(nr)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				// φ defs happen "on entry"; uses are charged to the
+				// predecessors during the fixed-point loop below.
+				if in.Dst != ir.NoReg {
+					def[b.ID].Set(int(in.Dst))
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if !def[b.ID].Has(int(a)) {
+					use[b.ID].Set(int(a))
+				}
+			}
+			if in.Dst != ir.NoReg {
+				def[b.ID].Set(int(in.Dst))
+			}
+		}
+	}
+
+	// Iterate to fixed point in postorder (reverse RPO) for speed.
+	rpo := cfg.ReversePostorder(f)
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.LiveOut[b.ID]
+			for _, s := range b.Succs {
+				if out.Union(lv.LiveIn[s.ID]) {
+					changed = true
+				}
+				// φ operands flowing along this edge.
+				pi := s.PredIndex(b)
+				for _, phi := range s.Phis() {
+					if pi < len(phi.Args) && !out.Has(int(phi.Args[pi])) {
+						out.Set(int(phi.Args[pi]))
+						changed = true
+					}
+				}
+			}
+			in := out.Copy()
+			in.Subtract(def[b.ID])
+			in.Union(use[b.ID])
+			if !in.Equal(lv.LiveIn[b.ID]) {
+				lv.LiveIn[b.ID].CopyFrom(in)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAcrossBlocks returns the set of registers that are live into some
+// block, i.e. whose values cross a basic-block boundary.  The paper's
+// §5.1 correctness rule requires that no *expression name* be in this
+// set when PRE runs.
+func LiveAcrossBlocks(f *ir.Func) *BitSet {
+	lv := ComputeLiveness(f)
+	s := NewBitSet(f.NumRegs())
+	for _, b := range f.Blocks {
+		s.Union(lv.LiveIn[b.ID])
+		// φ operands cross the edge even if not live-in.
+		for _, phi := range b.Phis() {
+			for _, a := range phi.Args {
+				s.Set(int(a))
+			}
+		}
+	}
+	return s
+}

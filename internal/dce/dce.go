@@ -1,0 +1,56 @@
+// Package dce implements dead-code elimination, part of the paper's
+// baseline sequence (§4.1).  An instruction is dead when it has no side
+// effects and its result is not live immediately after it; the pass
+// iterates liveness and deletion to a fixed point so whole dead chains
+// disappear.
+package dce
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// Stats reports the number of instructions removed.
+type Stats struct {
+	Removed int
+}
+
+// Run deletes dead instructions from f in place.
+func Run(f *ir.Func) Stats {
+	var st Stats
+	for {
+		lv := dataflow.ComputeLiveness(f)
+		removed := 0
+		for _, b := range f.Blocks {
+			live := lv.LiveOut[b.ID].Copy()
+			// Walk backwards; collect deletions by index.
+			var dead []int
+			for i := len(b.Instrs) - 1; i >= 0; i-- {
+				in := b.Instrs[i]
+				removable := in.Dst != ir.NoReg &&
+					!live.Has(int(in.Dst)) &&
+					(in.Op.Pure() || in.Op.IsLoad() || in.Op == ir.OpCopy)
+				if removable {
+					dead = append(dead, i)
+					continue
+				}
+				if in.Dst != ir.NoReg {
+					live.Clear(int(in.Dst))
+				}
+				if in.Op != ir.OpPhi { // φ uses belong to predecessors
+					for _, a := range in.Args {
+						live.Set(int(a))
+					}
+				}
+			}
+			for _, i := range dead {
+				b.RemoveAt(i)
+			}
+			removed += len(dead)
+		}
+		st.Removed += removed
+		if removed == 0 {
+			return st
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package gvn implements partition-based global value numbering and the
+// global renaming scheme of the paper's §3.2.
+//
+// The analysis is Alpern, Wegman and Zadeck's optimistic congruence
+// partitioning ("Detecting equality of variables in programs", POPL
+// 1988) in its simplest variation, exactly the one the paper reports
+// using ("Our implementation of global value numbering uses the
+// simplest variation described by Alpern, Wegman, and Zadeck", §4):
+// all values start optimistically merged by operator and the partition
+// is refined — split — until operand classes agree position-wise.
+// Congruences that hold only through loops (e.g. two separately named
+// induction variables with identical updates) survive because the
+// partition only splits on disproof.
+//
+// Renaming then encodes the discovered equivalences into the name
+// space: every member of a congruence class is renamed to one
+// representative register, so lexically identical expressions carry
+// identical names — the precondition PRE needs (§2.2).  φ-targets and
+// the copies that replace φs are the only "variable names"; everything
+// else is an "expression name".  No instruction is added, deleted, or
+// moved, exactly as the paper specifies.
+package gvn
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// Stats reports the outcome of a GVN run.
+type Stats struct {
+	Values  int // SSA values considered
+	Classes int // final congruence classes
+	PhiDups int // duplicate φ-nodes removed after renaming
+}
+
+// Run performs global value numbering on f: it builds pruned SSA
+// (folding copies), partitions the values into congruence classes,
+// renames every value to its class representative, removes duplicated
+// φ-nodes, and translates out of SSA by inserting copies.  The
+// function is modified in place.
+func Run(f *ir.Func) Stats {
+	ssa.Build(f, ssa.BuildOptions{Prune: true, FoldCopies: true})
+	st := Partition(f)
+	ssa.Destruct(f)
+	return st
+}
+
+// Partition value-numbers an SSA-form function and renames values to
+// class representatives in place (leaving the function in SSA form,
+// with duplicate φs removed).  Exposed separately so callers that
+// manage SSA themselves can reuse it; most callers want Run.
+func Partition(f *ir.Func) Stats {
+	type def struct {
+		in    *ir.Instr
+		block *ir.Block
+		// enterIdx is the parameter position when in.Op == OpEnter,
+		// else -1.
+		enterIdx int
+	}
+	defs := map[ir.Reg]def{}
+	var values []ir.Reg
+	addValue := func(r ir.Reg, d def) {
+		if _, dup := defs[r]; dup {
+			// Multiple defs: not SSA; keep the first, the partition
+			// will simply be conservative for this register.
+			return
+		}
+		defs[r] = d
+		values = append(values, r)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpEnter {
+				for i, p := range in.Args {
+					addValue(p, def{in: in, block: b, enterIdx: i})
+				}
+				continue
+			}
+			if in.Dst != ir.NoReg {
+				addValue(in.Dst, def{in: in, block: b, enterIdx: -1})
+			}
+		}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+
+	// Initial optimistic partition.
+	initID := map[ir.Reg]uint32{}
+	keyIDs := map[string]uint32{}
+	intern := func(k []byte) uint32 {
+		id, ok := keyIDs[string(k)]
+		if !ok {
+			id = uint32(len(keyIDs) + 1)
+			keyIDs[string(k)] = id
+		}
+		return id
+	}
+	var buf []byte
+	for _, v := range values {
+		d := defs[v]
+		buf = buf[:0]
+		switch {
+		case d.enterIdx >= 0:
+			buf = append(buf, 'p')
+			buf = binary.AppendUvarint(buf, uint64(d.enterIdx))
+		case d.in.Op == ir.OpLoadI:
+			buf = append(buf, 'c')
+			buf = binary.AppendVarint(buf, d.in.Imm)
+		case d.in.Op == ir.OpLoadF:
+			buf = append(buf, 'f')
+			buf = binary.AppendUvarint(buf, floatBitsOf(d.in.FImm))
+		case d.in.Op == ir.OpPhi:
+			buf = append(buf, 'F')
+			buf = binary.AppendUvarint(buf, uint64(d.block.ID))
+		case d.in.Op == ir.OpCall || d.in.Op.IsLoad():
+			// Loads and call results are opaque: singleton classes.
+			buf = append(buf, 'u')
+			buf = binary.AppendUvarint(buf, uint64(v))
+		default:
+			buf = append(buf, 'o', byte(d.in.Op))
+		}
+		initID[v] = intern(buf)
+	}
+
+	// Refine to the coarsest congruence: a value's key is its initial
+	// key plus the classes of its operands, position-wise.
+	class := map[ir.Reg]uint32{}
+	for _, v := range values {
+		class[v] = initID[v]
+	}
+	classOf := func(r ir.Reg) uint32 {
+		if c, ok := class[r]; ok {
+			return c
+		}
+		// Uses of registers with no def (should not happen after SSA
+		// construction): unique by register.
+		return ^uint32(r)
+	}
+	prevCount := -1
+	for {
+		next := map[ir.Reg]uint32{}
+		ids := map[string]uint32{}
+		for _, v := range values {
+			d := defs[v]
+			buf = buf[:0]
+			buf = binary.AppendUvarint(buf, uint64(initID[v]))
+			if d.enterIdx < 0 && d.in.Op != ir.OpLoadI && d.in.Op != ir.OpLoadF {
+				for _, a := range d.in.Args {
+					buf = binary.AppendUvarint(buf, uint64(classOf(a)))
+				}
+			}
+			id, ok := ids[string(buf)]
+			if !ok {
+				id = uint32(len(ids) + 1)
+				ids[string(buf)] = id
+			}
+			next[v] = id
+		}
+		count := len(ids)
+		same := count == prevCount
+		prevCount = count
+		class = next
+		if same {
+			break
+		}
+	}
+
+	// Pick one representative register per class and rewrite.
+	rep := map[uint32]ir.Reg{}
+	for _, v := range values {
+		c := class[v]
+		if _, ok := rep[c]; !ok {
+			rep[c] = f.NewReg()
+		}
+	}
+	rename := func(r ir.Reg) ir.Reg {
+		if c, ok := class[r]; ok {
+			return rep[c]
+		}
+		return r
+	}
+	st := Stats{Values: len(values), Classes: len(rep)}
+	for _, b := range f.Blocks {
+		seenPhi := map[ir.Reg]bool{}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if in.Op != ir.OpEnter {
+					in.Args[i] = rename(a)
+				}
+			}
+			if in.Op == ir.OpEnter {
+				for i, p := range in.Args {
+					in.Args[i] = rename(p)
+					if i < len(f.Params) {
+						f.Params[i] = in.Args[i]
+					}
+				}
+			}
+			if in.Dst != ir.NoReg {
+				in.Dst = rename(in.Dst)
+			}
+			if in.Op == ir.OpPhi {
+				if seenPhi[in.Dst] {
+					st.PhiDups++
+					continue // congruent φ already present
+				}
+				seenPhi[in.Dst] = true
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return st
+}
+
+func floatBitsOf(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,581 @@
+// Package interp executes ILOC programs directly, counting every
+// dynamic operation.  It replaces the paper's back end, which
+// "consumes ILOC and produces C ... instrumented to accumulate dynamic
+// counts of ILOC operations" (§4).  The dynamic operation count —
+// including branches, as the paper counts them — is the metric of
+// Table 1.
+//
+// The machine model: an unbounded set of virtual registers per frame,
+// each holding an int64 or a float64; a flat byte-addressed memory for
+// statically allocated arrays (stw/ldw move 8-byte integers, std/ldd
+// 8-byte doubles, sts/lds 4-byte singles); call frames with by-value
+// scalar arguments (arrays are passed as addresses).  Recursion is
+// permitted up to a depth limit even though the Mini-Fortran front end
+// never emits it.
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Value is a dynamically typed register value.
+type Value struct {
+	Float bool
+	I     int64
+	F     float64
+}
+
+// IntVal wraps an integer.
+func IntVal(i int64) Value { return Value{I: i} }
+
+// FloatVal wraps a float.
+func FloatVal(f float64) Value { return Value{Float: true, F: f} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Float {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// Trap describes a runtime error with the function and block where it
+// occurred.
+type Trap struct {
+	Func  string
+	Block string
+	Msg   string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("interp: trap in %s at %s: %s", t.Func, t.Block, t.Msg)
+}
+
+// Machine executes one program.
+type Machine struct {
+	Prog *ir.Program
+	Mem  []byte
+	// Steps counts executed operations (including branches and
+	// copies; excluding the enter pseudo-operation and φ-nodes).
+	Steps int64
+	// PathSteps optionally records per-block execution counts, keyed
+	// by function name then block name; enabled by EnableBlockCounts.
+	BlockCounts map[string]map[string]int64
+	// MaxSteps aborts runaway executions (0 = default limit).
+	MaxSteps int64
+	// MaxDepth bounds the call stack (0 = default).
+	MaxDepth int
+	// Output collects values printed by the "print" builtin.
+	Output []Value
+	// OpCounts optionally records executed operations per opcode;
+	// enabled by EnableOpCounts.  Strength-reduction experiments read
+	// the multiply row (operation counts alone are mul/add-neutral).
+	OpCounts map[ir.Op]int64
+
+	countBlocks bool
+	depth       int
+}
+
+// DefaultMaxSteps bounds a single Run.
+const DefaultMaxSteps = 2_000_000_000
+
+// DefaultMaxDepth bounds call nesting.
+const DefaultMaxDepth = 256
+
+// NewMachine prepares a machine with memory sized to the program's
+// global segment.
+func NewMachine(p *ir.Program) *Machine {
+	size := p.GlobalSize
+	if size < 8 {
+		size = 8
+	}
+	return &Machine{
+		Prog:     p,
+		Mem:      make([]byte, size),
+		MaxSteps: DefaultMaxSteps,
+		MaxDepth: DefaultMaxDepth,
+	}
+}
+
+// EnableBlockCounts turns on per-block dynamic counting.
+func (m *Machine) EnableBlockCounts() {
+	m.countBlocks = true
+	m.BlockCounts = map[string]map[string]int64{}
+}
+
+// EnableOpCounts turns on per-opcode dynamic counting.
+func (m *Machine) EnableOpCounts() {
+	m.OpCounts = map[ir.Op]int64{}
+}
+
+// Call runs the named function with the given arguments and returns
+// its result (the zero Value for void returns).
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	f := m.Prog.Func(name)
+	if f == nil {
+		return Value{}, fmt.Errorf("interp: no function %q", name)
+	}
+	return m.run(f, args)
+}
+
+func (m *Machine) trap(f *ir.Func, b *ir.Block, format string, args ...any) error {
+	return &Trap{Func: f.Name, Block: b.Name, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
+	if m.depth >= m.MaxDepth {
+		return Value{}, fmt.Errorf("interp: call depth limit (%d) exceeded at %s", m.MaxDepth, f.Name)
+	}
+	m.depth++
+	defer func() { m.depth-- }()
+
+	regs := make([]Value, f.NumRegs())
+	cur := f.Entry()
+	var prev *ir.Block
+	var blockCounts map[string]int64
+	if m.countBlocks {
+		blockCounts = m.BlockCounts[f.Name]
+		if blockCounts == nil {
+			blockCounts = map[string]int64{}
+			m.BlockCounts[f.Name] = blockCounts
+		}
+	}
+
+	for {
+		if blockCounts != nil {
+			blockCounts[cur.Name]++
+		}
+		// φ-nodes evaluate in parallel from the incoming edge.
+		phis := cur.Phis()
+		if len(phis) > 0 {
+			if prev == nil {
+				return Value{}, m.trap(f, cur, "φ in entry block")
+			}
+			pi := cur.PredIndex(prev)
+			if pi < 0 {
+				return Value{}, m.trap(f, cur, "no edge from %s", prev.Name)
+			}
+			vals := make([]Value, len(phis))
+			for i, phi := range phis {
+				if pi >= len(phi.Args) {
+					return Value{}, m.trap(f, cur, "φ operand index out of range")
+				}
+				vals[i] = regs[phi.Args[pi]]
+			}
+			for i, phi := range phis {
+				regs[phi.Dst] = vals[i]
+			}
+		}
+
+		var branchTaken = -1
+		var retVal Value
+		var returned bool
+		for ii := len(phis); ii < len(cur.Instrs); ii++ {
+			in := cur.Instrs[ii]
+			if in.Op == ir.OpEnter {
+				if len(args) != len(in.Args) {
+					return Value{}, m.trap(f, cur, "called with %d args, want %d", len(args), len(in.Args))
+				}
+				for i, p := range in.Args {
+					regs[p] = args[i]
+				}
+				continue
+			}
+			m.Steps++
+			if m.OpCounts != nil {
+				m.OpCounts[in.Op]++
+			}
+			if m.Steps > m.MaxSteps {
+				return Value{}, fmt.Errorf("interp: step limit (%d) exceeded in %s", m.MaxSteps, f.Name)
+			}
+			switch in.Op {
+			case ir.OpJump:
+				branchTaken = 0
+			case ir.OpCBr:
+				v := regs[in.Args[0]]
+				if v.Float {
+					return Value{}, m.trap(f, cur, "cbr on float value")
+				}
+				if v.I != 0 {
+					branchTaken = 0
+				} else {
+					branchTaken = 1
+				}
+			case ir.OpRet:
+				returned = true
+				if len(in.Args) == 1 {
+					retVal = regs[in.Args[0]]
+				}
+			case ir.OpCall:
+				res, err := m.callTarget(f, cur, in, regs)
+				if err != nil {
+					return Value{}, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = res
+				}
+			default:
+				if err := m.exec(f, cur, in, regs); err != nil {
+					return Value{}, err
+				}
+			}
+			if returned || branchTaken >= 0 {
+				break
+			}
+		}
+		if returned {
+			return retVal, nil
+		}
+		if branchTaken < 0 {
+			return Value{}, m.trap(f, cur, "fell off the end of a block")
+		}
+		if branchTaken >= len(cur.Succs) {
+			return Value{}, m.trap(f, cur, "branch target %d out of range", branchTaken)
+		}
+		prev, cur = cur, cur.Succs[branchTaken]
+	}
+}
+
+// callTarget dispatches a call instruction: "print" is the built-in
+// output primitive; every other name must be a program function.
+func (m *Machine) callTarget(f *ir.Func, b *ir.Block, in *ir.Instr, regs []Value) (Value, error) {
+	if in.Sym == "print" {
+		for _, a := range in.Args {
+			m.Output = append(m.Output, regs[a])
+		}
+		return Value{}, nil
+	}
+	callee := m.Prog.Func(in.Sym)
+	if callee == nil {
+		return Value{}, m.trap(f, b, "call to undefined function %q", in.Sym)
+	}
+	args := make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = regs[a]
+	}
+	return m.run(callee, args)
+}
+
+func (m *Machine) checkAddr(f *ir.Func, b *ir.Block, addr int64, size int64) error {
+	if addr < 0 || addr+size > int64(len(m.Mem)) {
+		return m.trap(f, b, "memory access [%d..%d) out of bounds (size %d)", addr, addr+size, len(m.Mem))
+	}
+	return nil
+}
+
+func (m *Machine) exec(f *ir.Func, b *ir.Block, in *ir.Instr, regs []Value) error {
+	wantInt := func(i int) (int64, error) {
+		v := regs[in.Args[i]]
+		if v.Float {
+			return 0, m.trap(f, b, "%s: operand %d is float, want int", in.Op, i)
+		}
+		return v.I, nil
+	}
+	wantFloat := func(i int) (float64, error) {
+		v := regs[in.Args[i]]
+		if !v.Float {
+			return 0, m.trap(f, b, "%s: operand %d is int, want float", in.Op, i)
+		}
+		return v.F, nil
+	}
+	setI := func(x int64) { regs[in.Dst] = IntVal(x) }
+	setF := func(x float64) { regs[in.Dst] = FloatVal(x) }
+
+	ii := func(fn func(a, b int64) int64) error {
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		setI(fn(a, c))
+		return nil
+	}
+	ff := func(fn func(a, b float64) float64) error {
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantFloat(1)
+		if err != nil {
+			return err
+		}
+		setF(fn(a, c))
+		return nil
+	}
+	icmp := func(fn func(a, b int64) bool) error {
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if fn(a, c) {
+			setI(1)
+		} else {
+			setI(0)
+		}
+		return nil
+	}
+	fcmp := func(fn func(a, b float64) bool) error {
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantFloat(1)
+		if err != nil {
+			return err
+		}
+		if fn(a, c) {
+			setI(1)
+		} else {
+			setI(0)
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case ir.OpLoadI:
+		setI(in.Imm)
+	case ir.OpLoadF:
+		setF(in.FImm)
+	case ir.OpCopy:
+		regs[in.Dst] = regs[in.Args[0]]
+
+	case ir.OpAdd:
+		return ii(func(a, b int64) int64 { return a + b })
+	case ir.OpSub:
+		return ii(func(a, b int64) int64 { return a - b })
+	case ir.OpMul:
+		return ii(func(a, b int64) int64 { return a * b })
+	case ir.OpDiv:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			return m.trap(f, b, "integer division by zero")
+		}
+		setI(a / c)
+	case ir.OpMod:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		c, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if c == 0 {
+			return m.trap(f, b, "integer modulus by zero")
+		}
+		setI(a % c)
+	case ir.OpNeg:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		setI(-a)
+	case ir.OpAnd:
+		return ii(func(a, b int64) int64 { return a & b })
+	case ir.OpOr:
+		return ii(func(a, b int64) int64 { return a | b })
+	case ir.OpXor:
+		return ii(func(a, b int64) int64 { return a ^ b })
+	case ir.OpNot:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		setI(^a)
+	case ir.OpShl:
+		return ii(func(a, b int64) int64 { return a << uint64(b&63) })
+	case ir.OpShr:
+		return ii(func(a, b int64) int64 { return a >> uint64(b&63) })
+	case ir.OpMin:
+		return ii(func(a, b int64) int64 { return min(a, b) })
+	case ir.OpMax:
+		return ii(func(a, b int64) int64 { return max(a, b) })
+	case ir.OpAbs:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		if a < 0 {
+			a = -a
+		}
+		setI(a)
+
+	case ir.OpFAdd:
+		return ff(func(a, b float64) float64 { return a + b })
+	case ir.OpFSub:
+		return ff(func(a, b float64) float64 { return a - b })
+	case ir.OpFMul:
+		return ff(func(a, b float64) float64 { return a * b })
+	case ir.OpFDiv:
+		return ff(func(a, b float64) float64 { return a / b })
+	case ir.OpFNeg:
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		setF(-a)
+	case ir.OpFMin:
+		return ff(math.Min)
+	case ir.OpFMax:
+		return ff(math.Max)
+	case ir.OpSqrt:
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		setF(math.Sqrt(a))
+	case ir.OpFAbs:
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		setF(math.Abs(a))
+
+	case ir.OpI2F:
+		a, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		setF(float64(a))
+	case ir.OpF2I:
+		a, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		setI(int64(a))
+
+	case ir.OpCmpEQ:
+		return icmp(func(a, b int64) bool { return a == b })
+	case ir.OpCmpNE:
+		return icmp(func(a, b int64) bool { return a != b })
+	case ir.OpCmpLT:
+		return icmp(func(a, b int64) bool { return a < b })
+	case ir.OpCmpLE:
+		return icmp(func(a, b int64) bool { return a <= b })
+	case ir.OpCmpGT:
+		return icmp(func(a, b int64) bool { return a > b })
+	case ir.OpCmpGE:
+		return icmp(func(a, b int64) bool { return a >= b })
+	case ir.OpFCmpEQ:
+		return fcmp(func(a, b float64) bool { return a == b })
+	case ir.OpFCmpNE:
+		return fcmp(func(a, b float64) bool { return a != b })
+	case ir.OpFCmpLT:
+		return fcmp(func(a, b float64) bool { return a < b })
+	case ir.OpFCmpLE:
+		return fcmp(func(a, b float64) bool { return a <= b })
+	case ir.OpFCmpGT:
+		return fcmp(func(a, b float64) bool { return a > b })
+	case ir.OpFCmpGE:
+		return fcmp(func(a, b float64) bool { return a >= b })
+
+	case ir.OpLoadW:
+		addr, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 8); err != nil {
+			return err
+		}
+		setI(int64(binary.LittleEndian.Uint64(m.Mem[addr:])))
+	case ir.OpLoadD:
+		addr, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 8); err != nil {
+			return err
+		}
+		setF(math.Float64frombits(binary.LittleEndian.Uint64(m.Mem[addr:])))
+	case ir.OpLoadS:
+		addr, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 4); err != nil {
+			return err
+		}
+		setF(float64(math.Float32frombits(binary.LittleEndian.Uint32(m.Mem[addr:]))))
+	case ir.OpStoreW:
+		v, err := wantInt(0)
+		if err != nil {
+			return err
+		}
+		addr, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 8); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(m.Mem[addr:], uint64(v))
+	case ir.OpStoreD:
+		v, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		addr, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 8); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(m.Mem[addr:], math.Float64bits(v))
+	case ir.OpStoreS:
+		v, err := wantFloat(0)
+		if err != nil {
+			return err
+		}
+		addr, err := wantInt(1)
+		if err != nil {
+			return err
+		}
+		if err := m.checkAddr(f, b, addr, 4); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(m.Mem[addr:], math.Float32bits(float32(v)))
+
+	default:
+		return m.trap(f, b, "unhandled opcode %s", in.Op)
+	}
+	return nil
+}
+
+// ReadFloat64 reads a float64 from memory (for test drivers).
+func (m *Machine) ReadFloat64(addr int64) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.Mem[addr:]))
+}
+
+// WriteFloat64 writes a float64 into memory (for test drivers).
+func (m *Machine) WriteFloat64(addr int64, v float64) {
+	binary.LittleEndian.PutUint64(m.Mem[addr:], math.Float64bits(v))
+}
+
+// ReadInt64 reads an int64 from memory.
+func (m *Machine) ReadInt64(addr int64) int64 {
+	return int64(binary.LittleEndian.Uint64(m.Mem[addr:]))
+}
+
+// WriteInt64 writes an int64 into memory.
+func (m *Machine) WriteInt64(addr int64, v int64) {
+	binary.LittleEndian.PutUint64(m.Mem[addr:], uint64(v))
+}

@@ -1,0 +1,316 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func mustProg(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := ir.ParseProgramString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArithmetic(t *testing.T) {
+	const src = `
+program globalsize=0
+
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    mul r3, r1 => r4
+    sub r4, r2 => r5
+    loadI 3 => r6
+    div r5, r6 => r7
+    mod r5, r6 => r8
+    shl r7, r8 => r9
+    min r9, r4 => r10
+    ret r10
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	v, err := m.Call("f", interp.IntVal(5), interp.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r3=7 r4=35 r5=33 r7=11 r8=0 r9=11 r10=min(11,35)=11
+	if v.I != 11 {
+		t.Errorf("got %d, want 11", v.I)
+	}
+	if m.Steps != 9 { // 8 ops + ret
+		t.Errorf("Steps = %d, want 9", m.Steps)
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	const src = `
+program globalsize=64
+
+func f() {
+b0:
+    enter()
+    loadI 0 => r1
+    loadI 8 => r2
+    loadI 16 => r3
+    loadI 123 => r4
+    stw r4 => [r1]
+    loadF 2.75 => r5
+    std r5 => [r2]
+    sts r5 => [r3]
+    ldw [r1] => r6
+    ldd [r2] => r7
+    lds [r3] => r8
+    i2f r6 => r9
+    fadd r9, r7 => r10
+    fadd r10, r8 => r11
+    ret r11
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	v, err := m.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 123+2.75+2.75 {
+		t.Errorf("got %g, want 128.5", v.F)
+	}
+	if m.ReadInt64(0) != 123 {
+		t.Error("stw/ReadInt64 mismatch")
+	}
+	if m.ReadFloat64(8) != 2.75 {
+		t.Error("std/ReadFloat64 mismatch")
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"div0", `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    loadI 0 => r2
+    div r1, r2 => r3
+    ret r3
+}
+`, "division by zero"},
+		{"oob", `
+program globalsize=8
+func f(r1) {
+b0:
+    enter(r1)
+    loadI 1000 => r2
+    ldw [r2] => r3
+    ret r3
+}
+`, "out of bounds"},
+		{"negaddr", `
+program globalsize=8
+func f(r1) {
+b0:
+    enter(r1)
+    loadI -4 => r2
+    ldw [r2] => r3
+    ret r3
+}
+`, "out of bounds"},
+		{"typeerr", `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    loadF 1.5 => r2
+    add r1, r2 => r3
+    ret r3
+}
+`, "want int"},
+		{"badcallee", `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    call nosuch(r1) => r2
+    ret r2
+}
+`, "undefined function"},
+		{"argcount", `
+program globalsize=0
+func g(r1, r2) {
+b0:
+    enter(r1, r2)
+    ret r1
+}
+func f(r1) {
+b0:
+    enter(r1)
+    call g(r1) => r2
+    ret r2
+}
+`, "want 2"},
+		{"floatbranch", `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    loadF 1.0 => r2
+    cbr r2 -> b1, b1
+b1:
+    ret r1
+}
+`, "cbr on float"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := interp.NewMachine(mustProg(t, c.src))
+			_, err := m.Call("f", interp.IntVal(1))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("got %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    jump -> b1
+b1:
+    jump -> b1
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	m.MaxSteps = 1000
+	_, err := m.Call("f", interp.IntVal(0))
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    call f(r1) => r2
+    ret r2
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	m.MaxDepth = 10
+	_, err := m.Call("f", interp.IntVal(0))
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPhiExecution(t *testing.T) {
+	// The interpreter executes SSA form directly (parallel φ semantics).
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    loadI 0 => r2
+    loadI 10 => r3
+    jump -> b1
+b1:
+    phi r2, r4 => r5
+    phi r3, r5 => r6
+    loadI 1 => r7
+    add r5, r7 => r4
+    cmpLT r4, r1 => r8
+    cbr r8 -> b1, b2
+b2:
+    ret r6
+}
+`
+	// φs swap-read: r6 gets the PREVIOUS r5 each iteration.
+	m := interp.NewMachine(mustProg(t, src))
+	v, err := m.Call("f", interp.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// iter1: r5=0 r6=10 r4=1; iter2: r5=1 r6=0 r4=2; iter3: r5=2 r6=1 r4=3 exit → ret r6=1
+	if v.I != 1 {
+		t.Errorf("got %d, want 1 (parallel φ semantics)", v.I)
+	}
+}
+
+func TestPrintBuiltin(t *testing.T) {
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    call print(r1)
+    loadF 1.5 => r2
+    call print(r2)
+    ret
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	if _, err := m.Call("f", interp.IntVal(42)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Output) != 2 || m.Output[0].I != 42 || m.Output[1].F != 1.5 {
+		t.Errorf("output = %v", m.Output)
+	}
+}
+
+func TestBlockCounts(t *testing.T) {
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    loadI 0 => r2
+    jump -> b1
+b1:
+    loadI 1 => r3
+    add r2, r3 => r2
+    cmpLT r2, r1 => r4
+    cbr r4 -> b1, b2
+b2:
+    ret r2
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	m.EnableBlockCounts()
+	if _, err := m.Call("f", interp.IntVal(5)); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.BlockCounts["f"]
+	if counts["b1"] != 5 || counts["b0"] != 1 || counts["b2"] != 1 {
+		t.Errorf("block counts: %v", counts)
+	}
+}
+
+func TestUninitializedRegisterReadsZero(t *testing.T) {
+	const src = `
+program globalsize=0
+func f(r1) {
+b0:
+    enter(r1)
+    add r1, r9 => r2
+    ret r2
+}
+`
+	m := interp.NewMachine(mustProg(t, src))
+	v, err := m.Call("f", interp.IntVal(7))
+	if err != nil || v.I != 7 {
+		t.Errorf("got %v, %v", v, err)
+	}
+}

@@ -1,0 +1,118 @@
+package ir
+
+import "fmt"
+
+// Block is a basic block: a straight-line instruction sequence ending in
+// exactly one terminator.  Successor order is significant for cbr
+// (Succs[0] is the taken/true target) and for φ-operands, which appear
+// in predecessor order.
+type Block struct {
+	ID     int // dense index within the function
+	Name   string
+	Instrs []*Instr
+	Succs  []*Block
+	Preds  []*Block
+	Fn     *Func
+}
+
+// Terminator returns the block's final instruction, or nil if the block
+// is empty or unterminated (only legal mid-construction).
+func (b *Block) Terminator() *Instr {
+	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsTerminator() {
+		return b.Instrs[n-1]
+	}
+	return nil
+}
+
+// Append adds an instruction at the end of the block, before any
+// existing terminator.
+func (b *Block) Append(in *Instr) {
+	if t := b.Terminator(); t != nil {
+		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], in, t)
+		return
+	}
+	b.Instrs = append(b.Instrs, in)
+}
+
+// InsertAt inserts an instruction at index i.
+func (b *Block) InsertAt(i int, in *Instr) {
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// RemoveAt deletes the instruction at index i.
+func (b *Block) RemoveAt(i int) {
+	copy(b.Instrs[i:], b.Instrs[i+1:])
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+}
+
+// PredIndex returns the position of p in b.Preds, or -1.
+func (b *Block) PredIndex(p *Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Phis returns the block's leading φ-instructions.
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+		n++
+	}
+	return b.Instrs[:n]
+}
+
+// AddEdge links b to succ, maintaining both adjacency lists.
+func AddEdge(b, succ *Block) {
+	b.Succs = append(b.Succs, succ)
+	succ.Preds = append(succ.Preds, b)
+}
+
+// RemoveEdge unlinks the edge b→succ.  If the target has φ-nodes, the
+// operand for b is removed from each.
+func RemoveEdge(b, succ *Block) {
+	pi := succ.PredIndex(b)
+	if pi < 0 {
+		panic(fmt.Sprintf("ir: no edge %s -> %s", b.Name, succ.Name))
+	}
+	for _, phi := range succ.Phis() {
+		phi.Args = append(phi.Args[:pi], phi.Args[pi+1:]...)
+	}
+	succ.Preds = append(succ.Preds[:pi], succ.Preds[pi+1:]...)
+	for i, s := range b.Succs {
+		if s == succ {
+			b.Succs = append(b.Succs[:i], b.Succs[i+1:]...)
+			break
+		}
+	}
+}
+
+// ReplaceSucc rewrites every successor edge b→from into b→to without
+// touching predecessor lists; callers maintain those separately.
+func (b *Block) ReplaceSucc(from, to *Block) {
+	for i, s := range b.Succs {
+		if s == from {
+			b.Succs[i] = to
+		}
+	}
+}
+
+// ReplacePred swaps predecessor old for new in place, preserving the
+// positions of φ-operands.  This is the building block for critical
+// edge splitting: the new block inherits old's φ slot.
+func (b *Block) ReplacePred(old, new *Block) {
+	for i, p := range b.Preds {
+		if p == old {
+			b.Preds[i] = new
+			return
+		}
+	}
+	panic(fmt.Sprintf("ir: %s is not a predecessor of %s", old.Name, b.Name))
+}
+
+// String returns the block label.
+func (b *Block) String() string { return b.Name }

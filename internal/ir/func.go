@@ -1,0 +1,181 @@
+package ir
+
+import "fmt"
+
+// Func is a single procedure: an entry block, a set of basic blocks and
+// a virtual-register namespace.  Blocks[0] is always the entry block,
+// whose first instruction is the enter operation defining the formal
+// parameters.
+type Func struct {
+	Name   string
+	Params []Reg // parameter registers, in order (also on the enter instr)
+	Blocks []*Block
+
+	nextReg  Reg
+	nextName int
+}
+
+// NewFunc creates an empty function with an entry block containing an
+// enter instruction for nparams parameters.
+func NewFunc(name string, nparams int) *Func {
+	f := &Func{Name: name, nextReg: 1}
+	entry := f.NewBlock()
+	params := make([]Reg, nparams)
+	for i := range params {
+		params[i] = f.NewReg()
+	}
+	f.Params = params
+	entry.Instrs = append(entry.Instrs, &Instr{Op: OpEnter, Args: append([]Reg(nil), params...)})
+	return f
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := f.nextReg
+	f.nextReg++
+	return r
+}
+
+// NumRegs returns one more than the highest allocated register, so that
+// slices indexed by Reg can be sized with it.
+func (f *Func) NumRegs() int { return int(f.nextReg) }
+
+// SetRegHint raises the register counter to at least n (used by the
+// parser when register numbers appear in the text).
+func (f *Func) SetRegHint(n Reg) {
+	if n >= f.nextReg {
+		f.nextReg = n + 1
+	}
+}
+
+// NewBlock appends a fresh, empty block with a unique label.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks), Name: fmt.Sprintf("b%d", f.nextName), Fn: f}
+	f.nextName++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewBlockNamed appends a fresh block with the given label.
+func (f *Func) NewBlockNamed(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name, Fn: f}
+	f.nextName++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// EnterInstr returns the enter instruction in the entry block, or nil.
+func (f *Func) EnterInstr() *Instr {
+	if len(f.Blocks) > 0 && len(f.Blocks[0].Instrs) > 0 && f.Blocks[0].Instrs[0].Op == OpEnter {
+		return f.Blocks[0].Instrs[0]
+	}
+	return nil
+}
+
+// Renumber reassigns dense block IDs after blocks are added or removed.
+func (f *Func) Renumber() {
+	for i, b := range f.Blocks {
+		b.ID = i
+	}
+}
+
+// RemoveBlocks deletes every block for which dead reports true, fixing
+// IDs.  Callers must already have unlinked all edges into dead blocks.
+func (f *Func) RemoveBlocks(dead func(*Block) bool) {
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if !dead(b) {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+}
+
+// InstrCount returns the static number of instructions in the function.
+// This is the metric of the paper's Table 2 (code expansion).
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// ForEachInstr calls fn for every instruction in block order.
+func (f *Func) ForEachInstr(fn func(b *Block, i int, in *Instr)) {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			fn(b, i, in)
+		}
+	}
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:     f.Name,
+		Params:   append([]Reg(nil), f.Params...),
+		nextReg:  f.nextReg,
+		nextName: f.nextName,
+	}
+	old2new := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, Fn: nf}
+		for _, in := range b.Instrs {
+			nb.Instrs = append(nb.Instrs, in.Clone())
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+		old2new[b] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := old2new[b]
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, old2new[s])
+		}
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, old2new[p])
+		}
+	}
+	return nf
+}
+
+// Program is a collection of functions plus a static data segment
+// layout.  GlobalSize is the number of bytes of flat memory the program
+// needs for its statically allocated arrays; Data holds optional
+// initialized words keyed by byte offset.
+type Program struct {
+	Funcs      []*Func
+	GlobalSize int64
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the whole program.
+func (p *Program) Clone() *Program {
+	np := &Program{GlobalSize: p.GlobalSize}
+	for _, f := range p.Funcs {
+		np.Funcs = append(np.Funcs, f.Clone())
+	}
+	return np
+}
+
+// InstrCount returns the static instruction count over all functions.
+func (p *Program) InstrCount() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.InstrCount()
+	}
+	return n
+}

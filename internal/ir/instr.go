@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg names a virtual register.  Register 0 is "no register".
+type Reg int32
+
+// NoReg is the absent register (e.g. the destination of a store).
+const NoReg Reg = 0
+
+// String renders the register in ILOC syntax: r1, r2, ...
+func (r Reg) String() string {
+	if r == NoReg {
+		return "r?"
+	}
+	return "r" + strconv.Itoa(int(r))
+}
+
+// Instr is a single ILOC instruction.
+//
+// Only the fields relevant to Op are meaningful: Imm for loadI, FImm for
+// loadF, Sym for call.  Branch targets are not stored on the
+// instruction; they are the owning block's Succs, in order.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	Args []Reg
+	Imm  int64   // integer immediate (loadI)
+	FImm float64 // floating immediate (loadF)
+	Sym  string  // callee name (call)
+}
+
+// NewInstr builds an instruction with the given opcode, destination and
+// arguments.
+func NewInstr(op Op, dst Reg, args ...Reg) *Instr {
+	return &Instr{Op: op, Dst: dst, Args: args}
+}
+
+// LoadI builds "loadI imm => dst".
+func LoadI(dst Reg, imm int64) *Instr { return &Instr{Op: OpLoadI, Dst: dst, Imm: imm} }
+
+// LoadF builds "loadF fimm => dst".
+func LoadF(dst Reg, f float64) *Instr { return &Instr{Op: OpLoadF, Dst: dst, FImm: f} }
+
+// Copy builds "copy src => dst".
+func Copy(dst, src Reg) *Instr { return &Instr{Op: OpCopy, Dst: dst, Args: []Reg{src}} }
+
+// Clone returns a deep copy of the instruction.
+func (in *Instr) Clone() *Instr {
+	cp := *in
+	cp.Args = append([]Reg(nil), in.Args...)
+	return &cp
+}
+
+// Uses returns the registers read by the instruction (the Args slice;
+// callers must not mutate it through this accessor).
+func (in *Instr) Uses() []Reg { return in.Args }
+
+// ReplaceUses rewrites every use of register old to new and reports how
+// many operands changed.
+func (in *Instr) ReplaceUses(old, new Reg) int {
+	n := 0
+	for i, a := range in.Args {
+		if a == old {
+			in.Args[i] = new
+			n++
+		}
+	}
+	return n
+}
+
+// IsConst reports whether the instruction materializes a constant.
+func (in *Instr) IsConst() bool { return in.Op == OpLoadI || in.Op == OpLoadF }
+
+// String renders the instruction in ILOC text syntax (without branch
+// targets, which belong to the block).
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpLoadI:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case OpLoadF:
+		fmt.Fprintf(&b, " %s", formatFloat(in.FImm))
+	case OpCall:
+		b.WriteByte(' ')
+		b.WriteString(in.Sym)
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+	case OpEnter:
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+	case OpLoadW, OpLoadD, OpLoadS:
+		fmt.Fprintf(&b, " [%s]", in.Args[0])
+	case OpStoreW, OpStoreD, OpStoreS:
+		fmt.Fprintf(&b, " %s => [%s]", in.Args[0], in.Args[1])
+		return b.String()
+	default:
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			b.WriteString(a.String())
+		}
+	}
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, " => %s", in.Dst)
+	}
+	return b.String()
+}
+
+// formatFloat renders a float immediate so that the parser can read it
+// back exactly and always distinguishes it from an integer.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eEnN") { // ensure a float marker (Inf/NaN keep letters)
+		s += ".0"
+	}
+	return s
+}

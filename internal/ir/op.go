@@ -1,0 +1,263 @@
+// Package ir defines the ILOC-like three-address intermediate
+// representation used throughout the library.
+//
+// The representation follows the paper's description of ILOC (Briggs &
+// Cooper, "Effective Partial Redundancy Elimination", PLDI 1994, §2.1):
+// most operations have three addresses — two source operands and a
+// target.  Values live in an unbounded set of virtual registers; memory
+// is reached only through explicit load and store operations whose
+// addresses are computed with ordinary arithmetic.  Control flow is
+// explicit: every basic block ends in exactly one terminator (jump,
+// conditional branch, or return).
+//
+// The package provides construction helpers, a textual printer and
+// parser that round-trip, a structural verifier, and deep cloning.
+package ir
+
+import "fmt"
+
+// Op identifies an ILOC operation.
+type Op uint8
+
+// The ILOC operation set.
+const (
+	OpInvalid Op = iota
+
+	// Constants.
+	OpLoadI // loadI <imm>          => dst   (integer constant)
+	OpLoadF // loadF <fimm>         => dst   (floating constant)
+
+	// Integer arithmetic.
+	OpAdd // add  a, b => dst
+	OpSub // sub  a, b => dst
+	OpMul // mul  a, b => dst
+	OpDiv // div  a, b => dst  (quotient truncated toward zero)
+	OpMod // mod  a, b => dst
+	OpNeg // neg  a    => dst
+
+	// Bitwise and shift operations.
+	OpAnd // and a, b => dst
+	OpOr  // or  a, b => dst
+	OpXor // xor a, b => dst
+	OpNot // not a    => dst
+	OpShl // shl a, b => dst
+	OpShr // shr a, b => dst (arithmetic shift right)
+
+	// Integer min/max (associative, commutative; the paper lists min
+	// and max among the associative operations of §2.1).
+	OpMin // min a, b => dst
+	OpMax // max a, b => dst
+
+	// Floating-point arithmetic (registers hold float64).
+	OpFAdd // fadd a, b => dst
+	OpFSub // fsub a, b => dst
+	OpFMul // fmul a, b => dst
+	OpFDiv // fdiv a, b => dst
+	OpFNeg // fneg a    => dst
+	OpFMin // fmin a, b => dst
+	OpFMax // fmax a, b => dst
+
+	// Conversions.
+	OpI2F // i2f a => dst
+	OpF2I // f2i a => dst (truncates toward zero)
+
+	// Pure unary intrinsics.
+	OpSqrt // sqrt a => dst (float)
+	OpFAbs // fabs a => dst (float)
+	OpAbs  // abs  a => dst (integer)
+
+	// Integer comparisons; result is the integer 0 or 1.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Floating comparisons; result is the integer 0 or 1.
+	OpFCmpEQ
+	OpFCmpNE
+	OpFCmpLT
+	OpFCmpLE
+	OpFCmpGT
+	OpFCmpGE
+
+	// Copy ("i2i" in classic ILOC).  Copies are the only instructions
+	// whose targets count as variable names under the paper's naming
+	// discipline (§2.2); every other target is an expression name.
+	OpCopy // copy a => dst
+
+	// Memory operations.  Addresses are byte offsets into the flat
+	// program memory.  ldw/stw move 8-byte integers, ldd/std move
+	// 8-byte float64s, lds/sts move 4-byte float32s (widened to
+	// float64 in registers).  Stores name the value first and the
+	// address second: "stw a => [b]" means MEM[b] = a.
+	OpLoadW  // ldw [a] => dst
+	OpLoadD  // ldd [a] => dst
+	OpLoadS  // lds [a] => dst
+	OpStoreW // stw a => [b]
+	OpStoreD // std a => [b]
+	OpStoreS // sts a => [b]
+
+	// Control flow.
+	OpJump // jump -> succ0
+	OpCBr  // cbr a -> succ0, succ1   (succ0 if a != 0)
+	OpRet  // ret [a]
+
+	// Procedure linkage.
+	OpCall  // call name(args...) [=> dst]
+	OpEnter // enter(params...)  — first instruction of the entry block
+
+	// SSA φ-node: one argument per predecessor, in predecessor order.
+	OpPhi // phi a, b, ... => dst
+)
+
+// opInfo records the static properties of an operation.
+type opInfo struct {
+	name        string
+	arity       int  // -1 means variadic (call, enter, phi)
+	hasDst      bool // defines a register
+	commutative bool
+	associative bool
+	float       bool // float-valued result
+	pure        bool // no side effects, no memory access
+	terminator  bool
+	memRead     bool
+	memWrite    bool
+}
+
+var opTable = [...]opInfo{
+	OpInvalid: {name: "invalid"},
+
+	OpLoadI: {name: "loadI", arity: 0, hasDst: true, pure: true},
+	OpLoadF: {name: "loadF", arity: 0, hasDst: true, pure: true, float: true},
+
+	OpAdd: {name: "add", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpSub: {name: "sub", arity: 2, hasDst: true, pure: true},
+	OpMul: {name: "mul", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpDiv: {name: "div", arity: 2, hasDst: true, pure: true},
+	OpMod: {name: "mod", arity: 2, hasDst: true, pure: true},
+	OpNeg: {name: "neg", arity: 1, hasDst: true, pure: true},
+
+	OpAnd: {name: "and", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpOr:  {name: "or", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpXor: {name: "xor", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpNot: {name: "not", arity: 1, hasDst: true, pure: true},
+	OpShl: {name: "shl", arity: 2, hasDst: true, pure: true},
+	OpShr: {name: "shr", arity: 2, hasDst: true, pure: true},
+
+	OpMin: {name: "min", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+	OpMax: {name: "max", arity: 2, hasDst: true, pure: true, commutative: true, associative: true},
+
+	OpFAdd: {name: "fadd", arity: 2, hasDst: true, pure: true, float: true, commutative: true, associative: true},
+	OpFSub: {name: "fsub", arity: 2, hasDst: true, pure: true, float: true},
+	OpFMul: {name: "fmul", arity: 2, hasDst: true, pure: true, float: true, commutative: true, associative: true},
+	OpFDiv: {name: "fdiv", arity: 2, hasDst: true, pure: true, float: true},
+	OpFNeg: {name: "fneg", arity: 1, hasDst: true, pure: true, float: true},
+	OpFMin: {name: "fmin", arity: 2, hasDst: true, pure: true, float: true, commutative: true, associative: true},
+	OpFMax: {name: "fmax", arity: 2, hasDst: true, pure: true, float: true, commutative: true, associative: true},
+
+	OpI2F: {name: "i2f", arity: 1, hasDst: true, pure: true, float: true},
+	OpF2I: {name: "f2i", arity: 1, hasDst: true, pure: true},
+
+	OpSqrt: {name: "sqrt", arity: 1, hasDst: true, pure: true, float: true},
+	OpFAbs: {name: "fabs", arity: 1, hasDst: true, pure: true, float: true},
+	OpAbs:  {name: "abs", arity: 1, hasDst: true, pure: true},
+
+	OpCmpEQ: {name: "cmpEQ", arity: 2, hasDst: true, pure: true, commutative: true},
+	OpCmpNE: {name: "cmpNE", arity: 2, hasDst: true, pure: true, commutative: true},
+	OpCmpLT: {name: "cmpLT", arity: 2, hasDst: true, pure: true},
+	OpCmpLE: {name: "cmpLE", arity: 2, hasDst: true, pure: true},
+	OpCmpGT: {name: "cmpGT", arity: 2, hasDst: true, pure: true},
+	OpCmpGE: {name: "cmpGE", arity: 2, hasDst: true, pure: true},
+
+	OpFCmpEQ: {name: "fcmpEQ", arity: 2, hasDst: true, pure: true, commutative: true},
+	OpFCmpNE: {name: "fcmpNE", arity: 2, hasDst: true, pure: true, commutative: true},
+	OpFCmpLT: {name: "fcmpLT", arity: 2, hasDst: true, pure: true},
+	OpFCmpLE: {name: "fcmpLE", arity: 2, hasDst: true, pure: true},
+	OpFCmpGT: {name: "fcmpGT", arity: 2, hasDst: true, pure: true},
+	OpFCmpGE: {name: "fcmpGE", arity: 2, hasDst: true, pure: true},
+
+	OpCopy: {name: "copy", arity: 1, hasDst: true, pure: true},
+
+	OpLoadW:  {name: "ldw", arity: 1, hasDst: true, memRead: true},
+	OpLoadD:  {name: "ldd", arity: 1, hasDst: true, float: true, memRead: true},
+	OpLoadS:  {name: "lds", arity: 1, hasDst: true, float: true, memRead: true},
+	OpStoreW: {name: "stw", arity: 2, memWrite: true},
+	OpStoreD: {name: "std", arity: 2, memWrite: true},
+	OpStoreS: {name: "sts", arity: 2, memWrite: true},
+
+	OpJump: {name: "jump", arity: 0, terminator: true},
+	OpCBr:  {name: "cbr", arity: 1, terminator: true},
+	OpRet:  {name: "ret", arity: -1, terminator: true},
+
+	OpCall:  {name: "call", arity: -1, memRead: true, memWrite: true},
+	OpEnter: {name: "enter", arity: -1},
+
+	OpPhi: {name: "phi", arity: -1, hasDst: true, pure: true},
+}
+
+// String returns the ILOC mnemonic for the operation.
+func (op Op) String() string {
+	if int(op) < len(opTable) && opTable[op].name != "" {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Arity reports the fixed operand count, or -1 for variadic operations.
+func (op Op) Arity() int { return opTable[op].arity }
+
+// HasDst reports whether the operation defines a register.
+func (op Op) HasDst() bool { return opTable[op].hasDst }
+
+// Commutative reports whether the operands may be swapped.
+func (op Op) Commutative() bool { return opTable[op].commutative }
+
+// Associative reports whether the operation is associative, and hence a
+// candidate for global reassociation.  Floating-point addition and
+// multiplication are marked associative, mirroring the paper's FORTRAN
+// setting; the reassociation pass has a switch to exclude them.
+func (op Op) Associative() bool { return opTable[op].associative }
+
+// Float reports whether the result is floating point.
+func (op Op) Float() bool { return opTable[op].float }
+
+// Pure reports whether the operation has no side effects and reads no
+// memory; pure operations are the ones PRE and reassociation may move.
+func (op Op) Pure() bool { return opTable[op].pure }
+
+// IsTerminator reports whether the operation ends a basic block.
+func (op Op) IsTerminator() bool { return opTable[op].terminator }
+
+// ReadsMemory reports whether the operation may read memory.
+func (op Op) ReadsMemory() bool { return opTable[op].memRead }
+
+// WritesMemory reports whether the operation may write memory.
+func (op Op) WritesMemory() bool { return opTable[op].memWrite }
+
+// IsLoad reports whether the operation is a memory load.
+func (op Op) IsLoad() bool { return op == OpLoadW || op == OpLoadD || op == OpLoadS }
+
+// IsStore reports whether the operation is a memory store.
+func (op Op) IsStore() bool { return op == OpStoreW || op == OpStoreD || op == OpStoreS }
+
+// IsCompare reports whether the operation is a comparison producing 0/1.
+func (op Op) IsCompare() bool { return op >= OpCmpEQ && op <= OpFCmpGE }
+
+// opByName maps mnemonics back to opcodes for the parser.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opTable))
+	for op, info := range opTable {
+		if info.name != "" {
+			m[info.name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// OpByName returns the operation with the given ILOC mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

@@ -1,0 +1,341 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error in ILOC text, with a line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("iloc:%d: %s", e.Line, e.Msg) }
+
+// ParseProgram reads a program in the textual ILOC format produced by
+// Program.Fprint.  Comments run from '#' to end of line.
+func ParseProgram(r io.Reader) (*Program, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return p.program()
+}
+
+// ParseProgramString is ParseProgram over a string.
+func ParseProgramString(s string) (*Program, error) {
+	return ParseProgram(strings.NewReader(s))
+}
+
+// ParseFuncString parses a single function definition.
+func ParseFuncString(s string) (*Func, error) {
+	prog, err := ParseProgramString("program globalsize=0\n" + s)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Funcs) != 1 {
+		return nil, fmt.Errorf("iloc: expected exactly one function, got %d", len(prog.Funcs))
+	}
+	return prog.Funcs[0], nil
+}
+
+// MustParseFunc parses a function and panics on error; intended for
+// tests and examples with literal ILOC text.
+func MustParseFunc(s string) *Func {
+	f, err := ParseFuncString(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	sc   *bufio.Scanner
+	line int
+	cur  string
+	eof  bool
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next advances to the next non-empty, non-comment line.
+func (p *parser) next() bool {
+	for p.sc.Scan() {
+		p.line++
+		line := p.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			p.cur = line
+			return true
+		}
+	}
+	p.eof = true
+	return false
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	if !p.next() {
+		return nil, p.errf("empty input")
+	}
+	if strings.HasPrefix(p.cur, "program") {
+		rest := strings.TrimSpace(strings.TrimPrefix(p.cur, "program"))
+		for _, field := range strings.Fields(rest) {
+			k, v, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, p.errf("bad program field %q", field)
+			}
+			switch k {
+			case "globalsize":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, p.errf("bad globalsize %q", v)
+				}
+				prog.GlobalSize = n
+			default:
+				return nil, p.errf("unknown program field %q", k)
+			}
+		}
+		if !p.next() {
+			return prog, nil
+		}
+	}
+	for !p.eof {
+		f, err := p.function()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// pendingEdge remembers a branch-target reference to resolve after all
+// labels are known.
+type pendingEdge struct {
+	block   *Block
+	targets []string
+	line    int
+}
+
+func (p *parser) function() (*Func, error) {
+	head := p.cur
+	if !strings.HasPrefix(head, "func ") {
+		return nil, p.errf("expected 'func', got %q", head)
+	}
+	open := strings.IndexByte(head, '(')
+	closeP := strings.LastIndexByte(head, ')')
+	if open < 0 || closeP < open || !strings.HasSuffix(strings.TrimSpace(head[closeP+1:]), "{") {
+		return nil, p.errf("malformed function header %q", head)
+	}
+	name := strings.TrimSpace(head[len("func "):open])
+	if name == "" {
+		return nil, p.errf("missing function name")
+	}
+	f := &Func{Name: name, nextReg: 1}
+	params, err := p.regList(head[open+1 : closeP])
+	if err != nil {
+		return nil, err
+	}
+	f.Params = params
+	for _, r := range params {
+		f.SetRegHint(r)
+	}
+
+	labels := map[string]*Block{}
+	var edges []pendingEdge
+	var cur *Block
+	for p.next() {
+		line := p.cur
+		if line == "}" {
+			break
+		}
+		if label, ok := strings.CutSuffix(line, ":"); ok && !strings.ContainsAny(label, " \t") {
+			if _, dup := labels[label]; dup {
+				return nil, p.errf("duplicate label %q", label)
+			}
+			cur = f.NewBlockNamed(label)
+			labels[label] = cur
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first label: %q", line)
+		}
+		in, targets, err := p.instruction(line, f)
+		if err != nil {
+			return nil, err
+		}
+		cur.Instrs = append(cur.Instrs, in)
+		if len(targets) > 0 {
+			edges = append(edges, pendingEdge{block: cur, targets: targets, line: p.line})
+		}
+	}
+	if len(f.Blocks) == 0 {
+		return nil, p.errf("function %s has no blocks", name)
+	}
+	for _, e := range edges {
+		for _, t := range e.targets {
+			tb, ok := labels[t]
+			if !ok {
+				return nil, &ParseError{Line: e.line, Msg: fmt.Sprintf("undefined label %q", t)}
+			}
+			AddEdge(e.block, tb)
+		}
+	}
+	p.next() // move past '}' for the caller's loop
+	return f, nil
+}
+
+// instruction parses one instruction line; it returns the parsed
+// instruction and any branch-target labels.
+func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
+	// Split off branch targets: "... -> b1, b2".
+	var targets []string
+	if op, rest, ok := strings.Cut(line, "->"); ok {
+		line = strings.TrimSpace(op)
+		for _, t := range strings.Split(rest, ",") {
+			targets = append(targets, strings.TrimSpace(t))
+		}
+	}
+	// Split off destination: "... => rN" (but stores write "=> [rN]").
+	var dstTok string
+	if i := strings.LastIndex(line, "=>"); i >= 0 {
+		dstTok = strings.TrimSpace(line[i+2:])
+		line = strings.TrimSpace(line[:i])
+	}
+	mnemonic, operands, _ := strings.Cut(line, " ")
+	if strings.HasPrefix(line, "enter(") {
+		mnemonic, operands = "enter", line[len("enter"):]
+	}
+	op, ok := OpByName(strings.TrimSpace(mnemonic))
+	if !ok {
+		return nil, nil, p.errf("unknown opcode %q", mnemonic)
+	}
+	in := &Instr{Op: op}
+	operands = strings.TrimSpace(operands)
+
+	switch op {
+	case OpLoadI:
+		n, err := strconv.ParseInt(operands, 10, 64)
+		if err != nil {
+			return nil, nil, p.errf("bad integer immediate %q", operands)
+		}
+		in.Imm = n
+	case OpLoadF:
+		fl, err := strconv.ParseFloat(operands, 64)
+		if err != nil {
+			return nil, nil, p.errf("bad float immediate %q", operands)
+		}
+		in.FImm = fl
+	case OpCall:
+		open := strings.IndexByte(operands, '(')
+		closeP := strings.LastIndexByte(operands, ')')
+		if open < 0 || closeP < open {
+			return nil, nil, p.errf("malformed call %q", operands)
+		}
+		in.Sym = strings.TrimSpace(operands[:open])
+		args, err := p.regList(operands[open+1 : closeP])
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Args = args
+	case OpEnter:
+		open := strings.IndexByte(operands, '(')
+		closeP := strings.LastIndexByte(operands, ')')
+		src := operands
+		if open >= 0 && closeP > open {
+			src = operands[open+1 : closeP]
+		}
+		args, err := p.regList(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Args = args
+	case OpStoreW, OpStoreD, OpStoreS:
+		// "stw rV => [rA]" — the address arrived in dstTok.
+		v, err := p.reg(operands)
+		if err != nil {
+			return nil, nil, err
+		}
+		addrTok := strings.TrimSuffix(strings.TrimPrefix(dstTok, "["), "]")
+		a, err := p.reg(addrTok)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Args = []Reg{v, a}
+		dstTok = ""
+	case OpLoadW, OpLoadD, OpLoadS:
+		addrTok := strings.TrimSuffix(strings.TrimPrefix(operands, "["), "]")
+		a, err := p.reg(addrTok)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Args = []Reg{a}
+	default:
+		if operands != "" {
+			args, err := p.regList(operands)
+			if err != nil {
+				return nil, nil, err
+			}
+			in.Args = args
+		}
+	}
+
+	if dstTok != "" {
+		if !op.HasDst() && op != OpCall { // calls may return a value
+			return nil, nil, p.errf("%s cannot have a destination", op)
+		}
+		d, err := p.reg(dstTok)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Dst = d
+	} else if op.HasDst() && op != OpPhi {
+		return nil, nil, p.errf("%s requires a destination", op)
+	}
+	if a := op.Arity(); a >= 0 && len(in.Args) != a {
+		return nil, nil, p.errf("%s expects %d operands, got %d", op, a, len(in.Args))
+	}
+	for _, r := range append(in.Args, in.Dst) {
+		f.SetRegHint(r)
+	}
+	return in, targets, nil
+}
+
+func (p *parser) regList(s string) ([]Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	regs := make([]Reg, 0, len(parts))
+	for _, part := range parts {
+		r, err := p.reg(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		regs = append(regs, r)
+	}
+	return regs, nil
+}
+
+func (p *parser) reg(tok string) (Reg, error) {
+	if len(tok) < 2 || tok[0] != 'r' {
+		return NoReg, p.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n <= 0 {
+		return NoReg, p.errf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}

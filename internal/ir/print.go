@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint prints the function in ILOC text syntax.
+func (f *Func) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			io.WriteString(w, ", ")
+		}
+		io.WriteString(w, p.String())
+	}
+	io.WriteString(w, ") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(w, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			io.WriteString(w, "    ")
+			io.WriteString(w, in.String())
+			if in.Op.IsTerminator() && in.Op != OpRet {
+				io.WriteString(w, " ->")
+				for i, s := range b.Succs {
+					if i > 0 {
+						io.WriteString(w, ",")
+					}
+					io.WriteString(w, " ")
+					io.WriteString(w, s.Name)
+				}
+			}
+			io.WriteString(w, "\n")
+		}
+	}
+	io.WriteString(w, "}\n")
+}
+
+// String renders the function as ILOC text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	f.Fprint(&sb)
+	return sb.String()
+}
+
+// Fprint prints the whole program in ILOC text syntax.
+func (p *Program) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "program globalsize=%d\n", p.GlobalSize)
+	for _, f := range p.Funcs {
+		io.WriteString(w, "\n")
+		f.Fprint(w)
+	}
+}
+
+// String renders the program as ILOC text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	p.Fprint(&sb)
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package ir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// randFunc builds a random structurally valid function: a chain of
+// blocks with random pure instructions, random branches among later
+// blocks (no irreducible back edges needed for a print/parse check),
+// and a return.
+func randFunc(rng *rand.Rand) *ir.Func {
+	f := ir.NewFunc("g", 1+rng.Intn(3))
+	nblocks := 1 + rng.Intn(5)
+	blocks := []*ir.Block{f.Entry()}
+	for i := 1; i < nblocks; i++ {
+		blocks = append(blocks, f.NewBlock())
+	}
+	// Registers available so far.
+	regs := append([]ir.Reg(nil), f.Params...)
+	newVal := func(b *ir.Block) {
+		switch rng.Intn(6) {
+		case 0:
+			r := f.NewReg()
+			b.Append(ir.LoadI(r, int64(rng.Intn(100)-50)))
+			regs = append(regs, r)
+		case 1:
+			r := f.NewReg()
+			b.Append(ir.LoadF(r, float64(rng.Intn(100))/4))
+			regs = append(regs, r)
+		case 2:
+			r := f.NewReg()
+			b.Append(ir.Copy(r, regs[rng.Intn(len(regs))]))
+			regs = append(regs, r)
+		default:
+			ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpXor, ir.OpMin, ir.OpCmpLT}
+			r := f.NewReg()
+			b.Append(ir.NewInstr(ops[rng.Intn(len(ops))], r,
+				regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))]))
+			regs = append(regs, r)
+		}
+	}
+	for bi, b := range blocks {
+		n := rng.Intn(5)
+		for k := 0; k < n; k++ {
+			newVal(b)
+		}
+		// Terminator: last block returns; others branch forward.
+		if bi == len(blocks)-1 {
+			if rng.Intn(2) == 0 {
+				b.Append(&ir.Instr{Op: ir.OpRet})
+			} else {
+				b.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{regs[rng.Intn(len(regs))]}})
+			}
+			continue
+		}
+		rest := blocks[bi+1:]
+		if rng.Intn(3) == 0 && len(rest) >= 2 {
+			b.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, regs[rng.Intn(len(regs))]))
+			ir.AddEdge(b, rest[rng.Intn(len(rest))])
+			ir.AddEdge(b, rest[rng.Intn(len(rest))])
+		} else {
+			b.Append(&ir.Instr{Op: ir.OpJump})
+			ir.AddEdge(b, rest[rng.Intn(len(rest))])
+		}
+	}
+	return f
+}
+
+// TestRandomRoundTrip: print → parse → print is the identity on random
+// valid functions, and parsing preserves the verifier's judgment.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 300; trial++ {
+		f := randFunc(rng)
+		if err := ir.Verify(f); err != nil {
+			t.Fatalf("trial %d: generator produced invalid function: %v\n%s", trial, err, f)
+		}
+		text := f.String()
+		g, err := ir.ParseFuncString(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if err := ir.Verify(g); err != nil {
+			t.Fatalf("trial %d: reparsed function invalid: %v", trial, err)
+		}
+		if g.String() != text {
+			t.Fatalf("trial %d: round trip differs:\n--- printed ---\n%s\n--- reprinted ---\n%s",
+				trial, text, g.String())
+		}
+	}
+}
+
+// TestRandomCloneEquality: Clone produces an identical, independent
+// function for random inputs.
+func TestRandomCloneEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(778))
+	for trial := 0; trial < 100; trial++ {
+		f := randFunc(rng)
+		g := f.Clone()
+		if f.String() != g.String() {
+			t.Fatalf("trial %d: clone differs", trial)
+		}
+		if err := ir.Verify(g); err != nil {
+			t.Fatalf("trial %d: clone invalid: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError aggregates the structural problems found in a function.
+type VerifyError struct {
+	Func     string
+	Problems []string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: verify %s: %s", e.Func, strings.Join(e.Problems, "; "))
+}
+
+// Verify checks the structural invariants of a function:
+//
+//   - every block ends in exactly one terminator, and terminators appear
+//     nowhere else;
+//   - jump has one successor, cbr two, ret none;
+//   - successor/predecessor lists agree;
+//   - φ-nodes appear only at the start of a block and have one operand
+//     per predecessor;
+//   - operand counts match each opcode's arity, destinations are present
+//     exactly when required, and register numbers are in range;
+//   - the entry block starts with enter and has no predecessors.
+func Verify(f *Func) error {
+	var probs []string
+	errf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	if len(f.Blocks) == 0 {
+		errf("no blocks")
+		return &VerifyError{Func: f.Name, Problems: probs}
+	}
+	if in := f.EnterInstr(); in == nil {
+		errf("entry block does not start with enter")
+	} else if len(in.Args) != len(f.Params) {
+		errf("enter has %d params, function declares %d", len(in.Args), len(f.Params))
+	}
+	if len(f.Entry().Preds) != 0 {
+		errf("entry block has predecessors")
+	}
+
+	seen := map[string]bool{}
+	for bi, b := range f.Blocks {
+		if b.ID != bi {
+			errf("%s: stale block ID %d (want %d)", b.Name, b.ID, bi)
+		}
+		if seen[b.Name] {
+			errf("duplicate block name %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Fn != f {
+			errf("%s: wrong owning function", b.Name)
+		}
+
+		t := b.Terminator()
+		if t == nil {
+			errf("%s: missing terminator", b.Name)
+		}
+		phisDone := false
+		for i, in := range b.Instrs {
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				errf("%s: terminator %s not at block end", b.Name, in.Op)
+			}
+			if in.Op == OpPhi {
+				if phisDone {
+					errf("%s: φ after non-φ instruction", b.Name)
+				}
+				if len(in.Args) != len(b.Preds) {
+					errf("%s: φ has %d operands for %d predecessors", b.Name, len(in.Args), len(b.Preds))
+				}
+			} else if in.Op != OpEnter {
+				phisDone = true
+			}
+			if in.Op == OpEnter && !(bi == 0 && i == 0) {
+				errf("%s: enter outside entry position", b.Name)
+			}
+			if a := in.Op.Arity(); a >= 0 && len(in.Args) != a {
+				errf("%s: %s has %d operands, wants %d", b.Name, in.Op, len(in.Args), a)
+			}
+			if in.Op.HasDst() && in.Dst == NoReg {
+				errf("%s: %s missing destination", b.Name, in.Op)
+			}
+			// Calls may or may not produce a value.
+			if !in.Op.HasDst() && in.Dst != NoReg && in.Op != OpCall {
+				errf("%s: %s has spurious destination", b.Name, in.Op)
+			}
+			if in.Op == OpRet && len(in.Args) > 1 {
+				errf("%s: ret with %d values", b.Name, len(in.Args))
+			}
+			for _, r := range in.Args {
+				if r == NoReg || int(r) >= f.NumRegs() {
+					errf("%s: operand register %s out of range", b.Name, r)
+				}
+			}
+			if in.Dst != NoReg && int(in.Dst) >= f.NumRegs() {
+				errf("%s: destination register %s out of range", b.Name, in.Dst)
+			}
+		}
+
+		if t != nil {
+			want := -1
+			switch t.Op {
+			case OpJump:
+				want = 1
+			case OpCBr:
+				want = 2
+			case OpRet:
+				want = 0
+			}
+			if want >= 0 && len(b.Succs) != want {
+				errf("%s: %s with %d successors (want %d)", b.Name, t.Op, len(b.Succs), want)
+			}
+		}
+		for _, s := range b.Succs {
+			if s.PredIndex(b) < 0 {
+				errf("edge %s->%s missing from %s.Preds", b.Name, s.Name, s.Name)
+			}
+		}
+		for _, p := range b.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+				}
+			}
+			if !found {
+				errf("edge %s->%s missing from %s.Succs", p.Name, b.Name, p.Name)
+			}
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	return &VerifyError{Func: f.Name, Problems: probs}
+}
+
+// VerifyProgram verifies every function in the program.
+func VerifyProgram(p *Program) error {
+	for _, f := range p.Funcs {
+		if err := Verify(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

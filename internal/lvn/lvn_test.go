@@ -1,0 +1,166 @@
+package lvn_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lvn"
+)
+
+func run(t *testing.T, f *ir.Func, args ...int64) interp.Value {
+	t.Helper()
+	vals := make([]interp.Value, len(args))
+	for i, a := range args {
+		vals[i] = interp.IntVal(a)
+	}
+	m := interp.NewMachine(&ir.Program{Funcs: []*ir.Func{f.Clone()}})
+	v, err := m.Call(f.Name, vals...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	return v
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+// TestLVNCatchesRenamedRedundancy is the §2.2 example restated locally:
+// value numbering sees through copies where lexical matching cannot.
+func TestLVNCatchesRenamedRedundancy(t *testing.T) {
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    copy r1 => r4
+    add r4, r2 => r5
+    add r3, r5 => r6
+    ret r6
+}
+`
+	f := ir.MustParseFunc(src)
+	want := run(t, f, 3, 4)
+	st := lvn.Run(f)
+	got := run(t, f, 3, 4)
+	if got.I != want.I || got.I != 14 {
+		t.Fatalf("got %d, want 14", got.I)
+	}
+	if st.Replaced != 1 {
+		t.Errorf("Replaced = %d, want 1\n%s", st.Replaced, f)
+	}
+	if countOps(f, ir.OpAdd) != 2 {
+		t.Errorf("redundant add remains\n%s", f)
+	}
+}
+
+// TestLVNCommutative: a+b and b+a share a value number.
+func TestLVNCommutative(t *testing.T) {
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    add r2, r1 => r4
+    mul r3, r4 => r5
+    ret r5
+}
+`
+	f := ir.MustParseFunc(src)
+	st := lvn.Run(f)
+	if st.Replaced != 1 {
+		t.Errorf("commutative pair not matched: %+v\n%s", st, f)
+	}
+	if got := run(t, f, 3, 4); got.I != 49 {
+		t.Errorf("got %d, want 49", got.I)
+	}
+}
+
+// TestLVNRespectsKills: a redefined operand separates the values.
+func TestLVNRespectsKills(t *testing.T) {
+	const src = `
+func f(r1, r2) {
+b0:
+    enter(r1, r2)
+    add r1, r2 => r3
+    loadI 1 => r4
+    add r1, r4 => r1
+    add r1, r2 => r5
+    sub r5, r3 => r6
+    ret r6
+}
+`
+	f := ir.MustParseFunc(src)
+	st := lvn.Run(f)
+	if st.Replaced != 0 {
+		t.Errorf("matched across a kill: %+v\n%s", st, f)
+	}
+	if got := run(t, f, 10, 20); got.I != 1 {
+		t.Errorf("got %d, want 1", got.I)
+	}
+}
+
+// TestLVNLoadsAndStores: identical loads common until a store
+// intervenes.
+func TestLVNLoadsAndStores(t *testing.T) {
+	const src = `
+func f(r1) {
+b0:
+    enter(r1)
+    ldw [r1] => r2
+    ldw [r1] => r3
+    add r2, r3 => r4
+    stw r4 => [r1]
+    ldw [r1] => r5
+    add r4, r5 => r6
+    ret r6
+}
+`
+	f := ir.MustParseFunc(src)
+	st := lvn.Run(f)
+	if st.Replaced != 1 {
+		t.Errorf("Replaced = %d, want 1 (second load commons, third must not)\n%s", st.Replaced, f)
+	}
+	prog := &ir.Program{Funcs: []*ir.Func{f}, GlobalSize: 16}
+	m := interp.NewMachine(prog)
+	m.WriteInt64(0, 5)
+	v, err := m.Call("f", interp.IntVal(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 20 { // 5+5=10 stored; 10+10=20
+		t.Errorf("got %d, want 20", v.I)
+	}
+}
+
+// TestLVNConstantFolding: constants flow through value numbers even
+// via copies.
+func TestLVNConstantFolding(t *testing.T) {
+	const src = `
+func f(r1) {
+b0:
+    enter(r1)
+    loadI 6 => r2
+    copy r2 => r3
+    loadI 7 => r4
+    mul r3, r4 => r5
+    add r5, r1 => r6
+    ret r6
+}
+`
+	f := ir.MustParseFunc(src)
+	st := lvn.Run(f)
+	if st.Folded != 1 {
+		t.Errorf("Folded = %d, want 1\n%s", st.Folded, f)
+	}
+	if got := run(t, f, 0); got.I != 42 {
+		t.Errorf("got %d, want 42", got.I)
+	}
+}

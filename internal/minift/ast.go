@@ -1,0 +1,231 @@
+package minift
+
+// BaseType is a scalar element type.
+type BaseType uint8
+
+// Scalar types of the language.
+const (
+	TypeInvalid BaseType = iota
+	TypeInt              // 64-bit integer
+	TypeReal             // 64-bit float (FORTRAN DOUBLE PRECISION)
+	TypeReal4            // 32-bit float (FORTRAN REAL); widened to float64 in registers
+	TypeVoid             // function with no result
+)
+
+// String names the type.
+func (t BaseType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeReal:
+		return "real"
+	case TypeReal4:
+		return "real4"
+	case TypeVoid:
+		return "void"
+	}
+	return "invalid"
+}
+
+// ElemSize returns the in-memory size of an array element in bytes.
+// This is where the paper's §4.2 distribution example comes from: a
+// single-precision array access multiplies its index by 4, a
+// double-precision one by 8.
+func (t BaseType) ElemSize() int64 {
+	if t == TypeReal4 {
+		return 4
+	}
+	return 8
+}
+
+// IsFloat reports whether values of this type live in float registers.
+func (t BaseType) IsFloat() bool { return t == TypeReal || t == TypeReal4 }
+
+// Type is a scalar or array type.  Arrays have FORTRAN semantics:
+// column-major layout and 1-based indexing.  Dims hold one expression
+// per dimension; for parameters, a dimension may reference another
+// parameter (FORTRAN adjustable arrays) and trailing dimensions may be
+// the wildcard (nil entry, written "*").
+type Type struct {
+	Base  BaseType
+	Dims  []Expr // nil for scalars; entries may be nil for '*'
+	IsArr bool
+}
+
+// Scalar builds a scalar type.
+func Scalar(b BaseType) Type { return Type{Base: b} }
+
+// String renders the type.
+func (t Type) String() string {
+	if !t.IsArr {
+		return t.Base.String()
+	}
+	s := "["
+	for i := range t.Dims {
+		if i > 0 {
+			s += ","
+		}
+		if t.Dims[i] == nil {
+			s += "*"
+		} else {
+			s += "…"
+		}
+	}
+	return s + "]" + t.Base.String()
+}
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Pos  Pos
+	Op   Kind // TokPlus .. TokOr
+	L, R Expr
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Pos Pos
+	Op  Kind // TokMinus or TokNot
+	X   Expr
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	Pos Pos
+	V   float64
+}
+
+// VarRef references a scalar variable or parameter (or a whole array
+// when passed as an argument).
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element: a[i] or a[i,j].
+type IndexExpr struct {
+	Pos  Pos
+	Name string
+	Idx  []Expr
+}
+
+// CallExpr calls a function (or builtin: sqrt, abs, min, max, real,
+// int) and yields its value.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *BinExpr) exprPos() Pos   { return e.Pos }
+func (e *UnExpr) exprPos() Pos    { return e.Pos }
+func (e *IntLit) exprPos() Pos    { return e.Pos }
+func (e *RealLit) exprPos() Pos   { return e.Pos }
+func (e *VarRef) exprPos() Pos    { return e.Pos }
+func (e *IndexExpr) exprPos() Pos { return e.Pos }
+func (e *CallExpr) exprPos() Pos  { return e.Pos }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Ty   Type
+	Init Expr // nil for none (arrays may not have initializers)
+}
+
+// AssignStmt stores into a scalar variable or array element.
+type AssignStmt struct {
+	Pos Pos
+	// Target: either Name (scalar) or Name+Idx (element).
+	Name string
+	Idx  []Expr // nil for scalar assignment
+	Val  Expr
+}
+
+// IfStmt is a conditional with an optional else arm.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil for none
+}
+
+// ForStmt is a FORTRAN-style counted DO loop: for i = lo to hi
+// [step c] { ... }.  The step must be a positive integer constant
+// (default 1); the body runs while i <= hi, and i retains its final
+// value afterwards.
+type ForStmt struct {
+	Pos  Pos
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Step int64
+	Body []Stmt
+}
+
+// WhileStmt is a top-tested loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns from the function, with a value when the function
+// has a result type.
+type ReturnStmt struct {
+	Pos Pos
+	Val Expr // nil for void
+}
+
+// ExprStmt evaluates a call for its side effects.
+type ExprStmt struct {
+	Pos  Pos
+	Call *CallExpr
+}
+
+// PrintStmt emits a value through the interpreter's output channel.
+type PrintStmt struct {
+	Pos Pos
+	Val Expr
+}
+
+func (s *VarDecl) stmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *ForStmt) stmtPos() Pos    { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos   { return s.Pos }
+func (s *PrintStmt) stmtPos() Pos  { return s.Pos }
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Ty   Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Result BaseType // TypeVoid for none
+	Body   []Stmt
+}
+
+// File is a parsed source file.
+type File struct {
+	Funcs []*FuncDecl
+}

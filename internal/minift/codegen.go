@@ -1,0 +1,748 @@
+package minift
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses and compiles Mini-Fortran source into an ILOC
+// program.  The generated code is deliberately naive: fresh
+// temporaries for every expression node, copies for every assignment,
+// left-associated sums and explicit 1-based column-major address
+// arithmetic — the exact input shape the paper's optimizer expects
+// from an unsophisticated front end.
+func Compile(src string) (*ir.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(file)
+}
+
+// MustCompile compiles source and panics on error (tests, examples).
+func MustCompile(src string) *ir.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// signature describes a callable function.
+type signature struct {
+	params []Param
+	result BaseType
+}
+
+// CompileFile compiles a parsed file.
+func CompileFile(file *File) (*ir.Program, error) {
+	cc := &compiler{
+		prog: &ir.Program{},
+		sigs: map[string]signature{},
+	}
+	for _, fn := range file.Funcs {
+		if _, dup := cc.sigs[fn.Name]; dup {
+			return nil, errf(fn.Pos, "function %s redefined", fn.Name)
+		}
+		cc.sigs[fn.Name] = signature{params: fn.Params, result: fn.Result}
+	}
+	for _, fn := range file.Funcs {
+		if err := cc.compileFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	cc.prog.GlobalSize = cc.nextAddr
+	if err := ir.VerifyProgram(cc.prog); err != nil {
+		return nil, fmt.Errorf("minift: internal error: %w", err)
+	}
+	return cc.prog, nil
+}
+
+type compiler struct {
+	prog     *ir.Program
+	sigs     map[string]signature
+	nextAddr int64 // static data segment layout cursor
+}
+
+// symbol binds a name in a function scope.
+type symbol struct {
+	// Scalars: reg holds the value.  Arrays: reg holds the base
+	// address for parameters, or NoReg with staticBase set for locals.
+	reg        ir.Reg
+	ty         Type
+	staticBase int64
+	isArray    bool
+	// dimRegs[i] is a register holding dimension i's extent (needed
+	// only for leading dimensions of multi-dimensional arrays).
+	dimRegs []ir.Reg
+}
+
+// fnCtx carries per-function compilation state.
+type fnCtx struct {
+	fn     *ir.Func
+	decl   *FuncDecl
+	syms   map[string]*symbol
+	cur    *ir.Block
+	result BaseType
+}
+
+func (cc *compiler) compileFunc(decl *FuncDecl) error {
+	f := ir.NewFunc(decl.Name, len(decl.Params))
+	ctx := &fnCtx{fn: f, decl: decl, syms: map[string]*symbol{}, cur: f.Entry(), result: decl.Result}
+
+	// Bind parameters.
+	for i, p := range decl.Params {
+		if _, dup := ctx.syms[p.Name]; dup {
+			return errf(p.Pos, "parameter %s redeclared", p.Name)
+		}
+		sym := &symbol{reg: f.Params[i], ty: p.Ty, isArray: p.Ty.IsArr}
+		ctx.syms[p.Name] = sym
+	}
+	// Resolve parameter array dimensions (constants or parameter names).
+	for _, p := range decl.Params {
+		sym := ctx.syms[p.Name]
+		if !p.Ty.IsArr {
+			continue
+		}
+		for di, dim := range p.Ty.Dims {
+			var dreg ir.Reg
+			switch d := dim.(type) {
+			case nil:
+				dreg = ir.NoReg // '*': extent unknown, only legal trailing
+			case *IntLit:
+				dreg = ctx.emitLoadI(d.V)
+			case *VarRef:
+				ds, ok := ctx.syms[d.Name]
+				if !ok || ds.isArray || ds.ty.Base != TypeInt {
+					return errf(p.Pos, "array dimension %q must be an int parameter", d.Name)
+				}
+				dreg = ds.reg
+			default:
+				return errf(p.Pos, "unsupported array dimension expression")
+			}
+			if dreg == ir.NoReg && di != len(p.Ty.Dims)-1 {
+				return errf(p.Pos, "'*' is only allowed as the last dimension")
+			}
+			sym.dimRegs = append(sym.dimRegs, dreg)
+		}
+	}
+
+	if err := cc.stmts(ctx, decl.Body); err != nil {
+		return err
+	}
+	// Implicit return if control can fall off the end.
+	if ctx.cur.Terminator() == nil {
+		switch decl.Result {
+		case TypeVoid:
+			ctx.cur.Append(&ir.Instr{Op: ir.OpRet})
+		case TypeInt:
+			z := ctx.emitLoadI(0)
+			ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{z}})
+		default:
+			z := ctx.emit(ir.LoadF(ctx.fn.NewReg(), 0))
+			ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{z}})
+		}
+	}
+	cc.prog.Funcs = append(cc.prog.Funcs, f)
+	return nil
+}
+
+// emit appends an instruction to the current block and returns its
+// destination register.
+func (ctx *fnCtx) emit(in *ir.Instr) ir.Reg {
+	ctx.cur.Append(in)
+	return in.Dst
+}
+
+func (ctx *fnCtx) emitLoadI(v int64) ir.Reg {
+	return ctx.emit(ir.LoadI(ctx.fn.NewReg(), v))
+}
+
+func (ctx *fnCtx) emitOp(op ir.Op, args ...ir.Reg) ir.Reg {
+	return ctx.emit(ir.NewInstr(op, ctx.fn.NewReg(), args...))
+}
+
+// startBlock begins a new block, jumping to it from the current one if
+// the current block is unterminated.
+func (ctx *fnCtx) startBlock() *ir.Block {
+	b := ctx.fn.NewBlock()
+	if ctx.cur != nil && ctx.cur.Terminator() == nil {
+		ctx.jumpTo(b)
+	}
+	ctx.cur = b
+	return b
+}
+
+func (ctx *fnCtx) jumpTo(target *ir.Block) {
+	ctx.cur.Append(&ir.Instr{Op: ir.OpJump})
+	ir.AddEdge(ctx.cur, target)
+}
+
+func (ctx *fnCtx) branchTo(cond ir.Reg, then, els *ir.Block) {
+	ctx.cur.Append(&ir.Instr{Op: ir.OpCBr, Args: []ir.Reg{cond}})
+	ir.AddEdge(ctx.cur, then)
+	ir.AddEdge(ctx.cur, els)
+}
+
+func (cc *compiler) stmts(ctx *fnCtx, list []Stmt) error {
+	for _, s := range list {
+		if err := cc.stmt(ctx, s); err != nil {
+			return err
+		}
+		if ctx.cur.Terminator() != nil {
+			// Code after return in this block is unreachable; start a
+			// fresh (unreachable) block so emission stays legal.
+			if s != list[len(list)-1] {
+				ctx.cur = ctx.fn.NewBlock()
+			}
+		}
+	}
+	return nil
+}
+
+func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
+	switch st := s.(type) {
+	case *VarDecl:
+		if _, dup := ctx.syms[st.Name]; dup {
+			return errf(st.Pos, "%s redeclared", st.Name)
+		}
+		if st.Ty.IsArr {
+			size := st.Ty.Base.ElemSize()
+			total := size
+			var dimRegs []ir.Reg
+			for _, dim := range st.Ty.Dims {
+				lit, ok := dim.(*IntLit)
+				if !ok || lit.V <= 0 {
+					return errf(st.Pos, "local array dimensions must be positive integer constants")
+				}
+				total *= lit.V
+				dimRegs = append(dimRegs, ctx.emitLoadI(lit.V))
+			}
+			// Align to 8 bytes.
+			cc.nextAddr = (cc.nextAddr + 7) &^ 7
+			base := cc.nextAddr
+			cc.nextAddr += total
+			ctx.syms[st.Name] = &symbol{
+				ty: st.Ty, isArray: true, staticBase: base,
+				reg: ctx.emitLoadI(base), dimRegs: dimRegs,
+			}
+			return nil
+		}
+		reg := ctx.fn.NewReg()
+		ctx.syms[st.Name] = &symbol{reg: reg, ty: st.Ty}
+		if st.Init != nil {
+			v, ty, err := cc.expr(ctx, st.Init)
+			if err != nil {
+				return err
+			}
+			v, err = cc.convert(ctx, v, ty, st.Ty.Base, st.Pos)
+			if err != nil {
+				return err
+			}
+			ctx.emit(ir.Copy(reg, v))
+		} else {
+			// Zero-initialize so uses before assignment are defined.
+			if st.Ty.Base.IsFloat() {
+				z := ctx.emit(ir.LoadF(ctx.fn.NewReg(), 0))
+				ctx.emit(ir.Copy(reg, z))
+			} else {
+				z := ctx.emitLoadI(0)
+				ctx.emit(ir.Copy(reg, z))
+			}
+		}
+		return nil
+
+	case *AssignStmt:
+		sym, ok := ctx.syms[st.Name]
+		if !ok {
+			return errf(st.Pos, "undefined variable %s", st.Name)
+		}
+		if st.Idx == nil {
+			if sym.isArray {
+				return errf(st.Pos, "cannot assign to array %s as a whole", st.Name)
+			}
+			v, ty, err := cc.expr(ctx, st.Val)
+			if err != nil {
+				return err
+			}
+			v, err = cc.convert(ctx, v, ty, sym.ty.Base, st.Pos)
+			if err != nil {
+				return err
+			}
+			ctx.emit(ir.Copy(sym.reg, v))
+			return nil
+		}
+		if !sym.isArray {
+			return errf(st.Pos, "%s is not an array", st.Name)
+		}
+		addr, err := cc.arrayAddr(ctx, sym, st.Idx, st.Pos)
+		if err != nil {
+			return err
+		}
+		v, ty, err := cc.expr(ctx, st.Val)
+		if err != nil {
+			return err
+		}
+		want := sym.ty.Base
+		v, err = cc.convert(ctx, v, ty, want, st.Pos)
+		if err != nil {
+			return err
+		}
+		op := ir.OpStoreW
+		switch want {
+		case TypeReal:
+			op = ir.OpStoreD
+		case TypeReal4:
+			op = ir.OpStoreS
+		}
+		ctx.cur.Append(&ir.Instr{Op: op, Args: []ir.Reg{v, addr}})
+		return nil
+
+	case *IfStmt:
+		cond, ty, err := cc.expr(ctx, st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty != TypeInt {
+			return errf(st.Pos, "if condition must be int (a comparison), got %s", ty)
+		}
+		thenB := ctx.fn.NewBlock()
+		var elseB *ir.Block
+		joinB := ctx.fn.NewBlock()
+		if st.Else != nil {
+			elseB = ctx.fn.NewBlock()
+			ctx.branchTo(cond, thenB, elseB)
+		} else {
+			ctx.branchTo(cond, thenB, joinB)
+		}
+		ctx.cur = thenB
+		if err := cc.stmts(ctx, st.Then); err != nil {
+			return err
+		}
+		if ctx.cur.Terminator() == nil {
+			ctx.jumpTo(joinB)
+		}
+		if elseB != nil {
+			ctx.cur = elseB
+			if err := cc.stmts(ctx, st.Else); err != nil {
+				return err
+			}
+			if ctx.cur.Terminator() == nil {
+				ctx.jumpTo(joinB)
+			}
+		}
+		ctx.cur = joinB
+		return nil
+
+	case *ForStmt:
+		sym, ok := ctx.syms[st.Var]
+		if !ok {
+			// Implicitly declare the loop variable (FORTRAN habit).
+			sym = &symbol{reg: ctx.fn.NewReg(), ty: Scalar(TypeInt)}
+			ctx.syms[st.Var] = sym
+		}
+		if sym.isArray || sym.ty.Base != TypeInt {
+			return errf(st.Pos, "loop variable %s must be an int scalar", st.Var)
+		}
+		lo, loTy, err := cc.expr(ctx, st.Lo)
+		if err != nil {
+			return err
+		}
+		if loTy != TypeInt {
+			return errf(st.Pos, "loop bounds must be int")
+		}
+		hi, hiTy, err := cc.expr(ctx, st.Hi)
+		if err != nil {
+			return err
+		}
+		if hiTy != TypeInt {
+			return errf(st.Pos, "loop bounds must be int")
+		}
+		// FORTRAN DO: bounds evaluated once; bottom-tested loop with a
+		// guarding top test (the Figure 3 shape).
+		hiVar := ctx.fn.NewReg()
+		ctx.emit(ir.Copy(hiVar, hi))
+		ctx.emit(ir.Copy(sym.reg, lo))
+		guard := ctx.emitOp(ir.OpCmpGT, sym.reg, hiVar)
+		bodyB := ctx.fn.NewBlock()
+		exitB := ctx.fn.NewBlock()
+		ctx.branchTo(guard, exitB, bodyB)
+		ctx.cur = bodyB
+		if err := cc.stmts(ctx, st.Body); err != nil {
+			return err
+		}
+		if ctx.cur.Terminator() == nil {
+			stepR := ctx.emitLoadI(st.Step)
+			next := ctx.emitOp(ir.OpAdd, sym.reg, stepR)
+			ctx.emit(ir.Copy(sym.reg, next))
+			again := ctx.emitOp(ir.OpCmpLE, sym.reg, hiVar)
+			ctx.branchTo(again, bodyB, exitB)
+		}
+		ctx.cur = exitB
+		return nil
+
+	case *WhileStmt:
+		headB := ctx.startBlock()
+		cond, ty, err := cc.expr(ctx, st.Cond)
+		if err != nil {
+			return err
+		}
+		if ty != TypeInt {
+			return errf(st.Pos, "while condition must be int (a comparison), got %s", ty)
+		}
+		bodyB := ctx.fn.NewBlock()
+		exitB := ctx.fn.NewBlock()
+		ctx.branchTo(cond, bodyB, exitB)
+		ctx.cur = bodyB
+		if err := cc.stmts(ctx, st.Body); err != nil {
+			return err
+		}
+		if ctx.cur.Terminator() == nil {
+			ctx.jumpTo(headB)
+		}
+		ctx.cur = exitB
+		return nil
+
+	case *ReturnStmt:
+		if ctx.result == TypeVoid {
+			if st.Val != nil {
+				return errf(st.Pos, "%s returns no value", ctx.decl.Name)
+			}
+			ctx.cur.Append(&ir.Instr{Op: ir.OpRet})
+			return nil
+		}
+		if st.Val == nil {
+			return errf(st.Pos, "%s must return a %s", ctx.decl.Name, ctx.result)
+		}
+		v, ty, err := cc.expr(ctx, st.Val)
+		if err != nil {
+			return err
+		}
+		v, err = cc.convert(ctx, v, ty, ctx.result, st.Pos)
+		if err != nil {
+			return err
+		}
+		ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{v}})
+		return nil
+
+	case *ExprStmt:
+		_, _, err := cc.call(ctx, st.Call, true)
+		return err
+
+	case *PrintStmt:
+		v, _, err := cc.expr(ctx, st.Val)
+		if err != nil {
+			return err
+		}
+		ctx.cur.Append(&ir.Instr{Op: ir.OpCall, Sym: "print", Args: []ir.Reg{v}})
+		return nil
+	}
+	return errf(s.stmtPos(), "unhandled statement")
+}
+
+// convert coerces a value between scalar types (int→real implicit,
+// real→int explicit only through int()).
+func (cc *compiler) convert(ctx *fnCtx, v ir.Reg, from, to BaseType, pos Pos) (ir.Reg, error) {
+	ff := from.IsFloat()
+	tf := to.IsFloat()
+	switch {
+	case ff == tf:
+		return v, nil
+	case !ff && tf:
+		return ctx.emitOp(ir.OpI2F, v), nil
+	default:
+		return ir.NoReg, errf(pos, "cannot implicitly convert %s to %s (use int())", from, to)
+	}
+}
+
+// arrayAddr emits 1-based column-major address arithmetic:
+//
+//	addr = base + ((i1−1) + (i2−1)·d1 + (i3−1)·d1·d2 + …) · elemsize
+//
+// in a naive left-associated chain with fresh temporaries.  This is
+// the address shape whose reassociation the paper's Figure 1 and §2.1
+// discussion motivate ("it arises routinely in multi-dimensional array
+// addressing computations").
+func (cc *compiler) arrayAddr(ctx *fnCtx, sym *symbol, idx []Expr, pos Pos) (ir.Reg, error) {
+	if len(idx) != len(sym.ty.Dims) {
+		return ir.NoReg, errf(pos, "array has %d dimensions, got %d indices", len(sym.ty.Dims), len(idx))
+	}
+	one := ctx.emitLoadI(1)
+	var linear ir.Reg
+	var stride ir.Reg // product of leading extents; nil until needed
+	for di, ie := range idx {
+		iv, ity, err := cc.expr(ctx, ie)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		if ity != TypeInt {
+			return ir.NoReg, errf(ie.exprPos(), "array index must be int")
+		}
+		term := ctx.emitOp(ir.OpSub, iv, one)
+		if di > 0 {
+			term = ctx.emitOp(ir.OpMul, term, stride)
+		}
+		if linear == ir.NoReg {
+			linear = term
+		} else {
+			linear = ctx.emitOp(ir.OpAdd, linear, term)
+		}
+		// Maintain the cumulative stride for the next dimension.
+		if di < len(idx)-1 {
+			d := sym.dimRegs[di]
+			if d == ir.NoReg {
+				return ir.NoReg, errf(pos, "dimension %d of %s has unknown extent", di+1, "array")
+			}
+			if stride == ir.NoReg {
+				stride = d
+			} else {
+				stride = ctx.emitOp(ir.OpMul, stride, d)
+			}
+		}
+	}
+	esize := ctx.emitLoadI(sym.ty.Base.ElemSize())
+	scaled := ctx.emitOp(ir.OpMul, linear, esize)
+	return ctx.emitOp(ir.OpAdd, sym.reg, scaled), nil
+}
+
+// expr compiles an expression, returning the result register and type.
+func (cc *compiler) expr(ctx *fnCtx, e Expr) (ir.Reg, BaseType, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ctx.emitLoadI(ex.V), TypeInt, nil
+	case *RealLit:
+		return ctx.emit(ir.LoadF(ctx.fn.NewReg(), ex.V)), TypeReal, nil
+
+	case *VarRef:
+		sym, ok := ctx.syms[ex.Name]
+		if !ok {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "undefined variable %s", ex.Name)
+		}
+		if sym.isArray {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "array %s used as a scalar", ex.Name)
+		}
+		ty := sym.ty.Base
+		if ty == TypeReal4 {
+			ty = TypeReal // scalars of real4 behave as real in registers
+		}
+		return sym.reg, ty, nil
+
+	case *IndexExpr:
+		sym, ok := ctx.syms[ex.Name]
+		if !ok {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "undefined variable %s", ex.Name)
+		}
+		if !sym.isArray {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "%s is not an array", ex.Name)
+		}
+		addr, err := cc.arrayAddr(ctx, sym, ex.Idx, ex.Pos)
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		switch sym.ty.Base {
+		case TypeReal:
+			return ctx.emitOp(ir.OpLoadD, addr), TypeReal, nil
+		case TypeReal4:
+			return ctx.emitOp(ir.OpLoadS, addr), TypeReal, nil
+		default:
+			return ctx.emitOp(ir.OpLoadW, addr), TypeInt, nil
+		}
+
+	case *UnExpr:
+		v, ty, err := cc.expr(ctx, ex.X)
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		if ex.Op == TokNot {
+			if ty != TypeInt {
+				return ir.NoReg, TypeInvalid, errf(ex.Pos, "'!' needs an int operand")
+			}
+			z := ctx.emitLoadI(0)
+			return ctx.emitOp(ir.OpCmpEQ, v, z), TypeInt, nil
+		}
+		if ty.IsFloat() {
+			return ctx.emitOp(ir.OpFNeg, v), ty, nil
+		}
+		return ctx.emitOp(ir.OpNeg, v), TypeInt, nil
+
+	case *BinExpr:
+		return cc.binExpr(ctx, ex)
+
+	case *CallExpr:
+		r, ty, err := cc.call(ctx, ex, false)
+		return r, ty, err
+	}
+	return ir.NoReg, TypeInvalid, errf(e.exprPos(), "unhandled expression")
+}
+
+var intBinOps = map[Kind]ir.Op{
+	TokPlus: ir.OpAdd, TokMinus: ir.OpSub, TokStar: ir.OpMul,
+	TokSlash: ir.OpDiv, TokPercent: ir.OpMod,
+	TokEq: ir.OpCmpEQ, TokNe: ir.OpCmpNE, TokLt: ir.OpCmpLT,
+	TokLe: ir.OpCmpLE, TokGt: ir.OpCmpGT, TokGe: ir.OpCmpGE,
+	TokAnd: ir.OpAnd, TokOr: ir.OpOr,
+}
+
+var floatBinOps = map[Kind]ir.Op{
+	TokPlus: ir.OpFAdd, TokMinus: ir.OpFSub, TokStar: ir.OpFMul,
+	TokSlash: ir.OpFDiv,
+	TokEq:    ir.OpFCmpEQ, TokNe: ir.OpFCmpNE, TokLt: ir.OpFCmpLT,
+	TokLe: ir.OpFCmpLE, TokGt: ir.OpFCmpGT, TokGe: ir.OpFCmpGE,
+}
+
+func (cc *compiler) binExpr(ctx *fnCtx, ex *BinExpr) (ir.Reg, BaseType, error) {
+	l, lt, err := cc.expr(ctx, ex.L)
+	if err != nil {
+		return ir.NoReg, TypeInvalid, err
+	}
+	r, rt, err := cc.expr(ctx, ex.R)
+	if err != nil {
+		return ir.NoReg, TypeInvalid, err
+	}
+	// Implicit int→real promotion, FORTRAN style.
+	if lt.IsFloat() != rt.IsFloat() {
+		if lt.IsFloat() {
+			r, rt = ctx.emitOp(ir.OpI2F, r), TypeReal
+		} else {
+			l, lt = ctx.emitOp(ir.OpI2F, l), TypeReal
+		}
+	}
+	isFloat := lt.IsFloat()
+	if isFloat {
+		op, ok := floatBinOps[ex.Op]
+		if !ok {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "operator %s not defined on real", ex.Op)
+		}
+		resTy := TypeReal
+		if op >= ir.OpFCmpEQ && op <= ir.OpFCmpGE {
+			resTy = TypeInt
+		}
+		return ctx.emitOp(op, l, r), resTy, nil
+	}
+	op, ok := intBinOps[ex.Op]
+	if !ok {
+		return ir.NoReg, TypeInvalid, errf(ex.Pos, "operator %s not defined on int", ex.Op)
+	}
+	_ = rt
+	return ctx.emitOp(op, l, r), TypeInt, nil
+}
+
+// builtins maps names to unary/binary pure operations, dispatched on
+// the first argument's type where both flavors exist.
+func (cc *compiler) call(ctx *fnCtx, ex *CallExpr, stmtCtx bool) (ir.Reg, BaseType, error) {
+	// Builtins.
+	switch ex.Name {
+	case "sqrt", "abs", "int", "real":
+		if len(ex.Args) != 1 {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "%s takes 1 argument", ex.Name)
+		}
+		v, ty, err := cc.expr(ctx, ex.Args[0])
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		switch ex.Name {
+		case "sqrt":
+			if !ty.IsFloat() {
+				v = ctx.emitOp(ir.OpI2F, v)
+			}
+			return ctx.emitOp(ir.OpSqrt, v), TypeReal, nil
+		case "abs":
+			if ty.IsFloat() {
+				return ctx.emitOp(ir.OpFAbs, v), TypeReal, nil
+			}
+			return ctx.emitOp(ir.OpAbs, v), TypeInt, nil
+		case "int":
+			if !ty.IsFloat() {
+				return v, TypeInt, nil
+			}
+			return ctx.emitOp(ir.OpF2I, v), TypeInt, nil
+		default: // real
+			if ty.IsFloat() {
+				return v, TypeReal, nil
+			}
+			return ctx.emitOp(ir.OpI2F, v), TypeReal, nil
+		}
+	case "min", "max":
+		if len(ex.Args) != 2 {
+			return ir.NoReg, TypeInvalid, errf(ex.Pos, "%s takes 2 arguments", ex.Name)
+		}
+		l, lt, err := cc.expr(ctx, ex.Args[0])
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		r, rt, err := cc.expr(ctx, ex.Args[1])
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		if lt.IsFloat() != rt.IsFloat() {
+			if lt.IsFloat() {
+				r = ctx.emitOp(ir.OpI2F, r)
+			} else {
+				l = ctx.emitOp(ir.OpI2F, l)
+			}
+			lt = TypeReal
+		}
+		if lt.IsFloat() {
+			op := ir.OpFMin
+			if ex.Name == "max" {
+				op = ir.OpFMax
+			}
+			return ctx.emitOp(op, l, r), TypeReal, nil
+		}
+		op := ir.OpMin
+		if ex.Name == "max" {
+			op = ir.OpMax
+		}
+		return ctx.emitOp(op, l, r), TypeInt, nil
+	}
+
+	sig, ok := cc.sigs[ex.Name]
+	if !ok {
+		return ir.NoReg, TypeInvalid, errf(ex.Pos, "undefined function %s", ex.Name)
+	}
+	if len(ex.Args) != len(sig.params) {
+		return ir.NoReg, TypeInvalid, errf(ex.Pos, "%s takes %d arguments, got %d", ex.Name, len(sig.params), len(ex.Args))
+	}
+	args := make([]ir.Reg, len(ex.Args))
+	for i, a := range ex.Args {
+		p := sig.params[i]
+		if p.Ty.IsArr {
+			// Array argument: pass the base address.
+			vr, isVar := a.(*VarRef)
+			if !isVar {
+				return ir.NoReg, TypeInvalid, errf(a.exprPos(), "argument %d of %s must be an array name", i+1, ex.Name)
+			}
+			sym, found := ctx.syms[vr.Name]
+			if !found || !sym.isArray {
+				return ir.NoReg, TypeInvalid, errf(a.exprPos(), "%s is not an array", vr.Name)
+			}
+			if sym.ty.Base != p.Ty.Base {
+				return ir.NoReg, TypeInvalid, errf(a.exprPos(), "array element type mismatch: %s vs %s", sym.ty.Base, p.Ty.Base)
+			}
+			args[i] = sym.reg
+			continue
+		}
+		v, ty, err := cc.expr(ctx, a)
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		v, err = cc.convert(ctx, v, ty, p.Ty.Base, a.exprPos())
+		if err != nil {
+			return ir.NoReg, TypeInvalid, err
+		}
+		args[i] = v
+	}
+	in := &ir.Instr{Op: ir.OpCall, Sym: ex.Name, Args: args}
+	if sig.result != TypeVoid {
+		in.Dst = ctx.fn.NewReg()
+	} else if !stmtCtx {
+		return ir.NoReg, TypeInvalid, errf(ex.Pos, "%s returns no value", ex.Name)
+	}
+	ctx.cur.Append(in)
+	res := sig.result
+	if res == TypeReal4 {
+		res = TypeReal
+	}
+	return in.Dst, res, nil
+}

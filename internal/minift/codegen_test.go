@@ -1,0 +1,302 @@
+package minift_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/minift"
+)
+
+func runProg(t *testing.T, src, fn string, args ...interp.Value) (*interp.Machine, interp.Value) {
+	t.Helper()
+	prog, err := minift.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(prog)
+	v, err := m.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, prog)
+	}
+	return m, v
+}
+
+// TestColumnMajorLayout verifies FORTRAN storage order: a[i,j] and
+// a[i+1,j] are adjacent (stride = element size), while a[i,j+1] is a
+// whole column away.
+func TestColumnMajorLayout(t *testing.T) {
+	const src = `
+func f(): int {
+    var a: [4,4]int
+    a[1,1] = 11
+    a[2,1] = 21
+    a[1,2] = 12
+    return 0
+}
+`
+	m, _ := runProg(t, src, "f")
+	// Column-major, 1-based, 8-byte ints, base 0:
+	// a[1,1] at 0; a[2,1] at 8; a[1,2] at 4*8=32.
+	if got := m.ReadInt64(0); got != 11 {
+		t.Errorf("a[1,1] at 0 = %d", got)
+	}
+	if got := m.ReadInt64(8); got != 21 {
+		t.Errorf("a[2,1] at 8 = %d", got)
+	}
+	if got := m.ReadInt64(32); got != 12 {
+		t.Errorf("a[1,2] at 32 = %d", got)
+	}
+}
+
+// TestReal4Narrowing: storing into a real4 array rounds to float32.
+func TestReal4Narrowing(t *testing.T) {
+	const src = `
+func f(): real {
+    var a: [4]real4
+    a[1] = 0.1
+    return a[1]
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.F != float64(float32(0.1)) {
+		t.Errorf("got %.17g, want float32-rounded %.17g", v.F, float64(float32(0.1)))
+	}
+	if v.F == 0.1 {
+		t.Error("no narrowing happened")
+	}
+}
+
+// TestIntToRealPromotion: mixed arithmetic promotes, FORTRAN style.
+func TestIntToRealPromotion(t *testing.T) {
+	const src = `
+func f(n: int): real {
+    return n * 2.5 + 1
+}
+`
+	_, v := runProg(t, src, "f", interp.IntVal(4))
+	if v.F != 11.0 {
+		t.Errorf("got %g, want 11", v.F)
+	}
+}
+
+// TestLoopBoundsEvaluatedOnce: FORTRAN DO semantics — changing the
+// bound variable inside the loop does not change the trip count.
+func TestLoopBoundsEvaluatedOnce(t *testing.T) {
+	const src = `
+func f(): int {
+    var n: int = 5
+    var c: int = 0
+    for i = 1 to n {
+        n = 100
+        c = c + 1
+    }
+    return c
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 5 {
+		t.Errorf("trip count %d, want 5", v.I)
+	}
+}
+
+// TestLoopVariableFinalValue: i holds last-tested value after the loop.
+func TestLoopVariableFinalValue(t *testing.T) {
+	const src = `
+func f(): int {
+    var i: int = 0
+    for i = 1 to 5 {
+    }
+    return i
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 6 {
+		t.Errorf("final i = %d, want 6", v.I)
+	}
+}
+
+// TestZeroTripLoop: lo > hi skips the body entirely.
+func TestZeroTripLoop(t *testing.T) {
+	const src = `
+func f(): int {
+    var c: int = 0
+    for i = 5 to 1 {
+        c = c + 1
+    }
+    return c
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 0 {
+		t.Errorf("zero-trip loop ran %d times", v.I)
+	}
+}
+
+// TestStepLoop: step 3 from 1 to 10 visits 1,4,7,10.
+func TestStepLoop(t *testing.T) {
+	const src = `
+func f(): int {
+    var s: int = 0
+    for i = 1 to 10 step 3 {
+        s = s * 100 + i
+    }
+    return s
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 1040710 {
+		t.Errorf("got %d, want 1040710", v.I)
+	}
+}
+
+// TestArrayParameterAliasing: arrays pass by reference; the callee's
+// writes are visible to the caller.
+func TestArrayParameterAliasing(t *testing.T) {
+	const src = `
+func fill(n: int, a: [*]int) {
+    for i = 1 to n {
+        a[i] = i * 10
+    }
+}
+
+func f(): int {
+    var x: [8]int
+    fill(4, x)
+    return x[1] + x[4]
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 50 {
+		t.Errorf("got %d, want 50", v.I)
+	}
+}
+
+// TestAdjustableLeadingDimension: a [ld,*] parameter uses the passed
+// leading dimension for addressing, not the declared one.
+func TestAdjustableLeadingDimension(t *testing.T) {
+	const src = `
+func diag(n: int, a: [n,*]int): int {
+    var s: int = 0
+    for i = 1 to n {
+        s = s + a[i,i]
+    }
+    return s
+}
+
+func f(): int {
+    var a: [3,3]int
+    for j = 1 to 3 {
+        for i = 1 to 3 {
+            a[i,j] = i * 10 + j
+        }
+    }
+    return diag(3, a)
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 11+22+33 {
+		t.Errorf("got %d, want 66", v.I)
+	}
+}
+
+// TestShortCircuitFreeLogic: && and || are bitwise over 0/1 (both
+// sides evaluate); the checker rejects float operands.
+func TestLogicOps(t *testing.T) {
+	const src = `
+func f(a: int, b: int): int {
+    var r: int = 0
+    if a > 0 && b > 0 {
+        r = r + 1
+    }
+    if a > 0 || b > 0 {
+        r = r + 10
+    }
+    if !(a > 0) {
+        r = r + 100
+    }
+    return r
+}
+`
+	cases := []struct{ a, b, want int64 }{
+		{1, 1, 11}, {1, 0, 10}, {0, 1, 110}, {0, 0, 100},
+	}
+	for _, c := range cases {
+		_, v := runProg(t, src, "f", interp.IntVal(c.a), interp.IntVal(c.b))
+		if v.I != c.want {
+			t.Errorf("f(%d,%d) = %d, want %d", c.a, c.b, v.I, c.want)
+		}
+	}
+}
+
+// TestBuiltins covers sqrt/abs/min/max/int/real.
+func TestBuiltins(t *testing.T) {
+	const src = `
+func f(x: real, n: int): real {
+    var a: real = sqrt(x)
+    var b: real = abs(0.0 - a)
+    var c: int = abs(0 - n)
+    var d: real = min(a, b) + max(a, b)
+    var e: int = min(c, 3) + max(c, 3)
+    return d + real(e) + real(int(2.9))
+}
+`
+	_, v := runProg(t, src, "f", interp.FloatVal(16.0), interp.IntVal(5))
+	// a=4 b=4 c=5 d=8 e=3+5=8 int(2.9)=2 → 8+8+2 = 18
+	if v.F != 18.0 {
+		t.Errorf("got %g, want 18", v.F)
+	}
+}
+
+// TestNestedCalls: call results feed other calls.
+func TestNestedCalls(t *testing.T) {
+	const src = `
+func inc(x: int): int {
+    return x + 1
+}
+
+func f(n: int): int {
+    return inc(inc(inc(n)))
+}
+`
+	_, v := runProg(t, src, "f", interp.IntVal(4))
+	if v.I != 7 {
+		t.Errorf("got %d, want 7", v.I)
+	}
+}
+
+// TestImplicitReturnValue: falling off the end of a value function
+// returns zero.
+func TestImplicitReturnValue(t *testing.T) {
+	const src = `
+func f(n: int): int {
+    if n > 0 {
+        return n
+    }
+}
+`
+	_, v := runProg(t, src, "f", interp.IntVal(-3))
+	if v.I != 0 {
+		t.Errorf("got %d, want 0", v.I)
+	}
+	_, v = runProg(t, src, "f", interp.IntVal(3))
+	if v.I != 3 {
+		t.Errorf("got %d, want 3", v.I)
+	}
+}
+
+// TestTwoArraysDistinctStorage: separate locals get separate segments.
+func TestTwoArraysDistinctStorage(t *testing.T) {
+	const src = `
+func f(): int {
+    var a: [4]int
+    var b: [4]int
+    a[1] = 1
+    b[1] = 2
+    return a[1] * 10 + b[1]
+}
+`
+	_, v := runProg(t, src, "f")
+	if v.I != 12 {
+		t.Errorf("got %d, want 12 (arrays alias?)", v.I)
+	}
+}

@@ -1,0 +1,183 @@
+package minift
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) nextByte() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token.
+func (lx *lexer) Next() (Token, error) {
+	// Skip whitespace and comments ("#" or "//" to end of line).
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.nextByte()
+		case c == '#':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.nextByte()
+			}
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.nextByte()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.nextByte()
+	switch {
+	case isAlpha(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && (isAlpha(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.nextByte()
+		}
+		word := lx.src[start:lx.off]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(lx.peekByte())):
+		start := lx.off - 1
+		isReal := c == '.'
+		for lx.off < len(lx.src) {
+			p := lx.peekByte()
+			if isDigit(p) {
+				lx.nextByte()
+				continue
+			}
+			if p == '.' && !isReal {
+				isReal = true
+				lx.nextByte()
+				continue
+			}
+			if (p == 'e' || p == 'E') && lx.off+1 < len(lx.src) {
+				q := lx.src[lx.off+1]
+				if isDigit(q) || ((q == '+' || q == '-') && lx.off+2 < len(lx.src) && isDigit(lx.src[lx.off+2])) {
+					isReal = true
+					lx.nextByte() // e
+					lx.nextByte() // sign or digit
+					continue
+				}
+			}
+			break
+		}
+		text := lx.src[start:lx.off]
+		if isReal {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return Token{}, errf(pos, "bad real literal %q", text)
+			}
+			return Token{Kind: TokRealLit, Pos: pos, Real: v}, nil
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer literal %q", text)
+		}
+		return Token{Kind: TokIntLit, Pos: pos, Int: v}, nil
+	}
+
+	two := func(second byte, with, without Kind) (Token, error) {
+		if lx.peekByte() == second {
+			lx.nextByte()
+			return Token{Kind: with, Pos: pos}, nil
+		}
+		return Token{Kind: without, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokNot)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '&':
+		if lx.peekByte() == '&' {
+			lx.nextByte()
+			return Token{Kind: TokAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '&'")
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.nextByte()
+			return Token{Kind: TokOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|'")
+	}
+	if strings.ContainsRune("\x00", rune(c)) {
+		return Token{}, errf(pos, "unexpected NUL byte")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

@@ -1,0 +1,165 @@
+package minift
+
+import (
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := lexAll(t, "func f(x: int) { x = x + 1 }")
+	kinds := []Kind{TokFunc, TokIdent, TokLParen, TokIdent, TokColon, TokIntType,
+		TokRParen, TokLBrace, TokIdent, TokAssign, TokIdent, TokPlus, TokIntLit,
+		TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := []struct {
+		src    string
+		isReal bool
+		i      int64
+		f      float64
+	}{
+		{"42", false, 42, 0},
+		{"0", false, 0, 0},
+		{"3.5", true, 0, 3.5},
+		{".5", true, 0, 0.5},
+		{"1e3", true, 0, 1000},
+		{"2.5e-2", true, 0, 0.025},
+		{"7E+1", true, 0, 70},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		tok := toks[0]
+		if c.isReal {
+			if tok.Kind != TokRealLit || tok.Real != c.f {
+				t.Errorf("%q: got %v %v", c.src, tok.Kind, tok.Real)
+			}
+		} else {
+			if tok.Kind != TokIntLit || tok.Int != c.i {
+				t.Errorf("%q: got %v %v", c.src, tok.Kind, tok.Int)
+			}
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, "# a comment\nx // another\ny")
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks := lexAll(t, "== != <= >= < > && || ! = %")
+	kinds := []Kind{TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAnd, TokOr, TokNot, TokAssign, TokPercent, TokEOF}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"@", "&x", "|y", "$"} {
+		lx := newLexer(src)
+		_, err := lx.Next()
+		if err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestParserConstructs(t *testing.T) {
+	// Every statement form in one program; must parse and compile.
+	const src = `
+func helper(a: real): real {
+    return a * 2.0
+}
+
+func main(n: int): real {
+    var i: int = 0
+    var s: real = 0.0
+    var m: [4,4]real
+    var v: [8]real4
+    while i < n {
+        i = i + 1
+        if i % 2 == 0 {
+            s = s + 1.0
+        } else if i % 3 == 0 {
+            s = s - 0.5
+        } else {
+            s = s + helper(real(i))
+        }
+    }
+    for j = 1 to 4 step 2 {
+        m[j, 1] = s / real(j)
+        v[j] = real(j)
+        s = s + m[j, 1] + v[j]
+    }
+    print s
+    return s
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("got %d funcs", len(prog.Funcs))
+	}
+}
+
+func TestParserPrecedence(t *testing.T) {
+	// 2 + 3 * 4 == 14, (2+3)*4 == 20, unary minus binds tightly,
+	// comparisons bind looser than arithmetic, && looser than ==.
+	const src = `
+func f(): int {
+    var a: int = 2 + 3 * 4
+    var b: int = (2 + 3) * 4
+    var c: int = -2 * 3
+    var d: int = 0
+    if a + 6 == b && b / 2 == 10 {
+        d = 1
+    }
+    return a * 1000000 + b * 10000 + (c + 100) * 100 + d
+}
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+}

@@ -1,0 +1,211 @@
+package minift_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/minift"
+)
+
+// fooSrc is the paper's Figure 2 source program.
+const fooSrc = `
+func foo(y: int, z: int): int {
+    var s: int = 0
+    var x: int = y + z
+    for i = x to 100 {
+        s = 1 + s + x
+    }
+    return s
+}
+`
+
+func TestCompileFoo(t *testing.T) {
+	prog, err := minift.Compile(fooSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(prog)
+	v, err := m.Call("foo", interp.IntVal(1), interp.IntVal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=3, 98 iterations: s_k = k + 98*3 ... s = 98*(1+3) = 392.
+	if v.I != 392 {
+		t.Fatalf("foo(1,2) = %d, want 392", v.I)
+	}
+}
+
+// saxpySrc exercises 1-D single-precision array addressing.
+const saxpySrc = `
+func saxpy(n: int, a: real, x: [*]real4, y: [*]real4) {
+    for i = 1 to n {
+        y[i] = a * x[i] + y[i]
+    }
+}
+
+func driver(n: int): real {
+    var x: [64]real4
+    var y: [64]real4
+    for i = 1 to n {
+        x[i] = real(i)
+        y[i] = real(2 * i)
+    }
+    saxpy(n, 3.0, x, y)
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + y[i]
+    }
+    return s
+}
+`
+
+func TestSaxpyAllLevels(t *testing.T) {
+	want := 0.0
+	n := 40
+	for i := 1; i <= n; i++ {
+		want += 3.0*float64(i) + 2.0*float64(i)
+	}
+	for _, level := range append([]core.Level{core.LevelNone}, core.Levels...) {
+		prog, err := minift.Compile(saxpySrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.Optimize(prog, level)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		m := interp.NewMachine(opt)
+		v, err := m.Call("driver", interp.IntVal(int64(n)))
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if v.F != want {
+			t.Errorf("%s: driver(%d) = %v, want %v", level, n, v.F, want)
+		}
+	}
+}
+
+// gemm with 2-D column-major arrays and adjustable dimensions.
+const gemmSrc = `
+func mm(n: int, a: [n,*]real, b: [n,*]real, c: [n,*]real) {
+    for j = 1 to n {
+        for i = 1 to n {
+            var s: real = 0.0
+            for k = 1 to n {
+                s = s + a[i,k] * b[k,j]
+            }
+            c[i,j] = s
+        }
+    }
+}
+
+func driver(n: int): real {
+    var a: [8,8]real
+    var b: [8,8]real
+    var c: [8,8]real
+    for j = 1 to n {
+        for i = 1 to n {
+            a[i,j] = real(i + j)
+            b[i,j] = real(i - j)
+        }
+    }
+    mm(n, a, b, c)
+    var s: real = 0.0
+    for j = 1 to n {
+        for i = 1 to n {
+            s = s + c[i,j]
+        }
+    }
+    return s
+}
+`
+
+func TestGemmAllLevels(t *testing.T) {
+	n := 8
+	// Reference in Go (column-major irrelevant for the checksum).
+	a := make([][]float64, n+1)
+	b := make([][]float64, n+1)
+	c := make([][]float64, n+1)
+	for i := 1; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+		b[i] = make([]float64, n+1)
+		c[i] = make([]float64, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			a[i][j] = float64(i + j)
+			b[i][j] = float64(i - j)
+		}
+	}
+	want := 0.0
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			for k := 1; k <= n; k++ {
+				c[i][j] += a[i][k] * b[k][j]
+			}
+			want += c[i][j]
+		}
+	}
+	counts := map[core.Level]int64{}
+	for _, level := range append([]core.Level{core.LevelNone}, core.Levels...) {
+		prog, err := minift.Compile(gemmSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.Optimize(prog, level)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		m := interp.NewMachine(opt)
+		v, err := m.Call("driver", interp.IntVal(int64(n)))
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if v.F != want {
+			t.Errorf("%s: driver(%d) = %v, want %v", level, n, v.F, want)
+		}
+		counts[level] = m.Steps
+	}
+	t.Logf("gemm dynamic counts: none=%d baseline=%d partial=%d reassoc=%d dist=%d",
+		counts[core.LevelNone], counts[core.LevelBaseline], counts[core.LevelPartial],
+		counts[core.LevelReassoc], counts[core.LevelDist])
+	if counts[core.LevelPartial] >= counts[core.LevelBaseline] {
+		t.Errorf("PRE should improve gemm: partial=%d baseline=%d",
+			counts[core.LevelPartial], counts[core.LevelBaseline])
+	}
+	if counts[core.LevelReassoc] >= counts[core.LevelPartial] {
+		t.Errorf("reassociation should improve gemm: reassoc=%d partial=%d",
+			counts[core.LevelReassoc], counts[core.LevelPartial])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f(", "expected"},
+		{"func f() { var x: int = }", "expected an expression"},
+		{"func f() { x = 1 }", "undefined variable"},
+		{"func f() { var x: int x = y }", "undefined variable"},
+		{"func f() { var a: [4]real a = 1.0 }", "cannot assign to array"},
+		{"func f() { var a: [4]real a[1,2] = 1.0 }", "dimensions"},
+		{"func f(): int { return 1.5 }", "convert"},
+		{"func f() { for i = 1.0 to 3 { } }", "loop bounds must be int"},
+		{"func f() { for i = 1 to 3 step 0 { } }", "positive"},
+		{"func f() { g() }", "undefined function"},
+		{"func f() { f(1) }", "takes 0 arguments"},
+		{"func f() { var x: [0]int }", "positive integer"},
+	}
+	for _, c := range cases {
+		_, err := minift.Compile(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got none", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}

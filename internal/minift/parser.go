@@ -1,0 +1,611 @@
+package minift
+
+// parser is a recursive-descent parser for Mini-Fortran.
+type parser struct {
+	lx  *lexer
+	tok Token // lookahead
+}
+
+// Parse parses a whole source file.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	file := &File{}
+	for p.tok.Kind != TokEOF {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Funcs = append(file.Funcs, fn)
+	}
+	return file, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokFunc); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: pos, Name: name.Text, Result: TypeVoid}
+	for p.tok.Kind != TokRParen {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType(true)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Pos: pname.Pos, Name: pname.Text, Ty: ty})
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if ok, err := p.accept(TokColon); err != nil {
+		return nil, err
+	} else if ok {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Result = base
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) baseType() (BaseType, error) {
+	switch p.tok.Kind {
+	case TokIntType:
+		return TypeInt, p.advance()
+	case TokRealType:
+		return TypeReal, p.advance()
+	case TokReal4Type:
+		return TypeReal4, p.advance()
+	}
+	return TypeInvalid, errf(p.tok.Pos, "expected a type, found %s", p.tok.Kind)
+}
+
+// parseType parses "int", "real", "real4" or "[d1,d2]base".  In
+// parameter position (param=true) a dimension may be '*' (unknown) or
+// an identifier naming another parameter.
+func (p *parser) parseType(param bool) (Type, error) {
+	if p.tok.Kind != TokLBracket {
+		b, err := p.baseType()
+		return Scalar(b), err
+	}
+	if err := p.advance(); err != nil {
+		return Type{}, err
+	}
+	t := Type{IsArr: true}
+	for {
+		switch p.tok.Kind {
+		case TokStar:
+			if !param {
+				return Type{}, errf(p.tok.Pos, "'*' dimension only allowed for parameters")
+			}
+			t.Dims = append(t.Dims, nil)
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+		case TokIntLit:
+			t.Dims = append(t.Dims, &IntLit{Pos: p.tok.Pos, V: p.tok.Int})
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+		case TokIdent:
+			if !param {
+				return Type{}, errf(p.tok.Pos, "local array dimensions must be integer constants")
+			}
+			t.Dims = append(t.Dims, &VarRef{Pos: p.tok.Pos, Name: p.tok.Text})
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+		default:
+			return Type{}, errf(p.tok.Pos, "expected array dimension, found %s", p.tok.Kind)
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return Type{}, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return Type{}, err
+	}
+	b, err := p.baseType()
+	if err != nil {
+		return Type{}, err
+	}
+	t.Base = b
+	return t, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.tok.Kind != TokRBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.advance() // consume '}'
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Pos: pos, Name: name.Text, Ty: ty}
+		if ok, err := p.accept(TokAssign); err != nil {
+			return nil, err
+		} else if ok {
+			if ty.IsArr {
+				return nil, errf(pos, "array variables cannot be initialized")
+			}
+			d.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+
+	case TokIf:
+		return p.ifStmt()
+
+	case TokFor:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		lo, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokTo); err != nil {
+			return nil, err
+		}
+		hi, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		step := int64(1)
+		if ok, err := p.accept(TokStep); err != nil {
+			return nil, err
+		} else if ok {
+			st, err := p.expect(TokIntLit)
+			if err != nil {
+				return nil, err
+			}
+			if st.Int <= 0 {
+				return nil, errf(st.Pos, "loop step must be a positive integer constant")
+			}
+			step = st.Int
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: pos, Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body}, nil
+
+	case TokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case TokReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &ReturnStmt{Pos: pos}
+		// A value follows unless the next token starts a new statement
+		// or closes the block.
+		switch p.tok.Kind {
+		case TokRBrace, TokVar, TokIf, TokFor, TokWhile, TokReturn, TokPrint, TokEOF:
+		default:
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Val = v
+		}
+		return s, nil
+
+	case TokPrint:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: pos, Val: v}, nil
+
+	case TokIdent:
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokLParen:
+			// Call statement.
+			call, err := p.callArgs(name)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: pos, Call: call}, nil
+		case TokLBracket:
+			// Element assignment.
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var idx []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, e)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokAssign); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Name: name.Text, Idx: idx, Val: val}, nil
+		case TokAssign:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Name: name.Text, Val: val}, nil
+		}
+		return nil, errf(p.tok.Pos, "expected '=', '[' or '(' after identifier, found %s", p.tok.Kind)
+	}
+	return nil, errf(pos, "expected a statement, found %s", p.tok.Kind)
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if ok, err := p.accept(TokElse); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind == TokIf {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = []Stmt{elif}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	expr   := and ("||" and)*
+//	and    := cmp ("&&" cmp)*
+//	cmp    := sum (relop sum)?
+//	sum    := term (("+"|"-") term)*
+//	term   := unary (("*"|"/"|"%") unary)*
+//	unary  := ("-"|"!") unary | primary
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokOr {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: TokOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokAnd {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: TokAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.sumExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.sumExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Pos: pos, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) sumExpr() (Expr, error) {
+	l, err := p.termExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.termExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) termExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash || p.tok.Kind == TokPercent {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.tok.Kind == TokMinus || p.tok.Kind == TokNot {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	switch p.tok.Kind {
+	case TokIntLit:
+		e := &IntLit{Pos: p.tok.Pos, V: p.tok.Int}
+		return e, p.advance()
+	case TokRealLit:
+		e := &RealLit{Pos: p.tok.Pos, V: p.tok.Real}
+		return e, p.advance()
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIntType, TokRealType:
+		// Conversion builtins spelled as "int(x)" / "real(i)".
+		name := Token{Kind: TokIdent, Pos: p.tok.Pos, Text: p.tok.Kind.convName()}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokLParen {
+			return nil, errf(p.tok.Pos, "expected '(' after %s", name.Text)
+		}
+		return p.callArgs(name)
+	case TokIdent:
+		name := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokLParen:
+			return p.callArgs(name)
+		case TokLBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var idx []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, e)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: name.Pos, Name: name.Text, Idx: idx}, nil
+		}
+		return &VarRef{Pos: name.Pos, Name: name.Text}, nil
+	}
+	return nil, errf(p.tok.Pos, "expected an expression, found %s", p.tok.Kind)
+}
+
+func (k Kind) convName() string {
+	if k == TokIntType {
+		return "int"
+	}
+	return "real"
+}
+
+func (p *parser) callArgs(name Token) (*CallExpr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Pos: name.Pos, Name: name.Text}
+	for p.tok.Kind != TokRParen {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+	}
+	return call, p.advance() // consume ')'
+}

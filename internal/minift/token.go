@@ -1,0 +1,123 @@
+// Package minift implements the Mini-Fortran front end: a small
+// imperative language with FORTRAN-flavored semantics (column-major,
+// 1-based arrays; DO-style counted loops; single- and double-precision
+// reals) compiling to naive three-address ILOC.
+//
+// The front end deliberately does NOT implement the naming discipline
+// of the paper's §2.2: every expression gets a fresh temporary, every
+// assignment is a copy to the variable's register, and array addresses
+// are emitted as left-associated chains.  That is the shape the
+// paper's optimizer levels start from — "This translation does not
+// conform to the naming discipline discussed in Section 2.2" (§3.1) —
+// leaving reassociation and global value numbering their full job.
+package minift
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokIntLit
+	TokRealLit
+
+	// Keywords.
+	TokFunc
+	TokVar
+	TokIf
+	TokElse
+	TokFor
+	TokTo
+	TokStep
+	TokWhile
+	TokReturn
+	TokPrint
+	TokIntType
+	TokRealType
+	TokReal4Type
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokColon
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq  // ==
+	TokNe  // !=
+	TokLt  // <
+	TokLe  // <=
+	TokGt  // >
+	TokGe  // >=
+	TokAnd // &&
+	TokOr  // ||
+	TokNot // !
+)
+
+var kindNames = map[Kind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokRealLit: "real literal", TokFunc: "'func'", TokVar: "'var'", TokIf: "'if'",
+	TokElse: "'else'", TokFor: "'for'", TokTo: "'to'", TokStep: "'step'",
+	TokWhile: "'while'", TokReturn: "'return'", TokPrint: "'print'",
+	TokIntType: "'int'", TokRealType: "'real'", TokReal4Type: "'real4'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokColon: "':'",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokEq: "'=='", TokNe: "'!='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokAnd: "'&&'", TokOr: "'||'", TokNot: "'!'",
+}
+
+// String names the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"func": TokFunc, "var": TokVar, "if": TokIf, "else": TokElse,
+	"for": TokFor, "to": TokTo, "step": TokStep, "while": TokWhile,
+	"return": TokReturn, "print": TokPrint,
+	"int": TokIntType, "real": TokRealType, "real4": TokReal4Type,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string  // identifier text
+	Int  int64   // integer literal value
+	Real float64 // real literal value
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minift:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,270 @@
+// Package peephole implements the paper's "global peephole
+// optimization" baseline pass (§4.1): constant folding over locally
+// known constants, algebraic identities, and reconstruction of the
+// operations that reassociation rewrote — in particular add(x, neg y)
+// back into sub(x, y) "when profitable" (§3.1).
+//
+// The pass also optionally rewrites multiplication by a power-of-two
+// constant into a shift.  Section 5.2 of the paper warns that this
+// conversion must not run before global reassociation ("if
+// ((x×y)×2)×z is prematurely converted into ((x×y)≪1)×z, we lose the
+// opportunity to group z with either x or y"); the pipeline therefore
+// only enables it in the post-reassociation peephole run, and the
+// ablation bench measures the damage of doing it early.
+package peephole
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/ir"
+	"repro/internal/sccp"
+)
+
+// Options configure the peephole pass.
+type Options struct {
+	// MulToShift rewrites integer multiplication by a power of two
+	// into a left shift.  See the package comment and paper §5.2.
+	MulToShift bool
+}
+
+// Stats reports the rewrites performed.
+type Stats struct {
+	Folded     int // constant-folded instructions
+	Identities int // algebraic identities applied
+	SubRebuilt int // add(x, neg y) → sub(x, y) reconstructions
+	Shifts     int // mul → shl conversions
+}
+
+// Run performs peephole optimization on f in place.
+func Run(f *ir.Func, opt Options) Stats {
+	var st Stats
+	for _, b := range f.Blocks {
+		runBlock(f, b, opt, &st)
+	}
+	return st
+}
+
+type constVal struct {
+	isFloat bool
+	i       int64
+	f       float64
+}
+
+// runBlock rewrites one block with local knowledge of constants and
+// negations, rebuilding the instruction list (shift rewrites prepend a
+// loadI for the shift amount).
+func runBlock(f *ir.Func, b *ir.Block, opt Options, st *Stats) {
+	consts := map[ir.Reg]constVal{} // reg → constant it holds, within this block
+	negs := map[ir.Reg]ir.Reg{}     // reg → y where reg = neg y / fneg y
+
+	invalidate := func(r ir.Reg) {
+		delete(consts, r)
+		delete(negs, r)
+		// Drop any negation record whose source was clobbered.
+		for d, s := range negs {
+			if s == r {
+				delete(negs, d)
+			}
+		}
+	}
+
+	out := make([]*ir.Instr, 0, len(b.Instrs))
+	for _, in := range b.Instrs {
+		if !tryFold(in, consts, st) && !tryIdentity(in, consts, negs, st) && !tryNegRebuild(in, negs, st) && opt.MulToShift {
+			tryShift(f, &out, in, consts, st)
+		}
+		out = append(out, in)
+
+		if in.Dst != ir.NoReg {
+			invalidate(in.Dst)
+			switch in.Op {
+			case ir.OpLoadI:
+				consts[in.Dst] = constVal{i: in.Imm}
+			case ir.OpLoadF:
+				consts[in.Dst] = constVal{isFloat: true, f: in.FImm}
+			case ir.OpNeg, ir.OpFNeg:
+				negs[in.Dst] = in.Args[0]
+			case ir.OpCopy:
+				if c, ok := consts[in.Args[0]]; ok {
+					consts[in.Dst] = c
+				}
+				if s, ok := negs[in.Args[0]]; ok {
+					negs[in.Dst] = s
+				}
+			}
+		}
+	}
+	b.Instrs = out
+}
+
+// tryFold folds a pure instruction whose operands are all locally
+// known constants.
+func tryFold(in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
+	if !in.Op.Pure() || in.Dst == ir.NoReg || in.IsConst() || in.Op == ir.OpPhi ||
+		in.Op == ir.OpCopy || len(in.Args) == 0 {
+		// Copies are exempt: folding "copy h => t" into "loadI c => t"
+		// would re-materialize hoisted constants inside loops.
+		return false
+	}
+	ints := make([]int64, len(in.Args))
+	floats := make([]float64, len(in.Args))
+	isF := make([]bool, len(in.Args))
+	for i, a := range in.Args {
+		c, ok := consts[a]
+		if !ok {
+			return false
+		}
+		ints[i], floats[i], isF[i] = c.i, c.f, c.isFloat
+	}
+	iv, fv, isFloat, ok := sccp.Fold(in.Op, ints, floats, isF)
+	if !ok {
+		return false
+	}
+	if isFloat {
+		*in = *ir.LoadF(in.Dst, fv)
+	} else {
+		*in = *ir.LoadI(in.Dst, iv)
+	}
+	st.Folded++
+	return true
+}
+
+// tryIdentity applies algebraic simplifications that need at most one
+// constant operand.  Floating-point identities are restricted to the
+// exact ones (x×1.0, x/1.0); x+0.0 is not exact for x = −0.0.
+func tryIdentity(in *ir.Instr, consts map[ir.Reg]constVal, negs map[ir.Reg]ir.Reg, st *Stats) bool {
+	isIntConst := func(r ir.Reg, want int64) bool {
+		c, ok := consts[r]
+		return ok && !c.isFloat && c.i == want
+	}
+	isFloatConst := func(r ir.Reg, want float64) bool {
+		c, ok := consts[r]
+		return ok && c.isFloat && c.f == want
+	}
+	replaceCopy := func(src ir.Reg) bool {
+		*in = *ir.Copy(in.Dst, src)
+		st.Identities++
+		return true
+	}
+	replaceConstI := func(v int64) bool {
+		*in = *ir.LoadI(in.Dst, v)
+		st.Identities++
+		return true
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if isIntConst(in.Args[0], 0) {
+			return replaceCopy(in.Args[1])
+		}
+		if isIntConst(in.Args[1], 0) {
+			return replaceCopy(in.Args[0])
+		}
+	case ir.OpSub:
+		if isIntConst(in.Args[1], 0) {
+			return replaceCopy(in.Args[0])
+		}
+		if in.Args[0] == in.Args[1] {
+			return replaceConstI(0)
+		}
+	case ir.OpMul:
+		if isIntConst(in.Args[0], 1) {
+			return replaceCopy(in.Args[1])
+		}
+		if isIntConst(in.Args[1], 1) {
+			return replaceCopy(in.Args[0])
+		}
+		if isIntConst(in.Args[0], 0) || isIntConst(in.Args[1], 0) {
+			return replaceConstI(0)
+		}
+	case ir.OpDiv:
+		if isIntConst(in.Args[1], 1) {
+			return replaceCopy(in.Args[0])
+		}
+	case ir.OpFMul:
+		if isFloatConst(in.Args[0], 1) {
+			return replaceCopy(in.Args[1])
+		}
+		if isFloatConst(in.Args[1], 1) {
+			return replaceCopy(in.Args[0])
+		}
+	case ir.OpFDiv:
+		if isFloatConst(in.Args[1], 1) {
+			return replaceCopy(in.Args[0])
+		}
+	case ir.OpNeg, ir.OpFNeg:
+		if s, ok := negs[in.Args[0]]; ok {
+			return replaceCopy(s)
+		}
+	case ir.OpShl, ir.OpShr:
+		if isIntConst(in.Args[1], 0) {
+			return replaceCopy(in.Args[0])
+		}
+	case ir.OpXor:
+		if in.Args[0] == in.Args[1] {
+			return replaceConstI(0)
+		}
+	case ir.OpAnd, ir.OpOr, ir.OpMin, ir.OpMax:
+		if in.Args[0] == in.Args[1] {
+			return replaceCopy(in.Args[0])
+		}
+	}
+	return false
+}
+
+// tryNegRebuild reconstructs subtraction: add(x, neg y) → sub(x, y),
+// undoing reassociation's additive rewriting where it did not pay off.
+func tryNegRebuild(in *ir.Instr, negs map[ir.Reg]ir.Reg, st *Stats) bool {
+	switch in.Op {
+	case ir.OpAdd:
+		if y, ok := negs[in.Args[1]]; ok {
+			*in = *ir.NewInstr(ir.OpSub, in.Dst, in.Args[0], y)
+			st.SubRebuilt++
+			return true
+		}
+		if y, ok := negs[in.Args[0]]; ok {
+			*in = *ir.NewInstr(ir.OpSub, in.Dst, in.Args[1], y)
+			st.SubRebuilt++
+			return true
+		}
+	case ir.OpFAdd:
+		if y, ok := negs[in.Args[1]]; ok {
+			*in = *ir.NewInstr(ir.OpFSub, in.Dst, in.Args[0], y)
+			st.SubRebuilt++
+			return true
+		}
+		if y, ok := negs[in.Args[0]]; ok {
+			*in = *ir.NewInstr(ir.OpFSub, in.Dst, in.Args[1], y)
+			st.SubRebuilt++
+			return true
+		}
+	}
+	return false
+}
+
+// tryShift rewrites mul by a power-of-two constant into shl, emitting
+// a loadI for the shift amount ahead of the rewritten instruction.
+func tryShift(f *ir.Func, out *[]*ir.Instr, in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
+	if in.Op != ir.OpMul {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		c, ok := consts[in.Args[i]]
+		if !ok || c.isFloat || c.i <= 1 || c.i&(c.i-1) != 0 {
+			continue
+		}
+		shift := int64(bits.TrailingZeros64(uint64(c.i)))
+		other := in.Args[1-i]
+		amt := f.NewReg()
+		*out = append(*out, ir.LoadI(amt, shift))
+		consts[amt] = constVal{i: shift}
+		*in = *ir.NewInstr(ir.OpShl, in.Dst, other, amt)
+		st.Shifts++
+		return true
+	}
+	return false
+}
+
+// FoldsExactly reports whether v is exactly representable when folded —
+// a helper kept for tests of float identity safety.
+func FoldsExactly(v float64) bool { return !math.IsNaN(v) }

@@ -1,0 +1,463 @@
+// Package pre implements partial redundancy elimination.
+//
+// The formulation follows Drechsler and Stadel's simplification of
+// Morel–Renvoise (the variant the paper says it uses, §4: "Our
+// implementation of PRE uses a variation described by Drechsler and
+// Stadel.  Their formulation supports edge placement for enhanced
+// optimization and simplifies the data-flow equations...").  The
+// equations are the unidirectional lazy-code-motion system:
+//
+//	ANTIN(b)  = ANTLOC(b) ∪ (ANTOUT(b) ∩ TRANSP(b))
+//	ANTOUT(b) = ⋂ ANTIN(succ)                      (∅ at exits)
+//	AVIN(b)   = ⋂ AVOUT(pred)                      (∅ at entry)
+//	AVOUT(b)  = COMP(b) ∪ (AVIN(b) ∩ TRANSP(b))
+//
+//	EARLIEST(i→j) = ANTIN(j) ∩ ¬AVOUT(i) ∩ (¬TRANSP(i) ∪ ¬ANTOUT(i))
+//	LATER(i→j)    = EARLIEST(i→j) ∪ (LATERIN(i) ∩ ¬ANTLOC(i))
+//	LATERIN(j)    = ⋂ LATER(i→j)                   (∅ at entry)
+//
+//	INSERT(i→j) = LATER(i→j) ∩ ¬LATERIN(j)
+//	DELETE(b)   = ANTLOC(b) ∩ ¬LATERIN(b)
+//
+// Insertions land on edges; the pass splits critical edges first so
+// every insertion point is the end of a one-successor block or the top
+// of a one-predecessor block.  The transformation never lengthens an
+// execution path (paper §2).
+package pre
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// Stats reports what one PRE run did to a function.
+type Stats struct {
+	Exprs      int // size of the expression universe
+	Inserted   int // computations inserted on edges / block boundaries
+	Rewritten  int // Mode B computations replaced by copies
+	Deleted    int // Mode A computations removed outright
+	ModeA      int // expressions handled under the naming discipline
+	EdgesSplit int // critical edges split
+	Rounds     int // iterations used by RunToFixpoint
+}
+
+// Changed reports whether the run modified the function.
+func (s Stats) Changed() bool { return s.Inserted+s.Rewritten+s.Deleted > 0 }
+
+// MaxRounds bounds RunToFixpoint; each round can hoist one more level
+// of an expression chain, so the bound corresponds to the deepest
+// expression tree worth chasing.
+const MaxRounds = 32
+
+// RunToFixpoint applies Run repeatedly until PRE finds nothing more.
+// A single application moves each expression at most one level (the
+// computation of an operand blocks upward exposure of its parents);
+// iterating is what hoists whole invariant chains out of loops, as in
+// the paper's Figure 9.
+func RunToFixpoint(f *ir.Func) Stats {
+	var total Stats
+	for i := 0; i < MaxRounds; i++ {
+		st := Run(f)
+		total.Inserted += st.Inserted
+		total.Rewritten += st.Rewritten
+		total.Deleted += st.Deleted
+		total.EdgesSplit += st.EdgesSplit
+		total.ModeA = st.ModeA
+		total.Exprs = st.Exprs
+		total.Rounds++
+		if !st.Changed() {
+			break
+		}
+	}
+	return total
+}
+
+// Run performs partial redundancy elimination on f and returns
+// statistics.  The function is modified in place.
+func Run(f *ir.Func) Stats {
+	var st Stats
+	cfg.RemoveUnreachable(f)
+	st.EdgesSplit = cfg.SplitCriticalEdges(f)
+	u := dataflow.BuildUniverse(f)
+	n := u.NumExprs()
+	st.Exprs = n
+	if n == 0 {
+		return st
+	}
+	rpo := cfg.ReversePostorder(f)
+	nb := len(f.Blocks)
+
+	// --- Anticipability (backward) ---
+	antin := newSets(nb, n)
+	antout := newSets(nb, n)
+	for _, b := range f.Blocks {
+		antin[b.ID].SetAll()
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := antout[b.ID]
+			if len(b.Succs) == 0 {
+				out.ClearAll()
+			} else {
+				out.SetAll()
+				for _, s := range b.Succs {
+					out.Intersect(antin[s.ID])
+				}
+			}
+			in := out.Copy()
+			in.Intersect(u.Transp[b.ID])
+			in.Union(u.AntLoc[b.ID])
+			if !in.Equal(antin[b.ID]) {
+				antin[b.ID].CopyFrom(in)
+				changed = true
+			}
+		}
+	}
+
+	// --- Availability (forward) ---
+	avin := newSets(nb, n)
+	avout := newSets(nb, n)
+	for _, b := range f.Blocks {
+		if b != f.Entry() {
+			avout[b.ID].SetAll()
+		} else {
+			avout[b.ID].CopyFrom(u.Comp[b.ID])
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			in := avin[b.ID]
+			if len(b.Preds) == 0 {
+				in.ClearAll()
+			} else {
+				in.SetAll()
+				for _, p := range b.Preds {
+					in.Intersect(avout[p.ID])
+				}
+			}
+			out := in.Copy()
+			out.Intersect(u.Transp[b.ID])
+			out.Union(u.Comp[b.ID])
+			if !out.Equal(avout[b.ID]) {
+				avout[b.ID].CopyFrom(out)
+				changed = true
+			}
+		}
+	}
+
+	// --- EARLIEST on edges (plus the virtual entry edge) ---
+	type edge struct {
+		from, to *ir.Block // from == nil for the virtual entry edge
+	}
+	var edges []edge
+	edges = append(edges, edge{nil, f.Entry()})
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			edges = append(edges, edge{b, s})
+		}
+	}
+	earliest := make([]*dataflow.BitSet, len(edges))
+	for ei, e := range edges {
+		set := antin[e.to.ID].Copy()
+		if e.from != nil {
+			set.Subtract(avout[e.from.ID])
+			// ∩ (¬TRANSP(i) ∪ ¬ANTOUT(i)):
+			mask := u.Transp[e.from.ID].Copy()
+			mask.Intersect(antout[e.from.ID])
+			set.Subtract(mask)
+		}
+		earliest[ei] = set
+	}
+
+	// --- LATER / LATERIN (forward over edges, greatest fixed point) ---
+	// The virtual entry edge gives LATERIN(entry) = EARLIEST(v→entry) =
+	// ANTIN(entry), so nothing in the entry block is ever deleted and
+	// no insertion lands before the procedure starts.
+	laterin := newSets(nb, n)
+	for _, b := range f.Blocks {
+		laterin[b.ID].SetAll()
+	}
+	later := make([]*dataflow.BitSet, len(edges))
+	for ei := range edges {
+		later[ei] = dataflow.NewBitSet(n)
+		later[ei].SetAll()
+	}
+	for changed := true; changed; {
+		changed = false
+		for ei, e := range edges {
+			set := earliest[ei].Copy()
+			if e.from != nil {
+				prop := laterin[e.from.ID].Copy()
+				prop.Subtract(u.AntLoc[e.from.ID])
+				set.Union(prop)
+			}
+			if !set.Equal(later[ei]) {
+				later[ei].CopyFrom(set)
+				changed = true
+			}
+		}
+		recompute := make([]*dataflow.BitSet, nb)
+		for _, b := range f.Blocks {
+			recompute[b.ID] = dataflow.NewBitSet(n)
+			recompute[b.ID].SetAll()
+		}
+		for ei, e := range edges {
+			recompute[e.to.ID].Intersect(later[ei])
+		}
+		for _, b := range f.Blocks {
+			if !recompute[b.ID].Equal(laterin[b.ID]) {
+				laterin[b.ID].CopyFrom(recompute[b.ID])
+				changed = true
+			}
+		}
+	}
+
+	// --- INSERT / DELETE ---
+	insert := make([]*dataflow.BitSet, len(edges))
+	for ei, e := range edges {
+		set := later[ei].Copy()
+		set.Subtract(laterin[e.to.ID])
+		insert[ei] = set
+	}
+	del := make([]*dataflow.BitSet, nb)
+	for _, b := range f.Blocks {
+		set := u.AntLoc[b.ID].Copy()
+		set.Subtract(laterin[b.ID])
+		del[b.ID] = set
+	}
+
+	// --- Allocate temporaries for interesting expressions ---
+	//
+	// Two modes, chosen per expression:
+	//
+	// Mode A (the paper's naming discipline, §2.2): when every
+	// occurrence of e computes into the same register t, t has no other
+	// definitions, t is not an operand of e, and every use of t is
+	// local to a block that defines it first (the §5.1 rule), then t
+	// itself is the temporary: insertions compute "t ← e" and deleted
+	// occurrences are removed outright, with no compensation copies.
+	// After GVN and normalization this mode almost always applies, and
+	// it is what lets iterated PRE hoist chained expressions
+	// (Figure 9 hoists both r6←r0+1 and r7←r6+r1).
+	//
+	// Mode B (fresh temporaries): otherwise a fresh register h carries
+	// e; deletions become copies from h and surviving occurrences are
+	// rewritten to "h ← e; t ← copy h".  This mode is safe on arbitrary
+	// input code that ignores the naming discipline.
+	temp := make([]ir.Reg, n)
+	modeA := make([]bool, n)
+	interesting := dataflow.NewBitSet(n)
+	for ei := range edges {
+		interesting.Union(insert[ei])
+	}
+	for _, b := range f.Blocks {
+		interesting.Union(del[b.ID])
+	}
+	canon := canonicalDsts(f, u)
+	// Mode A applies to every canonically named expression, not just
+	// the ones with global insert/delete sets: the same scan then also
+	// removes block-local recomputations (classic PRE presentations
+	// assume a local CSE ran; under the naming discipline the two
+	// coincide).
+	for e := 0; e < n; e++ {
+		if t := canon[e]; t != ir.NoReg {
+			temp[e] = t
+			modeA[e] = true
+			st.ModeA++
+		} else if interesting.Has(e) {
+			temp[e] = f.NewReg()
+		}
+	}
+
+	// --- Perform insertions ---
+	insertedInstr := map[*ir.Instr]bool{}
+	for ei, e := range edges {
+		set := insert[ei]
+		if set.Empty() {
+			continue
+		}
+		var at *ir.Block
+		var atTop bool
+		switch {
+		case e.from == nil:
+			at, atTop = e.to, true
+		case len(e.from.Succs) == 1:
+			at, atTop = e.from, false
+		case len(e.to.Preds) == 1:
+			at, atTop = e.to, true
+		default:
+			// Cannot happen: critical edges were split.
+			at = cfg.SplitEdge(e.from, e.to)
+			atTop = false
+			st.EdgesSplit++
+		}
+		set.ForEach(func(x int) {
+			in := u.MakeInstr(x, temp[x])
+			insertedInstr[in] = true
+			if atTop {
+				pos := 0
+				for pos < len(at.Instrs) && (at.Instrs[pos].Op == ir.OpPhi || at.Instrs[pos].Op == ir.OpEnter) {
+					pos++
+				}
+				at.InsertAt(pos, in)
+			} else {
+				at.Append(in)
+			}
+			st.Inserted++
+		})
+	}
+
+	// --- Rewrite original computations ---
+	for _, b := range f.Blocks {
+		hValid := del[b.ID].Copy()
+		hValid.Intersect(interesting)
+		kept := make([]*ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			if insertedInstr[in] {
+				// Our own insertion: it validates the temp and is
+				// never a deletion candidate.
+				if k, ok := dataflow.KeyOf(in); ok {
+					if e, found := u.Index[k]; found {
+						hValid.Set(e)
+					}
+				}
+				kept = append(kept, in)
+				continue
+			}
+			dstForKill := in.Dst
+			if k, ok := dataflow.KeyOf(in); ok {
+				if e, found := u.Index[k]; found && (modeA[e] || interesting.Has(e)) {
+					switch {
+					case modeA[e] && hValid.Has(e):
+						// Redundant under the naming discipline: the
+						// canonical register already holds the value.
+						// Delete the computation outright.
+						st.Deleted++
+						continue
+					case modeA[e]:
+						hValid.Set(e)
+					case hValid.Has(e):
+						// Mode B redundant: copy from the temp.
+						rep := ir.Copy(in.Dst, temp[e])
+						kept = append(kept, rep)
+						st.Rewritten++
+						killScan(u, hValid, n, dstForKill, false)
+						continue
+					default:
+						// Mode B first (or post-kill) computation:
+						// compute into the temp, then copy out.
+						kept = append(kept, u.MakeInstr(e, temp[e]), ir.Copy(in.Dst, temp[e]))
+						hValid.Set(e)
+						st.Rewritten++
+						killScan(u, hValid, n, dstForKill, false)
+						continue
+					}
+				}
+			}
+			kept = append(kept, in)
+			killScan(u, hValid, n, dstForKill, in.Op.WritesMemory())
+		}
+		b.Instrs = kept
+	}
+	return st
+}
+
+// killScan clears hValid entries invalidated by a definition of dst
+// and, when memWrite is set, by a potential memory write (loads).
+func killScan(u *dataflow.Universe, hValid *dataflow.BitSet, n int, dst ir.Reg, memWrite bool) {
+	if memWrite {
+		for e := 0; e < n; e++ {
+			if u.IsLoad[e] && hValid.Has(e) {
+				hValid.Clear(e)
+			}
+		}
+	}
+	if dst == ir.NoReg {
+		return
+	}
+	for e := 0; e < n; e++ {
+		if !hValid.Has(e) {
+			continue
+		}
+		if k := u.Keys[e]; k.A == dst || k.B == dst {
+			hValid.Clear(e)
+		}
+	}
+}
+
+// canonicalDsts finds, for each expression, the Mode A canonical
+// destination register, or NoReg when the conditions fail.
+func canonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
+	n := u.NumExprs()
+	canon := make([]ir.Reg, n)
+	for i := range canon {
+		canon[i] = ir.Reg(-1) // unseen
+	}
+	defCount := make([]int, f.NumRegs())
+	exprDefCount := make([]int, n)
+	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+		if in.Op == ir.OpEnter {
+			for _, p := range in.Args {
+				defCount[p]++
+			}
+			return
+		}
+		if in.Dst != ir.NoReg {
+			defCount[in.Dst]++
+		}
+		if k, ok := dataflow.KeyOf(in); ok {
+			if e, found := u.Index[k]; found {
+				exprDefCount[e]++
+				switch {
+				case canon[e] == ir.Reg(-1):
+					canon[e] = in.Dst
+				case canon[e] != in.Dst:
+					canon[e] = ir.NoReg // mixed destinations
+				}
+			}
+		}
+	})
+	// Reject: other defs of t, t an operand of e, or t used non-locally.
+	nonLocalUse := make([]bool, f.NumRegs())
+	definedHere := make([]int, f.NumRegs())
+	gen := 0
+	for _, b := range f.Blocks {
+		gen++
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpEnter {
+				for _, a := range in.Args {
+					if definedHere[a] != gen {
+						nonLocalUse[a] = true
+					}
+				}
+			}
+			if in.Dst != ir.NoReg {
+				definedHere[in.Dst] = gen
+			}
+		}
+	}
+	for e := 0; e < n; e++ {
+		t := canon[e]
+		if t == ir.Reg(-1) || t == ir.NoReg {
+			canon[e] = ir.NoReg
+			continue
+		}
+		k := u.Keys[e]
+		if defCount[t] != exprDefCount[e] || k.A == t || k.B == t || nonLocalUse[t] {
+			canon[e] = ir.NoReg
+		}
+	}
+	return canon
+}
+
+func newSets(nb, n int) []*dataflow.BitSet {
+	s := make([]*dataflow.BitSet, nb)
+	for i := range s {
+		s[i] = dataflow.NewBitSet(n)
+	}
+	return s
+}

@@ -1,0 +1,192 @@
+package reassoc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// evalTree interprets a tree over an environment of register values
+// (integer domain, where every transformation must be value-exact).
+func evalTree(n *Node, env map[ir.Reg]int64) int64 {
+	switch {
+	case n.IsLeafReg():
+		return env[n.Leaf]
+	case n.Op == ir.OpLoadI:
+		return n.Imm
+	}
+	kids := make([]int64, len(n.Kids))
+	for i, k := range n.Kids {
+		kids[i] = evalTree(k, env)
+	}
+	fold := func(f func(a, b int64) int64) int64 {
+		acc := kids[0]
+		for _, v := range kids[1:] {
+			acc = f(acc, v)
+		}
+		return acc
+	}
+	switch n.Op {
+	case ir.OpAdd:
+		return fold(func(a, b int64) int64 { return a + b })
+	case ir.OpMul:
+		return fold(func(a, b int64) int64 { return a * b })
+	case ir.OpSub:
+		return kids[0] - kids[1]
+	case ir.OpNeg:
+		return -kids[0]
+	case ir.OpMin:
+		return fold(func(a, b int64) int64 { return min(a, b) })
+	case ir.OpMax:
+		return fold(func(a, b int64) int64 { return max(a, b) })
+	case ir.OpAnd:
+		return fold(func(a, b int64) int64 { return a & b })
+	case ir.OpOr:
+		return fold(func(a, b int64) int64 { return a | b })
+	case ir.OpXor:
+		return fold(func(a, b int64) int64 { return a ^ b })
+	}
+	panic("evalTree: unhandled op " + n.Op.String())
+}
+
+// randTree builds a random integer expression tree with leaves drawn
+// from registers r1..r6 and small constants, assigning random ranks.
+func randTree(rng *rand.Rand, depth int) *Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(3) == 0 {
+			return IntLeaf(int64(rng.Intn(11) - 5))
+		}
+		return RegLeaf(ir.Reg(1+rng.Intn(6)), 1+rng.Intn(4))
+	}
+	ops := []ir.Op{ir.OpAdd, ir.OpAdd, ir.OpMul, ir.OpSub, ir.OpMin, ir.OpMax, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNeg}
+	op := ops[rng.Intn(len(ops))]
+	if op == ir.OpNeg {
+		return NewNode(op, randTree(rng, depth-1))
+	}
+	return NewNode(op, randTree(rng, depth-1), randTree(rng, depth-1))
+}
+
+// countLeaves verifies the transformation is a permutation of the
+// original leaves modulo the sub→add+neg rewrite (which adds neg nodes
+// but never drops or duplicates register leaves — distribution may
+// duplicate, so this check runs without distribution).
+func countRegLeaves(n *Node, acc map[ir.Reg]int) {
+	if n.IsLeafReg() {
+		acc[n.Leaf]++
+		return
+	}
+	for _, k := range n.Kids {
+		countRegLeaves(k, acc)
+	}
+}
+
+// TestTransformPreservesValue: the integer value of every random tree
+// is unchanged by Transform, with and without distribution.
+func TestTransformPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfgQ := &quick.Config{MaxCount: 500, Rand: rng}
+	err := quick.Check(func(seed int64, distribute bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randTree(r, 4)
+		env := map[ir.Reg]int64{}
+		for i := ir.Reg(1); i <= 6; i++ {
+			env[i] = int64(r.Intn(41) - 20)
+		}
+		want := evalTree(tree, env)
+		got := evalTree(Transform(tree.Clone(), distribute, true), env)
+		return got == want
+	}, cfgQ)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformLeafPermutation: without distribution, register leaves
+// are preserved exactly (sorting is a permutation).
+func TestTransformLeafPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cfgQ := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randTree(r, 4)
+		before := map[ir.Reg]int{}
+		countRegLeaves(tree, before)
+		after := map[ir.Reg]int{}
+		countRegLeaves(Transform(tree.Clone(), false, true), after)
+		if len(before) != len(after) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}, cfgQ)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransformSortsByRank: after Transform, the children of every
+// associative node are in non-decreasing rank order.
+func TestTransformSortsByRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var checkSorted func(n *Node) bool
+	checkSorted = func(n *Node) bool {
+		if n.Op.Associative() && len(n.Kids) > 1 {
+			for i := 1; i < len(n.Kids); i++ {
+				if n.Kids[i-1].Rank > n.Kids[i].Rank {
+					return false
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			if !checkSorted(k) {
+				return false
+			}
+		}
+		return true
+	}
+	cfgQ := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64, distribute bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := Transform(randTree(r, 4), distribute, true)
+		return checkSorted(tree)
+	}, cfgQ)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlattenNoNestedSameOp: associative children never repeat their
+// parent's operation after Transform.
+func TestFlattenNoNestedSameOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	var check func(n *Node) bool
+	check = func(n *Node) bool {
+		if n.Op.Associative() {
+			for _, k := range n.Kids {
+				if k.Op == n.Op {
+					return false
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			if !check(k) {
+				return false
+			}
+		}
+		return true
+	}
+	cfgQ := &quick.Config{MaxCount: 300, Rand: rng}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return check(Transform(randTree(r, 4), false, true))
+	}, cfgQ)
+	if err != nil {
+		t.Error(err)
+	}
+}

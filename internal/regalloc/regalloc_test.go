@@ -1,0 +1,215 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/regalloc"
+	"repro/internal/suite"
+)
+
+// maxRegUsed returns the highest register number referenced.
+func maxRegUsed(p *ir.Program) ir.Reg {
+	var max ir.Reg
+	for _, f := range p.Funcs {
+		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+			for _, a := range in.Args {
+				if a > max {
+					max = a
+				}
+			}
+			if in.Dst > max {
+				max = in.Dst
+			}
+		})
+	}
+	return max
+}
+
+func compileOpt(t *testing.T, src string, level core.Level) *ir.Program {
+	t.Helper()
+	prog, err := minift.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Optimize(prog, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+const kernel = `
+func driver(n: int): real {
+    var a: [16,16]real
+    var x: [16]real
+    var y: [16]real
+    for j = 1 to n {
+        x[j] = real(j) / 3.0
+        for i = 1 to n {
+            a[i,j] = real(i + j) / 2.0
+        }
+    }
+    for i = 1 to n {
+        y[i] = 0.0
+    }
+    for j = 1 to n {
+        for i = 1 to n {
+            y[i] = y[i] + a[i,j] * x[j]
+        }
+    }
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + y[i]
+    }
+    return s
+}
+`
+
+// TestAllocatesWithinK: after allocation every register is ≤ K and the
+// program still computes the same value.
+func TestAllocatesWithinK(t *testing.T) {
+	for _, k := range []int{6, 8, 16} {
+		prog := compileOpt(t, kernel, core.LevelDist)
+		m0 := interp.NewMachine(prog.Clone())
+		want, err := m0.Call("driver", interp.IntVal(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := regalloc.Run(prog, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if err := ir.VerifyProgram(prog); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if max := maxRegUsed(prog); int(max) > k {
+			t.Errorf("K=%d: register %s in use", k, max)
+		}
+		m := interp.NewMachine(prog)
+		got, err := m.Call("driver", interp.IntVal(16))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if got.F != want.F {
+			t.Errorf("K=%d: result %g, want %g (spills=%d)", k, got.F, want.F, res.Spilled)
+		}
+		t.Logf("K=%d: spilled=%d slots=%dB rounds=%d maxregs=%d dynops=%d",
+			k, res.Spilled, res.SpillSlots, res.Rounds, res.MaxRegs, m.Steps)
+	}
+}
+
+// TestSpillsAppearUnderPressure: small K forces spills; larger K
+// needs none, and dynamic cost decreases with K.
+func TestSpillsAppearUnderPressure(t *testing.T) {
+	measure := func(k int) (int, int64) {
+		prog := compileOpt(t, kernel, core.LevelDist)
+		res, err := regalloc.Run(prog, k)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		m := interp.NewMachine(prog)
+		if _, err := m.Call("driver", interp.IntVal(16)); err != nil {
+			t.Fatal(err)
+		}
+		return res.Spilled, m.Steps
+	}
+	spillsSmall, opsSmall := measure(6)
+	spillsBig, opsBig := measure(24)
+	if spillsSmall == 0 {
+		t.Error("K=6 should force spills on the matrix kernel")
+	}
+	if spillsBig != 0 {
+		t.Errorf("K=24 should not spill, spilled %d", spillsBig)
+	}
+	if opsSmall <= opsBig {
+		t.Errorf("spill code should cost dynamic ops: K=6 %d vs K=24 %d", opsSmall, opsBig)
+	}
+}
+
+// TestFloatSpills: a float-heavy function spills float values through
+// typed memory operations without corrupting them.
+func TestFloatSpills(t *testing.T) {
+	// Many simultaneously-live float values.
+	const src = `
+func driver(x: real): real {
+    var a: real = x + 1.0
+    var b: real = x * 2.0
+    var c: real = x - 3.0
+    var d: real = x / 4.0
+    var e: real = a * b
+    var f: real = c * d
+    var g: real = a + c
+    var h: real = b + d
+    return e * f + g * h + a + b + c + d
+}
+`
+	prog, err := minift.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := interp.NewMachine(prog.Clone())
+	want, err := m0.Call("driver", interp.FloatVal(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := regalloc.Run(prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(prog)
+	got, err := m.Call("driver", interp.FloatVal(2.5))
+	if err != nil {
+		t.Fatalf("%v (spills=%d)\n%s", err, res.Spilled, prog)
+	}
+	if got.F != want.F {
+		t.Errorf("got %g, want %g", got.F, want.F)
+	}
+	if res.Spilled == 0 {
+		t.Log("no spills at K=4 (coloring succeeded); result still correct")
+	}
+}
+
+// TestRejectsTinyK: K below the minimum errors out cleanly.
+func TestRejectsTinyK(t *testing.T) {
+	prog := compileOpt(t, kernel, core.LevelBaseline)
+	if _, err := regalloc.Run(prog, 2); err == nil || !strings.Contains(err.Error(), "below minimum") {
+		t.Errorf("got %v", err)
+	}
+}
+
+// TestWholeSuiteAtK16: every suite routine allocates at K=16 and still
+// validates against its reference.
+func TestWholeSuiteAtK16(t *testing.T) {
+	for _, r := range suite.All() {
+		prog, err := minift.Compile(r.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.Optimize(prog, core.LevelDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := regalloc.Run(opt, 16); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+			continue
+		}
+		if err := ir.VerifyProgram(opt); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+			continue
+		}
+		m := interp.NewMachine(opt)
+		v, err := m.Call(r.Driver, r.Args...)
+		if err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+			continue
+		}
+		if err := r.Check(v); err != nil {
+			t.Errorf("%s after regalloc: %v", r.Name, err)
+		}
+	}
+}

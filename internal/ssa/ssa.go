@@ -1,0 +1,382 @@
+// Package ssa builds and destroys static single assignment form.
+//
+// Construction follows Cytron, Ferrante, Rosen, Wegman and Zadeck
+// (TOPLAS 1991) with the liveness pruning of Choi, Cytron and Ferrante
+// — the paper's §3.1 "our first step is to build the pruned SSA form of
+// the routine".  As the paper prescribes, ordinary copies are removed
+// during the renaming step, "effectively folding them into φ-nodes",
+// which severs the optimizer's dependence on the programmer's choice of
+// variable names (§2.2).
+//
+// Destruction replaces each φ-node with copies in the predecessor
+// blocks (splitting critical edges first) and sequentializes the
+// parallel copies on each edge correctly, including the swap/lost-copy
+// cases.
+package ssa
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// BuildOptions configure SSA construction.
+type BuildOptions struct {
+	// Prune uses liveness to avoid dead φ-nodes (pruned SSA).  The
+	// paper notes minimal SSA "would have required many more φ-nodes".
+	Prune bool
+	// FoldCopies removes copy instructions during renaming, folding
+	// them into φ-nodes (paper §3.1).
+	FoldCopies bool
+}
+
+// Build converts f to SSA form in place.  Every definition gets a fresh
+// register; φ-nodes appear at iterated dominance frontiers.  Uses of
+// registers with no reaching definition are wired to a zero constant
+// materialized in the entry block (our front end never produces such
+// uses; hand-written ILOC might).
+func Build(f *ir.Func, opt BuildOptions) {
+	cfg.RemoveUnreachable(f)
+	dom := cfg.BuildDomTree(f)
+
+	nr := f.NumRegs()
+	defBlocks := make([][]*ir.Block, nr) // blocks defining each register
+	hasDef := make([]bool, nr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst != ir.NoReg {
+				defBlocks[in.Dst] = append(defBlocks[in.Dst], b)
+				hasDef[in.Dst] = true
+			}
+			if in.Op == ir.OpEnter {
+				for _, p := range in.Args {
+					defBlocks[p] = append(defBlocks[p], b)
+					hasDef[p] = true
+				}
+			}
+		}
+	}
+
+	var lv *dataflow.Liveness
+	if opt.Prune {
+		lv = dataflow.ComputeLiveness(f)
+	}
+
+	// Insert φ-nodes at iterated dominance frontiers.
+	phiFor := map[*ir.Instr]ir.Reg{} // φ instr → original variable
+	for v := ir.Reg(1); int(v) < nr; v++ {
+		if !hasDef[v] {
+			continue
+		}
+		work := append([]*ir.Block(nil), defBlocks[v]...)
+		placed := map[*ir.Block]bool{}
+		onWork := map[*ir.Block]bool{}
+		for _, b := range work {
+			onWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range dom.Frontier(b) {
+				if placed[d] {
+					continue
+				}
+				if opt.Prune && !lv.LiveIn[d.ID].Has(int(v)) {
+					continue
+				}
+				placed[d] = true
+				phi := &ir.Instr{Op: ir.OpPhi, Dst: v, Args: make([]ir.Reg, len(d.Preds))}
+				for i := range phi.Args {
+					phi.Args[i] = v
+				}
+				d.InsertAt(0, phi)
+				phiFor[phi] = v
+				if !onWork[d] {
+					onWork[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+
+	// Rename with a dominator-tree walk.
+	stacks := make([][]ir.Reg, nr)
+	var undef ir.Reg // lazily created zero register for undefined uses
+
+	top := func(v ir.Reg) ir.Reg {
+		s := stacks[v]
+		if len(s) == 0 {
+			if undef == ir.NoReg {
+				undef = f.NewReg()
+				entry := f.Entry()
+				pos := 0
+				if entry.Instrs[0].Op == ir.OpEnter {
+					pos = 1
+				}
+				entry.InsertAt(pos, ir.LoadI(undef, 0))
+			}
+			return undef
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		pushed := make(map[ir.Reg]int)
+		push := func(v, nv ir.Reg) {
+			stacks[v] = append(stacks[v], nv)
+			pushed[v]++
+		}
+
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				v := in.Dst
+				nv := f.NewReg()
+				in.Dst = nv
+				push(v, nv)
+				kept = append(kept, in)
+				continue
+			case ir.OpEnter:
+				for i, p := range in.Args {
+					nv := f.NewReg()
+					in.Args[i] = nv
+					push(p, nv)
+					if i < len(f.Params) {
+						f.Params[i] = nv
+					}
+				}
+				kept = append(kept, in)
+				continue
+			case ir.OpCopy:
+				if opt.FoldCopies {
+					// Fold: the copy target becomes an alias of the
+					// (already renamed) source.
+					src := top(in.Args[0])
+					push(in.Dst, src)
+					continue // drop the copy
+				}
+			}
+			for i, a := range in.Args {
+				in.Args[i] = top(a)
+			}
+			if in.Dst != ir.NoReg {
+				v := in.Dst
+				nv := f.NewReg()
+				in.Dst = nv
+				push(v, nv)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+
+		for _, s := range b.Succs {
+			pi := s.PredIndex(b)
+			for _, phi := range s.Phis() {
+				v := phiFor[phi]
+				if v == ir.NoReg {
+					continue
+				}
+				phi.Args[pi] = top(v)
+			}
+		}
+		for _, c := range dom.Children(b) {
+			rename(c)
+		}
+		for v, n := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-n]
+		}
+	}
+	rename(f.Entry())
+}
+
+// Destruct removes φ-nodes by inserting copies in predecessor blocks.
+// This is the operation of the paper's Figure 5 ("φ-nodes are
+// eliminated by inserting copies"; "if necessary, the entering edges
+// are split and appropriate predecessor blocks are created").
+//
+// A copy for the edge p→s normally lands at the end of p.  When p has
+// several successors the edge is critical and would need splitting —
+// but if every copy destination is dead along p's other out-edges, the
+// copies can still sit at the end of p, executing harmlessly on the
+// other paths.  That placement is what lets a bottom-test loop keep
+// its body in one block, so that after coalescing erases the copies
+// the loop looks like the paper's Figure 10 rather than paying a jump
+// through a latch block every iteration.  Only when a destination is
+// live on another out-edge does the edge get split.
+//
+// All copies placed at the end of one predecessor form a single
+// parallel copy, sequentialized with a temporary when they form a
+// cycle (the classic swap problem).
+func Destruct(f *ir.Func) {
+	lv := dataflow.ComputeLiveness(f)
+
+	type edgeCopies struct {
+		dsts, srcs []ir.Reg
+	}
+	// inline[p] accumulates copies to place at the end of block p.
+	inline := map[*ir.Block]*edgeCopies{}
+	type splitJob struct {
+		p, s       *ir.Block
+		dsts, srcs []ir.Reg
+	}
+	var splits []splitJob
+
+	// Snapshot every block's φ-nodes before any mutation, then delete
+	// them; placement decisions below consult the snapshot.
+	phiSnap := map[*ir.Block][]*ir.Instr{}
+	for _, b := range f.Blocks {
+		if phis := b.Phis(); len(phis) > 0 {
+			phiSnap[b] = append([]*ir.Instr(nil), phis...)
+			b.Instrs = b.Instrs[len(phis):]
+		}
+	}
+
+	// liveOnOtherEdge reports whether d is needed along some other
+	// out-edge of p than p→s: live into that successor, or read by one
+	// of its φ-nodes through p's operand slot.
+	liveOnOtherEdge := func(p, s *ir.Block, d ir.Reg) bool {
+		for _, t := range p.Succs {
+			if t == s {
+				continue
+			}
+			if lv.LiveIn[t.ID].Has(int(d)) {
+				return true
+			}
+			pi := t.PredIndex(p)
+			for _, phi := range phiSnap[t] {
+				if pi >= 0 && pi < len(phi.Args) && phi.Args[pi] == d {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for _, b := range f.Blocks {
+		phis := phiSnap[b]
+		if len(phis) == 0 {
+			continue
+		}
+		for pi, p := range b.Preds {
+			var dsts, srcs []ir.Reg
+			for _, phi := range phis {
+				if phi.Dst != phi.Args[pi] {
+					dsts = append(dsts, phi.Dst)
+					srcs = append(srcs, phi.Args[pi])
+				}
+			}
+			if len(dsts) == 0 {
+				continue
+			}
+			canInline := true
+			if len(p.Succs) > 1 {
+				for _, d := range dsts {
+					if liveOnOtherEdge(p, b, d) {
+						canInline = false
+						break
+					}
+				}
+			}
+			if canInline {
+				ec := inline[p]
+				if ec == nil {
+					ec = &edgeCopies{}
+					inline[p] = ec
+				}
+				ec.dsts = append(ec.dsts, dsts...)
+				ec.srcs = append(ec.srcs, srcs...)
+			} else {
+				splits = append(splits, splitJob{p: p, s: b, dsts: dsts, srcs: srcs})
+			}
+		}
+	}
+
+	// Flush in deterministic block order: sequentialization may
+	// allocate temporaries, and register numbering must not depend on
+	// map iteration order (it feeds sorting tie-breaks downstream).
+	inlineBlocks := make([]*ir.Block, 0, len(inline))
+	for p := range inline {
+		inlineBlocks = append(inlineBlocks, p)
+	}
+	sort.Slice(inlineBlocks, func(i, j int) bool { return inlineBlocks[i].ID < inlineBlocks[j].ID })
+	for _, p := range inlineBlocks {
+		ec := inline[p]
+		for _, c := range SequentializeParallelCopy(f, ec.dsts, ec.srcs) {
+			p.Append(c)
+		}
+	}
+	for _, job := range splits {
+		mid := cfg.SplitEdge(job.p, job.s)
+		for _, c := range SequentializeParallelCopy(f, job.dsts, job.srcs) {
+			mid.Append(c)
+		}
+	}
+}
+
+// SequentializeParallelCopy orders the parallel copy dsts[i] ← srcs[i]
+// into a sequence of copy instructions, introducing a temporary
+// register to break cycles (the classic swap problem).
+func SequentializeParallelCopy(f *ir.Func, dsts, srcs []ir.Reg) []*ir.Instr {
+	var out []*ir.Instr
+	// pending maps dst → src.
+	pending := map[ir.Reg]ir.Reg{}
+	uses := map[ir.Reg]int{} // how many pending copies read this reg
+	for i, d := range dsts {
+		pending[d] = srcs[i]
+		uses[srcs[i]]++
+	}
+	// Ready: destinations no pending copy reads.  Iterate the dsts
+	// slice (not the map) so the emitted copy order is deterministic.
+	var ready []ir.Reg
+	for _, d := range dsts {
+		if _, isPending := pending[d]; isPending && uses[d] == 0 {
+			ready = append(ready, d)
+		}
+	}
+	for len(pending) > 0 {
+		for len(ready) > 0 {
+			d := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			s, ok := pending[d]
+			if !ok {
+				continue
+			}
+			out = append(out, ir.Copy(d, s))
+			delete(pending, d)
+			uses[s]--
+			if uses[s] == 0 {
+				if _, isDst := pending[s]; isDst {
+					ready = append(ready, s)
+				}
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		// Only cycles remain; break one with a temporary.  Pick the
+		// smallest destination for determinism.
+		var d ir.Reg = -1
+		for k := range pending {
+			if d < 0 || k < d {
+				d = k
+			}
+		}
+		tmp := f.NewReg()
+		out = append(out, ir.Copy(tmp, d))
+		for k, s := range pending {
+			if s == d {
+				uses[d]--
+				pending[k] = tmp
+				uses[tmp]++
+			}
+		}
+		if uses[d] == 0 {
+			ready = append(ready, d)
+		}
+	}
+	return out
+}

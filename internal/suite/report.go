@@ -1,0 +1,173 @@
+package suite
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/reassoc"
+)
+
+// Table1Row holds the dynamic operation counts of one routine at the
+// paper's four optimization levels, plus the derived percentage
+// columns (partial vs. baseline, reassociation vs. partial,
+// distribution vs. reassociation, "new" = reassoc+dist+GVN over
+// partial, "total" = everything over baseline).
+type Table1Row struct {
+	Name     string
+	Baseline int64
+	Partial  int64
+	Reassoc  int64
+	Dist     int64
+}
+
+// Pct returns the percentage improvement of b over a (positive =
+// faster), in the paper's style.
+func Pct(a, b int64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(a-b) / float64(a)
+}
+
+// PartialPct is the improvement of PRE over the baseline.
+func (r Table1Row) PartialPct() float64 { return Pct(r.Baseline, r.Partial) }
+
+// ReassocPct is the improvement of reassociation+GVN over PRE alone.
+func (r Table1Row) ReassocPct() float64 { return Pct(r.Partial, r.Reassoc) }
+
+// DistPct is the improvement of distribution over plain reassociation.
+func (r Table1Row) DistPct() float64 { return Pct(r.Reassoc, r.Dist) }
+
+// NewPct is the paper's "new" column: the combined contribution of
+// reassociation, distribution and value numbering over partial.
+func (r Table1Row) NewPct() float64 { return Pct(r.Partial, r.Dist) }
+
+// TotalPct is the paper's "total" column: the whole set of
+// optimizations over the baseline.
+func (r Table1Row) TotalPct() float64 { return Pct(r.Baseline, r.Dist) }
+
+// Table2Row holds the static instruction counts around forward
+// propagation for one routine (the paper's Table 2).
+type Table2Row struct {
+	Name   string
+	Before int
+	After  int
+}
+
+// Expansion is the code growth factor.
+func (r Table2Row) Expansion() float64 {
+	if r.Before == 0 {
+		return 1
+	}
+	return float64(r.After) / float64(r.Before)
+}
+
+// RunRoutine compiles, optimizes and interprets one routine at one
+// level, validating the result against the reference.
+func RunRoutine(r Routine, level core.Level) (int64, error) {
+	prog, err := minift.Compile(r.Source)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", r.Name, err)
+	}
+	opt, err := core.Optimize(prog, level)
+	if err != nil {
+		return 0, fmt.Errorf("%s at %s: %w", r.Name, level, err)
+	}
+	m := interp.NewMachine(opt)
+	v, err := m.Call(r.Driver, r.Args...)
+	if err != nil {
+		return 0, fmt.Errorf("%s at %s: %w", r.Name, level, err)
+	}
+	if err := r.Check(v); err != nil {
+		return 0, fmt.Errorf("at %s: %w", level, err)
+	}
+	return m.Steps, nil
+}
+
+// Table1 measures every routine at all four levels.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, r := range All() {
+		row := Table1Row{Name: r.Name}
+		for _, level := range core.Levels {
+			n, err := RunRoutine(r, level)
+			if err != nil {
+				return nil, err
+			}
+			switch level {
+			case core.LevelBaseline:
+				row.Baseline = n
+			case core.LevelPartial:
+				row.Partial = n
+			case core.LevelReassoc:
+				row.Reassoc = n
+			case core.LevelDist:
+				row.Dist = n
+			}
+		}
+		rows = append(rows, row)
+	}
+	// The paper presents Table 1 sorted by the "new" column, largest
+	// combined contribution first.
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].NewPct() > rows[j].NewPct()
+	})
+	return rows, nil
+}
+
+// Table2 measures forward-propagation code expansion per routine.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, r := range All() {
+		prog, err := minift.Compile(r.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name, err)
+		}
+		row := Table2Row{Name: r.Name}
+		for _, f := range prog.Funcs {
+			st := reassoc.Run(f, reassoc.DefaultOptions())
+			row.Before += st.BeforeProp
+			row.After += st.AfterProp
+		}
+		if err := ir.VerifyProgram(prog); err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, nil
+}
+
+// WriteTable1 renders rows in the layout of the paper's Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-10s %12s %12s %6s %13s %6s %12s %6s %6s %6s\n",
+		"routine", "baseline", "partial", "", "reassociation", "", "distribution", "", "new", "total")
+	fmt.Fprintln(w, strings.Repeat("-", 102))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12d %12d %5.0f%% %13d %5.0f%% %12d %5.0f%% %5.0f%% %5.0f%%\n",
+			r.Name, r.Baseline, r.Partial, r.PartialPct(),
+			r.Reassoc, r.ReassocPct(), r.Dist, r.DistPct(),
+			r.NewPct(), r.TotalPct())
+	}
+}
+
+// WriteTable2 renders rows in the layout of the paper's Table 2,
+// including the totals line.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-10s %8s %8s %10s\n", "routine", "before", "after", "expansion")
+	fmt.Fprintln(w, strings.Repeat("-", 40))
+	var tb, ta int
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %10.3f\n", r.Name, r.Before, r.After, r.Expansion())
+		tb += r.Before
+		ta += r.After
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 40))
+	fmt.Fprintf(w, "%-10s %8d %8d %10.3f\n", "totals", tb, ta, float64(ta)/float64(tb))
+}

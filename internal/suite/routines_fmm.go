@@ -1,0 +1,430 @@
+package suite
+
+import "repro/internal/interp"
+
+// Routines from Forsythe, Malcolm & Moler, "Computer Methods for
+// Mathematical Computations" — the paper's second source of test
+// programs.  Each is re-implemented from the published algorithm.
+
+// ---------------------------------------------------------------------
+// fmin — golden-section minimization (FMM's FMIN, fixed iteration
+// count instead of a tolerance test) (Table 1 row "fmin").
+// ---------------------------------------------------------------------
+
+const fminSrc = `
+func f(x: real): real {
+    return (x - 0.7) * (x - 0.7) + 2.0
+}
+
+func fmin(ax: real, bx: real, iters: int): real {
+    var a: real = ax
+    var b: real = bx
+    var c: real = 0.3819660112501051
+    var x1: real = a + c * (b - a)
+    var x2: real = b - c * (b - a)
+    var f1: real = f(x1)
+    var f2: real = f(x2)
+    for it = 1 to iters {
+        if f1 < f2 {
+            b = x2
+            x2 = x1
+            f2 = f1
+            x1 = a + c * (b - a)
+            f1 = f(x1)
+        } else {
+            a = x1
+            x1 = x2
+            f1 = f2
+            x2 = b - c * (b - a)
+            f2 = f(x2)
+        }
+    }
+    return (a + b) / 2.0
+}
+
+func driver(iters: int): real {
+    return fmin(0.0, 1.0, iters)
+}
+`
+
+func fminRef(iters int) float64 {
+	f := func(x float64) float64 { return (x-0.7)*(x-0.7) + 2.0 }
+	a, b := 0.0, 1.0
+	const c = 0.3819660112501051
+	x1 := a + c*(b-a)
+	x2 := b - c*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for it := 0; it < iters; it++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = a + c*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = b - c*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2.0
+}
+
+// ---------------------------------------------------------------------
+// zeroin — root finding by bisection (FMM's ZEROIN, simplified to pure
+// bisection with a fixed iteration count) (Table 1 row "zeroin").
+// ---------------------------------------------------------------------
+
+const zeroinSrc = `
+func g(x: real): real {
+    return x * x * x - 2.0 * x - 5.0
+}
+
+func zeroin(ax: real, bx: real, iters: int): real {
+    var a: real = ax
+    var b: real = bx
+    var fa: real = g(a)
+    for it = 1 to iters {
+        var m: real = (a + b) / 2.0
+        var fm: real = g(m)
+        if fa * fm <= 0.0 {
+            b = m
+        } else {
+            a = m
+            fa = fm
+        }
+    }
+    return (a + b) / 2.0
+}
+
+func driver(iters: int): real {
+    return zeroin(2.0, 3.0, iters)
+}
+`
+
+func zeroinRef(iters int) float64 {
+	g := func(x float64) float64 { return x*x*x - 2.0*x - 5.0 }
+	a, b := 2.0, 3.0
+	fa := g(a)
+	for it := 0; it < iters; it++ {
+		m := (a + b) / 2.0
+		fm := g(m)
+		if fa*fm <= 0 {
+			b = m
+		} else {
+			a = m
+			fa = fm
+		}
+	}
+	return (a + b) / 2.0
+}
+
+// ---------------------------------------------------------------------
+// urand — linear congruential random numbers (FMM's URAND) (Table 1
+// row "urand"); pure integer recurrence, exactly reproducible.
+// ---------------------------------------------------------------------
+
+const urandSrc = `
+func driver(n: int): int {
+    var seed: int = 12345
+    var s: int = 0
+    for i = 1 to n {
+        seed = (seed * 1103515245 + 12345) % 2147483648
+        s = s + seed % 1000
+    }
+    return s
+}
+`
+
+func urandRef(n int) int64 {
+	seed := int64(12345)
+	var s int64
+	for i := 0; i < n; i++ {
+		seed = (seed*1103515245 + 12345) % 2147483648
+		s += seed % 1000
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// spline — natural cubic spline coefficients (FMM's SPLINE; the
+// standard tridiagonal formulation) (Table 1 row "spline").
+// ---------------------------------------------------------------------
+
+const splineSrc = `
+func spline(n: int, x: [*]real, y: [*]real, b: [*]real, c: [*]real, d: [*]real) {
+    var h: [64]real
+    var al: [64]real
+    var l: [64]real
+    var mu: [64]real
+    var z: [64]real
+    for i = 1 to n - 1 {
+        h[i] = x[i+1] - x[i]
+    }
+    for i = 2 to n - 1 {
+        al[i] = 3.0 * (y[i+1] - y[i]) / h[i] - 3.0 * (y[i] - y[i-1]) / h[i-1]
+    }
+    l[1] = 1.0
+    mu[1] = 0.0
+    z[1] = 0.0
+    for i = 2 to n - 1 {
+        l[i] = 2.0 * (x[i+1] - x[i-1]) - h[i-1] * mu[i-1]
+        mu[i] = h[i] / l[i]
+        z[i] = (al[i] - h[i-1] * z[i-1]) / l[i]
+    }
+    l[n] = 1.0
+    z[n] = 0.0
+    c[n] = 0.0
+    for jj = 1 to n - 1 {
+        var j: int = n - jj
+        c[j] = z[j] - mu[j] * c[j+1]
+        b[j] = (y[j+1] - y[j]) / h[j] - h[j] * (c[j+1] + 2.0 * c[j]) / 3.0
+        d[j] = (c[j+1] - c[j]) / (3.0 * h[j])
+    }
+}
+
+func driver(n: int): real {
+    var x: [64]real
+    var y: [64]real
+    var b: [64]real
+    var c: [64]real
+    var d: [64]real
+    for i = 1 to n {
+        x[i] = real(i) / 2.0
+        y[i] = real(i * i) / real(n) - real(i)
+    }
+    spline(n, x, y, b, c, d)
+    var s: real = 0.0
+    for i = 1 to n - 1 {
+        s = s + b[i] + c[i] + d[i]
+    }
+    return s
+}
+`
+
+func splineRef(n int) float64 {
+	x := make([]float64, n+2)
+	y := make([]float64, n+2)
+	b := make([]float64, n+2)
+	c := make([]float64, n+2)
+	d := make([]float64, n+2)
+	h := make([]float64, n+2)
+	al := make([]float64, n+2)
+	l := make([]float64, n+2)
+	mu := make([]float64, n+2)
+	z := make([]float64, n+2)
+	for i := 1; i <= n; i++ {
+		x[i] = float64(i) / 2.0
+		y[i] = float64(i*i)/float64(n) - float64(i)
+	}
+	for i := 1; i <= n-1; i++ {
+		h[i] = x[i+1] - x[i]
+	}
+	for i := 2; i <= n-1; i++ {
+		al[i] = 3.0*(y[i+1]-y[i])/h[i] - 3.0*(y[i]-y[i-1])/h[i-1]
+	}
+	l[1], mu[1], z[1] = 1, 0, 0
+	for i := 2; i <= n-1; i++ {
+		l[i] = 2.0*(x[i+1]-x[i-1]) - h[i-1]*mu[i-1]
+		mu[i] = h[i] / l[i]
+		z[i] = (al[i] - h[i-1]*z[i-1]) / l[i]
+	}
+	l[n], z[n], c[n] = 1, 0, 0
+	for jj := 1; jj <= n-1; jj++ {
+		j := n - jj
+		c[j] = z[j] - mu[j]*c[j+1]
+		b[j] = (y[j+1]-y[j])/h[j] - h[j]*(c[j+1]+2.0*c[j])/3.0
+		d[j] = (c[j+1] - c[j]) / (3.0 * h[j])
+	}
+	s := 0.0
+	for i := 1; i <= n-1; i++ {
+		s += b[i] + c[i] + d[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// seval — spline evaluation with interval search (FMM's SEVAL)
+// (Table 1 row "seval").
+// ---------------------------------------------------------------------
+
+const sevalSrc = `
+func seval(n: int, u: real, x: [*]real, y: [*]real, b: [*]real, c: [*]real, d: [*]real): real {
+    var i: int = 1
+    for k = 1 to n - 1 {
+        if x[k] <= u {
+            i = k
+        }
+    }
+    var dx: real = u - x[i]
+    return y[i] + dx * (b[i] + dx * (c[i] + dx * d[i]))
+}
+
+func driver(n: int, m: int): real {
+    var x: [64]real
+    var y: [64]real
+    var b: [64]real
+    var c: [64]real
+    var d: [64]real
+    for i = 1 to n {
+        x[i] = real(i) / 2.0
+        y[i] = real(i * i) / real(n) - real(i)
+        b[i] = y[i] / 3.0
+        c[i] = y[i] / 5.0
+        d[i] = y[i] / 7.0
+    }
+    var s: real = 0.0
+    for k = 1 to m {
+        var u: real = 0.5 + real(k * (n - 1)) / real(m) / 2.0
+        s = s + seval(n, u, x, y, b, c, d)
+    }
+    return s
+}
+`
+
+func sevalRef(n, m int) float64 {
+	x := make([]float64, n+2)
+	y := make([]float64, n+2)
+	b := make([]float64, n+2)
+	c := make([]float64, n+2)
+	d := make([]float64, n+2)
+	for i := 1; i <= n; i++ {
+		x[i] = float64(i) / 2.0
+		y[i] = float64(i*i)/float64(n) - float64(i)
+		b[i] = y[i] / 3.0
+		c[i] = y[i] / 5.0
+		d[i] = y[i] / 7.0
+	}
+	seval := func(u float64) float64 {
+		i := 1
+		for k := 1; k <= n-1; k++ {
+			if x[k] <= u {
+				i = k
+			}
+		}
+		dx := u - x[i]
+		return y[i] + dx*(b[i]+dx*(c[i]+dx*d[i]))
+	}
+	s := 0.0
+	for k := 1; k <= m; k++ {
+		u := 0.5 + float64(k*(n-1))/float64(m)/2.0
+		s += seval(u)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// rkf45 — Runge–Kutta–Fehlberg steps (FMM's RKF45, fixed step size,
+// no error control) on y' = −2·y + x (Table 1 row "rkf45"): long
+// straight-line floating-point expressions full of rational constants.
+// ---------------------------------------------------------------------
+
+const rkf45Src = `
+func fp(x: real, y: real): real {
+    return 0.0 - 2.0 * y + x
+}
+
+func driver(steps: int): real {
+    var x: real = 0.0
+    var y: real = 1.0
+    var h: real = 0.05
+    for s = 1 to steps {
+        var k1: real = h * fp(x, y)
+        var k2: real = h * fp(x + h / 4.0, y + k1 / 4.0)
+        var k3: real = h * fp(x + 3.0 * h / 8.0, y + 3.0 * k1 / 32.0 + 9.0 * k2 / 32.0)
+        var k4: real = h * fp(x + 12.0 * h / 13.0, y + 1932.0 * k1 / 2197.0 - 7200.0 * k2 / 2197.0 + 7296.0 * k3 / 2197.0)
+        var k5: real = h * fp(x + h, y + 439.0 * k1 / 216.0 - 8.0 * k2 + 3680.0 * k3 / 513.0 - 845.0 * k4 / 4104.0)
+        y = y + 25.0 * k1 / 216.0 + 1408.0 * k3 / 2565.0 + 2197.0 * k4 / 4104.0 - k5 / 5.0
+        x = x + h
+    }
+    return y
+}
+`
+
+func rkf45Ref(steps int) float64 {
+	fp := func(x, y float64) float64 { return 0.0 - 2.0*y + x }
+	x, y, h := 0.0, 1.0, 0.05
+	for s := 0; s < steps; s++ {
+		k1 := h * fp(x, y)
+		k2 := h * fp(x+h/4.0, y+k1/4.0)
+		k3 := h * fp(x+3.0*h/8.0, y+3.0*k1/32.0+9.0*k2/32.0)
+		k4 := h * fp(x+12.0*h/13.0, y+1932.0*k1/2197.0-7200.0*k2/2197.0+7296.0*k3/2197.0)
+		k5 := h * fp(x+h, y+439.0*k1/216.0-8.0*k2+3680.0*k3/513.0-845.0*k4/4104.0)
+		y = y + 25.0*k1/216.0 + 1408.0*k3/2565.0 + 2197.0*k4/4104.0 - k5/5.0
+		x = x + h
+	}
+	return y
+}
+
+// ---------------------------------------------------------------------
+// integr — trapezoid-rule quadrature of x² + 3x over [0,1] (Table 1
+// row "integr").
+// ---------------------------------------------------------------------
+
+const integrSrc = `
+func q(x: real): real {
+    return x * x + 3.0 * x
+}
+
+func driver(n: int): real {
+    var h: real = 1.0 / real(n)
+    var s: real = (q(0.0) + q(1.0)) / 2.0
+    for i = 1 to n - 1 {
+        s = s + q(real(i) * h)
+    }
+    return s * h
+}
+`
+
+func integrRef(n int) float64 {
+	q := func(x float64) float64 { return x*x + 3.0*x }
+	h := 1.0 / float64(n)
+	s := (q(0.0) + q(1.0)) / 2.0
+	for i := 1; i <= n-1; i++ {
+		s += q(float64(i) * h)
+	}
+	return s * h
+}
+
+func init() {
+	register(Routine{
+		Name: "fmin", Note: "FMM golden-section minimization (Table 1 'fmin')",
+		Source: fminSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(40)},
+		RefFloat: floatRef(fminRef(40)), Tol: 1e-5,
+	})
+	register(Routine{
+		Name: "zeroin", Note: "FMM root finding, bisection variant (Table 1 'zeroin')",
+		Source: zeroinSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(40)},
+		RefFloat: floatRef(zeroinRef(40)), Tol: 1e-5,
+	})
+	register(Routine{
+		Name: "urand", Note: "FMM linear congruential generator (Table 1 'urand')",
+		Source: urandSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(150)},
+		RefInt: intRef(urandRef(150)),
+	})
+	register(Routine{
+		Name: "spline", Note: "FMM natural cubic spline setup (Table 1 'spline')",
+		Source: splineSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(40)},
+		RefFloat: floatRef(splineRef(40)),
+	})
+	register(Routine{
+		Name: "seval", Note: "FMM spline evaluation (Table 1 'seval')",
+		Source: sevalSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(24), interp.IntVal(16)},
+		RefFloat: floatRef(sevalRef(24, 16)),
+	})
+	register(Routine{
+		Name: "rkf45", Note: "FMM Runge–Kutta–Fehlberg steps, fixed h (Table 1 'rkf45')",
+		Source: rkf45Src, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(40)},
+		RefFloat: floatRef(rkf45Ref(40)),
+	})
+	register(Routine{
+		Name: "integr", Note: "trapezoid quadrature (Table 1 'integr')",
+		Source: integrSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(150)},
+		RefFloat: floatRef(integrRef(150)),
+	})
+}

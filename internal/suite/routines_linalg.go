@@ -1,0 +1,681 @@
+package suite
+
+import (
+	"math"
+
+	"repro/internal/interp"
+)
+
+// ---------------------------------------------------------------------
+// saxpy — the BLAS level-1 kernel (paper Table 1 row "saxpy"):
+// single-precision y ← a·x + y, 1-D address arithmetic.
+// ---------------------------------------------------------------------
+
+const saxpySrc = `
+func saxpy(n: int, a: real, x: [*]real4, y: [*]real4) {
+    for i = 1 to n {
+        y[i] = a * x[i] + y[i]
+    }
+}
+
+func driver(n: int): real {
+    var x: [128]real4
+    var y: [128]real4
+    for i = 1 to n {
+        x[i] = real(i) / 4.0
+        y[i] = real(2 * i)
+    }
+    saxpy(n, 3.0, x, y)
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + y[i]
+    }
+    return s
+}
+`
+
+func saxpyRef(n int) float64 {
+	x := make([]float32, n+1)
+	y := make([]float32, n+1)
+	for i := 1; i <= n; i++ {
+		x[i] = float32(float64(i) / 4.0)
+		y[i] = float32(2 * i)
+	}
+	for i := 1; i <= n; i++ {
+		y[i] = float32(3.0*float64(x[i]) + float64(y[i]))
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += float64(y[i])
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// sgemv — BLAS level-2 matrix–vector product (Table 1 row "sgemv"):
+// column-major 2-D addressing, the inner loop invariant in j.
+// ---------------------------------------------------------------------
+
+const sgemvSrc = `
+func sgemv(m: int, n: int, a: [m,*]real4, x: [*]real4, y: [*]real4) {
+    for j = 1 to n {
+        for i = 1 to m {
+            y[i] = y[i] + a[i,j] * x[j]
+        }
+    }
+}
+
+func driver(m: int, n: int): real {
+    var a: [20,20]real4
+    var x: [20]real4
+    var y: [20]real4
+    for j = 1 to n {
+        x[j] = real(j) / 8.0
+        for i = 1 to m {
+            a[i,j] = real(i - j) / 2.0
+        }
+    }
+    for i = 1 to m {
+        y[i] = 1.0
+    }
+    sgemv(m, n, a, x, y)
+    var s: real = 0.0
+    for i = 1 to m {
+        s = s + y[i]
+    }
+    return s
+}
+`
+
+func sgemvRef(m, n int) float64 {
+	a := make([][]float32, m+1)
+	for i := range a {
+		a[i] = make([]float32, n+1)
+	}
+	x := make([]float32, n+1)
+	y := make([]float32, m+1)
+	for j := 1; j <= n; j++ {
+		x[j] = float32(float64(j) / 8.0)
+		for i := 1; i <= m; i++ {
+			a[i][j] = float32(float64(i-j) / 2.0)
+		}
+	}
+	for i := 1; i <= m; i++ {
+		y[i] = 1.0
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= m; i++ {
+			y[i] = float32(float64(y[i]) + float64(a[i][j])*float64(x[j]))
+		}
+	}
+	s := 0.0
+	for i := 1; i <= m; i++ {
+		s += float64(y[i])
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// sgemm — matrix multiply (Table 1 rows "sgemm"/"matrix300"): triple
+// loop, the classic target for reassociated address arithmetic.
+// ---------------------------------------------------------------------
+
+const sgemmSrc = `
+func sgemm(n: int, a: [n,*]real, b: [n,*]real, c: [n,*]real) {
+    for j = 1 to n {
+        for i = 1 to n {
+            var s: real = 0.0
+            for k = 1 to n {
+                s = s + a[i,k] * b[k,j]
+            }
+            c[i,j] = s
+        }
+    }
+}
+
+func driver(n: int): real {
+    var a: [12,12]real
+    var b: [12,12]real
+    var c: [12,12]real
+    for j = 1 to n {
+        for i = 1 to n {
+            a[i,j] = real(i + 2 * j) / 3.0
+            b[i,j] = real(i - j) / 5.0
+        }
+    }
+    sgemm(n, a, b, c)
+    var s: real = 0.0
+    for j = 1 to n {
+        for i = 1 to n {
+            s = s + c[i,j]
+        }
+    }
+    return s
+}
+`
+
+func sgemmRef(n int) float64 {
+	a := make([][]float64, n+1)
+	b := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+		b[i] = make([]float64, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			a[i][j] = float64(i+2*j) / 3.0
+			b[i][j] = float64(i-j) / 5.0
+		}
+	}
+	s := 0.0
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			c := 0.0
+			for k := 1; k <= n; k++ {
+				c += a[i][k] * b[k][j]
+			}
+			s += c
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// decomp — LU decomposition (FMM's DECOMP, simplified to the
+// diagonally dominant case without pivoting) (Table 1 row "decomp").
+// ---------------------------------------------------------------------
+
+const decompSrc = `
+func decomp(n: int, a: [n,*]real) {
+    for k = 1 to n - 1 {
+        for i = k + 1 to n {
+            a[i,k] = a[i,k] / a[k,k]
+            for j = k + 1 to n {
+                a[i,j] = a[i,j] - a[i,k] * a[k,j]
+            }
+        }
+    }
+}
+
+func driver(n: int): real {
+    var a: [10,10]real
+    for j = 1 to n {
+        for i = 1 to n {
+            if i == j {
+                a[i,j] = real(n + i)
+            } else {
+                a[i,j] = 1.0 / real(i + j)
+            }
+        }
+    }
+    decomp(n, a)
+    var s: real = 0.0
+    for j = 1 to n {
+        for i = 1 to n {
+            s = s + a[i,j]
+        }
+    }
+    return s
+}
+`
+
+func decompRef(n int) float64 {
+	a := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			if i == j {
+				a[i][j] = float64(n + i)
+			} else {
+				a[i][j] = 1.0 / float64(i+j)
+			}
+		}
+	}
+	for k := 1; k <= n-1; k++ {
+		for i := k + 1; i <= n; i++ {
+			a[i][k] = a[i][k] / a[k][k]
+			for j := k + 1; j <= n; j++ {
+				a[i][j] -= a[i][k] * a[k][j]
+			}
+		}
+	}
+	s := 0.0
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			s += a[i][j]
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// solve — forward/back substitution against the decomp factors (FMM's
+// SOLVE) (Table 1 row "solve").
+// ---------------------------------------------------------------------
+
+const solveSrc = `
+func decomp(n: int, a: [n,*]real) {
+    for k = 1 to n - 1 {
+        for i = k + 1 to n {
+            a[i,k] = a[i,k] / a[k,k]
+            for j = k + 1 to n {
+                a[i,j] = a[i,j] - a[i,k] * a[k,j]
+            }
+        }
+    }
+}
+
+func solve(n: int, a: [n,*]real, b: [*]real) {
+    for k = 1 to n - 1 {
+        for i = k + 1 to n {
+            b[i] = b[i] - a[i,k] * b[k]
+        }
+    }
+    for kk = 0 to n - 1 {
+        k = n - kk
+        b[k] = b[k] / a[k,k]
+        for i = 1 to k - 1 {
+            b[i] = b[i] - a[i,k] * b[k]
+        }
+    }
+}
+
+func driver(n: int): real {
+    var a: [10,10]real
+    var b: [10]real
+    for j = 1 to n {
+        for i = 1 to n {
+            if i == j {
+                a[i,j] = real(n + i)
+            } else {
+                a[i,j] = 1.0 / real(i + j)
+            }
+        }
+        b[j] = real(j)
+    }
+    decomp(n, a)
+    solve(n, a, b)
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + b[i]
+    }
+    return s
+}
+`
+
+func solveRef(n int) float64 {
+	a := make([][]float64, n+1)
+	for i := 0; i <= n; i++ {
+		a[i] = make([]float64, n+1)
+	}
+	b := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			if i == j {
+				a[i][j] = float64(n + i)
+			} else {
+				a[i][j] = 1.0 / float64(i+j)
+			}
+		}
+		b[j] = float64(j)
+	}
+	for k := 1; k <= n-1; k++ {
+		for i := k + 1; i <= n; i++ {
+			a[i][k] = a[i][k] / a[k][k]
+			for j := k + 1; j <= n; j++ {
+				a[i][j] -= a[i][k] * a[k][j]
+			}
+		}
+	}
+	for k := 1; k <= n-1; k++ {
+		for i := k + 1; i <= n; i++ {
+			b[i] -= a[i][k] * b[k]
+		}
+	}
+	for kk := 0; kk <= n-1; kk++ {
+		k := n - kk
+		b[k] = b[k] / a[k][k]
+		for i := 1; i <= k-1; i++ {
+			b[i] -= a[i][k] * b[k]
+		}
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += b[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// svd — the column-norm/Householder-scale fragment at the heart of
+// FMM's SVD (Table 1 row "svd"): sqrt-heavy column sweeps.
+// ---------------------------------------------------------------------
+
+const svdSrc = `
+func colnorms(m: int, n: int, a: [m,*]real, w: [*]real) {
+    for j = 1 to n {
+        var s: real = 0.0
+        for i = 1 to m {
+            s = s + a[i,j] * a[i,j]
+        }
+        w[j] = sqrt(s)
+        if w[j] > 0.0 {
+            for i = 1 to m {
+                a[i,j] = a[i,j] / w[j]
+            }
+        }
+    }
+}
+
+func driver(m: int, n: int): real {
+    var a: [16,16]real
+    var w: [16]real
+    for j = 1 to n {
+        for i = 1 to m {
+            a[i,j] = real(i * j) / real(m + n)
+        }
+    }
+    colnorms(m, n, a, w)
+    var s: real = 0.0
+    for j = 1 to n {
+        s = s + w[j]
+        s = s + a[j,j]
+    }
+    return s
+}
+`
+
+func svdRef(m, n int) float64 {
+	a := make([][]float64, m+1)
+	for i := 0; i <= m; i++ {
+		a[i] = make([]float64, n+1)
+	}
+	w := make([]float64, n+1)
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= m; i++ {
+			a[i][j] = float64(i*j) / float64(m+n)
+		}
+	}
+	for j := 1; j <= n; j++ {
+		s := 0.0
+		for i := 1; i <= m; i++ {
+			s += a[i][j] * a[i][j]
+		}
+		w[j] = sqrt(s)
+		if w[j] > 0 {
+			for i := 1; i <= m; i++ {
+				a[i][j] /= w[j]
+			}
+		}
+	}
+	s := 0.0
+	for j := 1; j <= n; j++ {
+		s += w[j] + a[j][j]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// iniset — array initialization with heavy index arithmetic (Table 1
+// row "iniset"); every iteration recomputes overlapping subscript
+// expressions that GVN+PRE should common.
+// ---------------------------------------------------------------------
+
+const inisetSrc = `
+func iniset(n: int, v: [*]int) {
+    for i = 1 to n {
+        v[i] = 0
+    }
+    for i = 1 to n / 2 {
+        v[2 * i - 1] = i + 1
+        v[2 * i] = i * i + 2 * i + 1
+    }
+}
+
+func driver(n: int): int {
+    var v: [256]int
+    iniset(n, v)
+    var s: int = 0
+    for i = 1 to n {
+        s = s + v[i] * i
+    }
+    return s
+}
+`
+
+func inisetRef(n int) int64 {
+	v := make([]int64, n+1)
+	for i := int64(1); i <= int64(n)/2; i++ {
+		v[2*i-1] = i + 1
+		v[2*i] = i*i + 2*i + 1
+	}
+	var s int64
+	for i := int64(1); i <= int64(n); i++ {
+		s += v[i] * i
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// x21y21 — small polynomial-power kernel (Table 1 row "x21y2i"):
+// x^21 + y^21 via repeated multiplication, pure scalar integer code.
+// ---------------------------------------------------------------------
+
+const x21y21Src = `
+func pow21(x: int): int {
+    var p: int = x
+    var x2: int = x * x
+    var x4: int = x2 * x2
+    var x8: int = x4 * x4
+    var x16: int = x8 * x8
+    p = x16 * x4
+    p = p * x
+    return p
+}
+
+func driver(x: int, y: int): int {
+    var s: int = 0
+    for i = 1 to 20 {
+        s = s + pow21(x + i) + pow21(y - i)
+    }
+    return s
+}
+`
+
+func x21y21Ref(x, y int64) int64 {
+	pow21 := func(v int64) int64 {
+		x2 := v * v
+		x4 := x2 * x2
+		x8 := x4 * x4
+		x16 := x8 * x8
+		return x16 * x4 * v
+	}
+	var s int64
+	for i := int64(1); i <= 20; i++ {
+		s += pow21(x+i) + pow21(y-i)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// repvid — strided 2-D block copies (Table 1 row "repvid"): integer
+// arrays, addressing with two induction variables.
+// ---------------------------------------------------------------------
+
+const repvidSrc = `
+func blit(w: int, h: int, src: [w,*]int, dst: [w,*]int, dx: int, dy: int) {
+    for j = 1 to h - dy {
+        for i = 1 to w - dx {
+            dst[i + dx, j + dy] = src[i, j]
+        }
+    }
+}
+
+func driver(w: int, h: int): int {
+    var src: [16,16]int
+    var dst: [16,16]int
+    for j = 1 to h {
+        for i = 1 to w {
+            src[i,j] = i * 37 + j * 11
+            dst[i,j] = 0
+        }
+    }
+    blit(w, h, src, dst, 2, 3)
+    blit(w, h, dst, src, 1, 1)
+    var s: int = 0
+    for j = 1 to h {
+        for i = 1 to w {
+            s = s + src[i,j] + 2 * dst[i,j]
+        }
+    }
+    return s
+}
+`
+
+func repvidRef(w, h int) int64 {
+	src := make([][]int64, w+1)
+	dst := make([][]int64, w+1)
+	for i := 0; i <= w; i++ {
+		src[i] = make([]int64, h+1)
+		dst[i] = make([]int64, h+1)
+	}
+	for j := 1; j <= h; j++ {
+		for i := 1; i <= w; i++ {
+			src[i][j] = int64(i*37 + j*11)
+		}
+	}
+	blit := func(s, d [][]int64, dx, dy int) {
+		for j := 1; j <= h-dy; j++ {
+			for i := 1; i <= w-dx; i++ {
+				d[i+dx][j+dy] = s[i][j]
+			}
+		}
+	}
+	blit(src, dst, 2, 3)
+	blit(dst, src, 1, 1)
+	var sum int64
+	for j := 1; j <= h; j++ {
+		for i := 1; i <= w; i++ {
+			sum += src[i][j] + 2*dst[i][j]
+		}
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------
+// colbur — integer convolution-style kernel (Table 1 row "colbur").
+// ---------------------------------------------------------------------
+
+const colburSrc = `
+func conv(n: int, a: [*]int, k: [*]int, out: [*]int) {
+    for i = 3 to n - 2 {
+        out[i] = a[i-2]*k[1] + a[i-1]*k[2] + a[i]*k[3] + a[i+1]*k[4] + a[i+2]*k[5]
+    }
+}
+
+func driver(n: int): int {
+    var a: [128]int
+    var k: [5]int
+    var out: [128]int
+    for i = 1 to n {
+        a[i] = i % 17 - 8
+        out[i] = 0
+    }
+    for i = 1 to 5 {
+        k[i] = i * i - 6
+    }
+    conv(n, a, k, out)
+    var s: int = 0
+    for i = 1 to n {
+        s = s + out[i] * i
+    }
+    return s
+}
+`
+
+func colburRef(n int) int64 {
+	a := make([]int64, n+3)
+	k := make([]int64, 6)
+	out := make([]int64, n+3)
+	for i := 1; i <= n; i++ {
+		a[i] = int64(i%17 - 8)
+	}
+	for i := int64(1); i <= 5; i++ {
+		k[i] = i*i - 6
+	}
+	for i := 3; i <= n-2; i++ {
+		out[i] = a[i-2]*k[1] + a[i-1]*k[2] + a[i]*k[3] + a[i+1]*k[4] + a[i+2]*k[5]
+	}
+	var s int64
+	for i := 1; i <= n; i++ {
+		s += out[i] * int64(i)
+	}
+	return s
+}
+
+func init() {
+	register(Routine{
+		Name: "saxpy", Note: "BLAS-1 a·x+y over real4 (Table 1 'saxpy')",
+		Source: saxpySrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(saxpyRef(100)),
+	})
+	register(Routine{
+		Name: "sgemv", Note: "BLAS-2 matrix–vector product (Table 1 'sgemv')",
+		Source: sgemvSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(20), interp.IntVal(20)},
+		RefFloat: floatRef(sgemvRef(20, 20)),
+	})
+	register(Routine{
+		Name: "sgemm", Note: "matrix multiply (Table 1 'sgemm'/'matrix300')",
+		Source: sgemmSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(12)},
+		RefFloat: floatRef(sgemmRef(12)),
+	})
+	register(Routine{
+		Name: "decomp", Note: "FMM LU decomposition (Table 1 'decomp')",
+		Source: decompSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(10)},
+		RefFloat: floatRef(decompRef(10)),
+	})
+	register(Routine{
+		Name: "solve", Note: "FMM forward/back substitution (Table 1 'solve')",
+		Source: solveSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(10)},
+		RefFloat: floatRef(solveRef(10)),
+	})
+	register(Routine{
+		Name: "svd", Note: "FMM SVD column-norm fragment (Table 1 'svd')",
+		Source: svdSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(16), interp.IntVal(16)},
+		RefFloat: floatRef(svdRef(16, 16)),
+	})
+	register(Routine{
+		Name: "iniset", Note: "array initialization, index arithmetic (Table 1 'iniset')",
+		Source: inisetSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(200)},
+		RefInt: intRef(inisetRef(200)),
+	})
+	register(Routine{
+		Name: "x21y21", Note: "polynomial powers, straight-line scalar code (Table 1 'x21y2i')",
+		Source: x21y21Src, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(3), interp.IntVal(5)},
+		RefInt: intRef(x21y21Ref(3, 5)),
+	})
+	register(Routine{
+		Name: "repvid", Note: "strided 2-D block copies (Table 1 'repvid')",
+		Source: repvidSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(16), interp.IntVal(16)},
+		RefInt: intRef(repvidRef(16, 16)),
+	})
+	register(Routine{
+		Name: "colbur", Note: "integer 5-tap convolution (Table 1 'colbur')",
+		Source: colburSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(100)},
+		RefInt: intRef(colburRef(100)),
+	})
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

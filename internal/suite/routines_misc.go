@@ -1,0 +1,402 @@
+package suite
+
+import "repro/internal/interp"
+
+// SPEC-style kernels and the paper's own running example.
+
+// ---------------------------------------------------------------------
+// foo — the paper's running example (Figure 2): the loop whose body
+// the full pipeline shortens by one operation.
+// ---------------------------------------------------------------------
+
+const fooSrc = `
+func foo(y: int, z: int): int {
+    var s: int = 0
+    var x: int = y + z
+    for i = x to 100 {
+        s = 1 + s + x
+    }
+    return s
+}
+
+func driver(y: int, z: int): int {
+    var t: int = 0
+    for r = 1 to 50 {
+        t = t + foo(y, z + r % 3)
+    }
+    return t
+}
+`
+
+func fooRef(y, z int64) int64 {
+	foo := func(y, z int64) int64 {
+		var s int64
+		x := y + z
+		for i := x; i <= 100; i++ {
+			s = 1 + s + x
+		}
+		return s
+	}
+	var t int64
+	for r := int64(1); r <= 50; r++ {
+		t += foo(y, z+r%3)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// tomcatv — mesh-relaxation sweep in the style of SPEC's TOMCATV
+// (Table 1 row "tomcatv"): 2-D neighbor stencils over coupled grids.
+// ---------------------------------------------------------------------
+
+const tomcatvSrc = `
+func relax(n: int, x: [n,*]real, y: [n,*]real, rx: [n,*]real, ry: [n,*]real) {
+    for j = 2 to n - 1 {
+        for i = 2 to n - 1 {
+            var xx: real = x[i+1,j] - x[i-1,j]
+            var yx: real = y[i+1,j] - y[i-1,j]
+            var xy: real = x[i,j+1] - x[i,j-1]
+            var yy: real = y[i,j+1] - y[i,j-1]
+            var a: real = 0.25 * (xy * xy + yy * yy)
+            var b: real = 0.25 * (xx * xx + yx * yx)
+            var c: real = 0.125 * (xx * xy + yx * yy)
+            rx[i,j] = a * (x[i+1,j] + x[i-1,j]) + b * (x[i,j+1] + x[i,j-1]) - c * (x[i+1,j+1] - x[i+1,j-1] - x[i-1,j+1] + x[i-1,j-1])
+            ry[i,j] = a * (y[i+1,j] + y[i-1,j]) + b * (y[i,j+1] + y[i,j-1]) - c * (y[i+1,j+1] - y[i+1,j-1] - y[i-1,j+1] + y[i-1,j-1])
+        }
+    }
+    for j = 2 to n - 1 {
+        for i = 2 to n - 1 {
+            x[i,j] = x[i,j] + 0.001 * (rx[i,j] - x[i,j])
+            y[i,j] = y[i,j] + 0.001 * (ry[i,j] - y[i,j])
+        }
+    }
+}
+
+func driver(n: int, sweeps: int): real {
+    var x: [16,16]real
+    var y: [16,16]real
+    var rx: [16,16]real
+    var ry: [16,16]real
+    for j = 1 to n {
+        for i = 1 to n {
+            x[i,j] = real(i) + 0.1 * real(j)
+            y[i,j] = real(j) - 0.05 * real(i)
+            rx[i,j] = 0.0
+            ry[i,j] = 0.0
+        }
+    }
+    for s = 1 to sweeps {
+        relax(n, x, y, rx, ry)
+    }
+    var t: real = 0.0
+    for j = 1 to n {
+        for i = 1 to n {
+            t = t + x[i,j] - y[i,j]
+        }
+    }
+    return t
+}
+`
+
+func tomcatvRef(n, sweeps int) float64 {
+	mk := func() [][]float64 {
+		g := make([][]float64, n+2)
+		for i := range g {
+			g[i] = make([]float64, n+2)
+		}
+		return g
+	}
+	x, y, rx, ry := mk(), mk(), mk(), mk()
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			x[i][j] = float64(i) + 0.1*float64(j)
+			y[i][j] = float64(j) - 0.05*float64(i)
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				xx := x[i+1][j] - x[i-1][j]
+				yx := y[i+1][j] - y[i-1][j]
+				xy := x[i][j+1] - x[i][j-1]
+				yy := y[i][j+1] - y[i][j-1]
+				a := 0.25 * (xy*xy + yy*yy)
+				b := 0.25 * (xx*xx + yx*yx)
+				c := 0.125 * (xx*xy + yx*yy)
+				rx[i][j] = a*(x[i+1][j]+x[i-1][j]) + b*(x[i][j+1]+x[i][j-1]) - c*(x[i+1][j+1]-x[i+1][j-1]-x[i-1][j+1]+x[i-1][j-1])
+				ry[i][j] = a*(y[i+1][j]+y[i-1][j]) + b*(y[i][j+1]+y[i][j-1]) - c*(y[i+1][j+1]-y[i+1][j-1]-y[i-1][j+1]+y[i-1][j-1])
+			}
+		}
+		for j := 2; j <= n-1; j++ {
+			for i := 2; i <= n-1; i++ {
+				x[i][j] += 0.001 * (rx[i][j] - x[i][j])
+				y[i][j] += 0.001 * (ry[i][j] - y[i][j])
+			}
+		}
+	}
+	t := 0.0
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			t += x[i][j] - y[i][j]
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// heat — 1-D explicit heat equation over a single-precision array
+// (Table 1 row "heat"): real4 loads/stores with elem size 4.
+// ---------------------------------------------------------------------
+
+const heatSrc = `
+func hstep(n: int, u: [*]real4, un: [*]real4, r: real) {
+    for i = 2 to n - 1 {
+        un[i] = u[i] + r * (u[i+1] - 2.0 * u[i] + u[i-1])
+    }
+    for i = 2 to n - 1 {
+        u[i] = un[i]
+    }
+}
+
+func driver(n: int, steps: int): real {
+    var u: [96]real4
+    var un: [96]real4
+    for i = 1 to n {
+        u[i] = 0.0
+        un[i] = 0.0
+    }
+    u[n / 2] = 100.0
+    for s = 1 to steps {
+        hstep(n, u, un, 0.25)
+    }
+    var t: real = 0.0
+    for i = 1 to n {
+        t = t + u[i] * real(i)
+    }
+    return t
+}
+`
+
+func heatRef(n, steps int) float64 {
+	u := make([]float32, n+2)
+	un := make([]float32, n+2)
+	u[n/2] = 100.0
+	for s := 0; s < steps; s++ {
+		for i := 2; i <= n-1; i++ {
+			un[i] = float32(float64(u[i]) + 0.25*(float64(u[i+1])-2.0*float64(u[i])+float64(u[i-1])))
+		}
+		for i := 2; i <= n-1; i++ {
+			u[i] = un[i]
+		}
+	}
+	t := 0.0
+	for i := 1; i <= n; i++ {
+		t += float64(u[i]) * float64(i)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// gamgen — gamma-table generation by recurrence (Table 1 row
+// "gamgen"): products and quotients building a lookup table.
+// ---------------------------------------------------------------------
+
+const gamgenSrc = `
+func driver(n: int): real {
+    var g: [128]real
+    g[1] = 1.0
+    for i = 2 to n {
+        g[i] = g[i-1] * (real(i) - 0.5) / (real(i) + 0.5)
+    }
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + g[i] * g[i] + g[i] / real(i)
+    }
+    return s
+}
+`
+
+func gamgenRef(n int) float64 {
+	g := make([]float64, n+1)
+	g[1] = 1.0
+	for i := 2; i <= n; i++ {
+		g[i] = g[i-1] * (float64(i) - 0.5) / (float64(i) + 0.5)
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += g[i]*g[i] + g[i]/float64(i)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// hmoy — harmonic-style averaging (Table 1 row "hmoy").
+// ---------------------------------------------------------------------
+
+const hmoySrc = `
+func driver(n: int): real {
+    var x: [128]real
+    for i = 1 to n {
+        x[i] = real(i) + 0.5
+    }
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + 1.0 / x[i]
+    }
+    return real(n) / s
+}
+`
+
+func hmoyRef(n int) float64 {
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += 1.0 / (float64(i) + 0.5)
+	}
+	return float64(n) / s
+}
+
+// ---------------------------------------------------------------------
+// deseco — decision-heavy kernel (after SPEC doduc's deseco, Table 1
+// row "deseco"): an if/else diamond recomputing shared subexpressions
+// on both paths and after the join — the §2 motivating shape for PRE.
+// ---------------------------------------------------------------------
+
+const desecoSrc = `
+func driver(n: int): real {
+    var a: [128]real
+    var b: [128]real
+    for i = 1 to n {
+        a[i] = real(i) / 3.0
+        b[i] = real(n - i) / 7.0
+    }
+    var s: real = 0.0
+    for i = 1 to n {
+        var t: real = a[i] * b[i] + 2.0
+        var u: real = 0.0
+        if t > 14.0 {
+            u = a[i] * b[i] - 1.0
+        } else {
+            u = a[i] * b[i] + 1.0
+        }
+        s = s + u + a[i] * b[i]
+    }
+    return s
+}
+`
+
+func desecoRef(n int) float64 {
+	a := make([]float64, n+1)
+	b := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		a[i] = float64(i) / 3.0
+		b[i] = float64(n-i) / 7.0
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		t := a[i]*b[i] + 2.0
+		var u float64
+		if t > 14.0 {
+			u = a[i]*b[i] - 1.0
+		} else {
+			u = a[i]*b[i] + 1.0
+		}
+		s += u + a[i]*b[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// fpppp — a large straight-line basic block of floating-point
+// expressions with many repeated subexpressions, in the style of
+// SPEC's FPPPP electron-integral kernels (Table 1 row "fpppp").
+// ---------------------------------------------------------------------
+
+const fppppSrc = `
+func kernel(x1: real, y1: real, z1: real, x2: real, y2: real, z2: real): real {
+    var dx: real = x1 - x2
+    var dy: real = y1 - y2
+    var dz: real = z1 - z2
+    var r2: real = dx * dx + dy * dy + dz * dz
+    var r4: real = (dx * dx + dy * dy + dz * dz) * (dx * dx + dy * dy + dz * dz)
+    var t1: real = (x1 - x2) * (y1 - y2) + (y1 - y2) * (z1 - z2) + (z1 - z2) * (x1 - x2)
+    var t2: real = (x1 - x2) * (y1 - y2) - (y1 - y2) * (z1 - z2)
+    var t3: real = r2 * t1 + r4 * t2
+    var t4: real = r2 * t1 - r4 * t2
+    return t3 * t4 + r2 + t1
+}
+
+func driver(n: int): real {
+    var s: real = 0.0
+    for i = 1 to n {
+        var fi: real = real(i)
+        s = s + kernel(fi, fi * 0.5, fi * 0.25, 1.0, 2.0, 3.0)
+    }
+    return s
+}
+`
+
+func fppppRef(n int) float64 {
+	kernel := func(x1, y1, z1, x2, y2, z2 float64) float64 {
+		dx := x1 - x2
+		dy := y1 - y2
+		dz := z1 - z2
+		r2 := dx*dx + dy*dy + dz*dz
+		r4 := (dx*dx + dy*dy + dz*dz) * (dx*dx + dy*dy + dz*dz)
+		t1 := (x1-x2)*(y1-y2) + (y1-y2)*(z1-z2) + (z1-z2)*(x1-x2)
+		t2 := (x1-x2)*(y1-y2) - (y1-y2)*(z1-z2)
+		t3 := r2*t1 + r4*t2
+		t4 := r2*t1 - r4*t2
+		return t3*t4 + r2 + t1
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		fi := float64(i)
+		s += kernel(fi, fi*0.5, fi*0.25, 1.0, 2.0, 3.0)
+	}
+	return s
+}
+
+func init() {
+	register(Routine{
+		Name: "foo", Note: "the paper's running example (Figure 2)",
+		Source: fooSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(1), interp.IntVal(2)},
+		RefInt: intRef(fooRef(1, 2)),
+	})
+	register(Routine{
+		Name: "tomcatv", Note: "SPEC TOMCATV-style mesh relaxation (Table 1 'tomcatv')",
+		Source: tomcatvSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(16), interp.IntVal(3)},
+		RefFloat: floatRef(tomcatvRef(16, 3)),
+	})
+	register(Routine{
+		Name: "heat", Note: "1-D explicit heat stencil over real4 (Table 1 'heat')",
+		Source: heatSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(80), interp.IntVal(20)},
+		RefFloat: floatRef(heatRef(80, 20)), Tol: 1e-4,
+	})
+	register(Routine{
+		Name: "gamgen", Note: "table generation by recurrence (Table 1 'gamgen')",
+		Source: gamgenSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(gamgenRef(100)),
+	})
+	register(Routine{
+		Name: "hmoy", Note: "harmonic mean (Table 1 'hmoy')",
+		Source: hmoySrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(hmoyRef(100)),
+	})
+	register(Routine{
+		Name: "deseco", Note: "if/else diamond with shared subexpressions (Table 1 'deseco')",
+		Source: desecoSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(desecoRef(100)),
+	})
+	register(Routine{
+		Name: "fpppp", Note: "large straight-line FP block, repeated subexpressions (Table 1 'fpppp')",
+		Source: fppppSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(60)},
+		RefFloat: floatRef(fppppRef(60)),
+	})
+}

@@ -1,0 +1,596 @@
+package suite
+
+import "repro/internal/interp"
+
+// More SPEC'89-style kernels (doduc and friends).  Each reproduces the
+// characteristic loop idiom behind its Table 1 namesake; the original
+// FORTRAN is not available, so the algorithms are reconstructed from
+// the routines' published roles (reactor-kinetics time stepping, flux
+// limiting, interpolation tables, boundary sweeps).
+
+// ---------------------------------------------------------------------
+// bilan — coupled energy-balance recurrences (Table 1 row "bilan"):
+// several mutually referencing FP accumulators with divisions.
+// ---------------------------------------------------------------------
+
+const bilanSrc = `
+func driver(n: int): real {
+    var e: real = 1.0
+    var p: real = 0.5
+    var q: real = 0.25
+    for i = 1 to n {
+        var de: real = (p - q) / (real(i) + 1.0)
+        var dp: real = (e + q) / (real(i) + 2.0)
+        var dq: real = (e - p) / (real(i) + 3.0)
+        e = e + de * 0.5
+        p = p + dp * 0.5
+        q = q + dq * 0.5
+    }
+    return e + p * 10.0 + q * 100.0
+}
+`
+
+func bilanRef(n int) float64 {
+	e, p, q := 1.0, 0.5, 0.25
+	for i := 1; i <= n; i++ {
+		de := (p - q) / (float64(i) + 1.0)
+		dp := (e + q) / (float64(i) + 2.0)
+		dq := (e - p) / (float64(i) + 3.0)
+		e += de * 0.5
+		p += dp * 0.5
+		q += dq * 0.5
+	}
+	return e + p*10.0 + q*100.0
+}
+
+// ---------------------------------------------------------------------
+// cardeb — mixed integer/floating kernel with conditionals (Table 1
+// row "cardeb"): per-element classification and weighted accumulation.
+// ---------------------------------------------------------------------
+
+const cardebSrc = `
+func driver(n: int): real {
+    var x: [128]real
+    for i = 1 to n {
+        x[i] = real(i % 13) - 6.0
+    }
+    var pos: real = 0.0
+    var neg: real = 0.0
+    var zc: int = 0
+    for i = 1 to n {
+        if x[i] > 0.0 {
+            pos = pos + x[i] * x[i]
+        } else if x[i] < 0.0 {
+            neg = neg - x[i]
+        } else {
+            zc = zc + 1
+        }
+    }
+    return pos + neg * 2.0 + real(zc) * 100.0
+}
+`
+
+func cardebRef(n int) float64 {
+	pos, neg := 0.0, 0.0
+	zc := 0
+	for i := 1; i <= n; i++ {
+		x := float64(i%13) - 6.0
+		switch {
+		case x > 0:
+			pos += x * x
+		case x < 0:
+			neg -= x
+		default:
+			zc++
+		}
+	}
+	return pos + neg*2.0 + float64(zc)*100.0
+}
+
+// ---------------------------------------------------------------------
+// debico — Newton divided-difference interpolation table (Table 1 row
+// "debico"): triangular table construction with nested subscripts.
+// ---------------------------------------------------------------------
+
+const debicoSrc = `
+func driver(n: int): real {
+    var x: [32]real
+    var d: [32,32]real
+    for i = 1 to n {
+        x[i] = real(i) / 3.0
+        d[i,1] = x[i] * x[i] - 2.0 * x[i]
+    }
+    for j = 2 to n {
+        for i = 1 to n - j + 1 {
+            d[i,j] = (d[i+1,j-1] - d[i,j-1]) / (x[i+j-1] - x[i])
+        }
+    }
+    var s: real = 0.0
+    for j = 1 to n {
+        s = s + d[1,j]
+    }
+    return s
+}
+`
+
+func debicoRef(n int) float64 {
+	x := make([]float64, n+2)
+	d := make([][]float64, n+2)
+	for i := range d {
+		d[i] = make([]float64, n+2)
+	}
+	for i := 1; i <= n; i++ {
+		x[i] = float64(i) / 3.0
+		d[i][1] = x[i]*x[i] - 2.0*x[i]
+	}
+	for j := 2; j <= n; j++ {
+		for i := 1; i <= n-j+1; i++ {
+			d[i][j] = (d[i+1][j-1] - d[i][j-1]) / (x[i+j-1] - x[i])
+		}
+	}
+	s := 0.0
+	for j := 1; j <= n; j++ {
+		s += d[1][j]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// debflu — flux computation with min/max limiting (Table 1 row
+// "debflu"): neighbor differences clamped by fmin/fmax.
+// ---------------------------------------------------------------------
+
+const debfluSrc = `
+func driver(n: int): real {
+    var u: [128]real
+    var f: [128]real
+    for i = 1 to n {
+        u[i] = real((i * 7) % 23) - 11.0
+    }
+    for i = 2 to n - 1 {
+        var dl: real = u[i] - u[i-1]
+        var dr: real = u[i+1] - u[i]
+        var lim: real = min(abs(dl), abs(dr))
+        if dl * dr <= 0.0 {
+            lim = 0.0
+        }
+        f[i] = u[i] + 0.5 * lim
+    }
+    var s: real = 0.0
+    for i = 2 to n - 1 {
+        s = s + f[i]
+    }
+    return s
+}
+`
+
+func debfluRef(n int) float64 {
+	u := make([]float64, n+2)
+	f := make([]float64, n+2)
+	for i := 1; i <= n; i++ {
+		u[i] = float64((i*7)%23) - 11.0
+	}
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for i := 2; i <= n-1; i++ {
+		dl := u[i] - u[i-1]
+		dr := u[i+1] - u[i]
+		lim := min(abs(dl), abs(dr))
+		if dl*dr <= 0 {
+			lim = 0
+		}
+		f[i] = u[i] + 0.5*lim
+	}
+	s := 0.0
+	for i := 2; i <= n-1; i++ {
+		s += f[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// drepvi — conditional strided copy (Table 1 row "drepvi").
+// ---------------------------------------------------------------------
+
+const drepviSrc = `
+func driver(n: int): int {
+    var a: [256]int
+    var b: [256]int
+    for i = 1 to n {
+        a[i] = (i * 31) % 17
+        b[i] = 0
+    }
+    var k: int = 1
+    for i = 1 to n {
+        if a[i] % 2 == 0 {
+            b[k] = a[i] * 3 + 1
+            k = k + 2
+        }
+    }
+    var s: int = 0
+    for i = 1 to n {
+        s = s + b[i] * i
+    }
+    return s
+}
+`
+
+func drepviRef(n int) int64 {
+	a := make([]int64, n+1)
+	b := make([]int64, 2*n+4)
+	for i := 1; i <= n; i++ {
+		a[i] = int64((i * 31) % 17)
+	}
+	k := 1
+	for i := 1; i <= n; i++ {
+		if a[i]%2 == 0 {
+			b[k] = a[i]*3 + 1
+			k += 2
+		}
+	}
+	var s int64
+	for i := 1; i <= n; i++ {
+		s += b[i] * int64(i)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// orgpar — parameter organization: reductions (min, max, mean)
+// (Table 1 row "orgpar").
+// ---------------------------------------------------------------------
+
+const orgparSrc = `
+func driver(n: int): real {
+    var x: [128]real
+    for i = 1 to n {
+        x[i] = real((i * 11) % 29) / 3.0 - 4.0
+    }
+    var lo: real = x[1]
+    var hi: real = x[1]
+    var sum: real = 0.0
+    for i = 1 to n {
+        lo = min(lo, x[i])
+        hi = max(hi, x[i])
+        sum = sum + x[i]
+    }
+    return (hi - lo) * 100.0 + sum / real(n)
+}
+`
+
+func orgparRef(n int) float64 {
+	x := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		x[i] = float64((i*11)%29)/3.0 - 4.0
+	}
+	lo, hi, sum := x[1], x[1], 0.0
+	for i := 1; i <= n; i++ {
+		lo = min(lo, x[i])
+		hi = max(hi, x[i])
+		sum += x[i]
+	}
+	return (hi-lo)*100.0 + sum/float64(n)
+}
+
+// ---------------------------------------------------------------------
+// pastem — predictor–corrector time stepping (Table 1 row "pastem").
+// ---------------------------------------------------------------------
+
+const pastemSrc = `
+func rate(y: real, t: real): real {
+    return 0.0 - y * 0.5 + t * 0.125
+}
+
+func driver(steps: int): real {
+    var y: real = 2.0
+    var t: real = 0.0
+    var h: real = 0.1
+    for s = 1 to steps {
+        var fp: real = rate(y, t)
+        var yp: real = y + h * fp
+        var fc: real = rate(yp, t + h)
+        y = y + h * (fp + fc) / 2.0
+        t = t + h
+    }
+    return y
+}
+`
+
+func pastemRef(steps int) float64 {
+	rate := func(y, t float64) float64 { return 0.0 - y*0.5 + t*0.125 }
+	y, t, h := 2.0, 0.0, 0.1
+	for s := 0; s < steps; s++ {
+		fp := rate(y, t)
+		yp := y + h*fp
+		fc := rate(yp, t+h)
+		y = y + h*(fp+fc)/2.0
+		t = t + h
+	}
+	return y
+}
+
+// ---------------------------------------------------------------------
+// paroi — wall boundary sweep with edge conditionals (Table 1 row
+// "paroi").
+// ---------------------------------------------------------------------
+
+const paroiSrc = `
+func driver(n: int): real {
+    var w: [128]real
+    for i = 1 to n {
+        w[i] = real(i) * 0.25
+    }
+    for i = 1 to n {
+        if i == 1 {
+            w[i] = w[i+1] * 2.0
+        } else if i == n {
+            w[i] = w[i-1] * 2.0
+        } else {
+            w[i] = (w[i-1] + w[i+1]) * 0.5 + w[i] * 0.1
+        }
+    }
+    var s: real = 0.0
+    for i = 1 to n {
+        s = s + w[i]
+    }
+    return s
+}
+`
+
+func paroiRef(n int) float64 {
+	w := make([]float64, n+2)
+	for i := 1; i <= n; i++ {
+		w[i] = float64(i) * 0.25
+	}
+	for i := 1; i <= n; i++ {
+		switch {
+		case i == 1:
+			w[i] = w[i+1] * 2.0
+		case i == n:
+			w[i] = w[i-1] * 2.0
+		default:
+			w[i] = (w[i-1]+w[i+1])*0.5 + w[i]*0.1
+		}
+	}
+	s := 0.0
+	for i := 1; i <= n; i++ {
+		s += w[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// inithx — mesh-table initialization: products of both indices
+// (Table 1 row "inithx").
+// ---------------------------------------------------------------------
+
+const inithxSrc = `
+func driver(n: int): real {
+    var h: [20,20]real
+    for j = 1 to n {
+        for i = 1 to n {
+            h[i,j] = real(i * j) / real(i + j) + real(i - j) * 0.125
+        }
+    }
+    var s: real = 0.0
+    for j = 1 to n {
+        for i = 1 to n {
+            s = s + h[i,j] / real(j)
+        }
+    }
+    return s
+}
+`
+
+func inithxRef(n int) float64 {
+	h := make([][]float64, n+1)
+	for i := range h {
+		h[i] = make([]float64, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			h[i][j] = float64(i*j)/float64(i+j) + float64(i-j)*0.125
+		}
+	}
+	s := 0.0
+	for j := 1; j <= n; j++ {
+		for i := 1; i <= n; i++ {
+			s += h[i][j] / float64(j)
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// yeh — sliding-window filter (Table 1 row "yeh").
+// ---------------------------------------------------------------------
+
+const yehSrc = `
+func driver(n: int): real {
+    var x: [160]real
+    var y: [160]real
+    for i = 1 to n {
+        x[i] = real((i * 3) % 11) - 5.0
+    }
+    for i = 4 to n {
+        y[i] = (x[i] + x[i-1] + x[i-2] + x[i-3]) / 4.0
+    }
+    var s: real = 0.0
+    for i = 4 to n {
+        s = s + y[i] * real(i)
+    }
+    return s
+}
+`
+
+func yehRef(n int) float64 {
+	x := make([]float64, n+1)
+	y := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		x[i] = float64((i*3)%11) - 5.0
+	}
+	for i := 4; i <= n; i++ {
+		y[i] = (x[i] + x[i-1] + x[i-2] + x[i-3]) / 4.0
+	}
+	s := 0.0
+	for i := 4; i <= n; i++ {
+		s += y[i] * float64(i)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// coeray — paired re/im coefficient arithmetic (Table 1 row "coeray"):
+// complex multiply-accumulate over parallel arrays.
+// ---------------------------------------------------------------------
+
+const coeraySrc = `
+func driver(n: int): real {
+    var re: [64]real
+    var im: [64]real
+    for i = 1 to n {
+        re[i] = real(i) / 7.0
+        im[i] = real(n - i) / 5.0
+    }
+    var ar: real = 1.0
+    var ai: real = 0.0
+    for i = 1 to n {
+        var nr: real = ar * re[i] - ai * im[i]
+        var ni: real = ar * im[i] + ai * re[i]
+        ar = nr / (1.0 + real(i) * 0.5)
+        ai = ni / (1.0 + real(i) * 0.5)
+    }
+    return ar * 1000.0 + ai
+}
+`
+
+func coerayRef(n int) float64 {
+	re := make([]float64, n+1)
+	im := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		re[i] = float64(i) / 7.0
+		im[i] = float64(n-i) / 5.0
+	}
+	ar, ai := 1.0, 0.0
+	for i := 1; i <= n; i++ {
+		nr := ar*re[i] - ai*im[i]
+		ni := ar*im[i] + ai*re[i]
+		ar = nr / (1.0 + float64(i)*0.5)
+		ai = ni / (1.0 + float64(i)*0.5)
+	}
+	return ar*1000.0 + ai
+}
+
+// ---------------------------------------------------------------------
+// si — series evaluation with a factorial-style recurrence (Table 1
+// row "si"): term(k) computed incrementally, alternating signs.
+// ---------------------------------------------------------------------
+
+const siSrc = `
+func driver(terms: int): real {
+    var x: real = 1.5
+    var term: real = x
+    var s: real = x
+    var sign: real = -1.0
+    for k = 1 to terms {
+        var tk: real = real(2 * k) * real(2 * k + 1)
+        term = term * x * x / tk
+        s = s + sign * term / real(2 * k + 1)
+        sign = 0.0 - sign
+    }
+    return s
+}
+`
+
+func siRef(terms int) float64 {
+	x := 1.5
+	term := x
+	s := x
+	sign := -1.0
+	for k := 1; k <= terms; k++ {
+		tk := float64(2*k) * float64(2*k+1)
+		term = term * x * x / tk
+		s += sign * term / float64(2*k+1)
+		sign = -sign
+	}
+	return s
+}
+
+func init() {
+	register(Routine{
+		Name: "bilan", Note: "coupled FP recurrences with divisions (Table 1 'bilan')",
+		Source: bilanSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(80)},
+		RefFloat: floatRef(bilanRef(80)),
+	})
+	register(Routine{
+		Name: "cardeb", Note: "classification + weighted accumulation (Table 1 'cardeb')",
+		Source: cardebSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(120)},
+		RefFloat: floatRef(cardebRef(120)),
+	})
+	register(Routine{
+		Name: "debico", Note: "divided-difference interpolation table (Table 1 'debico')",
+		Source: debicoSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(12)},
+		RefFloat: floatRef(debicoRef(12)),
+	})
+	register(Routine{
+		Name: "debflu", Note: "flux limiting with min/abs (Table 1 'debflu')",
+		Source: debfluSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(debfluRef(100)),
+	})
+	register(Routine{
+		Name: "drepvi", Note: "conditional strided copy (Table 1 'drepvi')",
+		Source: drepviSrc, Driver: "driver",
+		Args:   []interp.Value{interp.IntVal(100)},
+		RefInt: intRef(drepviRef(100)),
+	})
+	register(Routine{
+		Name: "orgpar", Note: "min/max/mean reductions (Table 1 'orgpar')",
+		Source: orgparSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(orgparRef(100)),
+	})
+	register(Routine{
+		Name: "pastem", Note: "predictor–corrector stepping (Table 1 'pastem')",
+		Source: pastemSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(60)},
+		RefFloat: floatRef(pastemRef(60)),
+	})
+	register(Routine{
+		Name: "paroi", Note: "boundary sweep with edge conditionals (Table 1 'paroi')",
+		Source: paroiSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(100)},
+		RefFloat: floatRef(paroiRef(100)),
+	})
+	register(Routine{
+		Name: "inithx", Note: "mesh-table init, index products (Table 1 'inithx')",
+		Source: inithxSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(16)},
+		RefFloat: floatRef(inithxRef(16)),
+	})
+	register(Routine{
+		Name: "yeh", Note: "sliding-window filter (Table 1 'yeh')",
+		Source: yehSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(150)},
+		RefFloat: floatRef(yehRef(150)),
+	})
+	register(Routine{
+		Name: "coeray", Note: "complex multiply-accumulate over re/im arrays (Table 1 'coeray')",
+		Source: coeraySrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(50)},
+		RefFloat: floatRef(coerayRef(50)),
+	})
+	register(Routine{
+		Name: "si", Note: "series with factorial-style recurrence (Table 1 'si')",
+		Source: siSrc, Driver: "driver",
+		Args:     []interp.Value{interp.IntVal(20)},
+		RefFloat: floatRef(siRef(20)),
+	})
+}

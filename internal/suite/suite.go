@@ -1,0 +1,90 @@
+// Package suite provides the benchmark workloads that regenerate the
+// paper's Table 1 (dynamic operation counts at four optimization
+// levels) and Table 2 (code expansion from forward propagation).
+//
+// The paper's test suite was "50 routines, drawn from the Spec
+// benchmark suite and from Forsythe, Malcolm, and Moler's book on
+// numerical methods".  Those FORTRAN sources are not available here,
+// so each routine below re-implements the published algorithm (FMM
+// kernels) or the characteristic loop idiom (SPEC-style kernels) in
+// Mini-Fortran, preserving what matters to the paper's claims: naive
+// front-end code shape, column-major 1-based array addressing,
+// DO-loop nests, and the mix of integer address arithmetic with
+// floating-point computation.  Routine names follow Table 1's rows
+// where the idiom matches.
+package suite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+)
+
+// Routine is one benchmark workload: a Mini-Fortran program, the
+// driver entry point, and a reference result for validation.
+type Routine struct {
+	Name   string
+	Note   string // which paper routine/idiom this mirrors
+	Source string
+	Driver string
+	Args   []interp.Value
+
+	// Exactly one of RefInt/RefFloat is set.  Tol is the relative
+	// tolerance for float results: reassociation legitimately changes
+	// floating-point rounding, as FORTRAN's language rules permit.
+	RefInt   *int64
+	RefFloat *float64
+	Tol      float64
+}
+
+// Check validates an interpreted result against the reference.
+func (r *Routine) Check(v interp.Value) error {
+	switch {
+	case r.RefInt != nil:
+		if v.Float {
+			return fmt.Errorf("%s: got float %v, want int %d", r.Name, v.F, *r.RefInt)
+		}
+		if v.I != *r.RefInt {
+			return fmt.Errorf("%s: got %d, want %d", r.Name, v.I, *r.RefInt)
+		}
+	case r.RefFloat != nil:
+		if !v.Float {
+			return fmt.Errorf("%s: got int %v, want float %g", r.Name, v.I, *r.RefFloat)
+		}
+		want := *r.RefFloat
+		tol := r.Tol
+		if tol == 0 {
+			tol = 1e-6
+		}
+		diff := math.Abs(v.F - want)
+		scale := math.Max(math.Abs(want), 1)
+		if diff > tol*scale || math.IsNaN(v.F) {
+			return fmt.Errorf("%s: got %.12g, want %.12g (tol %g)", r.Name, v.F, want, tol)
+		}
+	default:
+		return fmt.Errorf("%s: routine has no reference result", r.Name)
+	}
+	return nil
+}
+
+func intRef(v int64) *int64       { return &v }
+func floatRef(v float64) *float64 { return &v }
+
+// registry collects routines as the routine files register them.
+var registry []Routine
+
+func register(r Routine) { registry = append(registry, r) }
+
+// All returns every suite routine, in registration order.
+func All() []Routine { return append([]Routine(nil), registry...) }
+
+// ByName returns the named routine.
+func ByName(name string) (Routine, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Routine{}, false
+}
