@@ -1,0 +1,29 @@
+# Tier-1 entry point: `make check` is what CI (and the ROADMAP's
+# tier-1 verify) runs.  It must stay green on every commit.
+
+GO ?= go
+
+.PHONY: check build test vet fmt fuzz
+
+check: fmt vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails (and lists the files) if anything is not gofmt-clean.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Short fuzz session over the parser round-trip corpus (not part of
+# `check`; the committed seeds already run under plain `go test`).
+fuzz:
+	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s

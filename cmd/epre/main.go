@@ -7,14 +7,20 @@
 //	epre compile [-o out.iloc] file.mf             # Mini-Fortran → ILOC
 //	epre opt -level L [-o out.iloc] file.{mf,iloc} # optimize
 //	epre run [-level L] -fn driver [-args 1,2] file.{mf,iloc}
+//	epre lint [-level L | -passes p,..] file.{mf,iloc}  # semantic checks
 //	epre table1                                    # the paper's Table 1
 //	epre table2                                    # the paper's Table 2
 //	epre example                                   # Figures 2–10 walkthrough
 //	epre levels                                    # list levels and passes
+//
+// Setting EPRE_CHECK=1 in the environment makes every optimization
+// (opt, run, table1, table2) validate each pass application with the
+// internal/check analyzers and fail loudly on a miscompile.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,49 +28,61 @@ import (
 	"flag"
 
 	epre "repro"
+	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/minift"
 	"repro/internal/suite"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "compile":
-		err = cmdCompile(os.Args[2:])
-	case "opt":
-		err = cmdOpt(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "table1":
-		err = cmdTable1()
-	case "table2":
-		err = cmdTable2()
-	case "example":
-		err = cmdExample()
-	case "levels":
-		cmdLevels()
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "epre: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "epre:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "compile":
+		err = cmdCompile(args[1:], stdout)
+	case "opt":
+		err = cmdOpt(args[1:], stdout)
+	case "run":
+		err = cmdRun(args[1:], stdout)
+	case "lint":
+		return cmdLint(args[1:], stdout, stderr)
+	case "table1":
+		err = cmdTable1(stdout)
+	case "table2":
+		err = cmdTable2(stdout)
+	case "example":
+		err = cmdExample(stdout)
+	case "levels":
+		cmdLevels(stdout)
+	case "-h", "--help", "help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stderr, "epre: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "epre:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   epre compile [-o out.iloc] file.mf
   epre opt -level LEVEL [-o out.iloc] file.{mf,iloc}
   epre run [-level LEVEL] -fn NAME [-args a,b,...] file.{mf,iloc}
+  epre lint [-level LEVEL | -passes a,b,...] [-discipline] [-strict-ssa]
+            [-no-validate] file.{mf,iloc}
   epre table1        regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
   epre example       print the Figures 2-10 walkthrough
@@ -83,6 +101,19 @@ func load(path string) (*epre.Program, error) {
 	return epre.Compile(string(data))
 }
 
+// loadIR reads the raw IR program for the lint subcommand, which works
+// below the public facade.
+func loadIR(path string) (*ir.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".iloc") {
+		return ir.ParseProgramString(string(data))
+	}
+	return minift.Compile(string(data))
+}
+
 func output(out string, text string) error {
 	if out == "" || out == "-" {
 		_, err := os.Stdout.WriteString(text)
@@ -91,7 +122,7 @@ func output(out string, text string) error {
 	return os.WriteFile(out, []byte(text), 0o644)
 }
 
-func cmdCompile(args []string) error {
+func cmdCompile(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
@@ -102,10 +133,14 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *out == "" || *out == "-" {
+		_, err := io.WriteString(stdout, p.ILOC())
+		return err
+	}
 	return output(*out, p.ILOC())
 }
 
-func cmdOpt(args []string) error {
+func cmdOpt(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("opt", flag.ExitOnError)
 	level := fs.String("level", "reassoc", "optimization level (baseline|partial|reassoc|dist)")
 	passes := fs.String("passes", "", "comma-separated explicit pass list (overrides -level)")
@@ -130,10 +165,89 @@ func cmdOpt(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *out == "" || *out == "-" {
+		_, err := io.WriteString(stdout, p.ILOC())
+		return err
+	}
 	return output(*out, p.ILOC())
 }
 
-func cmdRun(args []string) error {
+// cmdLint runs the semantic analyzers of internal/check.  Without
+// -level/-passes it checks the input program statically; with them it
+// applies the pass sequence in checked mode, validating every pass
+// application (translation validation can be switched off with
+// -no-validate).  Diagnostics go to stdout; the exit status is 1 when
+// any error-severity diagnostic fired, 2 on usage errors.
+func cmdLint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	level := fs.String("level", "", "optimize at this level in checked mode, validating every pass")
+	passNames := fs.String("passes", "", "comma-separated pass list to run in checked mode")
+	discipline := fs.Bool("discipline", false, "lint the §2.2 naming discipline (expression vs. variable names); meaningful after normalize/gvn")
+	strictSSA := fs.Bool("strict-ssa", false, "require single definitions per register (true SSA form)")
+	noValidate := fs.Bool("no-validate", false, "skip translation validation in checked mode")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "epre: lint: need exactly one input file")
+		return 2
+	}
+	prog, err := loadIR(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "epre:", err)
+		return 1
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		fmt.Fprintln(stdout, err)
+		return 1
+	}
+
+	var diags []check.Diagnostic
+	opt := check.Options{StrictSSA: *strictSSA, Discipline: *discipline}
+	if *level != "" || *passNames != "" {
+		var names []string
+		if *passNames != "" {
+			names = strings.Split(*passNames, ",")
+		} else {
+			lv, err := core.ParseLevel(*level)
+			if err != nil {
+				fmt.Fprintln(stderr, "epre:", err)
+				return 2
+			}
+			names = core.PassNames(lv)
+		}
+		passes := make([]core.Pass, 0, len(names))
+		for _, n := range names {
+			p, err := core.PassByName(n)
+			if err != nil {
+				fmt.Fprintln(stderr, "epre:", err)
+				return 2
+			}
+			passes = append(passes, p)
+		}
+		cfg := core.DefaultCheckConfig()
+		cfg.Validate = !*noValidate
+		out, ds, err := core.CheckedRun(prog, passes, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "epre:", err)
+			return 1
+		}
+		diags = ds
+		diags = append(diags, check.Program(out, opt)...)
+	} else {
+		diags = check.Program(prog, opt)
+	}
+
+	check.Report(stdout, diags)
+	errs := len(check.Errors(diags))
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(stdout, "epre lint: %d error(s), %d warning(s)\n", errs, n-errs)
+	}
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdRun(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	level := fs.String("level", "none", "optimization level before running")
 	fn := fs.String("fn", "driver", "function to call")
@@ -186,43 +300,43 @@ func cmdRun(args []string) error {
 		return err
 	}
 	for _, v := range res.Output {
-		fmt.Println(v)
+		fmt.Fprintln(stdout, v)
 	}
-	fmt.Printf("result      = %s\n", res.Value)
-	fmt.Printf("dynamic ops = %d\n", res.DynamicOps)
-	fmt.Printf("static ops  = %d\n", p.StaticOps())
+	fmt.Fprintf(stdout, "result      = %s\n", res.Value)
+	fmt.Fprintf(stdout, "dynamic ops = %d\n", res.DynamicOps)
+	fmt.Fprintf(stdout, "static ops  = %d\n", p.StaticOps())
 	if spilled >= 0 {
-		fmt.Printf("spills      = %d (K=%d)\n", spilled, *regs)
+		fmt.Fprintf(stdout, "spills      = %d (K=%d)\n", spilled, *regs)
 	}
 	return nil
 }
 
-func cmdTable1() error {
+func cmdTable1(stdout io.Writer) error {
 	rows, err := suite.Table1()
 	if err != nil {
 		return err
 	}
-	suite.WriteTable1(os.Stdout, rows)
+	suite.WriteTable1(stdout, rows)
 	return nil
 }
 
-func cmdTable2() error {
+func cmdTable2(stdout io.Writer) error {
 	rows, err := suite.Table2()
 	if err != nil {
 		return err
 	}
-	suite.WriteTable2(os.Stdout, rows)
+	suite.WriteTable2(stdout, rows)
 	return nil
 }
 
-func cmdLevels() {
-	fmt.Println("optimization levels (Table 1 columns):")
+func cmdLevels(stdout io.Writer) {
+	fmt.Fprintln(stdout, "optimization levels (Table 1 columns):")
 	for _, l := range epre.Levels {
-		fmt.Printf("  %-14s passes: %s\n", l, strings.Join(core.PassNames(l), " → "))
+		fmt.Fprintf(stdout, "  %-14s passes: %s\n", l, strings.Join(core.PassNames(l), " → "))
 	}
-	fmt.Println("\nindividual passes (for -passes and ilocfilter):")
+	fmt.Fprintln(stdout, "\nindividual passes (for -passes and ilocfilter):")
 	for _, p := range core.AllPasses() {
-		fmt.Printf("  %s\n", p.Name)
+		fmt.Fprintf(stdout, "  %s\n", p.Name)
 	}
 }
 
@@ -230,7 +344,7 @@ func cmdLevels() {
 // Figure 2 source, its naive translation (Figure 3), and the code
 // after each pass of the distribution-level pipeline, ending with the
 // Figure 10 shape.
-func cmdExample() error {
+func cmdExample(stdout io.Writer) error {
 	const src = `
 func foo(y: int, z: int): int {
     var s: int = 0
@@ -241,14 +355,14 @@ func foo(y: int, z: int): int {
     return s
 }
 `
-	fmt.Println("=== Figure 2: source ===")
-	fmt.Print(src)
+	fmt.Fprintln(stdout, "=== Figure 2: source ===")
+	fmt.Fprint(stdout, src)
 	p, err := epre.Compile(src)
 	if err != nil {
 		return err
 	}
-	fmt.Println("\n=== Figure 3: naive ILOC translation ===")
-	fmt.Print(p.ILOC())
+	fmt.Fprintln(stdout, "\n=== Figure 3: naive ILOC translation ===")
+	fmt.Fprint(stdout, p.ILOC())
 	stages := []struct {
 		title  string
 		passes []string
@@ -264,8 +378,8 @@ func foo(y: int, z: int): int {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\n=== %s ===\n", st.title)
-		fmt.Print(cur.ILOC())
+		fmt.Fprintf(stdout, "\n=== %s ===\n", st.title)
+		fmt.Fprint(stdout, cur.ILOC())
 	}
 	for _, level := range epre.Levels {
 		opt, err := p.Optimize(level)
@@ -276,7 +390,7 @@ func foo(y: int, z: int): int {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s foo(1,2) = %-6s dynamic ops = %d\n", level, res.Value, res.DynamicOps)
+		fmt.Fprintf(stdout, "%-14s foo(1,2) = %-6s dynamic ops = %d\n", level, res.Value, res.DynamicOps)
 	}
 	return nil
 }

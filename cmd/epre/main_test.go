@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runEpre(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const mainSrc = `
+func main(n: int): int {
+    var s: int = 0
+    for i = 1 to n {
+        s = s + i * n
+    }
+    return s
+}
+`
+
+func TestHelpGolden(t *testing.T) {
+	code, stdout, _ := runEpre(t, "--help")
+	if code != 0 {
+		t.Errorf("help exit = %d, want 0", code)
+	}
+	for _, want := range []string{
+		"epre compile", "epre opt", "epre run", "epre lint",
+		"epre table1", "epre levels", "-discipline", "-strict-ssa",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("help missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := runEpre(t, "frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestLevelsListsCheckPass(t *testing.T) {
+	code, stdout, _ := runEpre(t, "levels")
+	if code != 0 {
+		t.Fatalf("levels exit = %d", code)
+	}
+	for _, want := range []string{"baseline", "distribution", "check", "pre", "gvn"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("levels missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestCompileFilterRunRoundTrip: compile to a .iloc file, optimize it
+// with opt, and run the result — the full CLI round trip.
+func TestCompileFilterRunRoundTrip(t *testing.T) {
+	src := writeFile(t, "prog.mf", mainSrc)
+	iloc := filepath.Join(t.TempDir(), "prog.iloc")
+	if code, _, stderr := runEpre(t, "compile", "-o", iloc, src); code != 0 {
+		t.Fatalf("compile failed: %s", stderr)
+	}
+	opt := filepath.Join(t.TempDir(), "opt.iloc")
+	if code, _, stderr := runEpre(t, "opt", "-level", "dist", "-o", opt, iloc); code != 0 {
+		t.Fatalf("opt failed: %s", stderr)
+	}
+	code, stdout, stderr := runEpre(t, "run", "-fn", "main", "-args", "9", opt)
+	if code != 0 {
+		t.Fatalf("run failed: %s", stderr)
+	}
+	// sum_{i=1..9} 9i = 9*45 = 405
+	if !strings.Contains(stdout, "result      = 405") {
+		t.Errorf("wrong result:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "dynamic ops = ") || !strings.Contains(stdout, "static ops  = ") {
+		t.Errorf("missing count lines:\n%s", stdout)
+	}
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	src := writeFile(t, "prog.mf", mainSrc)
+	code, stdout, stderr := runEpre(t, "lint", src)
+	if code != 0 || stdout != "" || stderr != "" {
+		t.Errorf("lint on clean program: code=%d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+}
+
+// TestLintCheckedLevel: lint -level runs the whole pipeline in checked
+// mode (per-pass defuse + translation validation) and stays quiet on
+// correct code.
+func TestLintCheckedLevel(t *testing.T) {
+	src := writeFile(t, "prog.mf", mainSrc)
+	for _, level := range []string{"baseline", "dist"} {
+		code, stdout, stderr := runEpre(t, "lint", "-level", level, src)
+		if code != 0 || stdout != "" {
+			t.Errorf("lint -level %s: code=%d stdout=%q stderr=%q", level, code, stdout, stderr)
+		}
+	}
+}
+
+func TestLintFlagsUndefinedRegister(t *testing.T) {
+	iloc := writeFile(t, "bad.iloc", `
+program globalsize=0
+
+func f(r1) {
+b0:
+    enter(r1)
+    add r1, r9 => r2
+    ret r2
+}
+`)
+	code, stdout, _ := runEpre(t, "lint", iloc)
+	if code != 1 {
+		t.Errorf("lint exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "undefined register r9") || !strings.Contains(stdout, "[defuse]") {
+		t.Errorf("missing diagnostic:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "epre lint: 1 error(s), 0 warning(s)") {
+		t.Errorf("missing summary line:\n%s", stdout)
+	}
+}
+
+// TestLintDiscipline: the naming-discipline lint flags a cross-block
+// expression name on raw code and is satisfied once normalize ran.
+func TestLintDiscipline(t *testing.T) {
+	iloc := writeFile(t, "expr.iloc", `
+program globalsize=0
+
+func f(r1) {
+b0:
+    enter(r1)
+    add r1, r1 => r2
+    jump -> b1
+b1:
+    ret r2
+}
+`)
+	code, stdout, _ := runEpre(t, "lint", "-discipline", iloc)
+	if code != 1 || !strings.Contains(stdout, "[discipline]") {
+		t.Errorf("discipline violation not flagged: code=%d\n%s", code, stdout)
+	}
+	code, stdout, _ = runEpre(t, "lint", "-discipline", "-passes", "normalize", iloc)
+	if code != 0 {
+		t.Errorf("normalize should establish the discipline: code=%d\n%s", code, stdout)
+	}
+}
+
+func TestLintBadLevel(t *testing.T) {
+	src := writeFile(t, "prog.mf", mainSrc)
+	code, _, stderr := runEpre(t, "lint", "-level", "bogus", src)
+	if code != 2 || !strings.Contains(stderr, "unknown optimization level") {
+		t.Errorf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestRunHonorsCheckEnv: EPRE_CHECK=1 routes optimization through the
+// checked pipeline; correct code still runs and miscompiles would fail
+// (exercised end to end in internal/core).
+func TestRunHonorsCheckEnv(t *testing.T) {
+	t.Setenv("EPRE_CHECK", "1")
+	src := writeFile(t, "prog.mf", mainSrc)
+	code, stdout, stderr := runEpre(t, "run", "-level", "reassoc", "-fn", "main", "-args", "9", src)
+	if code != 0 {
+		t.Fatalf("checked run failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "result      = 405") {
+		t.Errorf("wrong result:\n%s", stdout)
+	}
+}

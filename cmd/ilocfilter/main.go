@@ -9,6 +9,17 @@
 //	    ilocfilter normalize | ilocfilter pre | ilocfilter sccp |
 //	    ilocfilter peephole | ilocfilter dce | ilocfilter coalesce |
 //	    ilocfilter emptyblocks
+//
+// Every filter re-verifies its output before printing and exits
+// non-zero (naming the pass) if the pass broke the program, so a buggy
+// filter cannot silently feed the next pipe stage.
+//
+// "ilocfilter check" is the assertion stage: it transforms nothing,
+// runs the semantic analyzers (structural verification plus the
+// dataflow/SSA def-use verifier) on its input, echoes the program
+// unchanged, and exits non-zero if any error diagnostic fires:
+//
+//	... | ilocfilter pre | ilocfilter check | ilocfilter dce | ...
 package main
 
 import (
@@ -16,44 +27,61 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ir"
 )
 
 func main() {
-	if len(os.Args) != 2 || os.Args[1] == "-h" || os.Args[1] == "--help" {
-		fmt.Fprintln(os.Stderr, "usage: ilocfilter PASS   (reads ILOC on stdin, writes ILOC on stdout)")
-		fmt.Fprintln(os.Stderr, "passes:")
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) != 1 || args[0] == "-h" || args[0] == "--help" {
+		fmt.Fprintln(stderr, "usage: ilocfilter PASS   (reads ILOC on stdin, writes ILOC on stdout)")
+		fmt.Fprintln(stderr, "passes:")
 		for _, p := range core.AllPasses() {
-			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
+			fmt.Fprintf(stderr, "  %s\n", p.Name)
 		}
-		os.Exit(2)
+		return 2
 	}
-	pass, err := core.PassByName(os.Args[1])
+	name := args[0]
+	pass, err := core.PassByName(name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ilocfilter:", err)
+		return 2
 	}
-	text, err := io.ReadAll(os.Stdin)
+	text, err := io.ReadAll(stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ilocfilter:", err)
+		return 1
 	}
 	prog, err := ir.ParseProgramString(string(text))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ilocfilter:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ilocfilter:", err)
+		return 1
 	}
 	if err := ir.VerifyProgram(prog); err != nil {
-		fmt.Fprintln(os.Stderr, "ilocfilter: input:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ilocfilter: input:", err)
+		return 1
+	}
+	if name == "check" {
+		// The assertion stage: analyze, echo unchanged, fail on errors.
+		diags := check.Program(prog, check.Options{})
+		check.Report(stderr, diags)
+		prog.Fprint(stdout)
+		if len(check.Errors(diags)) > 0 {
+			return 1
+		}
+		return 0
 	}
 	for _, f := range prog.Funcs {
 		pass.Run(f)
-		if err := ir.Verify(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ilocfilter: after %s: %v\n", pass.Name, err)
-			os.Exit(1)
-		}
 	}
-	prog.Fprint(os.Stdout)
+	if err := ir.VerifyProgram(prog); err != nil {
+		fmt.Fprintf(stderr, "ilocfilter: after %s: %v\n", name, err)
+		return 1
+	}
+	prog.Fprint(stdout)
+	return 0
 }

@@ -118,6 +118,25 @@ func (p *Program) Optimize(level Level) (*Program, error) {
 	return &Program{prog: out}, nil
 }
 
+// OptimizeChecked is Optimize with every pass application sandwiched
+// between semantic checks: structural verification, the dataflow/SSA
+// def-use verifier, and translation validation by differential
+// interpretation (see internal/check).  It returns the rendered
+// diagnostics alongside the transformed program; the program is safe
+// to use only when no diagnostics were reported.  Setting EPRE_CHECK=1
+// in the environment applies the same checking to plain Optimize.
+func (p *Program) OptimizeChecked(level Level) (*Program, []string, error) {
+	out, diags, err := core.CheckedOptimize(p.prog, level)
+	if err != nil {
+		return nil, nil, err
+	}
+	msgs := make([]string, len(diags))
+	for i, d := range diags {
+		msgs[i] = d.String()
+	}
+	return &Program{prog: out}, msgs, nil
+}
+
 // OptimizePasses applies an explicit pass sequence by name (the
 // Unix-filter view of the optimizer; see core.AllPasses).
 func (p *Program) OptimizePasses(passes ...string) (*Program, error) {

@@ -1,0 +1,376 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// ValidateOptions configure translation validation.
+type ValidateOptions struct {
+	// FloatTol is the relative tolerance for floating-point results.
+	// Zero means exact: the pass claims bit-identical float behavior
+	// (true for everything except the reassociating passes, which
+	// legitimately change rounding).  When zero, the final global
+	// memory images are compared byte for byte as well.
+	FloatTol float64
+	// MaxInputs bounds the generated input tuples per function
+	// (default 3).
+	MaxInputs int
+	// MaxSteps bounds the reference interpretation of one input
+	// (default 1e6); inputs whose reference run exceeds it are skipped.
+	MaxSteps int64
+}
+
+func (o ValidateOptions) maxInputs() int {
+	if o.MaxInputs <= 0 {
+		return 3
+	}
+	return o.MaxInputs
+}
+
+func (o ValidateOptions) maxSteps() int64 {
+	if o.MaxSteps <= 0 {
+		return 1_000_000
+	}
+	return o.MaxSteps
+}
+
+// ValidatePass checks that a pass application preserved semantics:
+// before is the program as it entered the pass, after the program the
+// pass produced.  Validation is differential interpretation — every
+// function is run against generated inputs in both programs and the
+// results, printed output and (for exact passes) final memory are
+// compared — preceded by a value-numbering-based fast path: functions
+// congruent to their originals modulo register names are semantically
+// unchanged, and if no function changed the expensive interpretation is
+// skipped entirely.
+//
+// Inputs whose reference run traps or exceeds the step budget are
+// skipped: the reference behavior is undefined or unaffordable there,
+// so nothing can be concluded.  Every returned diagnostic is an error
+// naming the offending pass.
+func ValidatePass(before, after *ir.Program, pass string, opt ValidateOptions) []Diagnostic {
+	var diags []Diagnostic
+	errf := func(fn string, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "validate", Severity: SevError,
+			Func: fn, Instr: -1, Pass: pass,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	changed := false
+	for _, bf := range before.Funcs {
+		af := after.Func(bf.Name)
+		if af == nil {
+			errf(bf.Name, "pass removed the function")
+			continue
+		}
+		if !vnEqual(bf, af) {
+			changed = true
+		}
+	}
+	if !changed || len(diags) > 0 {
+		return diags
+	}
+
+	kinds := inferParamKinds(before)
+	for _, bf := range before.Funcs {
+		inputs := genInputs(kinds[bf.Name], opt.maxInputs())
+		for _, in := range inputs {
+			mb := interp.NewMachine(before)
+			mb.MaxSteps = opt.maxSteps()
+			vb, err := mb.Call(bf.Name, in...)
+			if err != nil {
+				continue // reference behavior undefined here
+			}
+			ma := interp.NewMachine(after)
+			ma.MaxSteps = 4*mb.Steps + 4096
+			va, err := ma.Call(bf.Name, in...)
+			if err != nil {
+				errf(bf.Name, "on input %v: reference returns %s but transformed program fails: %v", in, vb, err)
+				continue
+			}
+			if !valuesAgree(vb, va, opt.FloatTol) {
+				errf(bf.Name, "on input %v: result %s, want %s", in, va, vb)
+				continue
+			}
+			if len(mb.Output) != len(ma.Output) {
+				errf(bf.Name, "on input %v: printed %d values, want %d", in, len(ma.Output), len(mb.Output))
+				continue
+			}
+			outOK := true
+			for i := range mb.Output {
+				if !valuesAgree(mb.Output[i], ma.Output[i], opt.FloatTol) {
+					errf(bf.Name, "on input %v: printed value %d is %s, want %s", in, i, ma.Output[i], mb.Output[i])
+					outOK = false
+					break
+				}
+			}
+			if outOK && opt.FloatTol == 0 && !bytes.Equal(mb.Mem, ma.Mem) {
+				errf(bf.Name, "on input %v: final memory images differ", in)
+			}
+		}
+	}
+	return diags
+}
+
+// valuesAgree compares two interpreter values; float comparisons use
+// the given relative tolerance (exact when tol is zero).
+func valuesAgree(want, got interp.Value, tol float64) bool {
+	if want.Float != got.Float {
+		return false
+	}
+	if !want.Float {
+		return want.I == got.I
+	}
+	if tol == 0 {
+		return math.Float64bits(want.F) == math.Float64bits(got.F) ||
+			(math.IsNaN(want.F) && math.IsNaN(got.F))
+	}
+	if math.IsNaN(want.F) || math.IsNaN(got.F) {
+		return math.IsNaN(want.F) == math.IsNaN(got.F)
+	}
+	if math.IsInf(want.F, 0) || math.IsInf(got.F, 0) {
+		return want.F == got.F
+	}
+	diff := math.Abs(got.F - want.F)
+	scale := math.Max(math.Abs(want.F), 1)
+	return diff <= tol*scale
+}
+
+// vnEqual reports whether two functions are congruent modulo register
+// names: same block structure and, position by position, the same
+// operations with operands that received the same value numbers.  A
+// register's value number is its order of first appearance in a fixed
+// walk, so any pure renaming (the only thing gvn's rewrite or a no-op
+// application changes) maps to the same numbering.
+func vnEqual(f, g *ir.Func) bool {
+	if len(f.Blocks) != len(g.Blocks) {
+		return false
+	}
+	fn := map[ir.Reg]int{}
+	gn := map[ir.Reg]int{}
+	number := func(m map[ir.Reg]int, r ir.Reg) int {
+		if r == ir.NoReg {
+			return -1
+		}
+		n, ok := m[r]
+		if !ok {
+			n = len(m)
+			m[r] = n
+		}
+		return n
+	}
+	for bi, fb := range f.Blocks {
+		gb := g.Blocks[bi]
+		if len(fb.Instrs) != len(gb.Instrs) || len(fb.Succs) != len(gb.Succs) {
+			return false
+		}
+		for si, fs := range fb.Succs {
+			if fs.ID != gb.Succs[si].ID {
+				return false
+			}
+		}
+		for ii, fi := range fb.Instrs {
+			gi := gb.Instrs[ii]
+			if fi.Op != gi.Op || fi.Imm != gi.Imm || fi.Sym != gi.Sym ||
+				math.Float64bits(fi.FImm) != math.Float64bits(gi.FImm) ||
+				len(fi.Args) != len(gi.Args) {
+				return false
+			}
+			for ai, fa := range fi.Args {
+				if number(fn, fa) != number(gn, gi.Args[ai]) {
+					return false
+				}
+			}
+			if number(fn, fi.Dst) != number(gn, gi.Dst) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Register kinds for input generation.
+type kind uint8
+
+const (
+	kindUnknown kind = iota
+	kindInt
+	kindFloat
+)
+
+// inferParamKinds infers, for every function, whether each parameter
+// holds an integer or a float, by propagating the operand and result
+// types the opcodes dictate through copies, φ-nodes, call argument
+// bindings and returns.  Parameters whose kind cannot be determined
+// default to integer.
+func inferParamKinds(p *ir.Program) map[string][]kind {
+	// Node space: one node per register per function, plus one "return
+	// value" node per function.
+	offset := map[string]int{}
+	total := 0
+	for _, f := range p.Funcs {
+		offset[f.Name] = total
+		total += f.NumRegs() + 1
+	}
+	retNode := func(f *ir.Func) int { return offset[f.Name] + f.NumRegs() }
+	node := func(f *ir.Func, r ir.Reg) int {
+		if r == ir.NoReg || int(r) >= f.NumRegs() {
+			return -1
+		}
+		return offset[f.Name] + int(r)
+	}
+
+	kinds := make([]kind, total)
+	var edges [][2]int // equality constraints
+	set := func(n int, k kind) {
+		if n >= 0 && kinds[n] == kindUnknown {
+			kinds[n] = k
+		}
+	}
+	equate := func(a, b int) {
+		if a >= 0 && b >= 0 {
+			edges = append(edges, [2]int{a, b})
+		}
+	}
+
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpEnter:
+					// Parameter kinds come from their uses.
+				case ir.OpCopy:
+					if len(in.Args) == 1 {
+						equate(node(f, in.Dst), node(f, in.Args[0]))
+					}
+				case ir.OpPhi:
+					for _, a := range in.Args {
+						equate(node(f, in.Dst), node(f, a))
+					}
+				case ir.OpCall:
+					if callee := p.Func(in.Sym); callee != nil {
+						for i, a := range in.Args {
+							if i < len(callee.Params) {
+								equate(node(f, a), node(callee, callee.Params[i]))
+							}
+						}
+						equate(node(f, in.Dst), retNode(callee))
+					}
+				case ir.OpRet:
+					if len(in.Args) == 1 {
+						equate(node(f, in.Args[0]), retNode(f))
+					}
+				default:
+					for i, a := range in.Args {
+						switch argKind(in.Op, i) {
+						case kindInt:
+							set(node(f, a), kindInt)
+						case kindFloat:
+							set(node(f, a), kindFloat)
+						}
+					}
+					if in.Dst != ir.NoReg {
+						if in.Op.Float() {
+							set(node(f, in.Dst), kindFloat)
+						} else {
+							set(node(f, in.Dst), kindInt)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Propagate known kinds across the equality edges to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			a, b := e[0], e[1]
+			switch {
+			case kinds[a] != kindUnknown && kinds[b] == kindUnknown:
+				kinds[b] = kinds[a]
+				changed = true
+			case kinds[b] != kindUnknown && kinds[a] == kindUnknown:
+				kinds[a] = kinds[b]
+				changed = true
+			}
+		}
+	}
+
+	out := map[string][]kind{}
+	for _, f := range p.Funcs {
+		ks := make([]kind, len(f.Params))
+		for i, pr := range f.Params {
+			k := kindInt
+			if n := node(f, pr); n >= 0 && kinds[n] == kindFloat {
+				k = kindFloat
+			}
+			ks[i] = k
+		}
+		out[f.Name] = ks
+	}
+	return out
+}
+
+// argKind returns the kind an opcode demands of operand i, or
+// kindUnknown for polymorphic positions.
+func argKind(op ir.Op, i int) kind {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpNeg,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpShl, ir.OpShr,
+		ir.OpMin, ir.OpMax, ir.OpAbs, ir.OpI2F, ir.OpCBr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpLoadW, ir.OpLoadD, ir.OpLoadS:
+		return kindInt
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFNeg,
+		ir.OpFMin, ir.OpFMax, ir.OpSqrt, ir.OpFAbs, ir.OpF2I,
+		ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		return kindFloat
+	case ir.OpStoreW:
+		return kindInt // value and address are both integers
+	case ir.OpStoreD, ir.OpStoreS:
+		if i == 0 {
+			return kindFloat // stored value
+		}
+		return kindInt // address
+	}
+	return kindUnknown
+}
+
+// genInputs builds up to n deterministic argument tuples for a function
+// with the given parameter kinds.  The integer values are chosen to be
+// small and 8-aligned-friendly so that parameters used as sizes keep
+// loops short and parameters used as addresses stay within the global
+// segment on at least some tuples.
+func genInputs(kinds []kind, n int) [][]interp.Value {
+	mk := func(iv func(i int) int64, fv func(i int) float64) []interp.Value {
+		args := make([]interp.Value, len(kinds))
+		for i, k := range kinds {
+			if k == kindFloat {
+				args[i] = interp.FloatVal(fv(i))
+			} else {
+				args[i] = interp.IntVal(iv(i))
+			}
+		}
+		return args
+	}
+	tuples := [][]interp.Value{
+		mk(func(i int) int64 { return int64(i + 1) },
+			func(i int) float64 { return 1.5 + float64(i) }),
+		mk(func(i int) int64 { return int64(8 * i) },
+			func(i int) float64 { return 0.25*float64(i) - 0.5 }),
+		mk(func(i int) int64 { return int64(2 - i) },
+			func(i int) float64 { return -2.25 * float64(i+1) }),
+	}
+	if n < len(tuples) {
+		tuples = tuples[:n]
+	}
+	return tuples
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cfg"
+	"repro/internal/check"
 	"repro/internal/coalesce"
 	"repro/internal/cse"
 	"repro/internal/dce"
@@ -101,6 +103,11 @@ func AllPasses() []Pass {
 		// and expects to compose with reassociation (§5.2).
 		{"lvn", func(f *ir.Func) { lvn.Run(f) }},
 		{"strength", func(f *ir.Func) { strength.Run(f) }},
+		// Diagnostic pass: transforms nothing, runs the semantic
+		// checkers and reports findings on stderr.  In a filter
+		// pipeline it acts as an assertion stage (cmd/ilocfilter gives
+		// it a failing exit status on errors).
+		{"check", func(f *ir.Func) { check.Report(os.Stderr, check.Func(f, check.Options{})) }},
 	}
 }
 
@@ -143,8 +150,14 @@ func OptimizeFunc(f *ir.Func, level Level) error {
 }
 
 // Optimize applies a level to every function of a program, returning a
-// new program (the input is not modified).
+// new program (the input is not modified).  With EPRE_CHECK=1 in the
+// environment every pass application is additionally checked by the
+// internal/check analyzers (see CheckedOptimize) and any error
+// diagnostic fails the optimization.
 func Optimize(p *ir.Program, level Level) (*ir.Program, error) {
+	if CheckEnabled() {
+		return checkedOptimizeStrict(p, level)
+	}
 	out := p.Clone()
 	for _, f := range out.Funcs {
 		if err := OptimizeFunc(f, level); err != nil {

@@ -32,8 +32,17 @@ type Value struct {
 // IntVal wraps an integer.
 func IntVal(i int64) Value { return Value{I: i} }
 
-// FloatVal wraps a float.
-func FloatVal(f float64) Value { return Value{Float: true, F: f} }
+// FloatVal wraps a float.  NaNs are canonicalized to a single bit
+// pattern: NaN sign and payload are not observable machine state, so
+// IEEE-equivalent rewrites that only perturb them — peephole's
+// a+(−b) → a−b, say — stay bit-identical under the translation
+// validator's exact memory comparison.
+func FloatVal(f float64) Value {
+	if math.IsNaN(f) {
+		f = math.NaN()
+	}
+	return Value{Float: true, F: f}
+}
 
 // String renders the value.
 func (v Value) String() string {

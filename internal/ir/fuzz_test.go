@@ -1,0 +1,36 @@
+package ir
+
+import (
+	"testing"
+)
+
+// FuzzParseRoundTrip checks the printer/parser pair: any text the
+// parser accepts must print to a form that parses again to the same
+// printed text (print∘parse is idempotent), and re-verification must
+// agree between the two parses.  Seeds live in
+// testdata/fuzz/FuzzParseRoundTrip.
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("program globalsize=0\n\nfunc f() {\nb0:\n    enter()\n    loadI 1 => r1\n    ret r1\n}\n")
+	f.Add("program globalsize=8\n\nfunc f(r1, r2) {\nb0:\n    enter(r1, r2)\n    add r1, r2 => r3\n    cmp_LT r1, r2 => r4\n    cbr r4 -> b1, b2\nb1:\n    ret r3\nb2:\n    ret r1\n}\n")
+	f.Add("program globalsize=0\n\nfunc g(r1) {\nb0:\n    enter(r1)\n    loadFI 1.5 => r2\n    i2f r1 => r3\n    fadd r2, r3 => r4\n    fret r4\n}\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParseProgramString(text)
+		if err != nil {
+			t.Skip()
+		}
+		printed := p.String()
+		p2, err := ParseProgramString(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:\n%s\nprinted:\n%s", err, text, printed)
+		}
+		printed2 := p2.String()
+		if printed2 != printed {
+			t.Fatalf("print∘parse not idempotent:\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+		}
+		err1 := VerifyProgram(p)
+		err2 := VerifyProgram(p2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("verify disagrees across round trip: %v vs %v\nprinted:\n%s", err1, err2, printed)
+		}
+	})
+}

@@ -21,8 +21,9 @@ func (e *VerifyError) Error() string {
 //     nowhere else;
 //   - jump has one successor, cbr two, ret none;
 //   - successor/predecessor lists agree;
-//   - φ-nodes appear only at the start of a block and have one operand
-//     per predecessor;
+//   - φ-nodes appear only at the start of a block, have one operand
+//     per predecessor, and no two φ-nodes in a block define the same
+//     register;
 //   - operand counts match each opcode's arity, destinations are present
 //     exactly when required, and register numbers are in range;
 //   - the entry block starts with enter and has no predecessors.
@@ -63,6 +64,7 @@ func Verify(f *Func) error {
 			errf("%s: missing terminator", b.Name)
 		}
 		phisDone := false
+		var phiDsts map[Reg]bool
 		for i, in := range b.Instrs {
 			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
 				errf("%s: terminator %s not at block end", b.Name, in.Op)
@@ -73,6 +75,15 @@ func Verify(f *Func) error {
 				}
 				if len(in.Args) != len(b.Preds) {
 					errf("%s: φ has %d operands for %d predecessors", b.Name, len(in.Args), len(b.Preds))
+				}
+				if in.Dst != NoReg {
+					if phiDsts[in.Dst] {
+						errf("%s: two φ-nodes define %s", b.Name, in.Dst)
+					}
+					if phiDsts == nil {
+						phiDsts = map[Reg]bool{}
+					}
+					phiDsts[in.Dst] = true
 				}
 			} else if in.Op != OpEnter {
 				phisDone = true
