@@ -3,15 +3,20 @@
 
 GO ?= go
 
-.PHONY: check build test vet fmt fuzz
+.PHONY: check build test race vet fmt fuzz bench
 
-check: fmt vet build test
+check: fmt vet build test race
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The service and the parallel drivers make concurrency a first-class
+# feature; the race detector keeps it honest.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +32,9 @@ fmt:
 # `check`; the committed seeds already run under plain `go test`).
 fuzz:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s
+
+# Performance tracking: Go micro-benchmarks plus the end-to-end serve
+# throughput + parallel-table1 measurement, written to BENCH_serve.json.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/epre bench -out BENCH_serve.json

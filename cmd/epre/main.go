@@ -8,8 +8,10 @@
 //	epre opt -level L [-o out.iloc] file.{mf,iloc} # optimize
 //	epre run [-level L] -fn driver [-args 1,2] file.{mf,iloc}
 //	epre lint [-level L | -passes p,..] file.{mf,iloc}  # semantic checks
-//	epre table1                                    # the paper's Table 1
+//	epre serve [-addr :8080]                       # optimization service
+//	epre table1 [-parallel N]                      # the paper's Table 1
 //	epre table2                                    # the paper's Table 2
+//	epre bench [-out BENCH_serve.json]             # service/parallel bench
 //	epre example                                   # Figures 2–10 walkthrough
 //	epre levels                                    # list levels and passes
 //
@@ -19,9 +21,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -54,8 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdRun(args[1:], stdout)
 	case "lint":
 		return cmdLint(args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stderr)
+	case "bench":
+		err = cmdBench(args[1:], stdout)
 	case "table1":
-		err = cmdTable1(stdout)
+		err = cmdTable1(args[1:], stdout)
 	case "table2":
 		err = cmdTable2(stdout)
 	case "example":
@@ -83,8 +91,12 @@ func usage(w io.Writer) {
   epre run [-level LEVEL] -fn NAME [-args a,b,...] file.{mf,iloc}
   epre lint [-level LEVEL | -passes a,b,...] [-discipline] [-strict-ssa]
             [-no-validate] file.{mf,iloc}
-  epre table1        regenerate the paper's Table 1 over the suite
+  epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
+             [-timeout 30s]   run the concurrent optimization service
+  epre table1 [-parallel N]   regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
+  epre bench [-out BENCH_serve.json] [-requests N] [-concurrency N]
+             [-parallel N]    serve-mode + parallel-table1 benchmark
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }
@@ -311,8 +323,11 @@ func cmdRun(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func cmdTable1(stdout io.Writer) error {
-	rows, err := suite.Table1()
+func cmdTable1(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
+	fs.Parse(args)
+	rows, err := suite.Table1Ctx(context.Background(), *parallel)
 	if err != nil {
 		return err
 	}
@@ -334,9 +349,16 @@ func cmdLevels(stdout io.Writer) {
 	for _, l := range epre.Levels {
 		fmt.Fprintf(stdout, "  %-14s passes: %s\n", l, strings.Join(core.PassNames(l), " → "))
 	}
-	fmt.Fprintln(stdout, "\nindividual passes (for -passes and ilocfilter):")
+	// The pass inventory prints in explicitly sorted order — canonical
+	// output regardless of how the pass table is arranged internally.
+	names := make([]string, 0, len(core.AllPasses()))
 	for _, p := range core.AllPasses() {
-		fmt.Fprintf(stdout, "  %s\n", p.Name)
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(stdout, "\nindividual passes (for -passes and ilocfilter):")
+	for _, name := range names {
+		fmt.Fprintf(stdout, "  %s\n", name)
 	}
 }
 

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -42,6 +44,7 @@ func TestHelpGolden(t *testing.T) {
 	for _, want := range []string{
 		"epre compile", "epre opt", "epre run", "epre lint",
 		"epre table1", "epre levels", "-discipline", "-strict-ssa",
+		"epre serve", "epre bench", "-parallel",
 	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("help missing %q:\n%s", want, stdout)
@@ -65,6 +68,96 @@ func TestLevelsListsCheckPass(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("levels missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+// TestLevelsPassInventorySorted: the individual-pass listing prints in
+// explicitly sorted order, so the output is canonical.
+func TestLevelsPassInventorySorted(t *testing.T) {
+	code, stdout, _ := runEpre(t, "levels")
+	if code != 0 {
+		t.Fatalf("levels exit = %d", code)
+	}
+	_, inventory, found := strings.Cut(stdout, "individual passes")
+	if !found {
+		t.Fatalf("no pass inventory in output:\n%s", stdout)
+	}
+	var names []string
+	for _, line := range strings.Split(inventory, "\n")[1:] {
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	if len(names) < 10 {
+		t.Fatalf("suspiciously short inventory: %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("pass inventory not sorted: %v", names)
+	}
+}
+
+// TestTable1ParallelFlag: table1 -parallel renders byte-identically to
+// the serial run.
+func TestTable1ParallelFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	code, serial, stderr := runEpre(t, "table1")
+	if code != 0 {
+		t.Fatalf("table1: %s", stderr)
+	}
+	code, par, stderr := runEpre(t, "table1", "-parallel", "8")
+	if code != 0 {
+		t.Fatalf("table1 -parallel: %s", stderr)
+	}
+	if serial != par {
+		t.Errorf("parallel table1 differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}
+
+// TestBenchWritesReport: the bench subcommand produces a parseable
+// BENCH_serve.json with the serve and table1 sections filled in.
+func TestBenchWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	code, stdout, stderr := runEpre(t, "bench",
+		"-out", out, "-requests", "8", "-concurrency", "4", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("bench failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "report written to") {
+		t.Errorf("missing summary:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		PipelineVersion string `json:"pipeline_version"`
+		Serve           struct {
+			Requests       int     `json:"requests"`
+			RequestsPerSec float64 `json:"requests_per_sec"`
+			CacheMisses    int64   `json:"cache_misses"`
+			Errors         int64   `json:"errors"`
+		} `json:"serve"`
+		Table1 struct {
+			Speedup   float64 `json:"speedup"`
+			Identical bool    `json:"identical_output"`
+		} `json:"table1"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	if rep.PipelineVersion == "" || rep.Serve.Requests != 8 || rep.Serve.RequestsPerSec <= 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if rep.Serve.Errors != 0 {
+		t.Errorf("bench saw %d errors", rep.Serve.Errors)
+	}
+	if !rep.Table1.Identical {
+		t.Error("parallel table1 output not identical to serial")
 	}
 }
 

@@ -18,6 +18,7 @@
 package epre
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -109,9 +110,24 @@ func (p *Program) Functions() []string {
 }
 
 // Optimize returns a new program transformed at the given level; the
-// receiver is unchanged.
+// receiver is unchanged.  Optimize is safe for concurrent use on
+// distinct Programs.
 func (p *Program) Optimize(level Level) (*Program, error) {
 	out, err := core.Optimize(p.prog, level)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: out}, nil
+}
+
+// OptimizeParallel is Optimize under a context with function-level
+// parallelism: up to workers functions are transformed concurrently
+// (workers <= 1 is serial, values above GOMAXPROCS are clamped).  The
+// result is byte-identical to Optimize's — functions are optimized
+// independently either way.  When ctx is cancelled the optimization
+// stops with an error wrapping ctx.Err().
+func (p *Program) OptimizeParallel(ctx context.Context, level Level, workers int) (*Program, error) {
+	out, err := core.OptimizeWith(p.prog, level, core.OptimizeOptions{Ctx: ctx, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package epre_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -186,5 +188,25 @@ func TestCompileErrorsSurface(t *testing.T) {
 	}
 	if _, err := epre.Compile("func f() { x = 1 }"); err == nil {
 		t.Error("expected semantic error")
+	}
+}
+
+func TestOptimizeParallel(t *testing.T) {
+	p := epre.MustCompile(quickSrc)
+	serial, err := p.Optimize(epre.LevelDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := p.OptimizeParallel(context.Background(), epre.LevelDist, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.ILOC() != par.ILOC() {
+		t.Error("OptimizeParallel output differs from Optimize")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.OptimizeParallel(ctx, epre.LevelDist, 8); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package check
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 
@@ -11,6 +12,12 @@ import (
 
 // ValidateOptions configure translation validation.
 type ValidateOptions struct {
+	// Ctx, when non-nil, bounds the differential interpretation: the
+	// interpreter polls it, and ValidatePass returns early (with the
+	// diagnostics gathered so far, and none blaming the timeout on the
+	// pass) once it is cancelled.  Callers that care about the
+	// distinction check Ctx.Err() after the call.
+	Ctx context.Context
 	// FloatTol is the relative tolerance for floating-point results.
 	// Zero means exact: the pass claims bit-identical float behavior
 	// (true for everything except the reassociating passes, which
@@ -78,19 +85,33 @@ func ValidatePass(before, after *ir.Program, pass string, opt ValidateOptions) [
 		return diags
 	}
 
+	cancelled := func() bool { return opt.Ctx != nil && opt.Ctx.Err() != nil }
 	kinds := inferParamKinds(before)
 	for _, bf := range before.Funcs {
 		inputs := genInputs(kinds[bf.Name], opt.maxInputs())
 		for _, in := range inputs {
+			if cancelled() {
+				return diags
+			}
 			mb := interp.NewMachine(before)
 			mb.MaxSteps = opt.maxSteps()
+			if opt.Ctx != nil {
+				mb.SetContext(opt.Ctx)
+			}
 			vb, err := mb.Call(bf.Name, in...)
 			if err != nil {
-				continue // reference behavior undefined here
+				continue // reference behavior undefined here (or cancelled)
 			}
 			ma := interp.NewMachine(after)
 			ma.MaxSteps = 4*mb.Steps + 4096
+			if opt.Ctx != nil {
+				ma.SetContext(opt.Ctx)
+			}
 			va, err := ma.Call(bf.Name, in...)
+			if cancelled() {
+				// Don't let a deadline masquerade as a miscompile.
+				return diags
+			}
 			if err != nil {
 				errf(bf.Name, "on input %v: reference returns %s but transformed program fails: %v", in, vb, err)
 				continue

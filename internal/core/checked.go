@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -51,11 +52,19 @@ const reassocFloatTol = 1e-6
 // CheckedOptimize is Optimize with every pass application sandwiched
 // between semantic checks; see CheckedRun.
 func CheckedOptimize(p *ir.Program, level Level) (*ir.Program, []check.Diagnostic, error) {
+	return CheckedOptimizeCtx(context.Background(), p, level)
+}
+
+// CheckedOptimizeCtx is CheckedOptimize under a context: the per-pass
+// differential interpretation polls the context, so a request deadline
+// bounds even the checker's reference executions.  On expiry it returns
+// an error wrapping ctx.Err().
+func CheckedOptimizeCtx(ctx context.Context, p *ir.Program, level Level) (*ir.Program, []check.Diagnostic, error) {
 	passes, err := passesForLevel(level)
 	if err != nil {
 		return nil, nil, err
 	}
-	return CheckedRun(p, passes, DefaultCheckConfig())
+	return CheckedRunCtx(ctx, p, passes, DefaultCheckConfig())
 }
 
 func passesForLevel(level Level) ([]Pass, error) {
@@ -85,9 +94,20 @@ func passesForLevel(level Level) ([]Pass, error) {
 // return is reserved for unknown passes and structural verification
 // failures.
 func CheckedRun(p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []check.Diagnostic, error) {
+	return CheckedRunCtx(context.Background(), p, passes, cfg)
+}
+
+// CheckedRunCtx is CheckedRun under a context.  The context is checked
+// between passes and threaded into the differential interpreter, so a
+// deadline produces a clean timeout error (wrapping ctx.Err()) rather
+// than an unbounded validation run or a spurious miscompile diagnostic.
+func CheckedRunCtx(ctx context.Context, p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []check.Diagnostic, error) {
 	out := p.Clone()
 	var diags []check.Diagnostic
 	for _, pass := range passes {
+		if err := ctx.Err(); err != nil {
+			return nil, diags, fmt.Errorf("core: checked run cancelled before pass %s: %w", pass.Name, err)
+		}
 		var before *ir.Program
 		if cfg.Validate {
 			before = out.Clone()
@@ -102,11 +122,14 @@ func CheckedRun(p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []c
 			diags = append(diags, check.TagPass(check.DefUse(f, false), pass.Name)...)
 		}
 		if cfg.Validate {
-			opt := check.ValidateOptions{MaxInputs: cfg.MaxInputs, MaxSteps: cfg.MaxSteps}
+			opt := check.ValidateOptions{Ctx: ctx, MaxInputs: cfg.MaxInputs, MaxSteps: cfg.MaxSteps}
 			if reassociating(pass.Name) {
 				opt.FloatTol = reassocFloatTol
 			}
 			diags = append(diags, check.ValidatePass(before, out, pass.Name, opt)...)
+			if err := ctx.Err(); err != nil {
+				return nil, diags, fmt.Errorf("core: checked run cancelled validating pass %s: %w", pass.Name, err)
+			}
 		}
 	}
 	return out, diags, nil
@@ -115,8 +138,8 @@ func CheckedRun(p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []c
 // checkedOptimizeStrict runs CheckedOptimize and converts error
 // diagnostics into a hard error; this is the EPRE_CHECK=1 path of
 // Optimize.
-func checkedOptimizeStrict(p *ir.Program, level Level) (*ir.Program, error) {
-	out, diags, err := CheckedOptimize(p, level)
+func checkedOptimizeStrict(ctx context.Context, p *ir.Program, level Level) (*ir.Program, error) {
+	out, diags, err := CheckedOptimizeCtx(ctx, p, level)
 	if err != nil {
 		return nil, err
 	}

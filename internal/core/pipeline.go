@@ -1,8 +1,15 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/cfg"
 	"repro/internal/check"
@@ -134,14 +141,89 @@ func PassNames(level Level) []string {
 	return nil
 }
 
+// PipelineVersion is a fingerprint of the optimizer's pass pipelines:
+// a hash over every level's pass sequence and the full pass inventory.
+// Content-addressed caches fold it into their keys so a cached result
+// is invalidated automatically whenever a pass is added, removed or
+// resequenced.  It is deterministic across processes and runs.
+func PipelineVersion() string {
+	h := sha256.New()
+	for _, l := range append([]Level{LevelNone}, Levels...) {
+		io.WriteString(h, string(l))
+		for _, name := range PassNames(l) {
+			io.WriteString(h, ":")
+			io.WriteString(h, name)
+		}
+		io.WriteString(h, "\n")
+	}
+	for _, p := range AllPasses() {
+		io.WriteString(h, p.Name)
+		io.WriteString(h, "\n")
+	}
+	return "epre-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// OptimizeOptions tune OptimizeWith beyond the level itself.  The zero
+// value reproduces plain Optimize: background context, serial, no
+// instrumentation.
+type OptimizeOptions struct {
+	// Ctx, when non-nil, is checked between passes and plumbed into
+	// any checked-mode differential interpretation; optimization stops
+	// with an error wrapping ctx.Err() once it is done.
+	Ctx context.Context
+	// Workers bounds function-level parallelism: up to Workers
+	// functions are optimized concurrently, each running the full pass
+	// sequence on its own function.  Values <= 1 mean serial; values
+	// above GOMAXPROCS are clamped to it.  The result is byte-identical
+	// to the serial run — functions are optimized independently in both
+	// cases and the output order is the program's function order.
+	Workers int
+	// OnPass, when non-nil, observes every pass application with its
+	// wall-clock duration.  It may be called from multiple goroutines
+	// concurrently when Workers > 1 and must be safe for that.
+	OnPass func(fn, pass string, d time.Duration)
+}
+
+func (o OptimizeOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+func (o OptimizeOptions) workers(nfuncs int) int {
+	w := o.Workers
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w > nfuncs {
+		w = nfuncs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // OptimizeFunc applies a level's pass sequence to one function.
 func OptimizeFunc(f *ir.Func, level Level) error {
+	return optimizeFunc(context.Background(), f, level, nil)
+}
+
+func optimizeFunc(ctx context.Context, f *ir.Func, level Level, onPass func(fn, pass string, d time.Duration)) error {
 	for _, name := range PassNames(level) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("before pass %s: %w", name, err)
+		}
 		p, err := PassByName(name)
 		if err != nil {
 			return err
 		}
+		start := time.Now()
 		p.Run(f)
+		if onPass != nil {
+			onPass(f.Name, name, time.Since(start))
+		}
 		if err := ir.Verify(f); err != nil {
 			return fmt.Errorf("after pass %s: %w", name, err)
 		}
@@ -154,15 +236,64 @@ func OptimizeFunc(f *ir.Func, level Level) error {
 // environment every pass application is additionally checked by the
 // internal/check analyzers (see CheckedOptimize) and any error
 // diagnostic fails the optimization.
+//
+// Optimize (and OptimizeWith) is safe for concurrent use on distinct
+// programs: the passes keep all scratch state per invocation and the
+// input program is cloned before any transformation.
 func Optimize(p *ir.Program, level Level) (*ir.Program, error) {
+	return OptimizeWith(p, level, OptimizeOptions{})
+}
+
+// OptimizeWith is Optimize with a context, optional function-level
+// parallelism and per-pass instrumentation; see OptimizeOptions.
+func OptimizeWith(p *ir.Program, level Level, opts OptimizeOptions) (*ir.Program, error) {
+	ctx := opts.ctx()
 	if CheckEnabled() {
-		return checkedOptimizeStrict(p, level)
+		// Checked mode validates whole-program snapshots around every
+		// pass, so it stays serial at pass granularity.
+		return checkedOptimizeStrict(ctx, p, level)
 	}
 	out := p.Clone()
-	for _, f := range out.Funcs {
-		if err := OptimizeFunc(f, level); err != nil {
-			return nil, fmt.Errorf("%s: %w", f.Name, err)
+	workers := opts.workers(len(out.Funcs))
+	if workers <= 1 {
+		for _, f := range out.Funcs {
+			if err := optimizeFunc(ctx, f, level, opts.OnPass); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
 		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, f := range out.Funcs {
+		wg.Add(1)
+		go func(f *ir.Func) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			if err := optimizeFunc(ctx, f, level, opts.OnPass); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", f.Name, err)
+				}
+				mu.Unlock()
+			}
+		}(f)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -1,0 +1,79 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// infiniteLoop is a program that branches forever, for deadline tests.
+const infiniteLoop = `
+program globalsize=0
+
+func spin() {
+b0:
+    enter()
+    loadI 0 => r1
+    loadI 1 => r2
+    jump -> b1
+b1:
+    add r1, r2 => r1
+    jump -> b1
+}
+`
+
+// TestContextDeadline: a machine with an expired context aborts with an
+// error wrapping context.DeadlineExceeded instead of spinning until the
+// step limit.
+func TestContextDeadline(t *testing.T) {
+	p, err := ir.ParseProgramString(infiniteLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	m := NewMachine(p)
+	m.SetContext(ctx)
+	start := time.Now()
+	_, err = m.Call("spin")
+	if err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error should wrap context.DeadlineExceeded, got: %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancellation took %v, polling is too coarse", el)
+	}
+}
+
+// TestContextNotExpired: an un-cancelled context leaves execution
+// untouched.
+func TestContextNotExpired(t *testing.T) {
+	const src = `
+program globalsize=0
+
+func ten(): int {
+b0:
+    enter()
+    loadI 10 => r1
+    ret r1
+}
+`
+	p, err := ir.ParseProgramString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	m.SetContext(context.Background())
+	v, err := m.Call("ten")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float || v.I != 10 {
+		t.Errorf("got %s, want 10", v)
+	}
+}

@@ -15,6 +15,7 @@
 package interp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -87,6 +88,7 @@ type Machine struct {
 
 	countBlocks bool
 	depth       int
+	ctx         context.Context
 }
 
 // DefaultMaxSteps bounds a single Run.
@@ -109,6 +111,18 @@ func NewMachine(p *ir.Program) *Machine {
 		MaxDepth: DefaultMaxDepth,
 	}
 }
+
+// ctxPollMask decides how often the run loop polls the context: every
+// 4096 executed operations, cheap against the cost of the operations
+// themselves yet prompt against any realistic deadline.
+const ctxPollMask = 1<<12 - 1
+
+// SetContext attaches a context to the machine.  Call polls it
+// periodically (every few thousand operations) and aborts with an error
+// wrapping ctx.Err() once the context is cancelled or its deadline
+// passes, so callers can bound an interpretation by wall-clock time as
+// well as by MaxSteps.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
 
 // EnableBlockCounts turns on per-block dynamic counting.
 func (m *Machine) EnableBlockCounts() {
@@ -200,6 +214,11 @@ func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
 			}
 			if m.Steps > m.MaxSteps {
 				return Value{}, fmt.Errorf("interp: step limit (%d) exceeded in %s", m.MaxSteps, f.Name)
+			}
+			if m.ctx != nil && m.Steps&ctxPollMask == 0 {
+				if err := m.ctx.Err(); err != nil {
+					return Value{}, fmt.Errorf("interp: cancelled in %s after %d ops: %w", f.Name, m.Steps, err)
+				}
 			}
 			switch in.Op {
 			case ir.OpJump:

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"time"
+)
+
+// Metrics is the optimization service's observability surface: request
+// and cache counters, per-pass cumulative wall time, and live gauges
+// for queue depth and in-flight requests.  All counters are safe for
+// concurrent update.  Each Server owns its own Metrics (nothing is
+// registered in the process-global expvar namespace, so tests can run
+// many servers side by side); the server exposes it at /debug/vars in
+// the standard expvar JSON shape.
+type Metrics struct {
+	requests    expvar.Int // optimize requests received
+	cacheHits   expvar.Int // served straight from the result cache
+	cacheMisses expvar.Int // optimizations actually performed
+	shared      expvar.Int // requests coalesced onto another's in-flight computation
+	errors      expvar.Int // requests that failed (bad input, pass error)
+	timeouts    expvar.Int // requests that hit their deadline
+	rejected    expvar.Int // requests shed because the queue was full
+	inFlight    expvar.Int // requests currently being handled
+	passNanos   expvar.Map // pass name -> cumulative wall time, ns
+	passCount   expvar.Map // pass name -> applications
+	top         expvar.Map // the /debug/vars document
+}
+
+// NewMetrics builds an unpublished metrics set; queueDepth (may be nil)
+// is polled for the queue_depth gauge.
+func NewMetrics(queueDepth func() int64) *Metrics {
+	m := &Metrics{}
+	m.passNanos.Init()
+	m.passCount.Init()
+	m.top.Init()
+	m.top.Set("requests", &m.requests)
+	m.top.Set("cache_hits", &m.cacheHits)
+	m.top.Set("cache_misses", &m.cacheMisses)
+	m.top.Set("singleflight_shared", &m.shared)
+	m.top.Set("errors", &m.errors)
+	m.top.Set("timeouts", &m.timeouts)
+	m.top.Set("rejected", &m.rejected)
+	m.top.Set("in_flight", &m.inFlight)
+	m.top.Set("pass_nanos", &m.passNanos)
+	m.top.Set("pass_count", &m.passCount)
+	if queueDepth != nil {
+		m.top.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
+	}
+	return m
+}
+
+// ObservePass records one pass application; it is the core
+// OptimizeOptions.OnPass hook and may be called concurrently.
+func (m *Metrics) ObservePass(fn, pass string, d time.Duration) {
+	m.passNanos.Add(pass, d.Nanoseconds())
+	m.passCount.Add(pass, 1)
+}
+
+// Get returns a named counter's current value, for tests and the bench
+// harness.
+func (m *Metrics) Get(name string) int64 {
+	if v, ok := m.top.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// ServeHTTP renders the metrics as an expvar-style JSON document.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte(m.top.String()))
+	w.Write([]byte("\n"))
+}

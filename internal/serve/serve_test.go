@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const serveSrc = `
+func driver(n: int): int {
+    var s: int = 0
+    for i = 1 to n {
+        s = s + i * n
+    }
+    return s
+}
+`
+
+func postOptimize(t *testing.T, ts *httptest.Server, req OptimizeRequest) (int, OptimizeResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out OptimizeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad response %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, out, string(raw)
+}
+
+// TestOptimizeEndpoint: the happy path — optimize Mini-Fortran, get
+// parseable ILOC back, interpret it via the run spec, and hit the cache
+// on a repeat request.
+func TestOptimizeEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := OptimizeRequest{
+		Source: serveSrc,
+		Level:  "dist",
+		Run:    &RunSpec{Fn: "driver", Args: []string{"9"}},
+	}
+	code, out, raw := postOptimize(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if out.Cached {
+		t.Error("first request reported cached")
+	}
+	if out.Key == "" || len(out.Key) != 64 {
+		t.Errorf("bad key %q", out.Key)
+	}
+	if !strings.Contains(out.ILOC, "program") {
+		t.Errorf("response ILOC does not look like ILOC:\n%s", out.ILOC)
+	}
+	if out.StaticOps <= 0 {
+		t.Errorf("static_ops = %d", out.StaticOps)
+	}
+	if out.Run == nil || out.Run.Result != "405" || out.Run.DynamicOps <= 0 {
+		t.Errorf("run result: %+v", out.Run)
+	}
+
+	// Second identical request: cache hit, same key, same ILOC.
+	code2, out2, _ := postOptimize(t, ts, req)
+	if code2 != http.StatusOK || !out2.Cached {
+		t.Errorf("repeat request: status %d cached=%v", code2, out2.Cached)
+	}
+	if out2.Key != out.Key || out2.ILOC != out.ILOC {
+		t.Error("cached result differs from original")
+	}
+
+	// Submitting the optimizer's own ILOC output at the same level
+	// addresses a cache slot too (content addressing is on canonical
+	// ILOC of the *input*, so this is a different program — but it must
+	// parse and optimize cleanly).
+	code3, _, raw3 := postOptimize(t, ts, OptimizeRequest{Source: out.ILOC, Level: "dist"})
+	if code3 != http.StatusOK {
+		t.Errorf("optimizing own output failed: %d %s", code3, raw3)
+	}
+
+	m := s.Metrics()
+	if hits := m.Get("cache_hits"); hits != 1 {
+		t.Errorf("cache_hits = %d, want 1", hits)
+	}
+	if misses := m.Get("cache_misses"); misses != 2 {
+		t.Errorf("cache_misses = %d, want 2", misses)
+	}
+}
+
+// TestCanonicalAddressing: Mini-Fortran source and its compiled ILOC
+// hash to the same cache key — the cache is addressed by canonical
+// content, not by the textual spelling of the request.
+func TestCanonicalAddressing(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, fromMF, raw := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "none"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	// "none" leaves the program untouched, so its ILOC is the canonical
+	// form of the input; resubmitting it must be a cache hit.
+	code2, fromILOC, _ := postOptimize(t, ts, OptimizeRequest{Source: fromMF.ILOC, Level: "none"})
+	if code2 != http.StatusOK {
+		t.Fatal("resubmit failed")
+	}
+	if fromILOC.Key != fromMF.Key {
+		t.Errorf("mf and its canonical ILOC hash differently:\n%s\n%s", fromMF.Key, fromILOC.Key)
+	}
+	if !fromILOC.Cached {
+		t.Error("canonical resubmission should hit the cache")
+	}
+}
+
+// TestSingleFlight100: the acceptance bar — 100 concurrent identical
+// requests cost exactly one cache-miss optimization; everyone gets the
+// same bytes back.
+func TestSingleFlight100(t *testing.T) {
+	s := New(Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 100
+	body, _ := json.Marshal(OptimizeRequest{Source: serveSrc, Level: "dist"})
+	var wg sync.WaitGroup
+	keys := make([]string, n)
+	ilocs := make([]string, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var out OptimizeResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			keys[i], ilocs[i] = out.Key, out.ILOC
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if keys[i] != keys[0] || ilocs[i] != ilocs[0] {
+			t.Fatalf("request %d returned different result", i)
+		}
+	}
+	m := s.Metrics()
+	if misses := m.Get("cache_misses"); misses != 1 {
+		t.Errorf("cache_misses = %d, want exactly 1 (single-flight)", misses)
+	}
+	if reqs := m.Get("requests"); reqs != n {
+		t.Errorf("requests = %d, want %d", reqs, n)
+	}
+	if got := m.Get("cache_hits") + m.Get("singleflight_shared"); got != n-1 {
+		t.Errorf("hits+shared = %d, want %d", got, n-1)
+	}
+}
+
+// TestCheckedMode: check:true routes through the per-pass validation
+// machinery and reports clean diagnostics for correct code.
+func TestCheckedMode(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, out, raw := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "reassoc", Check: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if len(out.Diagnostics) != 0 {
+		t.Errorf("clean program produced diagnostics: %v", out.Diagnostics)
+	}
+	// Checked and unchecked results live under distinct keys.
+	_, plain, _ := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "reassoc"})
+	if plain.Key == out.Key {
+		t.Error("checked and unchecked requests share a cache key")
+	}
+}
+
+// TestBadRequests: malformed body, unknown level, broken source.
+func TestBadRequests(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+
+	if code, _, raw := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "bogus"}); code != http.StatusBadRequest {
+		t.Errorf("unknown level: status %d %s", code, raw)
+	}
+	if code, _, raw := postOptimize(t, ts, OptimizeRequest{Source: "func ("}); code != http.StatusBadRequest {
+		t.Errorf("broken source: status %d %s", code, raw)
+	}
+	if code, _, _ := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Format: "pascal"}); code != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d", code)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /optimize: status %d", resp.StatusCode)
+	}
+
+	if errors := s.Metrics().Get("errors"); errors < 3 {
+		t.Errorf("errors counter = %d, want >= 3", errors)
+	}
+}
+
+// TestDebugVars: /debug/vars serves the counters, the per-pass timing
+// map and the queue-depth gauge as JSON.
+func TestDebugVars(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "dist"})
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"requests", "cache_hits", "cache_misses", "singleflight_shared",
+		"queue_depth", "in_flight", "pass_nanos", "pass_count",
+		"timeouts", "rejected", "errors",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+	if vars["requests"].(float64) != 1 {
+		t.Errorf("requests = %v, want 1", vars["requests"])
+	}
+	// The dist pipeline ran: per-pass wall time must be recorded for
+	// its passes.
+	passNanos, ok := vars["pass_nanos"].(map[string]any)
+	if !ok || len(passNanos) == 0 {
+		t.Fatalf("pass_nanos empty or wrong shape: %v", vars["pass_nanos"])
+	}
+	for _, pass := range []string{"reassoc-dist", "gvn", "pre", "dce"} {
+		if _, ok := passNanos[pass]; !ok {
+			t.Errorf("pass_nanos missing %q: %v", pass, passNanos)
+		}
+	}
+}
+
+// TestLevelsEndpoint: /levels lists the pipelines and a sorted pass
+// inventory.
+func TestLevelsEndpoint(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/levels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Version string `json:"version"`
+		Levels  []struct {
+			Name   string   `json:"name"`
+			Passes []string `json:"passes"`
+		} `json:"levels"`
+		Passes []string `json:"passes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != s.Version() {
+		t.Errorf("version %q, want %q", out.Version, s.Version())
+	}
+	if len(out.Levels) != 4 {
+		t.Errorf("want 4 levels, got %d", len(out.Levels))
+	}
+	for i := 1; i < len(out.Passes); i++ {
+		if out.Passes[i-1] >= out.Passes[i] {
+			t.Errorf("pass inventory not sorted at %d: %v", i, out.Passes)
+		}
+	}
+}
+
+// TestTimeout: a request whose deadline expires before the
+// optimization can run returns 504 and bumps the timeouts counter.
+// (A one-nanosecond budget is already spent by the time the request is
+// admitted, so the outcome is deterministic; mid-interpretation
+// cancellation is covered by the interp and core context tests.)
+func TestTimeout(t *testing.T) {
+	s := New(Config{Timeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, raw := postOptimize(t, ts, OptimizeRequest{Source: serveSrc, Level: "dist", Check: true})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", code, raw)
+	}
+	if n := s.Metrics().Get("timeouts"); n != 1 {
+		t.Errorf("timeouts = %d, want 1", n)
+	}
+}
+
+// TestHealthzAndSIGTERM: the daemon reports healthy, then drains
+// gracefully when SIGTERM arrives — the in-flight request completes,
+// Run returns nil, and liveness flips to draining.
+func TestHealthzAndSIGTERM(t *testing.T) {
+	s := New(Config{DrainTimeout: 5 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signalContext(t)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, l) }()
+	base := "http://" + l.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// An optimize request in flight when the signal arrives must still
+	// complete.  Wait until the handler has the request before sending
+	// SIGTERM so the drain actually has something to wait for.
+	reqBody, _ := json.Marshal(OptimizeRequest{Source: serveSrc, Level: "dist"})
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/optimize", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight request got %d", resp.StatusCode)
+			return
+		}
+		inflight <- nil
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Get("requests") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("optimize request never reached the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain within 10s of SIGTERM")
+	}
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight request during drain: %v", err)
+	}
+}
+
+// signalContext builds the daemon's signal-bound context without
+// killing the test process.
+func signalContext(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return NotifyContext(context.Background())
+}

@@ -1,0 +1,475 @@
+// Package serve turns the epre optimizer into a long-lived, concurrent
+// optimization service: an HTTP/JSON daemon that accepts Mini-Fortran
+// or ILOC source, optimizes it at a requested level on a bounded worker
+// pool, and returns the optimized ILOC together with static/dynamic
+// operation statistics and checker diagnostics.
+//
+// The daemon's spine is the same shape as an inference-serving stack:
+//
+//   - admission: a bounded worker pool ([Pool]) with a bounded queue;
+//     requests beyond capacity are shed with 503 rather than piling up;
+//   - deduplication: a content-addressed LRU result cache ([Cache])
+//     keyed by SHA-256 of (pipeline version, level, checked?, canonical
+//     ILOC), with single-flight coalescing so N concurrent identical
+//     requests cost one optimization;
+//   - deadlines: every request runs under a context deadline that is
+//     plumbed through the optimizer, the checker's differential
+//     interpretation, and the interpreter;
+//   - observability: request/cache/timeout counters, per-pass wall
+//     time, and a live queue-depth gauge on /debug/vars, plus /healthz
+//     for liveness (503 while draining);
+//   - graceful drain: Run shuts the listener down on context
+//     cancellation (the daemon wires SIGINT/SIGTERM to it), completes
+//     in-flight requests, and drains the pool.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minift"
+)
+
+// Config tunes the service; the zero value picks sensible defaults.
+type Config struct {
+	// Workers bounds concurrently running optimizations (default
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds additionally queued optimizations (default 64).
+	Queue int
+	// CacheSize bounds the result cache, in entries (default 256).
+	CacheSize int
+	// Timeout is the per-request deadline (default 30s).
+	Timeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// OptWorkers is the function-level parallelism within a single
+	// optimization (core.OptimizeOptions.Workers; default 1, serial —
+	// with many concurrent requests, request-level parallelism already
+	// saturates the pool).
+	OptWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.OptWorkers <= 0 {
+		c.OptWorkers = 1
+	}
+	return c
+}
+
+// OptimizeRequest is the POST /optimize body.
+type OptimizeRequest struct {
+	// Source is Mini-Fortran or textual ILOC.
+	Source string `json:"source"`
+	// Format forces the source language: "mf" or "iloc".  Empty means
+	// sniff (ILOC programs start with the "program" keyword).
+	Format string `json:"format,omitempty"`
+	// Level is the optimization level name (default "reassoc").
+	Level string `json:"level,omitempty"`
+	// Check runs the optimization in checked mode: every pass is
+	// validated by the internal/check analyzers and the diagnostics are
+	// returned.
+	Check bool `json:"check,omitempty"`
+	// Run optionally interprets the optimized program.
+	Run *RunSpec `json:"run,omitempty"`
+}
+
+// RunSpec asks the service to interpret the optimized program.
+type RunSpec struct {
+	// Fn is the function to call (required).
+	Fn string `json:"fn"`
+	// Args are the call arguments, one per parameter, written like the
+	// CLI's -args values: "42" is an integer, "4.2" a float.
+	Args []string `json:"args,omitempty"`
+}
+
+// RunResult reports one interpretation.
+type RunResult struct {
+	Result     string   `json:"result"`
+	DynamicOps int64    `json:"dynamic_ops"`
+	Output     []string `json:"output,omitempty"`
+}
+
+// OptimizeResponse is the POST /optimize reply.
+type OptimizeResponse struct {
+	// Key is the content-addressed cache key of this result.
+	Key string `json:"key"`
+	// Cached reports that the result came from the cache; Shared that
+	// this request coalesced onto a concurrent identical one.
+	Cached bool   `json:"cached"`
+	Shared bool   `json:"shared,omitempty"`
+	Level  string `json:"level"`
+	// ILOC is the optimized program.
+	ILOC      string `json:"iloc"`
+	StaticOps int    `json:"static_ops"`
+	// Diagnostics are the checker findings (checked mode only; empty
+	// means the optimization validated cleanly).
+	Diagnostics []string   `json:"diagnostics,omitempty"`
+	Run         *RunResult `json:"run,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// cachedResult is what the cache stores per key.  The program pointer
+// is immutable after construction: interpretation never mutates the
+// program, so concurrent Run requests can share it.
+type cachedResult struct {
+	iloc      string
+	staticOps int
+	diags     []string
+	prog      *ir.Program
+}
+
+// Server is the optimization service.
+type Server struct {
+	cfg      Config
+	pool     *Pool
+	cache    *Cache
+	metrics  *Metrics
+	mux      *http.ServeMux
+	hs       *http.Server
+	version  string
+	draining atomic.Bool
+}
+
+// New assembles a server (pool, cache, metrics, routes); it does not
+// listen yet.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), version: core.PipelineVersion()}
+	s.pool = NewPool(s.cfg.Workers, s.cfg.Queue)
+	s.cache = NewCache(s.cfg.CacheSize)
+	s.metrics = NewMetrics(s.pool.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/levels", s.handleLevels)
+	s.mux.Handle("/debug/vars", s.metrics)
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler exposes the service's routes, for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters, for tests and the bench harness.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Version is the pipeline version folded into every cache key.
+func (s *Server) Version() string { return s.version }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown drains gracefully: liveness flips to 503, the listener
+// closes, in-flight HTTP requests complete (bounded by ctx), and the
+// worker pool drains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.hs.Shutdown(ctx)
+	s.pool.Close()
+	return err
+}
+
+// Run serves on l until ctx is cancelled (the daemon hands Run a
+// signal-bound context, so SIGTERM lands here), then drains gracefully
+// within Config.DrainTimeout.  It returns nil after a clean drain.
+func (s *Server) Run(ctx context.Context, l net.Listener) error {
+	errc := make(chan error, 1)
+	go func() { errc <- s.hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.Shutdown(sctx)
+	if serr := <-errc; serr != nil && serr != http.ErrServerClosed && err == nil {
+		err = serr
+	}
+	return err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleLevels lists the optimization levels and their pass sequences,
+// plus the individually runnable passes (sorted by name) and the
+// pipeline version — the service's self-description.
+func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
+	type levelInfo struct {
+		Name   string   `json:"name"`
+		Passes []string `json:"passes"`
+	}
+	var levels []levelInfo
+	for _, l := range core.Levels {
+		levels = append(levels, levelInfo{Name: string(l), Passes: core.PassNames(l)})
+	}
+	var passes []string
+	for _, p := range core.AllPasses() {
+		passes = append(passes, p.Name)
+	}
+	sort.Strings(passes)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": s.version,
+		"levels":  levels,
+		"passes":  passes,
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.metrics.requests.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	var req OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	levelName := req.Level
+	if levelName == "" {
+		levelName = "reassoc"
+	}
+	level, err := core.ParseLevel(levelName)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	prog, err := parseSource(req.Source, req.Format)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	canonical := prog.String()
+	key := CacheKey(canonical, string(level), s.version, req.Check)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	val, hit, shared, err := s.cache.Do(ctx, key, func() (any, error) {
+		s.metrics.cacheMisses.Add(1)
+		var (
+			res  *cachedResult
+			oerr error
+			ran  bool
+		)
+		if perr := s.pool.Do(ctx, func(ctx context.Context) {
+			ran = true
+			res, oerr = s.optimize(ctx, prog, level, req.Check)
+		}); perr != nil {
+			return nil, perr
+		}
+		if !ran {
+			// The pool skipped the job because the context expired
+			// while it was queued.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errors.New("serve: job skipped")
+		}
+		return res, oerr
+	})
+	switch {
+	case hit:
+		s.metrics.cacheHits.Add(1)
+	case shared:
+		s.metrics.shared.Add(1)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrPoolClosed):
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.failQuiet(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.metrics.timeouts.Add(1)
+			s.failQuiet(w, http.StatusGatewayTimeout, err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	res := val.(*cachedResult)
+
+	resp := &OptimizeResponse{
+		Key:         key,
+		Cached:      hit,
+		Shared:      shared,
+		Level:       string(level),
+		ILOC:        res.iloc,
+		StaticOps:   res.staticOps,
+		Diagnostics: res.diags,
+	}
+	if req.Run != nil {
+		rr, err := runProgram(ctx, res.prog, req.Run)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				s.metrics.timeouts.Add(1)
+				s.failQuiet(w, http.StatusGatewayTimeout, err)
+			} else {
+				s.fail(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+		resp.Run = rr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimize is the cache-miss path, executed on a pool worker.
+func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, checked bool) (*cachedResult, error) {
+	if checked {
+		out, diags, err := core.CheckedOptimizeCtx(ctx, prog, level)
+		if err != nil {
+			return nil, err
+		}
+		msgs := make([]string, len(diags))
+		for i, d := range diags {
+			msgs[i] = d.String()
+		}
+		return &cachedResult{iloc: out.String(), staticOps: out.InstrCount(), diags: msgs, prog: out}, nil
+	}
+	out, err := core.OptimizeWith(prog, level, core.OptimizeOptions{
+		Ctx:     ctx,
+		Workers: s.cfg.OptWorkers,
+		OnPass:  s.metrics.ObservePass,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &cachedResult{iloc: out.String(), staticOps: out.InstrCount(), prog: out}, nil
+}
+
+// runProgram interprets the optimized program under the request
+// deadline.
+func runProgram(ctx context.Context, prog *ir.Program, spec *RunSpec) (*RunResult, error) {
+	if spec.Fn == "" {
+		return nil, errors.New("run: missing fn")
+	}
+	args, err := parseArgs(spec.Args)
+	if err != nil {
+		return nil, err
+	}
+	m := interp.NewMachine(prog)
+	m.SetContext(ctx)
+	v, err := m.Call(spec.Fn, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(m.Output))
+	for i, o := range m.Output {
+		out[i] = o.String()
+	}
+	return &RunResult{Result: v.String(), DynamicOps: m.Steps, Output: out}, nil
+}
+
+// parseSource compiles Mini-Fortran or parses ILOC, verifying either
+// way.  An empty format sniffs: textual ILOC programs begin with the
+// "program" keyword.
+func parseSource(src, format string) (*ir.Program, error) {
+	if format == "" {
+		if strings.HasPrefix(strings.TrimSpace(src), "program") {
+			format = "iloc"
+		} else {
+			format = "mf"
+		}
+	}
+	switch format {
+	case "iloc":
+		p, err := ir.ParseProgramString(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := ir.VerifyProgram(p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	case "mf":
+		return minift.Compile(src)
+	}
+	return nil, fmt.Errorf("unknown source format %q (want \"mf\" or \"iloc\")", format)
+}
+
+// parseArgs converts CLI-style argument strings ("42" int, "4.2"
+// float) into interpreter values.
+func parseArgs(specs []string) ([]interp.Value, error) {
+	vals := make([]interp.Value, 0, len(specs))
+	for _, tok := range specs {
+		tok = strings.TrimSpace(tok)
+		if strings.ContainsAny(tok, ".eE") {
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad argument %q", tok)
+			}
+			vals = append(vals, interp.FloatVal(f))
+		} else {
+			i, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad argument %q", tok)
+			}
+			vals = append(vals, interp.IntVal(i))
+		}
+	}
+	return vals, nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	s.failQuiet(w, status, err)
+}
+
+// failQuiet writes an error response without bumping the error counter
+// (load shedding and timeouts have their own counters).
+func (s *Server) failQuiet(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,17 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifyContext returns a context cancelled on SIGINT or SIGTERM — the
+// daemon passes it to Run, making signal arrival the graceful-drain
+// trigger.  The returned stop function releases the signal registration
+// (after which a second signal kills the process, the conventional
+// fast-exit escape hatch).
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,64 @@
+package suite_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/suite"
+)
+
+// TestTable1ParallelDeterminism: the parallel Table 1 run must render
+// byte-identically to the serial run — same rows, same order, same
+// formatting — for any worker count.
+func TestTable1ParallelDeterminism(t *testing.T) {
+	serialRows, err := suite.Table1Ctx(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial bytes.Buffer
+	suite.WriteTable1(&serial, serialRows)
+
+	for _, workers := range []int{2, 8} {
+		parRows, err := suite.Table1Ctx(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var par bytes.Buffer
+		suite.WriteTable1(&par, parRows)
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("workers=%d: parallel Table 1 differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial.String(), par.String())
+		}
+	}
+}
+
+// TestTable1Cancelled: an already-expired context fails fast with an
+// error wrapping the context error rather than measuring the suite.
+func TestTable1Cancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := suite.Table1Ctx(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancelled run still took %v", el)
+	}
+}
+
+// TestAllSorted: the suite iterates in explicitly canonical (name)
+// order, independent of registration order.
+func TestAllSorted(t *testing.T) {
+	rs := suite.All()
+	if !sort.SliceIsSorted(rs, func(i, j int) bool { return rs[i].Name < rs[j].Name }) {
+		names := make([]string, len(rs))
+		for i, r := range rs {
+			names[i] = r.Name
+		}
+		t.Errorf("suite.All not sorted by name: %v", names)
+	}
+}

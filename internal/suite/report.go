@@ -1,10 +1,12 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -71,15 +73,23 @@ func (r Table2Row) Expansion() float64 {
 // RunRoutine compiles, optimizes and interprets one routine at one
 // level, validating the result against the reference.
 func RunRoutine(r Routine, level core.Level) (int64, error) {
+	return RunRoutineCtx(context.Background(), r, level)
+}
+
+// RunRoutineCtx is RunRoutine under a context: both the optimization
+// and the interpretation poll it, so a deadline bounds the whole
+// measurement.
+func RunRoutineCtx(ctx context.Context, r Routine, level core.Level) (int64, error) {
 	prog, err := minift.Compile(r.Source)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", r.Name, err)
 	}
-	opt, err := core.Optimize(prog, level)
+	opt, err := core.OptimizeWith(prog, level, core.OptimizeOptions{Ctx: ctx})
 	if err != nil {
 		return 0, fmt.Errorf("%s at %s: %w", r.Name, level, err)
 	}
 	m := interp.NewMachine(opt)
+	m.SetContext(ctx)
 	v, err := m.Call(r.Driver, r.Args...)
 	if err != nil {
 		return 0, fmt.Errorf("%s at %s: %w", r.Name, level, err)
@@ -90,33 +100,77 @@ func RunRoutine(r Routine, level core.Level) (int64, error) {
 	return m.Steps, nil
 }
 
-// Table1 measures every routine at all four levels.
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, r := range All() {
-		row := Table1Row{Name: r.Name}
-		for _, level := range core.Levels {
-			n, err := RunRoutine(r, level)
-			if err != nil {
-				return nil, err
-			}
-			switch level {
-			case core.LevelBaseline:
-				row.Baseline = n
-			case core.LevelPartial:
-				row.Partial = n
-			case core.LevelReassoc:
-				row.Reassoc = n
-			case core.LevelDist:
-				row.Dist = n
-			}
+// table1Row measures one routine at all four levels.
+func table1Row(ctx context.Context, r Routine) (Table1Row, error) {
+	row := Table1Row{Name: r.Name}
+	for _, level := range core.Levels {
+		n, err := RunRoutineCtx(ctx, r, level)
+		if err != nil {
+			return row, err
 		}
-		rows = append(rows, row)
+		switch level {
+		case core.LevelBaseline:
+			row.Baseline = n
+		case core.LevelPartial:
+			row.Partial = n
+		case core.LevelReassoc:
+			row.Reassoc = n
+		case core.LevelDist:
+			row.Dist = n
+		}
+	}
+	return row, nil
+}
+
+// Table1 measures every routine at all four levels, serially.
+func Table1() ([]Table1Row, error) {
+	return Table1Ctx(context.Background(), 1)
+}
+
+// Table1Ctx measures every routine at all four levels, fanning the
+// routines out across up to workers goroutines (workers <= 1 is
+// serial).  Each routine is an independent measurement — compile,
+// optimize, interpret — so the rows, and therefore the rendered table,
+// are byte-identical regardless of the worker count: results land in a
+// slice indexed by routine and the final sort is the same canonical
+// order either way.
+func Table1Ctx(ctx context.Context, workers int) ([]Table1Row, error) {
+	routines := All()
+	rows := make([]Table1Row, len(routines))
+	errs := make([]error, len(routines))
+
+	if workers <= 1 {
+		for i, r := range routines {
+			rows[i], errs[i] = table1Row(ctx, r)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, r := range routines {
+			wg.Add(1)
+			go func(i int, r Routine) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				rows[i], errs[i] = table1Row(ctx, r)
+			}(i, r)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	// The paper presents Table 1 sorted by the "new" column, largest
-	// combined contribution first.
+	// combined contribution first; ties break by name so the order is
+	// fully canonical.
 	sort.SliceStable(rows, func(i, j int) bool {
-		return rows[i].NewPct() > rows[j].NewPct()
+		a, b := rows[i].NewPct(), rows[j].NewPct()
+		if a != b {
+			return a > b
+		}
+		return rows[i].Name < rows[j].Name
 	})
 	return rows, nil
 }

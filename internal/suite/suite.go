@@ -17,6 +17,7 @@ package suite
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/interp"
 )
@@ -76,8 +77,14 @@ var registry []Routine
 
 func register(r Routine) { registry = append(registry, r) }
 
-// All returns every suite routine, in registration order.
-func All() []Routine { return append([]Routine(nil), registry...) }
+// All returns every suite routine, sorted by name.  The order is
+// explicitly canonical (not registration or map order) so serial,
+// parallel and cached consumers all iterate identically.
+func All() []Routine {
+	out := append([]Routine(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
 
 // ByName returns the named routine.
 func ByName(name string) (Routine, bool) {
