@@ -34,7 +34,8 @@ fuzz:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s
 
 # Performance tracking: Go micro-benchmarks plus the end-to-end serve
-# throughput + parallel-table1 measurement, written to BENCH_serve.json.
+# throughput + parallel-table1 measurement (BENCH_serve.json) and the
+# analysis-cache cached-vs-uncached build counts (BENCH_passmgr.json).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/epre bench -out BENCH_serve.json
+	$(GO) run ./cmd/epre bench -out BENCH_serve.json -passmgr-out BENCH_passmgr.json

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/suite"
+)
+
+// passMgrReport is the BENCH_passmgr.json schema: per Table-1 level,
+// the analysis constructions the shared cache actually performed
+// against the constructions a cache-per-pass (pre-refactor) run
+// performs, over the whole suite corpus.  The reduction percentages
+// are the pass-manager refactor's headline numbers.
+type passMgrReport struct {
+	Timestamp       string            `json:"timestamp"`
+	GoMaxProcs      int               `json:"gomaxprocs"`
+	PipelineVersion string            `json:"pipeline_version"`
+	Routines        int               `json:"routines"`
+	Levels          []passMgrLevelRow `json:"levels"`
+	Total           passMgrLevelRow   `json:"total"`
+}
+
+type passMgrLevelRow struct {
+	Level           string          `json:"level,omitempty"`
+	Cached          analysis.Builds `json:"cached_builds"`
+	Uncached        analysis.Builds `json:"uncached_builds"`
+	DomReductionPct float64         `json:"dom_reduction_pct"`
+	RPOReductionPct float64         `json:"rpo_reduction_pct"`
+	CachedSeconds   float64         `json:"cached_seconds"`
+	UncachedSeconds float64         `json:"uncached_seconds"`
+}
+
+func reductionPct(uncached, cached uint64) float64 {
+	if uncached == 0 {
+		return 0
+	}
+	return 100 * float64(uncached-cached) / float64(uncached)
+}
+
+// measureLevelBuilds optimizes every suite routine at one level and
+// returns the process-global analysis-construction delta.  The
+// interpretation step of RunRoutineOpts builds nothing, so the delta is
+// exactly the optimizer's analysis work.
+func measureLevelBuilds(level core.Level, opts core.OptimizeOptions) (analysis.Builds, time.Duration, error) {
+	before := analysis.GlobalBuilds()
+	t0 := time.Now()
+	for _, r := range suite.All() {
+		if _, err := suite.RunRoutineOpts(context.Background(), r, level, opts); err != nil {
+			return analysis.Builds{}, 0, err
+		}
+	}
+	return analysis.GlobalBuilds().Sub(before), time.Since(t0), nil
+}
+
+// benchPassMgr measures the shared analysis cache's effect per level —
+// a cached run against a FreshAnalyses (cache-per-pass, the
+// pre-refactor behavior) run — and writes the JSON report.
+func benchPassMgr(outPath string, stdout io.Writer) error {
+	rep := &passMgrReport{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		PipelineVersion: core.PipelineVersion(),
+		Routines:        len(suite.All()),
+	}
+	var totalCached, totalUncached analysis.Builds
+	var totalCachedWall, totalUncachedWall time.Duration
+	for _, level := range core.Levels {
+		cached, cachedWall, err := measureLevelBuilds(level, core.OptimizeOptions{})
+		if err != nil {
+			return err
+		}
+		uncached, uncachedWall, err := measureLevelBuilds(level, core.OptimizeOptions{FreshAnalyses: true})
+		if err != nil {
+			return err
+		}
+		rep.Levels = append(rep.Levels, passMgrLevelRow{
+			Level:           string(level),
+			Cached:          cached,
+			Uncached:        uncached,
+			DomReductionPct: reductionPct(uncached.Dom, cached.Dom),
+			RPOReductionPct: reductionPct(uncached.RPO, cached.RPO),
+			CachedSeconds:   cachedWall.Seconds(),
+			UncachedSeconds: uncachedWall.Seconds(),
+		})
+		totalCached.RPO += cached.RPO
+		totalCached.Dom += cached.Dom
+		totalCached.Loops += cached.Loops
+		totalCached.Liveness += cached.Liveness
+		totalUncached.RPO += uncached.RPO
+		totalUncached.Dom += uncached.Dom
+		totalUncached.Loops += uncached.Loops
+		totalUncached.Liveness += uncached.Liveness
+		totalCachedWall += cachedWall
+		totalUncachedWall += uncachedWall
+	}
+	rep.Total = passMgrLevelRow{
+		Cached:          totalCached,
+		Uncached:        totalUncached,
+		DomReductionPct: reductionPct(totalUncached.Dom, totalCached.Dom),
+		RPOReductionPct: reductionPct(totalUncached.RPO, totalCached.RPO),
+		CachedSeconds:   totalCachedWall.Seconds(),
+		UncachedSeconds: totalUncachedWall.Seconds(),
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "passmgr: dom builds %d cached vs %d uncached (%.0f%% fewer); rpo %d vs %d (%.0f%% fewer)\n",
+		totalCached.Dom, totalUncached.Dom, rep.Total.DomReductionPct,
+		totalCached.RPO, totalUncached.RPO, rep.Total.RPOReductionPct)
+	fmt.Fprintf(stdout, "report written to %s\n", outPath)
+	return nil
+}

@@ -93,10 +93,12 @@ func usage(w io.Writer) {
             [-no-validate] file.{mf,iloc}
   epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
              [-timeout 30s]   run the concurrent optimization service
-  epre table1 [-parallel N]   regenerate the paper's Table 1 over the suite
+  epre table1 [-parallel N] [-passstats]
+                     regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
-  epre bench [-out BENCH_serve.json] [-requests N] [-concurrency N]
-             [-parallel N]    serve-mode + parallel-table1 benchmark
+  epre bench [-out BENCH_serve.json] [-passmgr-out BENCH_passmgr.json]
+             [-requests N] [-concurrency N] [-parallel N]
+                     serve-mode, parallel-table1 and analysis-cache benchmark
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }
@@ -326,12 +328,24 @@ func cmdRun(args []string, stdout io.Writer) error {
 func cmdTable1(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
+	passStats := fs.Bool("passstats", false, "append a per-pass table: applications, changed-bit reports, time, analysis cache misses")
 	fs.Parse(args)
-	rows, err := suite.Table1Ctx(context.Background(), *parallel)
+	var opts core.OptimizeOptions
+	var collector *core.PassStatsCollector
+	if *passStats {
+		collector = core.NewPassStatsCollector()
+		opts.OnPass = collector.Observe
+	}
+	rows, err := suite.Table1Opts(context.Background(), *parallel, opts)
 	if err != nil {
 		return err
 	}
 	suite.WriteTable1(stdout, rows)
+	if collector != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "per-pass statistics (analysis columns count cache misses, not queries):")
+		collector.Write(stdout)
+	}
 	return nil
 }
 

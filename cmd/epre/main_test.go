@@ -121,9 +121,12 @@ func TestBenchWritesReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	passMgrOut := filepath.Join(dir, "BENCH_passmgr.json")
 	code, stdout, stderr := runEpre(t, "bench",
-		"-out", out, "-requests", "8", "-concurrency", "4", "-parallel", "2")
+		"-out", out, "-passmgr-out", passMgrOut,
+		"-requests", "8", "-concurrency", "4", "-parallel", "2")
 	if code != 0 {
 		t.Fatalf("bench failed: %s", stderr)
 	}
@@ -158,6 +161,34 @@ func TestBenchWritesReport(t *testing.T) {
 	}
 	if !rep.Table1.Identical {
 		t.Error("parallel table1 output not identical to serial")
+	}
+
+	pmData, err := os.ReadFile(passMgrOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pm struct {
+		Levels []struct {
+			Level string `json:"level"`
+		} `json:"levels"`
+		Total struct {
+			Cached struct {
+				Dom uint64 `json:"dom"`
+			} `json:"cached_builds"`
+			Uncached struct {
+				Dom uint64 `json:"dom"`
+			} `json:"uncached_builds"`
+			DomReductionPct float64 `json:"dom_reduction_pct"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(pmData, &pm); err != nil {
+		t.Fatalf("passmgr report is not JSON: %v\n%s", err, pmData)
+	}
+	if len(pm.Levels) != 4 {
+		t.Errorf("passmgr report has %d levels, want 4", len(pm.Levels))
+	}
+	if pm.Total.Uncached.Dom == 0 || pm.Total.DomReductionPct < 50 {
+		t.Errorf("implausible passmgr totals: %+v", pm.Total)
 	}
 }
 

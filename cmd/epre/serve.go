@@ -92,6 +92,7 @@ type benchReport struct {
 func cmdBench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_serve.json", "report file")
+	passMgrOut := fs.String("passmgr-out", "BENCH_passmgr.json", "pass-manager/analysis-cache report file (empty to skip)")
 	requests := fs.Int("requests", 200, "optimize requests to issue")
 	concurrency := fs.Int("concurrency", 16, "concurrent clients")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "table1 worker count to compare against serial")
@@ -112,6 +113,11 @@ func cmdBench(args []string, stdout io.Writer) error {
 	}
 	if err := benchTable1(rep, *parallel); err != nil {
 		return err
+	}
+	if *passMgrOut != "" {
+		if err := benchPassMgr(*passMgrOut, stdout); err != nil {
+			return err
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

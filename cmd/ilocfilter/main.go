@@ -23,10 +23,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -76,7 +78,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 	for _, f := range prog.Funcs {
-		pass.Run(f)
+		pass.Run(&core.PassContext{
+			Ctx:      context.Background(),
+			Func:     f,
+			Analyses: analysis.NewCache(f),
+		})
 	}
 	if err := ir.VerifyProgram(prog); err != nil {
 		fmt.Fprintf(stderr, "ilocfilter: after %s: %v\n", name, err)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -156,16 +157,26 @@ func (p *Program) OptimizeChecked(level Level) (*Program, []string, error) {
 // OptimizePasses applies an explicit pass sequence by name (the
 // Unix-filter view of the optimizer; see core.AllPasses).
 func (p *Program) OptimizePasses(passes ...string) (*Program, error) {
-	out := p.prog.Clone()
-	for _, name := range passes {
+	resolved := make([]core.Pass, len(passes))
+	for i, name := range passes {
 		pass, err := core.PassByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, f := range out.Funcs {
-			pass.Run(f)
-			if err := ir.Verify(f); err != nil {
-				return nil, fmt.Errorf("after pass %s on %s: %w", name, f.Name, err)
+		resolved[i] = pass
+	}
+	out := p.prog.Clone()
+	for _, f := range out.Funcs {
+		pc := &core.PassContext{
+			Ctx:      context.Background(),
+			Func:     f,
+			Analyses: analysis.NewCache(f),
+		}
+		for _, pass := range resolved {
+			if pass.Run(pc) {
+				if err := ir.Verify(f); err != nil {
+					return nil, fmt.Errorf("after pass %s on %s: %w", pass.Name, f.Name, err)
+				}
 			}
 		}
 	}

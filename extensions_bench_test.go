@@ -1,15 +1,23 @@
 package epre
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minift"
 	"repro/internal/suite"
 )
+
+// applyPass runs one pass on one function with a fresh analysis cache,
+// the single-shot equivalent of the pipeline's shared-cache loop.
+func applyPass(p core.Pass, f *ir.Func) {
+	p.Run(&core.PassContext{Ctx: context.Background(), Func: f, Analyses: analysis.NewCache(f)})
+}
 
 // Benchmarks for the paper's stated future work (§4.1/§5.2): the two
 // passes missing from the original optimizer, implemented here as
@@ -36,7 +44,7 @@ func measurePipeline(b *testing.B, src, driver string, args []interp.Value, pass
 			b.Fatal(err)
 		}
 		for _, f := range prog.Funcs {
-			p.Run(f)
+			applyPass(p, f)
 		}
 	}
 	m := interp.NewMachine(prog)
@@ -128,7 +136,7 @@ func TestExtensionsPreserveSemantics(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, f := range prog.Funcs {
-					p.Run(f)
+					applyPass(p, f)
 				}
 			}
 			m := interp.NewMachine(prog)
@@ -158,7 +166,7 @@ func TestStrengthReductionHelps(t *testing.T) {
 		for _, name := range passes {
 			p, _ := core.PassByName(name)
 			for _, f := range prog.Funcs {
-				p.Run(f)
+				applyPass(p, f)
 			}
 		}
 		m := interp.NewMachine(prog)

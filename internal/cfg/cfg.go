@@ -13,6 +13,7 @@ import "repro/internal/ir"
 // ReversePostorder returns the blocks of f reachable from the entry in
 // reverse postorder.  The entry block is always first.
 func ReversePostorder(f *ir.Func) []*ir.Block {
+	rpoBuilds.Add(1)
 	seen := make([]bool, len(f.Blocks))
 	post := make([]*ir.Block, 0, len(f.Blocks))
 
@@ -61,10 +62,19 @@ func RPONumbers(f *ir.Func) []int {
 
 // RemoveUnreachable deletes blocks not reachable from the entry,
 // unlinking their edges (and trimming φ-operands in reachable targets).
-// It returns the number of blocks removed.
+// It returns the number of blocks removed.  A call that removes nothing
+// leaves the function's analysis generations untouched.
 func RemoveUnreachable(f *ir.Func) int {
+	return RemoveUnreachableRPO(f, ReversePostorder(f))
+}
+
+// RemoveUnreachableRPO is RemoveUnreachable with the reachability
+// traversal supplied by the caller (typically a cached reverse
+// postorder), avoiding a redundant walk.  rpo must be a current
+// reverse postorder of f.
+func RemoveUnreachableRPO(f *ir.Func, rpo []*ir.Block) int {
 	reach := make([]bool, len(f.Blocks))
-	for _, b := range ReversePostorder(f) {
+	for _, b := range rpo {
 		reach[b.ID] = true
 	}
 	removed := 0

@@ -22,6 +22,7 @@ type DomTree struct {
 // iterative algorithm ("A Simple, Fast Dominance Algorithm") and
 // dominance frontiers with their two-finger method.
 func BuildDomTree(f *ir.Func) *DomTree {
+	domBuilds.Add(1)
 	t := &DomTree{fn: f}
 	t.rpo = ReversePostorder(f)
 	t.rpoNum = make([]int, len(f.Blocks))

@@ -49,6 +49,7 @@ func (li *LoopInfo) Depth(b *ir.Block) int {
 // FindLoops identifies natural loops from back edges (edges t→h where h
 // dominates t), merging loops that share a header, and nests them.
 func FindLoops(f *ir.Func, dom *DomTree) *LoopInfo {
+	loopBuilds.Add(1)
 	li := &LoopInfo{innermost: make([]*Loop, len(f.Blocks))}
 	byHeader := map[*ir.Block]*Loop{}
 

@@ -1,0 +1,29 @@
+package cfg
+
+import "sync/atomic"
+
+// Process-wide construction counters.  Every ReversePostorder walk,
+// dominator-tree build and loop-nest discovery increments one of these,
+// whether it was reached through the analysis cache or by a direct
+// call, so the numbers are ground truth for how much CFG scaffolding
+// the process has actually built.  The bench harness and the
+// pass-manager tests read deltas around a workload to measure cache
+// effectiveness.
+var (
+	rpoBuilds  atomic.Uint64
+	domBuilds  atomic.Uint64
+	loopBuilds atomic.Uint64
+)
+
+// RPOBuilds returns the number of reverse-postorder traversals
+// performed so far (including the one embedded in every dominator-tree
+// build).
+func RPOBuilds() uint64 { return rpoBuilds.Load() }
+
+// DomTreeBuilds returns the number of dominator trees constructed so
+// far.
+func DomTreeBuilds() uint64 { return domBuilds.Load() }
+
+// LoopBuilds returns the number of loop-nest discoveries performed so
+// far.
+func LoopBuilds() uint64 { return loopBuilds.Load() }

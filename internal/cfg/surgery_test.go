@@ -1,0 +1,191 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// The block-surgery tests exercise the CFG helpers on the degenerate
+// shapes the optimizer produces mid-pipeline — self-loops, unreachable
+// cycles, graphs made entirely of critical edges — and prove two
+// properties the shared analysis cache depends on: every structural
+// mutation moves the function's CFG generation, no-op surgery moves
+// nothing, and a cache queried across surgery serves freshly correct
+// dominators rather than stale ones.
+
+// TestRemoveUnreachableCycle: an unreachable two-block cycle keeps
+// itself alive through its internal edges; reachability from the entry
+// must still delete it, and the deletion must bump the CFG generation.
+func TestRemoveUnreachableCycle(t *testing.T) {
+	f := buildCFG(t, 4, [][2]int{{0, 1}, {2, 3}, {3, 2}})
+	gen := f.CFGGeneration()
+	ac := analysis.NewCache(f)
+	if n := ac.RemoveUnreachable(); n != 2 {
+		t.Fatalf("removed %d blocks, want 2", n)
+	}
+	if f.CFGGeneration() == gen {
+		t.Error("removing blocks did not bump the CFG generation")
+	}
+	if len(f.Blocks) != 2 {
+		t.Fatalf("have %d blocks, want 2", len(f.Blocks))
+	}
+	// The refreshed cache must agree with a from-scratch dominator tree.
+	dom := ac.DomTree()
+	if got := dom.IDom(f.Blocks[1]); got != f.Entry() {
+		t.Errorf("idom(b1) = %v, want entry", got)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveUnreachableNoOpKeepsGenerations: surgery that removes
+// nothing must leave the generations — and therefore every cached
+// analysis — untouched.
+func TestRemoveUnreachableNoOpKeepsGenerations(t *testing.T) {
+	f := buildCFG(t, 3, [][2]int{{0, 1}, {1, 2}})
+	// Give every block a real instruction so none is an empty (jump-only)
+	// block that RemoveEmptyBlocks would legitimately take out.
+	for _, b := range f.Blocks {
+		b.InsertAt(0, ir.NewInstr(ir.OpCopy, f.NewReg(), f.Params[0]))
+	}
+	ac := analysis.NewCache(f)
+	domBefore := ac.DomTree()
+	cfgGen, codeGen := f.CFGGeneration(), f.CodeGeneration()
+	if n := ac.RemoveUnreachable(); n != 0 {
+		t.Fatalf("removed %d blocks from a fully reachable graph", n)
+	}
+	if n := cfg.RemoveEmptyBlocks(f); n != 0 {
+		t.Fatalf("RemoveEmptyBlocks removed %d, want 0", n)
+	}
+	if f.CFGGeneration() != cfgGen || f.CodeGeneration() != codeGen {
+		t.Error("no-op surgery bumped a generation")
+	}
+	if ac.DomTree() != domBefore {
+		t.Error("no-op surgery invalidated the cached dominator tree")
+	}
+}
+
+// TestSelfLoopSurgery: a block looping on itself is its own loop of
+// depth 1; self-loop back edges are critical (the block has two succs,
+// itself and the exit path's target has two preds) only when the shape
+// makes them so, and surgery around the loop must keep dominators
+// honest through the cache.
+func TestSelfLoopSurgery(t *testing.T) {
+	// 0 → 1, 1 → 1 (self-loop), 1 → 2.
+	f := buildCFG(t, 3, [][2]int{{0, 1}, {1, 1}, {1, 2}})
+	ac := analysis.NewCache(f)
+	loops := ac.Loops()
+	b1 := f.Blocks[1]
+	if l := loops.InnermostLoop(b1); l == nil || l.Header != b1 {
+		t.Fatalf("self-loop not detected: %v", l)
+	}
+	if d := loops.Depth(b1); d != 1 {
+		t.Errorf("self-loop depth %d, want 1", d)
+	}
+
+	// The self-loop back edge 1→1 is critical (1 has two successors,
+	// and 1 has two predecessors: 0 and itself).  Splitting it inserts
+	// a latch block and must bump the CFG generation.
+	gen := f.CFGGeneration()
+	n := cfg.SplitCriticalEdges(f)
+	if n == 0 {
+		t.Fatal("no critical edge split around the self-loop")
+	}
+	if f.CFGGeneration() == gen {
+		t.Error("SplitCriticalEdges mutated without bumping the CFG generation")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// The cache self-invalidates: the new latch block dominates nothing
+	// but sits on the back edge, and b1 still dominates it.
+	dom := ac.DomTree()
+	for _, p := range b1.Preds {
+		if p != f.Entry() && !dom.Dominates(b1, p) {
+			t.Errorf("b1 does not dominate its latch %v", p)
+		}
+	}
+	if !dom.Dominates(f.Entry(), b1) {
+		t.Error("entry lost dominance over b1 after splitting")
+	}
+}
+
+// TestCriticalEdgeOnlyGraph: a diamond where both sides branch again —
+// every edge out of a multi-successor block lands on a multi-pred
+// block, so every such edge is critical.  Splitting them all leaves no
+// critical edges, bumps the generation once per split, and the cached
+// dominator tree rebuilt afterwards matches brute force.
+func TestCriticalEdgeOnlyGraph(t *testing.T) {
+	// 0 → {1, 2}; 1 → {3, 4}; 2 → {3, 4}; 3 → 5; 4 → 5.
+	f := buildCFG(t, 6, [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 5}, {4, 5}})
+	crit := 0
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if cfg.IsCriticalEdge(b, s) {
+				crit++
+			}
+		}
+	}
+	if crit != 4 {
+		t.Fatalf("expected the 4 fan edges critical, found %d", crit)
+	}
+	ac := analysis.NewCache(f)
+	ac.DomTree() // populate, to prove invalidation below
+	gen := f.CFGGeneration()
+	if n := cfg.SplitCriticalEdges(f); n != crit {
+		t.Fatalf("split %d edges, want %d", n, crit)
+	}
+	if f.CFGGeneration() == gen {
+		t.Error("splitting critical edges did not bump the CFG generation")
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if cfg.IsCriticalEdge(b, s) {
+				t.Fatalf("critical edge %v→%v survived splitting", b, s)
+			}
+		}
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// Cache-refreshed dominators agree with the brute-force definition.
+	dom := ac.DomTree()
+	brute := bruteDominators(f)
+	for _, a := range f.Blocks {
+		for _, b := range f.Blocks {
+			if got, want := dom.Dominates(a, b), brute[a.ID][b.ID]; got != want {
+				t.Errorf("Dominates(%v, %v) = %v, brute force says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeStraightLineGenerations: merging a jump-only chain is
+// structural surgery; the generation must move and the cache must
+// rebuild dominators over the merged graph.
+func TestMergeStraightLineGenerations(t *testing.T) {
+	f := buildCFG(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	ac := analysis.NewCache(f)
+	ac.DomTree()
+	gen := f.CFGGeneration()
+	if n := cfg.MergeStraightLine(f); n == 0 {
+		t.Fatal("nothing merged in a straight-line chain")
+	}
+	if f.CFGGeneration() == gen {
+		t.Error("MergeStraightLine mutated without bumping the CFG generation")
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("chain not fully merged: %d blocks", len(f.Blocks))
+	}
+	dom := ac.DomTree()
+	if got := dom.IDom(f.Entry()); got != nil {
+		t.Errorf("entry has idom %v after merge", got)
+	}
+}

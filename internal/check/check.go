@@ -26,6 +26,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -124,7 +125,13 @@ type Options struct {
 // broken input may produce noisy diagnostics but never panics the
 // analyzers into reading out-of-range registers.
 func Func(f *ir.Func, opt Options) []Diagnostic {
-	diags := DefUse(f, opt.StrictSSA)
+	return FuncWith(f, opt, analysis.NewCache(f))
+}
+
+// FuncWith is Func drawing CFG analyses from the given cache.  The
+// analyzers never mutate f, so the cache stays valid afterwards.
+func FuncWith(f *ir.Func, opt Options, ac *analysis.Cache) []Diagnostic {
+	diags := DefUseWith(f, opt.StrictSSA, ac)
 	if opt.Discipline {
 		diags = append(diags, Discipline(f)...)
 	}

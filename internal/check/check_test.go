@@ -1,9 +1,11 @@
 package check_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -62,7 +64,7 @@ func TestDefUseCleanOnFrontEndOutput(t *testing.T) {
 	for _, pass := range core.AllPasses() {
 		p := prog.Clone()
 		for _, f := range p.Funcs {
-			pass.Run(f)
+			pass.Run(&core.PassContext{Ctx: context.Background(), Func: f, Analyses: analysis.NewCache(f)})
 			if diags := check.DefUse(f, false); len(diags) != 0 {
 				t.Errorf("after %s, %s: unexpected diagnostics: %v", pass.Name, f.Name, diags)
 			}
@@ -312,7 +314,7 @@ func TestDisciplineAfterPipelineFront(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, f := range prog.Funcs {
-			pass.Run(f)
+			pass.Run(&core.PassContext{Ctx: context.Background(), Func: f, Analyses: analysis.NewCache(f)})
 		}
 	}
 	for _, f := range prog.Funcs {

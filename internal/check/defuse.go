@@ -1,7 +1,7 @@
 package check
 
 import (
-	"repro/internal/cfg"
+	"repro/internal/analysis"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
 
@@ -34,6 +34,13 @@ type defsite struct {
 // bug: operands on edges from unreachable predecessors ("dead φ
 // operands") and φ-nodes whose result is never used.
 func DefUse(f *ir.Func, strictSSA bool) []Diagnostic {
+	return DefUseWith(f, strictSSA, analysis.NewCache(f))
+}
+
+// DefUseWith is DefUse drawing the reverse postorder and dominator tree
+// from the given analysis cache.  The checker never mutates f, so the
+// cache stays valid for subsequent passes.
+func DefUseWith(f *ir.Func, strictSSA bool, ac *analysis.Cache) []Diagnostic {
 	var diags []Diagnostic
 	errf := func(b *ir.Block, i int, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -57,11 +64,11 @@ func DefUse(f *ir.Func, strictSSA bool) []Diagnostic {
 	inRange := func(r ir.Reg) bool { return r != ir.NoReg && int(r) < nr }
 
 	reachable := make([]bool, len(f.Blocks))
-	rpo := cfg.ReversePostorder(f)
+	rpo := ac.RPO()
 	for _, b := range rpo {
 		reachable[b.ID] = true
 	}
-	dom := cfg.BuildDomTree(f)
+	dom := ac.DomTree()
 
 	// Collect definition sites (enter's operands define the parameters).
 	defs := make([][]defsite, nr)

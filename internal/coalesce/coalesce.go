@@ -6,7 +6,7 @@
 package coalesce
 
 import (
-	"repro/internal/dataflow"
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -21,6 +21,13 @@ type Stats struct {
 // must run on φ-free code (after SSA destruction); φ-bearing functions
 // are left untouched.
 func Run(f *ir.Func) Stats {
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing liveness from the given cache.  Each mutating
+// round marks the function so the next round recomputes liveness; the
+// final (no-op) round leaves valid liveness cached for later passes.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
@@ -31,7 +38,7 @@ func Run(f *ir.Func) Stats {
 	}
 	for {
 		st.Rounds++
-		merged := coalesceRound(f, &st)
+		merged := coalesceRound(f, ac, &st)
 		if !merged {
 			return st
 		}
@@ -70,8 +77,8 @@ func (g *interference) union(a, b ir.Reg) {
 	}
 }
 
-func coalesceRound(f *ir.Func, st *Stats) bool {
-	lv := dataflow.ComputeLiveness(f)
+func coalesceRound(f *ir.Func, ac *analysis.Cache, st *Stats) bool {
+	lv := ac.Liveness()
 	g := &interference{adj: make([]map[ir.Reg]bool, f.NumRegs())}
 
 	// Build interference: at each definition of r, r interferes with
@@ -144,6 +151,7 @@ func coalesceRound(f *ir.Func, st *Stats) bool {
 	}
 	if !merged {
 		// Still remove degenerate self-copies.
+		before := st.SelfCopy
 		for _, b := range f.Blocks {
 			kept := b.Instrs[:0]
 			for _, in := range b.Instrs {
@@ -154,6 +162,9 @@ func coalesceRound(f *ir.Func, st *Stats) bool {
 				kept = append(kept, in)
 			}
 			b.Instrs = kept
+		}
+		if st.SelfCopy > before {
+			f.MarkCodeMutated()
 		}
 		return false
 	}
@@ -180,5 +191,7 @@ func coalesceRound(f *ir.Func, st *Stats) bool {
 	for i, p := range f.Params {
 		f.Params[i] = find(p)
 	}
+	// The register rewrites above bypass the Block helpers.
+	f.MarkCodeMutated()
 	return true
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/check"
 	"repro/internal/ir"
 )
@@ -104,6 +105,15 @@ func CheckedRun(p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []c
 func CheckedRunCtx(ctx context.Context, p *ir.Program, passes []Pass, cfg CheckConfig) (*ir.Program, []check.Diagnostic, error) {
 	out := p.Clone()
 	var diags []check.Diagnostic
+	// One analysis cache per function, shared across all passes of the
+	// run; checkedOnce[i] records that function i has passed DefUse at
+	// least once, so passes that report no change can skip re-proving
+	// the same property over identical code.
+	caches := make([]*analysis.Cache, len(out.Funcs))
+	for i, f := range out.Funcs {
+		caches[i] = analysis.NewCache(f)
+	}
+	checkedOnce := make([]bool, len(out.Funcs))
 	for _, pass := range passes {
 		if err := ctx.Err(); err != nil {
 			return nil, diags, fmt.Errorf("core: checked run cancelled before pass %s: %w", pass.Name, err)
@@ -112,16 +122,27 @@ func CheckedRunCtx(ctx context.Context, p *ir.Program, passes []Pass, cfg CheckC
 		if cfg.Validate {
 			before = out.Clone()
 		}
-		for _, f := range out.Funcs {
-			pass.Run(f)
-			if err := ir.Verify(f); err != nil {
-				return nil, diags, fmt.Errorf("after pass %s: %w", pass.Name, err)
+		anyChanged := false
+		changedFn := make([]bool, len(out.Funcs))
+		for i, f := range out.Funcs {
+			pc := &PassContext{Ctx: ctx, Func: f, Analyses: caches[i]}
+			changedFn[i] = pass.Run(pc)
+			anyChanged = anyChanged || changedFn[i]
+			if changedFn[i] {
+				if err := ir.Verify(f); err != nil {
+					return nil, diags, fmt.Errorf("after pass %s: %w", pass.Name, err)
+				}
 			}
 		}
-		for _, f := range out.Funcs {
-			diags = append(diags, check.TagPass(check.DefUse(f, false), pass.Name)...)
+		for i, f := range out.Funcs {
+			if checkedOnce[i] && !changedFn[i] {
+				continue // unchanged since its last clean DefUse proof
+			}
+			fd := check.TagPass(check.DefUseWith(f, false, caches[i]), pass.Name)
+			diags = append(diags, fd...)
+			checkedOnce[i] = len(check.Errors(fd)) == 0
 		}
-		if cfg.Validate {
+		if cfg.Validate && anyChanged {
 			opt := check.ValidateOptions{Ctx: ctx, MaxInputs: cfg.MaxInputs, MaxSteps: cfg.MaxSteps}
 			if reassociating(pass.Name) {
 				opt.FloatTol = reassocFloatTol

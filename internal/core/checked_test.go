@@ -66,12 +66,14 @@ func main(a: int, b: int): int {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := core.Pass{Name: "bad-peephole", Run: func(f *ir.Func) {
-		f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
+	bad := core.Pass{Name: "bad-peephole", Run: func(pc *core.PassContext) bool {
+		pc.Func.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
 			if in.Op == ir.OpAdd {
 				in.Op = ir.OpSub
 			}
 		})
+		pc.Func.MarkCodeMutated()
+		return true
 	}}
 	_, diags, err := core.CheckedRun(prog, []core.Pass{bad}, core.DefaultCheckConfig())
 	if err != nil {
@@ -110,8 +112,9 @@ b0:
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := core.Pass{Name: "bad-dce", Run: func(f *ir.Func) {
-		f.Entry().RemoveAt(1) // drop "loadI 3 => r2", leaving r2 undefined
+	bad := core.Pass{Name: "bad-dce", Run: func(pc *core.PassContext) bool {
+		pc.Func.Entry().RemoveAt(1) // drop "loadI 3 => r2", leaving r2 undefined
+		return true
 	}}
 	_, diags, err := core.CheckedRun(prog, []core.Pass{bad}, core.CheckConfig{Validate: false})
 	if err != nil {

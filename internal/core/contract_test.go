@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/suite"
+)
+
+func preserves(p core.Pass, what string) bool {
+	for _, a := range p.Preserves {
+		if a == what {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPreservesContracts proves every pass's declared invalidation
+// contract against the observed mutation generations, over the suite
+// corpus in two pipeline states (raw front-end output and the
+// reassociation level's result).  A pass declaring PreservesCFG must
+// never move the CFG generation; one declaring PreservesLiveness must
+// never move the code generation.  The inverse honesty property is
+// checked for every pass: generations may only move when the pass
+// reported a change, since an unreported mutation would let the
+// pipeline skip verification over modified code.
+func TestPreservesContracts(t *testing.T) {
+	routines := suite.All()
+	if testing.Short() {
+		routines = routines[:6]
+	}
+	for _, r := range routines {
+		raw, err := minift.Compile(r.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		opt, err := core.Optimize(raw, core.LevelReassoc)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		states := []struct {
+			name string
+			prog *ir.Program
+		}{{"raw", raw}, {"optimized", opt}}
+		for _, state := range states {
+			for _, p := range core.AllPasses() {
+				cp := state.prog.Clone()
+				for _, f := range cp.Funcs {
+					cfgBefore, codeBefore := f.CFGGeneration(), f.CodeGeneration()
+					changed := p.Run(&core.PassContext{
+						Ctx:      context.Background(),
+						Func:     f,
+						Analyses: analysis.NewCache(f),
+					})
+					cfgMoved := f.CFGGeneration() != cfgBefore
+					codeMoved := f.CodeGeneration() != codeBefore
+					if preserves(p, core.PreservesCFG) && cfgMoved {
+						t.Errorf("%s/%s (%s): pass %s declares PreservesCFG but moved the CFG generation",
+							r.Name, f.Name, state.name, p.Name)
+					}
+					if preserves(p, core.PreservesLiveness) && codeMoved {
+						t.Errorf("%s/%s (%s): pass %s declares PreservesLiveness but moved the code generation",
+							r.Name, f.Name, state.name, p.Name)
+					}
+					if !changed && (cfgMoved || codeMoved) {
+						t.Errorf("%s/%s (%s): pass %s mutated (cfg %v, code %v) but reported no change",
+							r.Name, f.Name, state.name, p.Name, cfgMoved, codeMoved)
+					}
+				}
+			}
+		}
+	}
+}

@@ -15,6 +15,9 @@ type NormalizeStats struct {
 	UsesRewritten  int
 }
 
+// Changed reports whether the run modified the function.
+func (s NormalizeStats) Changed() bool { return s.CopiesInserted+s.UsesRewritten > 0 }
+
 // Normalize enforces the naming discipline PRE requires (paper §2.2 and
 // §5.1): expression names — targets of non-copy computations — must
 // not be live across basic-block boundaries, and operands of
@@ -110,6 +113,10 @@ func Normalize(f *ir.Func) NormalizeStats {
 			}
 		}
 		b.Instrs = rebuilt
+	}
+	if st.Changed() {
+		// The rebuilt-slice writes bypass the Block helpers.
+		f.MarkCodeMutated()
 	}
 	return st
 }

@@ -1,8 +1,10 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/interp"
@@ -10,6 +12,11 @@ import (
 	"repro/internal/minift"
 	"repro/internal/pre"
 )
+
+// runPass applies one pass to one function with a fresh analysis cache.
+func runPass(p core.Pass, f *ir.Func) {
+	p.Run(&core.PassContext{Ctx: context.Background(), Func: f, Analyses: analysis.NewCache(f)})
+}
 
 // TestExpressionNameLiveAcrossBlock reproduces §5.1: an expression
 // name (here the sqrt result r10) live across a basic-block boundary.
@@ -56,7 +63,7 @@ b2:
 			if err != nil {
 				t.Fatal(err)
 			}
-			p.Run(g)
+			runPass(p, g)
 			if err := ir.Verify(g); err != nil {
 				t.Fatalf("after %s: %v", name, err)
 			}
@@ -201,7 +208,7 @@ func driver(x: int, y: int, n: int): int {
 				t.Fatal(err)
 			}
 			for _, f := range cp.Funcs {
-				p.Run(f)
+				runPass(p, f)
 			}
 		}
 		m := interp.NewMachine(cp)
@@ -249,7 +256,7 @@ func foo(y: int, z: int): int {
 			if err != nil {
 				t.Fatal(err)
 			}
-			p.Run(f)
+			runPass(p, f)
 			if err := ir.Verify(f); err != nil {
 				t.Fatalf("after %s: %v", name, err)
 			}

@@ -117,12 +117,12 @@ func TestOptimizeWithOnPass(t *testing.T) {
 	count := map[string]int{}
 	_, err = OptimizeWith(prog, LevelReassoc, OptimizeOptions{
 		Workers: 4,
-		OnPass: func(fn, pass string, d time.Duration) {
-			if d < 0 {
-				t.Errorf("negative duration for %s on %s", pass, fn)
+		OnPass: func(info PassInfo) {
+			if info.Duration < 0 {
+				t.Errorf("negative duration for %s on %s", info.Pass, info.Func)
 			}
 			mu.Lock()
-			count[pass]++
+			count[info.Pass]++
 			mu.Unlock()
 		},
 	})

@@ -54,7 +54,7 @@ func TestEveryPassPreservesSemantics(t *testing.T) {
 	for _, p := range core.AllPasses() {
 		prog := base.Clone()
 		for _, f := range prog.Funcs {
-			p.Run(f)
+			runPass(p, f)
 			if err := ir.Verify(f); err != nil {
 				t.Errorf("pass %s: verify: %v", p.Name, err)
 			}
@@ -84,8 +84,8 @@ func TestEveryPassPairPreservesSemantics(t *testing.T) {
 		for _, p2 := range passes {
 			prog := base.Clone()
 			for _, f := range prog.Funcs {
-				p1.Run(f)
-				p2.Run(f)
+				runPass(p1, f)
+				runPass(p2, f)
 				if err := ir.Verify(f); err != nil {
 					t.Errorf("%s;%s: verify: %v", p1.Name, p2.Name, err)
 				}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/check"
 	"repro/internal/coalesce"
@@ -68,54 +69,146 @@ func ParseLevel(s string) (Level, error) {
 	return "", fmt.Errorf("core: unknown optimization level %q", s)
 }
 
+// PassContext carries everything a pass application needs: the function
+// under optimization, a cancellation context, and the function's shared
+// analysis cache.  Passes pull dominators, liveness, loops and reverse
+// postorder from Analyses instead of rebuilding them, and the cache
+// invalidates itself from the function's mutation generations.
+type PassContext struct {
+	Ctx      context.Context
+	Func     *ir.Func
+	Analyses *analysis.Cache
+}
+
+// Analysis names usable in Pass.Preserves.
+const (
+	// PreservesCFG declares that the pass never changes the block/edge
+	// structure, so reverse postorder, dominators and loops stay valid.
+	PreservesCFG = "cfg"
+	// PreservesLiveness declares that the pass never changes
+	// instructions at all, so even liveness stays valid.
+	PreservesLiveness = "liveness"
+)
+
 // Pass is one optimizer phase: a named transformation over a function,
 // mirroring the paper's structure of the optimizer as "a sequence of
 // passes, where each pass is a Unix filter" (§4).
+//
+// Run reports whether it changed the function; false lets the pipeline
+// skip post-pass verification and lets fixpoint drivers terminate.
+// Reporting true conservatively is always sound.  Preserves is the
+// pass's declared worst-case invalidation contract — the analyses it
+// never invalidates on any input.  It is folded into PipelineVersion
+// (a contract change must invalidate content-addressed result caches)
+// and enforced by tests against the observed mutation generations; the
+// pipeline itself trusts the generations, not the declaration.
 type Pass struct {
-	Name string
-	Run  func(*ir.Func)
+	Name      string
+	Preserves []string
+	Run       func(*PassContext) bool
 }
 
-// PassByName returns a single pass for the filter tool; see Passes.
+var (
+	passIndexOnce sync.Once
+	passIndex     map[string]Pass
+)
+
+// PassByName returns a single pass for the filter tool; see AllPasses.
 func PassByName(name string) (Pass, error) {
-	for _, p := range AllPasses() {
-		if p.Name == name {
-			return p, nil
+	passIndexOnce.Do(func() {
+		passIndex = make(map[string]Pass)
+		for _, p := range AllPasses() {
+			passIndex[p.Name] = p
 		}
+	})
+	p, ok := passIndex[name]
+	if !ok {
+		return Pass{}, fmt.Errorf("core: unknown pass %q", name)
 	}
-	return Pass{}, fmt.Errorf("core: unknown pass %q", name)
+	return p, nil
 }
 
 // AllPasses enumerates every individually runnable pass.
 func AllPasses() []Pass {
+	// Shared Preserves values.  A pass listing PreservesCFG keeps the
+	// block/edge structure intact on every input; one listing both
+	// never mutates at all.
+	cfgOnly := []string{PreservesCFG}
+	readOnly := []string{PreservesCFG, PreservesLiveness}
 	return []Pass{
-		{"sccp", func(f *ir.Func) { sccp.Run(f) }},
-		{"peephole", func(f *ir.Func) { peephole.Run(f, peephole.Options{}) }},
-		{"peephole-shift", func(f *ir.Func) { peephole.Run(f, peephole.Options{MulToShift: true}) }},
-		{"dce", func(f *ir.Func) { dce.Run(f) }},
-		{"coalesce", func(f *ir.Func) { coalesce.Run(f) }},
-		{"emptyblocks", func(f *ir.Func) {
-			cfg.RemoveUnreachable(f)
-			cfg.RemoveEmptyBlocks(f)
-			cfg.MergeStraightLine(f)
+		{"sccp", nil, func(pc *PassContext) bool {
+			return sccp.RunWith(pc.Func, pc.Analyses).Changed()
 		}},
-		{"normalize", func(f *ir.Func) { Normalize(f) }},
-		{"pre", func(f *ir.Func) { pre.RunToFixpoint(f) }},
-		{"gvn", func(f *ir.Func) { gvn.Run(f) }},
-		{"reassoc", func(f *ir.Func) { reassoc.Run(f, reassoc.Options{AllowFloat: true}) }},
-		{"reassoc-dist", func(f *ir.Func) { reassoc.Run(f, reassoc.Options{Distribute: true, AllowFloat: true}) }},
-		{"cse-dom", func(f *ir.Func) { cse.RunDominator(f) }},
-		{"cse-avail", func(f *ir.Func) { cse.RunAvail(f) }},
+		{"peephole", cfgOnly, func(pc *PassContext) bool {
+			return peephole.Run(pc.Func, peephole.Options{}).Changed()
+		}},
+		{"peephole-shift", cfgOnly, func(pc *PassContext) bool {
+			return peephole.Run(pc.Func, peephole.Options{MulToShift: true}).Changed()
+		}},
+		{"dce", cfgOnly, func(pc *PassContext) bool {
+			return dce.RunWith(pc.Func, pc.Analyses).Removed > 0
+		}},
+		{"coalesce", cfgOnly, func(pc *PassContext) bool {
+			st := coalesce.RunWith(pc.Func, pc.Analyses)
+			return st.Coalesced+st.SelfCopy > 0
+		}},
+		{"emptyblocks", nil, func(pc *PassContext) bool {
+			n := pc.Analyses.RemoveUnreachable()
+			n += cfg.RemoveEmptyBlocks(pc.Func)
+			n += cfg.MergeStraightLine(pc.Func)
+			return n > 0
+		}},
+		{"normalize", cfgOnly, func(pc *PassContext) bool {
+			return Normalize(pc.Func).Changed()
+		}},
+		{"pre", nil, func(pc *PassContext) bool {
+			return pre.RunToFixpointWith(pc.Func, pc.Analyses).Mutated()
+		}},
+		// gvn, reassoc and strength rebuild the function through an
+		// SSA round-trip, which renames registers wholesale even when
+		// no optimization fires; they always report changed.
+		{"gvn", nil, func(pc *PassContext) bool {
+			gvn.RunWith(pc.Func, pc.Analyses)
+			return true
+		}},
+		{"reassoc", nil, func(pc *PassContext) bool {
+			reassoc.RunWith(pc.Func, reassoc.Options{AllowFloat: true}, pc.Analyses)
+			return true
+		}},
+		{"reassoc-dist", nil, func(pc *PassContext) bool {
+			reassoc.RunWith(pc.Func, reassoc.Options{Distribute: true, AllowFloat: true}, pc.Analyses)
+			return true
+		}},
+		{"cse-dom", nil, func(pc *PassContext) bool {
+			return cse.RunDominatorWith(pc.Func, pc.Analyses).Changed()
+		}},
+		{"cse-avail", nil, func(pc *PassContext) bool {
+			return cse.RunAvailWith(pc.Func, pc.Analyses).Changed()
+		}},
 		// Extensions: the two passes the paper reports missing (§4.1)
 		// and expects to compose with reassociation (§5.2).
-		{"lvn", func(f *ir.Func) { lvn.Run(f) }},
-		{"strength", func(f *ir.Func) { strength.Run(f) }},
+		{"lvn", cfgOnly, func(pc *PassContext) bool {
+			return lvn.Run(pc.Func).Changed()
+		}},
+		{"strength", nil, func(pc *PassContext) bool {
+			strength.RunWith(pc.Func, pc.Analyses)
+			return true
+		}},
 		// Diagnostic pass: transforms nothing, runs the semantic
 		// checkers and reports findings on stderr.  In a filter
 		// pipeline it acts as an assertion stage (cmd/ilocfilter gives
 		// it a failing exit status on errors).
-		{"check", func(f *ir.Func) { check.Report(os.Stderr, check.Func(f, check.Options{})) }},
+		{"check", readOnly, func(pc *PassContext) bool {
+			check.Report(os.Stderr, checkFunc(pc))
+			return false
+		}},
 	}
+}
+
+// checkFunc runs the semantic checkers for the check pass through the
+// shared analysis cache.
+func checkFunc(pc *PassContext) []check.Diagnostic {
+	return check.FuncWith(pc.Func, check.Options{}, pc.Analyses)
 }
 
 // baselineTail is the paper's baseline sequence, run at the end of
@@ -142,11 +235,17 @@ func PassNames(level Level) []string {
 }
 
 // PipelineVersion is a fingerprint of the optimizer's pass pipelines:
-// a hash over every level's pass sequence and the full pass inventory.
-// Content-addressed caches fold it into their keys so a cached result
-// is invalidated automatically whenever a pass is added, removed or
-// resequenced.  It is deterministic across processes and runs.
-func PipelineVersion() string {
+// a hash over every level's pass sequence and the full pass inventory
+// with each pass's preservation contract.  Content-addressed caches
+// fold it into their keys so a cached result is invalidated
+// automatically whenever a pass is added, removed, resequenced, or its
+// invalidation contract changes.  It is deterministic across processes
+// and runs.
+func PipelineVersion() string { return pipelineVersion(AllPasses()) }
+
+// pipelineVersion computes the fingerprint over a given pass inventory;
+// split out so tests can prove the hash is sensitive to contract edits.
+func pipelineVersion(passes []Pass) string {
 	h := sha256.New()
 	for _, l := range append([]Level{LevelNone}, Levels...) {
 		io.WriteString(h, string(l))
@@ -156,16 +255,34 @@ func PipelineVersion() string {
 		}
 		io.WriteString(h, "\n")
 	}
-	for _, p := range AllPasses() {
+	for _, p := range passes {
 		io.WriteString(h, p.Name)
+		for _, a := range p.Preserves {
+			io.WriteString(h, " preserves:")
+			io.WriteString(h, a)
+		}
 		io.WriteString(h, "\n")
 	}
 	return "epre-" + hex.EncodeToString(h.Sum(nil))[:16]
 }
 
+// PassInfo describes one pass application, delivered to
+// OptimizeOptions.OnPass.
+type PassInfo struct {
+	Func     string
+	Pass     string
+	Duration time.Duration
+	// Changed is the pass's own report of whether it modified the
+	// function.
+	Changed bool
+	// Builds counts the analyses the shared cache had to (re)build
+	// during this pass — cache misses, not total queries.
+	Builds analysis.BuildCounts
+}
+
 // OptimizeOptions tune OptimizeWith beyond the level itself.  The zero
 // value reproduces plain Optimize: background context, serial, no
-// instrumentation.
+// instrumentation, shared analyses, single pipeline sweep.
 type OptimizeOptions struct {
 	// Ctx, when non-nil, is checked between passes and plumbed into
 	// any checked-mode differential interpretation; optimization stops
@@ -178,11 +295,23 @@ type OptimizeOptions struct {
 	// to the serial run — functions are optimized independently in both
 	// cases and the output order is the program's function order.
 	Workers int
-	// OnPass, when non-nil, observes every pass application with its
-	// wall-clock duration.  It may be called from multiple goroutines
-	// concurrently when Workers > 1 and must be safe for that.
-	OnPass func(fn, pass string, d time.Duration)
+	// OnPass, when non-nil, observes every pass application.  It may
+	// be called from multiple goroutines concurrently when Workers > 1
+	// and must be safe for that.
+	OnPass func(PassInfo)
+	// FreshAnalyses gives every pass a brand-new analysis cache,
+	// reproducing the pre-cache behavior where each pass rebuilt its
+	// own dominators and liveness.  Used by benchmarks to measure the
+	// cache's effect; the optimized output is identical either way.
+	FreshAnalyses bool
+	// TailFixpoint re-runs the baseline tail after the level's normal
+	// sequence until no tail pass reports a change (bounded by
+	// MaxTailRounds).  The default single sweep matches the paper.
+	TailFixpoint bool
 }
+
+// MaxTailRounds bounds OptimizeOptions.TailFixpoint iteration.
+const MaxTailRounds = 8
 
 func (o OptimizeOptions) ctx() context.Context {
 	if o.Ctx != nil {
@@ -207,25 +336,62 @@ func (o OptimizeOptions) workers(nfuncs int) int {
 
 // OptimizeFunc applies a level's pass sequence to one function.
 func OptimizeFunc(f *ir.Func, level Level) error {
-	return optimizeFunc(context.Background(), f, level, nil)
+	return optimizeFunc(context.Background(), f, level, OptimizeOptions{})
 }
 
-func optimizeFunc(ctx context.Context, f *ir.Func, level Level, onPass func(fn, pass string, d time.Duration)) error {
-	for _, name := range PassNames(level) {
+func optimizeFunc(ctx context.Context, f *ir.Func, level Level, opts OptimizeOptions) error {
+	pc := &PassContext{Ctx: ctx, Func: f, Analyses: analysis.NewCache(f)}
+	runPass := func(name string) (bool, error) {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("before pass %s: %w", name, err)
+			return false, fmt.Errorf("before pass %s: %w", name, err)
 		}
 		p, err := PassByName(name)
 		if err != nil {
+			return false, err
+		}
+		if opts.FreshAnalyses {
+			pc.Analyses = analysis.NewCache(f)
+		}
+		before := pc.Analyses.Counts()
+		start := time.Now()
+		changed := p.Run(pc)
+		if opts.OnPass != nil {
+			opts.OnPass(PassInfo{
+				Func:     f.Name,
+				Pass:     name,
+				Duration: time.Since(start),
+				Changed:  changed,
+				Builds:   pc.Analyses.Counts().Sub(before),
+			})
+		}
+		// A pass that reports no change cannot have invalidated the
+		// verified invariants; skip re-verification.
+		if changed {
+			if err := ir.Verify(f); err != nil {
+				return changed, fmt.Errorf("after pass %s: %w", name, err)
+			}
+		}
+		return changed, nil
+	}
+
+	for _, name := range PassNames(level) {
+		if _, err := runPass(name); err != nil {
 			return err
 		}
-		start := time.Now()
-		p.Run(f)
-		if onPass != nil {
-			onPass(f.Name, name, time.Since(start))
-		}
-		if err := ir.Verify(f); err != nil {
-			return fmt.Errorf("after pass %s: %w", name, err)
+	}
+	if opts.TailFixpoint && level != LevelNone {
+		for round := 0; round < MaxTailRounds; round++ {
+			anyChanged := false
+			for _, name := range baselineTail() {
+				changed, err := runPass(name)
+				if err != nil {
+					return err
+				}
+				anyChanged = anyChanged || changed
+			}
+			if !anyChanged {
+				break
+			}
 		}
 	}
 	return nil
@@ -257,40 +423,56 @@ func OptimizeWith(p *ir.Program, level Level, opts OptimizeOptions) (*ir.Program
 	workers := opts.workers(len(out.Funcs))
 	if workers <= 1 {
 		for _, f := range out.Funcs {
-			if err := optimizeFunc(ctx, f, level, opts.OnPass); err != nil {
+			if err := optimizeFunc(ctx, f, level, opts); err != nil {
 				return nil, fmt.Errorf("%s: %w", f.Name, err)
 			}
 		}
 		return out, nil
 	}
 
+	// Fixed worker pool: exactly `workers` goroutines drain a function
+	// channel, so a 10,000-function program never spawns 10,000
+	// goroutines, and dispatch stops at the first error instead of
+	// feeding work that will be thrown away.
 	var (
 		wg       sync.WaitGroup
-		sem      = make(chan struct{}, workers)
+		work     = make(chan *ir.Func)
 		mu       sync.Mutex
 		firstErr error
 	)
-	for _, f := range out.Funcs {
-		wg.Add(1)
-		go func(f *ir.Func) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mu.Lock()
-			stop := firstErr != nil
-			mu.Unlock()
-			if stop {
-				return
-			}
-			if err := optimizeFunc(ctx, f, level, opts.OnPass); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", f.Name, err)
-				}
-				mu.Unlock()
-			}
-		}(f)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
 	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range work {
+				if failed() {
+					continue // drain remaining work without running it
+				}
+				if err := optimizeFunc(ctx, f, level, opts); err != nil {
+					fail(fmt.Errorf("%s: %w", f.Name, err))
+				}
+			}
+		}()
+	}
+	for _, f := range out.Funcs {
+		if failed() {
+			break
+		}
+		work <- f
+	}
+	close(work)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

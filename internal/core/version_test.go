@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPipelineVersionStable: the fingerprint is deterministic across
+// calls and carries the expected shape.
+func TestPipelineVersionStable(t *testing.T) {
+	v1, v2 := PipelineVersion(), PipelineVersion()
+	if v1 != v2 {
+		t.Fatalf("PipelineVersion not deterministic: %q vs %q", v1, v2)
+	}
+	if !strings.HasPrefix(v1, "epre-") || len(v1) != len("epre-")+16 {
+		t.Fatalf("unexpected version shape: %q", v1)
+	}
+}
+
+// TestPipelineVersionSensitivity: the fingerprint must move when a pass
+// is renamed, removed, or — crucially for the result caches — when its
+// preservation contract changes without any other edit.
+func TestPipelineVersionSensitivity(t *testing.T) {
+	base := pipelineVersion(AllPasses())
+
+	renamed := AllPasses()
+	renamed[0].Name = renamed[0].Name + "-v2"
+	if pipelineVersion(renamed) == base {
+		t.Error("renaming a pass did not change the version")
+	}
+
+	removed := AllPasses()[1:]
+	if pipelineVersion(removed) == base {
+		t.Error("removing a pass did not change the version")
+	}
+
+	// Flip the Preserves contract of the first pass that has one, and
+	// grant one to the first pass that has none.
+	contract := AllPasses()
+	flipped := false
+	for i := range contract {
+		if len(contract[i].Preserves) > 0 {
+			contract[i].Preserves = nil
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no pass declares a Preserves contract")
+	}
+	if pipelineVersion(contract) == base {
+		t.Error("clearing a Preserves contract did not change the version")
+	}
+
+	granted := AllPasses()
+	for i := range granted {
+		if len(granted[i].Preserves) == 0 {
+			granted[i].Preserves = []string{PreservesCFG}
+			break
+		}
+	}
+	if pipelineVersion(granted) == base {
+		t.Error("granting a Preserves contract did not change the version")
+	}
+}

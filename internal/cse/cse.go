@@ -20,6 +20,7 @@
 package cse
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
@@ -27,18 +28,28 @@ import (
 
 // Stats reports removals.
 type Stats struct {
-	Removed int
+	Removed       int
+	RemovedBlocks int // unreachable blocks dropped before analysis
 }
+
+// Changed reports whether the run modified the function.
+func (s Stats) Changed() bool { return s.Removed+s.RemovedBlocks > 0 }
 
 // RunDominator performs dominator-based redundancy elimination: a
 // computation is deleted when a lexically identical computation
 // strictly dominates it with no intervening kill.
 func RunDominator(f *ir.Func) Stats {
+	return RunDominatorWith(f, analysis.NewCache(f))
+}
+
+// RunDominatorWith is RunDominator drawing CFG analyses from the given
+// cache.
+func RunDominatorWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
-	cfg.RemoveUnreachable(f)
+	st.RemovedBlocks = ac.RemoveUnreachable()
 	u := dataflow.BuildUniverse(f)
 	canon := CanonicalDsts(f, u)
-	dom := cfg.BuildDomTree(f)
+	dom := ac.DomTree()
 	n := u.NumExprs()
 
 	// available[e] is true while a computation of e dominates the
@@ -80,6 +91,10 @@ func RunDominator(f *ir.Func) Stats {
 		}
 	}
 	walk(f.Entry(), available)
+	if st.Removed > 0 {
+		// The kept-slice rewrites bypass the Block helpers.
+		f.MarkCodeMutated()
+	}
 	return st
 }
 
@@ -112,13 +127,18 @@ func pruneNonTransparentPath(u *dataflow.Universe, dom *cfg.DomTree, b, child *i
 // a computation of e is removed when e ∈ AVIN of its block and no kill
 // precedes it locally.
 func RunAvail(f *ir.Func) Stats {
+	return RunAvailWith(f, analysis.NewCache(f))
+}
+
+// RunAvailWith is RunAvail drawing CFG analyses from the given cache.
+func RunAvailWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
-	cfg.RemoveUnreachable(f)
+	st.RemovedBlocks = ac.RemoveUnreachable()
 	u := dataflow.BuildUniverse(f)
 	canon := CanonicalDsts(f, u)
 	n := u.NumExprs()
 	nb := len(f.Blocks)
-	rpo := cfg.ReversePostorder(f)
+	rpo := ac.RPO()
 
 	avin := make([]*dataflow.BitSet, nb)
 	avout := make([]*dataflow.BitSet, nb)
@@ -170,6 +190,10 @@ func RunAvail(f *ir.Func) Stats {
 			killUpdate(u, avail, in)
 		}
 		b.Instrs = kept
+	}
+	if st.Removed > 0 {
+		// The kept-slice rewrites bypass the Block helpers.
+		f.MarkCodeMutated()
 	}
 	return st
 }

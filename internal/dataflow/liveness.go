@@ -16,6 +16,7 @@ type Liveness struct {
 // treated the standard way: a φ's operands are live out of the
 // corresponding predecessor, not live into the φ's own block.
 func ComputeLiveness(f *ir.Func) *Liveness {
+	livenessBuilds.Add(1)
 	n := len(f.Blocks)
 	nr := f.NumRegs()
 	lv := &Liveness{

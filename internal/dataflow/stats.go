@@ -1,0 +1,9 @@
+package dataflow
+
+import "sync/atomic"
+
+var livenessBuilds atomic.Uint64
+
+// LivenessBuilds returns the number of liveness problems solved so far
+// process-wide, counting both cached and direct ComputeLiveness calls.
+func LivenessBuilds() uint64 { return livenessBuilds.Load() }

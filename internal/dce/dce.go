@@ -6,7 +6,7 @@
 package dce
 
 import (
-	"repro/internal/dataflow"
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -17,9 +17,17 @@ type Stats struct {
 
 // Run deletes dead instructions from f in place.
 func Run(f *ir.Func) Stats {
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing liveness from the given cache.  Deletions go
+// through Block.RemoveAt, which bumps the code generation, so each
+// round's liveness is fresh — and the final (no-op) round leaves valid
+// liveness in the cache for the next pass.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	for {
-		lv := dataflow.ComputeLiveness(f)
+		lv := ac.Liveness()
 		removed := 0
 		for _, b := range f.Blocks {
 			live := lv.LiveOut[b.ID].Copy()

@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/ssa"
 )
@@ -43,9 +44,16 @@ type Stats struct {
 // φ-nodes, and translates out of SSA by inserting copies.  The
 // function is modified in place.
 func Run(f *ir.Func) Stats {
-	ssa.Build(f, ssa.BuildOptions{Prune: true, FoldCopies: true})
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing CFG analyses from the given cache: when the
+// CFG has not changed since a previous pass built the dominator tree,
+// SSA construction here reuses it.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
+	ssa.BuildWith(f, ssa.BuildOptions{Prune: true, FoldCopies: true}, ac)
 	st := Partition(f)
-	ssa.Destruct(f)
+	ssa.DestructWith(f, ac)
 	return st
 }
 
@@ -214,6 +222,9 @@ func Partition(f *ir.Func) Stats {
 		}
 		b.Instrs = kept
 	}
+	// Renaming rewrites instructions in place, bypassing the Block
+	// helpers.
+	f.MarkCodeMutated()
 	return st
 }
 

@@ -24,9 +24,18 @@ func (b *Block) Terminator() *Instr {
 	return nil
 }
 
+// markCode bumps the owning function's code generation (blocks built
+// by hand in tests may have no Fn).
+func (b *Block) markCode() {
+	if b.Fn != nil {
+		b.Fn.MarkCodeMutated()
+	}
+}
+
 // Append adds an instruction at the end of the block, before any
 // existing terminator.
 func (b *Block) Append(in *Instr) {
+	b.markCode()
 	if t := b.Terminator(); t != nil {
 		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], in, t)
 		return
@@ -36,6 +45,7 @@ func (b *Block) Append(in *Instr) {
 
 // InsertAt inserts an instruction at index i.
 func (b *Block) InsertAt(i int, in *Instr) {
+	b.markCode()
 	b.Instrs = append(b.Instrs, nil)
 	copy(b.Instrs[i+1:], b.Instrs[i:])
 	b.Instrs[i] = in
@@ -43,6 +53,7 @@ func (b *Block) InsertAt(i int, in *Instr) {
 
 // RemoveAt deletes the instruction at index i.
 func (b *Block) RemoveAt(i int) {
+	b.markCode()
 	copy(b.Instrs[i:], b.Instrs[i+1:])
 	b.Instrs = b.Instrs[:len(b.Instrs)-1]
 }
@@ -70,6 +81,9 @@ func (b *Block) Phis() []*Instr {
 func AddEdge(b, succ *Block) {
 	b.Succs = append(b.Succs, succ)
 	succ.Preds = append(succ.Preds, b)
+	if b.Fn != nil {
+		b.Fn.MarkCFGMutated()
+	}
 }
 
 // RemoveEdge unlinks the edge b→succ.  If the target has φ-nodes, the
@@ -89,6 +103,9 @@ func RemoveEdge(b, succ *Block) {
 			break
 		}
 	}
+	if b.Fn != nil {
+		b.Fn.MarkCFGMutated()
+	}
 }
 
 // ReplaceSucc rewrites every successor edge b→from into b→to without
@@ -97,6 +114,9 @@ func (b *Block) ReplaceSucc(from, to *Block) {
 	for i, s := range b.Succs {
 		if s == from {
 			b.Succs[i] = to
+			if b.Fn != nil {
+				b.Fn.MarkCFGMutated()
+			}
 		}
 	}
 }
@@ -108,6 +128,9 @@ func (b *Block) ReplacePred(old, new *Block) {
 	for i, p := range b.Preds {
 		if p == old {
 			b.Preds[i] = new
+			if b.Fn != nil {
+				b.Fn.MarkCFGMutated()
+			}
 			return
 		}
 	}

@@ -13,7 +13,41 @@ type Func struct {
 
 	nextReg  Reg
 	nextName int
+
+	// Analysis generations.  cfgGen advances whenever the block/edge
+	// structure changes (blocks added or removed, edges rewired);
+	// codeGen advances on any mutation at all, structural or
+	// instruction-level.  Cached analyses remember the generation they
+	// were built at and rebuild when it has moved on (see
+	// internal/analysis).  The ir and cfg mutating helpers bump these
+	// automatically; passes that rewrite instruction slices directly
+	// must call MarkCodeMutated themselves.
+	cfgGen  uint64
+	codeGen uint64
 }
+
+// CFGGeneration returns the structural mutation counter: it advances
+// whenever blocks or edges change, invalidating CFG-shape analyses
+// (reverse postorder, dominators, loops).
+func (f *Func) CFGGeneration() uint64 { return f.cfgGen }
+
+// CodeGeneration returns the code mutation counter: it advances on any
+// mutation (a superset of CFGGeneration), invalidating analyses that
+// read instructions, such as liveness.
+func (f *Func) CodeGeneration() uint64 { return f.codeGen }
+
+// MarkCFGMutated records a structural change (blocks/edges), bumping
+// both generations.
+func (f *Func) MarkCFGMutated() {
+	f.cfgGen++
+	f.codeGen++
+}
+
+// MarkCodeMutated records an instruction-level change that left the
+// block/edge structure intact.  Passes that rewrite instruction slices
+// in place (rather than through the Block helpers) call this so cached
+// liveness is invalidated.
+func (f *Func) MarkCodeMutated() { f.codeGen++ }
 
 // NewFunc creates an empty function with an entry block containing an
 // enter instruction for nparams parameters.
@@ -29,10 +63,13 @@ func NewFunc(name string, nparams int) *Func {
 	return f
 }
 
-// NewReg allocates a fresh virtual register.
+// NewReg allocates a fresh virtual register.  Allocating widens the
+// register namespace that liveness sets are sized by, so it counts as
+// a code mutation.
 func (f *Func) NewReg() Reg {
 	r := f.nextReg
 	f.nextReg++
+	f.codeGen++
 	return r
 }
 
@@ -53,6 +90,7 @@ func (f *Func) NewBlock() *Block {
 	b := &Block{ID: len(f.Blocks), Name: fmt.Sprintf("b%d", f.nextName), Fn: f}
 	f.nextName++
 	f.Blocks = append(f.Blocks, b)
+	f.MarkCFGMutated()
 	return b
 }
 
@@ -61,6 +99,7 @@ func (f *Func) NewBlockNamed(name string) *Block {
 	b := &Block{ID: len(f.Blocks), Name: name, Fn: f}
 	f.nextName++
 	f.Blocks = append(f.Blocks, b)
+	f.MarkCFGMutated()
 	return b
 }
 
@@ -93,6 +132,7 @@ func (f *Func) RemoveBlocks(dead func(*Block) bool) {
 	}
 	f.Blocks = kept
 	f.Renumber()
+	f.MarkCFGMutated()
 }
 
 // InstrCount returns the static number of instructions in the function.

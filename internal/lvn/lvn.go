@@ -26,11 +26,19 @@ type Stats struct {
 	Folded   int // computations folded to constants
 }
 
+// Changed reports whether the run modified the function.
+func (s Stats) Changed() bool { return s.Replaced+s.Folded > 0 }
+
 // Run performs local value numbering on every block of f.
 func Run(f *ir.Func) Stats {
 	var st Stats
 	for _, b := range f.Blocks {
 		runBlock(f, b, &st)
+	}
+	if st.Changed() {
+		// Rewrites assign b.Instrs[i] directly, bypassing the Block
+		// helpers.
+		f.MarkCodeMutated()
 	}
 	return st
 }

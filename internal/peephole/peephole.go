@@ -36,11 +36,19 @@ type Stats struct {
 	Shifts     int // mul → shl conversions
 }
 
+// Changed reports whether the run modified the function.
+func (s Stats) Changed() bool { return s.Folded+s.Identities+s.SubRebuilt+s.Shifts > 0 }
+
 // Run performs peephole optimization on f in place.
 func Run(f *ir.Func, opt Options) Stats {
 	var st Stats
 	for _, b := range f.Blocks {
 		runBlock(f, b, opt, &st)
+	}
+	if st.Changed() {
+		// Rewrites mutate instructions in place, bypassing the Block
+		// helpers.
+		f.MarkCodeMutated()
 	}
 	return st
 }

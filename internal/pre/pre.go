@@ -26,6 +26,7 @@
 package pre
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
@@ -33,17 +34,26 @@ import (
 
 // Stats reports what one PRE run did to a function.
 type Stats struct {
-	Exprs      int // size of the expression universe
-	Inserted   int // computations inserted on edges / block boundaries
-	Rewritten  int // Mode B computations replaced by copies
-	Deleted    int // Mode A computations removed outright
-	ModeA      int // expressions handled under the naming discipline
-	EdgesSplit int // critical edges split
-	Rounds     int // iterations used by RunToFixpoint
+	Exprs         int // size of the expression universe
+	Inserted      int // computations inserted on edges / block boundaries
+	Rewritten     int // Mode B computations replaced by copies
+	Deleted       int // Mode A computations removed outright
+	ModeA         int // expressions handled under the naming discipline
+	EdgesSplit    int // critical edges split
+	RemovedBlocks int // unreachable blocks dropped before analysis
+	Rounds        int // iterations used by RunToFixpoint
 }
 
-// Changed reports whether the run modified the function.
+// Changed reports whether the run made optimization progress — the
+// fixpoint driver's termination condition.
 func (s Stats) Changed() bool { return s.Inserted+s.Rewritten+s.Deleted > 0 }
+
+// Mutated reports whether the run modified the function at all,
+// including CFG surgery (edge splits, unreachable-block removal) that
+// Changed does not count as progress.
+func (s Stats) Mutated() bool {
+	return s.Changed() || s.EdgesSplit+s.RemovedBlocks > 0
+}
 
 // MaxRounds bounds RunToFixpoint; each round can hoist one more level
 // of an expression chain, so the bound corresponds to the deepest
@@ -56,13 +66,20 @@ const MaxRounds = 32
 // iterating is what hoists whole invariant chains out of loops, as in
 // the paper's Figure 9.
 func RunToFixpoint(f *ir.Func) Stats {
+	return RunToFixpointWith(f, analysis.NewCache(f))
+}
+
+// RunToFixpointWith is RunToFixpoint drawing CFG analyses from the
+// given cache.
+func RunToFixpointWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var total Stats
 	for i := 0; i < MaxRounds; i++ {
-		st := Run(f)
+		st := RunWith(f, ac)
 		total.Inserted += st.Inserted
 		total.Rewritten += st.Rewritten
 		total.Deleted += st.Deleted
 		total.EdgesSplit += st.EdgesSplit
+		total.RemovedBlocks += st.RemovedBlocks
 		total.ModeA = st.ModeA
 		total.Exprs = st.Exprs
 		total.Rounds++
@@ -76,8 +93,13 @@ func RunToFixpoint(f *ir.Func) Stats {
 // Run performs partial redundancy elimination on f and returns
 // statistics.  The function is modified in place.
 func Run(f *ir.Func) Stats {
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing CFG analyses from the given cache.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
-	cfg.RemoveUnreachable(f)
+	st.RemovedBlocks = ac.RemoveUnreachable()
 	st.EdgesSplit = cfg.SplitCriticalEdges(f)
 	u := dataflow.BuildUniverse(f)
 	n := u.NumExprs()
@@ -85,7 +107,7 @@ func Run(f *ir.Func) Stats {
 	if n == 0 {
 		return st
 	}
-	rpo := cfg.ReversePostorder(f)
+	rpo := ac.RPO()
 	nb := len(f.Blocks)
 
 	// --- Anticipability (backward) ---
@@ -362,6 +384,10 @@ func Run(f *ir.Func) Stats {
 			killScan(u, hValid, n, dstForKill, in.Op.WritesMemory())
 		}
 		b.Instrs = kept
+	}
+	if st.Changed() {
+		// The kept-slice rewrites above bypass the Block helpers.
+		f.MarkCodeMutated()
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package reassoc
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/ir"
 	"repro/internal/ssa"
 )
@@ -67,8 +68,14 @@ func (s Stats) Expansion() float64 {
 // — are rebuilt at the end of the corresponding predecessor, which is
 // where their value crosses the edge.
 func Run(f *ir.Func, opt Options) Stats {
-	ssa.Build(f, ssa.BuildOptions{Prune: true, FoldCopies: true})
-	ranks := ComputeRanks(f)
+	return RunWith(f, opt, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing CFG analyses (dominators, liveness, reverse
+// postorder) from the given cache.
+func RunWith(f *ir.Func, opt Options, ac *analysis.Cache) Stats {
+	ssa.BuildWith(f, ssa.BuildOptions{Prune: true, FoldCopies: true}, ac)
+	ranks := ComputeRanksWith(f, ac)
 
 	var st Stats
 	st.BeforeProp = f.InstrCount()
@@ -81,8 +88,10 @@ func Run(f *ir.Func, opt Options) Stats {
 	p.propagate(&st)
 	prunedDead(f)
 	st.AfterProp = f.InstrCount()
+	// Propagation and pruning rewrite instruction slices in place.
+	f.MarkCodeMutated()
 
-	ssa.Destruct(f)
+	ssa.DestructWith(f, ac)
 	return st
 }
 

@@ -17,6 +17,7 @@
 package reassoc
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/ir"
 )
@@ -46,6 +47,16 @@ func (rk *Ranks) Of(r ir.Reg) int {
 // operand will have one definition point and will have been ranked
 // before it is referenced").
 func ComputeRanks(f *ir.Func) *Ranks {
+	return computeRanksRPO(f, cfg.ReversePostorder(f))
+}
+
+// ComputeRanksWith is ComputeRanks drawing the reverse postorder from
+// the given analysis cache.
+func ComputeRanksWith(f *ir.Func, ac *analysis.Cache) *Ranks {
+	return computeRanksRPO(f, ac.RPO())
+}
+
+func computeRanksRPO(f *ir.Func, rpo []*ir.Block) *Ranks {
 	rk := &Ranks{
 		ByReg:   make([]int, f.NumRegs()),
 		ByBlock: make([]int, len(f.Blocks)),
@@ -53,7 +64,6 @@ func ComputeRanks(f *ir.Func) *Ranks {
 	for i := range rk.ByReg {
 		rk.ByReg[i] = -1
 	}
-	rpo := cfg.ReversePostorder(f)
 	for i, b := range rpo {
 		rk.ByBlock[b.ID] = i + 1 // the first block visited is rank 1
 	}

@@ -14,7 +14,7 @@ package sccp
 import (
 	"math"
 
-	"repro/internal/cfg"
+	"repro/internal/analysis"
 	"repro/internal/ir"
 )
 
@@ -77,10 +77,18 @@ type Stats struct {
 	BlocksRemoved int
 }
 
+// Changed reports whether the run modified the function.
+func (s Stats) Changed() bool { return s.Folded+s.BranchesFixed+s.BlocksRemoved > 0 }
+
 // Run performs conditional constant propagation on f in place.
 func Run(f *ir.Func) Stats {
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing CFG analyses from the given cache.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
-	cfg.RemoveUnreachable(f)
+	st.BlocksRemoved = ac.RemoveUnreachable()
 	nb := len(f.Blocks)
 	nr := f.NumRegs()
 
@@ -174,7 +182,12 @@ func Run(f *ir.Func) Stats {
 			}
 		}
 	}
-	st.BlocksRemoved = cfg.RemoveUnreachable(f)
+	if st.Folded > 0 {
+		// Folding assigns b.Instrs[i] directly, bypassing the Block
+		// helpers.
+		f.MarkCodeMutated()
+	}
+	st.BlocksRemoved += ac.RemoveUnreachable()
 	return st
 }
 

@@ -3,7 +3,8 @@ package serve
 import (
 	"expvar"
 	"net/http"
-	"time"
+
+	"repro/internal/core"
 )
 
 // Metrics is the optimization service's observability surface: request
@@ -24,6 +25,8 @@ type Metrics struct {
 	inFlight    expvar.Int // requests currently being handled
 	passNanos   expvar.Map // pass name -> cumulative wall time, ns
 	passCount   expvar.Map // pass name -> applications
+	passChanged expvar.Map // pass name -> applications that changed the function
+	analysisMap expvar.Map // analysis kind -> cache rebuilds during passes
 	top         expvar.Map // the /debug/vars document
 }
 
@@ -33,6 +36,8 @@ func NewMetrics(queueDepth func() int64) *Metrics {
 	m := &Metrics{}
 	m.passNanos.Init()
 	m.passCount.Init()
+	m.passChanged.Init()
+	m.analysisMap.Init()
 	m.top.Init()
 	m.top.Set("requests", &m.requests)
 	m.top.Set("cache_hits", &m.cacheHits)
@@ -44,6 +49,8 @@ func NewMetrics(queueDepth func() int64) *Metrics {
 	m.top.Set("in_flight", &m.inFlight)
 	m.top.Set("pass_nanos", &m.passNanos)
 	m.top.Set("pass_count", &m.passCount)
+	m.top.Set("pass_changed", &m.passChanged)
+	m.top.Set("analysis_builds", &m.analysisMap)
 	if queueDepth != nil {
 		m.top.Set("queue_depth", expvar.Func(func() any { return queueDepth() }))
 	}
@@ -52,9 +59,26 @@ func NewMetrics(queueDepth func() int64) *Metrics {
 
 // ObservePass records one pass application; it is the core
 // OptimizeOptions.OnPass hook and may be called concurrently.
-func (m *Metrics) ObservePass(fn, pass string, d time.Duration) {
-	m.passNanos.Add(pass, d.Nanoseconds())
-	m.passCount.Add(pass, 1)
+func (m *Metrics) ObservePass(info core.PassInfo) {
+	m.passNanos.Add(info.Pass, info.Duration.Nanoseconds())
+	m.passCount.Add(info.Pass, 1)
+	if info.Changed {
+		m.passChanged.Add(info.Pass, 1)
+	}
+	if b := info.Builds; b.Total() > 0 {
+		if b.Dom > 0 {
+			m.analysisMap.Add("dom", int64(b.Dom))
+		}
+		if b.RPO > 0 {
+			m.analysisMap.Add("rpo", int64(b.RPO))
+		}
+		if b.Loops > 0 {
+			m.analysisMap.Add("loops", int64(b.Loops))
+		}
+		if b.Liveness > 0 {
+			m.analysisMap.Add("liveness", int64(b.Liveness))
+		}
+	}
 }
 
 // Get returns a named counter's current value, for tests and the bench

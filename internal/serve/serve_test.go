@@ -282,6 +282,7 @@ func TestDebugVars(t *testing.T) {
 	for _, key := range []string{
 		"requests", "cache_hits", "cache_misses", "singleflight_shared",
 		"queue_depth", "in_flight", "pass_nanos", "pass_count",
+		"pass_changed", "analysis_builds",
 		"timeouts", "rejected", "errors",
 	} {
 		if _, ok := vars[key]; !ok {
@@ -301,6 +302,25 @@ func TestDebugVars(t *testing.T) {
 		if _, ok := passNanos[pass]; !ok {
 			t.Errorf("pass_nanos missing %q: %v", pass, passNanos)
 		}
+	}
+	// The SSA round-trip passes always report changed, and the run built
+	// dominators at least once — the new pass-manager counters must show
+	// both.
+	passChanged, ok := vars["pass_changed"].(map[string]any)
+	if !ok || len(passChanged) == 0 {
+		t.Fatalf("pass_changed empty or wrong shape: %v", vars["pass_changed"])
+	}
+	for _, pass := range []string{"reassoc-dist", "gvn"} {
+		if n, _ := passChanged[pass].(float64); n < 1 {
+			t.Errorf("pass_changed[%q] = %v, want >= 1", pass, passChanged[pass])
+		}
+	}
+	builds, ok := vars["analysis_builds"].(map[string]any)
+	if !ok {
+		t.Fatalf("analysis_builds wrong shape: %v", vars["analysis_builds"])
+	}
+	if n, _ := builds["dom"].(float64); n < 1 {
+		t.Errorf("analysis_builds[dom] = %v, want >= 1", builds["dom"])
 	}
 }
 

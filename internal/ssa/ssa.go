@@ -17,6 +17,7 @@ package ssa
 import (
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
@@ -38,8 +39,15 @@ type BuildOptions struct {
 // materialized in the entry block (our front end never produces such
 // uses; hand-written ILOC might).
 func Build(f *ir.Func, opt BuildOptions) {
-	cfg.RemoveUnreachable(f)
-	dom := cfg.BuildDomTree(f)
+	BuildWith(f, opt, analysis.NewCache(f))
+}
+
+// BuildWith is Build drawing its dominator tree and liveness from the
+// given analysis cache, so construction reuses results that are still
+// valid from earlier passes.
+func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
+	ac.RemoveUnreachable()
+	dom := ac.DomTree()
 
 	nr := f.NumRegs()
 	defBlocks := make([][]*ir.Block, nr) // blocks defining each register
@@ -61,7 +69,7 @@ func Build(f *ir.Func, opt BuildOptions) {
 
 	var lv *dataflow.Liveness
 	if opt.Prune {
-		lv = dataflow.ComputeLiveness(f)
+		lv = ac.Liveness()
 	}
 
 	// Insert φ-nodes at iterated dominance frontiers.
@@ -191,6 +199,9 @@ func Build(f *ir.Func, opt BuildOptions) {
 		}
 	}
 	rename(f.Entry())
+	// Renaming rewrites instruction slices in place; record the code
+	// mutation so cached liveness is rebuilt.
+	f.MarkCodeMutated()
 }
 
 // Destruct removes φ-nodes by inserting copies in predecessor blocks.
@@ -212,7 +223,13 @@ func Build(f *ir.Func, opt BuildOptions) {
 // parallel copy, sequentialized with a temporary when they form a
 // cycle (the classic swap problem).
 func Destruct(f *ir.Func) {
-	lv := dataflow.ComputeLiveness(f)
+	DestructWith(f, analysis.NewCache(f))
+}
+
+// DestructWith is Destruct drawing liveness from the given analysis
+// cache.
+func DestructWith(f *ir.Func, ac *analysis.Cache) {
+	lv := ac.Liveness()
 
 	type edgeCopies struct {
 		dsts, srcs []ir.Reg
@@ -233,6 +250,10 @@ func Destruct(f *ir.Func) {
 			phiSnap[b] = append([]*ir.Instr(nil), phis...)
 			b.Instrs = b.Instrs[len(phis):]
 		}
+	}
+	if len(phiSnap) > 0 {
+		// The slice rewrites above bypass the Block helpers.
+		f.MarkCodeMutated()
 	}
 
 	// liveOnOtherEdge reports whether d is needed along some other

@@ -23,6 +23,7 @@
 package strength
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/ir"
 	"repro/internal/ssa"
@@ -36,15 +37,21 @@ type Stats struct {
 
 // Run performs strength reduction on f in place.
 func Run(f *ir.Func) Stats {
-	ssa.Build(f, ssa.BuildOptions{Prune: true, FoldCopies: true})
-	st := reduce(f)
-	ssa.Destruct(f)
+	return RunWith(f, analysis.NewCache(f))
+}
+
+// RunWith is Run drawing CFG analyses (dominators, loops, liveness)
+// from the given cache.
+func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
+	ssa.BuildWith(f, ssa.BuildOptions{Prune: true, FoldCopies: true}, ac)
+	st := reduce(f, ac)
+	ssa.DestructWith(f, ac)
 	return st
 }
 
 // ReduceSSA runs the analysis and rewrite on a function already in SSA
 // form (for callers composing their own pipelines).
-func ReduceSSA(f *ir.Func) Stats { return reduce(f) }
+func ReduceSSA(f *ir.Func) Stats { return reduce(f, analysis.NewCache(f)) }
 
 type ivInfo struct {
 	phi     *ir.Instr // i = φ(init, next)
@@ -56,10 +63,10 @@ type ivInfo struct {
 	step    ir.Reg    // region-constant step operand
 }
 
-func reduce(f *ir.Func) Stats {
+func reduce(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
-	dom := cfg.BuildDomTree(f)
-	li := cfg.FindLoops(f, dom)
+	dom := ac.DomTree()
+	li := ac.Loops()
 	if len(li.Loops) == 0 {
 		return st
 	}

@@ -1,0 +1,116 @@
+package suite
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/minift"
+)
+
+// levelHashes optimizes every suite routine at every Table 1 level and
+// returns the sha256 of each optimized program's ILOC text, keyed
+// "routine level".
+func levelHashes(t *testing.T, opts core.OptimizeOptions) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, r := range All() {
+		prog, err := minift.Compile(r.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		for _, level := range core.Levels {
+			opt, err := core.OptimizeWith(prog, level, opts)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", r.Name, level, err)
+			}
+			sum := sha256.Sum256([]byte(opt.String()))
+			out[r.Name+" "+string(level)] = hex.EncodeToString(sum[:])
+		}
+	}
+	return out
+}
+
+// TestGoldenLevelOutputs pins the optimizer's output byte-for-byte: the
+// sha256 of every (routine, level) optimized program must match
+// testdata/golden_levels.txt, which was generated immediately before
+// the pass-manager refactor.  Any cache-staleness bug — a pass consuming
+// dominators or liveness its predecessor invalidated — shows up here as
+// a hash mismatch long before it corrupts a measured table.
+func TestGoldenLevelOutputs(t *testing.T) {
+	f, err := os.Open("testdata/golden_levels.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("malformed golden line: %q", line)
+		}
+		want[fields[0]+" "+fields[1]] = fields[2]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := levelHashes(t, core.OptimizeOptions{})
+	if len(got) != len(want) {
+		t.Errorf("golden file has %d entries, run produced %d", len(want), len(got))
+	}
+	for key, h := range got {
+		wh, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no golden entry (new routine? regenerate testdata/golden_levels.txt)", key)
+			continue
+		}
+		if h != wh {
+			t.Errorf("%s: optimized output changed: sha256 %s, golden %s", key, h, wh)
+		}
+	}
+}
+
+// TestAnalysisCacheDomReduction is the refactor's quantitative
+// acceptance gate: over a full table run (every routine, every level),
+// the shared analysis cache must cut dominator-tree constructions by at
+// least half against the cache-per-pass (FreshAnalyses) baseline — and
+// produce byte-identical output while doing it.  The reduction comes
+// from reuse across passes: reassociation's SSA build constructs the
+// dominator tree, and gvn's build finds it still valid because nothing
+// structural changed in between.
+func TestAnalysisCacheDomReduction(t *testing.T) {
+	before := analysis.GlobalBuilds()
+	cachedHashes := levelHashes(t, core.OptimizeOptions{})
+	cached := analysis.GlobalBuilds().Sub(before)
+
+	before = analysis.GlobalBuilds()
+	uncachedHashes := levelHashes(t, core.OptimizeOptions{FreshAnalyses: true})
+	uncached := analysis.GlobalBuilds().Sub(before)
+
+	for key, h := range cachedHashes {
+		if uncachedHashes[key] != h {
+			t.Errorf("%s: cached and uncached outputs differ", key)
+		}
+	}
+	t.Logf("dom builds: %d cached vs %d uncached; rpo: %d vs %d; liveness: %d vs %d",
+		cached.Dom, uncached.Dom, cached.RPO, uncached.RPO, cached.Liveness, uncached.Liveness)
+	if cached.Dom == 0 || uncached.Dom == 0 {
+		t.Fatalf("implausible dom build counts: cached %d, uncached %d", cached.Dom, uncached.Dom)
+	}
+	if cached.Dom*2 > uncached.Dom {
+		t.Errorf("dom-tree constructions not halved: %d cached vs %d uncached", cached.Dom, uncached.Dom)
+	}
+	if cached.RPO > uncached.RPO || cached.Liveness > uncached.Liveness {
+		t.Errorf("cache built more than the uncached baseline: cached %+v, uncached %+v", cached, uncached)
+	}
+}

@@ -80,11 +80,20 @@ func RunRoutine(r Routine, level core.Level) (int64, error) {
 // and the interpretation poll it, so a deadline bounds the whole
 // measurement.
 func RunRoutineCtx(ctx context.Context, r Routine, level core.Level) (int64, error) {
+	return RunRoutineOpts(ctx, r, level, core.OptimizeOptions{})
+}
+
+// RunRoutineOpts is RunRoutineCtx with full optimizer options — the
+// hook for per-pass instrumentation (OnPass) and cache ablation
+// (FreshAnalyses) in the table harness and the bench tool.  The given
+// ctx overrides opts.Ctx.
+func RunRoutineOpts(ctx context.Context, r Routine, level core.Level, opts core.OptimizeOptions) (int64, error) {
 	prog, err := minift.Compile(r.Source)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", r.Name, err)
 	}
-	opt, err := core.OptimizeWith(prog, level, core.OptimizeOptions{Ctx: ctx})
+	opts.Ctx = ctx
+	opt, err := core.OptimizeWith(prog, level, opts)
 	if err != nil {
 		return 0, fmt.Errorf("%s at %s: %w", r.Name, level, err)
 	}
@@ -101,10 +110,10 @@ func RunRoutineCtx(ctx context.Context, r Routine, level core.Level) (int64, err
 }
 
 // table1Row measures one routine at all four levels.
-func table1Row(ctx context.Context, r Routine) (Table1Row, error) {
+func table1Row(ctx context.Context, r Routine, opts core.OptimizeOptions) (Table1Row, error) {
 	row := Table1Row{Name: r.Name}
 	for _, level := range core.Levels {
-		n, err := RunRoutineCtx(ctx, r, level)
+		n, err := RunRoutineOpts(ctx, r, level, opts)
 		if err != nil {
 			return row, err
 		}
@@ -135,13 +144,21 @@ func Table1() ([]Table1Row, error) {
 // slice indexed by routine and the final sort is the same canonical
 // order either way.
 func Table1Ctx(ctx context.Context, workers int) ([]Table1Row, error) {
+	return Table1Opts(ctx, workers, core.OptimizeOptions{})
+}
+
+// Table1Opts is Table1Ctx with full optimizer options: an OnPass hook
+// observes every pass application of the whole table run (it must be
+// concurrency-safe when workers > 1), and FreshAnalyses ablates the
+// shared analysis cache for baseline measurements.
+func Table1Opts(ctx context.Context, workers int, opts core.OptimizeOptions) ([]Table1Row, error) {
 	routines := All()
 	rows := make([]Table1Row, len(routines))
 	errs := make([]error, len(routines))
 
 	if workers <= 1 {
 		for i, r := range routines {
-			rows[i], errs[i] = table1Row(ctx, r)
+			rows[i], errs[i] = table1Row(ctx, r, opts)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -152,7 +169,7 @@ func Table1Ctx(ctx context.Context, workers int) ([]Table1Row, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				rows[i], errs[i] = table1Row(ctx, r)
+				rows[i], errs[i] = table1Row(ctx, r, opts)
 			}(i, r)
 		}
 		wg.Wait()
