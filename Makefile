@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz bench
+.PHONY: check build test race vet fmt fuzz bench bench-hotpath
 
 check: fmt vet build test race
 
@@ -34,8 +34,17 @@ fuzz:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s
 
 # Performance tracking: Go micro-benchmarks plus the end-to-end serve
-# throughput + parallel-table1 measurement (BENCH_serve.json) and the
-# analysis-cache cached-vs-uncached build counts (BENCH_passmgr.json).
+# throughput + parallel-table1 measurement (BENCH_serve.json), the
+# analysis-cache cached-vs-uncached build counts (BENCH_passmgr.json),
+# and the hot-path allocation profile with the scratch pools on vs
+# ablated (BENCH_hotpath.json).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/epre bench -out BENCH_serve.json -passmgr-out BENCH_passmgr.json
+	$(GO) run ./cmd/epre bench -out BENCH_serve.json -passmgr-out BENCH_passmgr.json \
+		-hotpath-out BENCH_hotpath.json
+
+# Hot-path allocation report alone, in short mode (quick regression
+# probe: a few optimizer runs per level, pooled vs pool-disabled).
+bench-hotpath:
+	$(GO) run ./cmd/epre bench -out /dev/null -passmgr-out '' -requests 8 \
+		-concurrency 4 -parallel 2 -hotpath-out BENCH_hotpath.json -hotpath-iters 3

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/suite"
+)
+
+// hotpathReport is the BENCH_hotpath.json schema: the optimizer's own
+// allocation profile per level, measured with the scratch pools live
+// and again with them ablated (dataflow.SetPoolEnabled(false), which
+// makes every Get a fresh allocation).  The reduction percentages are
+// the hot-path allocation overhaul's headline numbers, and
+// identical_output pins the determinism contract: pooling must never
+// change what the optimizer emits.
+type hotpathReport struct {
+	Timestamp       string            `json:"timestamp"`
+	GoMaxProcs      int               `json:"gomaxprocs"`
+	PipelineVersion string            `json:"pipeline_version"`
+	Routine         string            `json:"routine"`
+	Iters           int               `json:"iters"`
+	Levels          []hotpathLevelRow `json:"levels"`
+}
+
+type hotpathLevelRow struct {
+	Level             string         `json:"level"`
+	Pooled            hotpathMeasure `json:"pooled"`
+	PoolDisabled      hotpathMeasure `json:"pool_disabled"`
+	AllocReductionPct float64        `json:"alloc_reduction_pct"`
+	IdenticalOutput   bool           `json:"identical_output"`
+}
+
+type hotpathMeasure struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measureHotpath optimizes prog at level iters times and reports
+// wall-clock and allocation cost per run, from runtime.MemStats deltas
+// (single-goroutine, so Mallocs/TotalAlloc deltas are exact).
+func measureHotpath(prog *ir.Program, level core.Level, iters int) (hotpathMeasure, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := core.Optimize(prog, level); err != nil {
+			return hotpathMeasure{}, err
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return hotpathMeasure{
+		NsPerOp:     float64(wall.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+	}, nil
+}
+
+// benchHotpath measures the pooled-vs-ablated allocation profile over
+// the largest suite routine and writes the JSON report.
+func benchHotpath(outPath string, iters int, stdout io.Writer) error {
+	const routine = "tomcatv"
+	r, ok := suite.ByName(routine)
+	if !ok {
+		return fmt.Errorf("bench: no suite routine %q", routine)
+	}
+	prog, err := minift.Compile(r.Source)
+	if err != nil {
+		return err
+	}
+	rep := &hotpathReport{
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		PipelineVersion: core.PipelineVersion(),
+		Routine:         routine,
+		Iters:           iters,
+	}
+	defer dataflow.SetPoolEnabled(dataflow.SetPoolEnabled(true)) // restore on exit
+	for _, level := range core.Levels {
+		// Determinism first: the pooled and the ablated run must emit
+		// byte-identical code.
+		dataflow.SetPoolEnabled(true)
+		pooledOut, err := core.Optimize(prog, level)
+		if err != nil {
+			return err
+		}
+		dataflow.SetPoolEnabled(false)
+		ablatedOut, err := core.Optimize(prog, level)
+		if err != nil {
+			return err
+		}
+		identical := pooledOut.String() == ablatedOut.String()
+		if !identical {
+			return fmt.Errorf("bench: %s: pooled output differs from pool-disabled output", level)
+		}
+
+		dataflow.SetPoolEnabled(true)
+		pooled, err := measureHotpath(prog, level, iters)
+		if err != nil {
+			return err
+		}
+		dataflow.SetPoolEnabled(false)
+		ablated, err := measureHotpath(prog, level, iters)
+		if err != nil {
+			return err
+		}
+		row := hotpathLevelRow{
+			Level:           string(level),
+			Pooled:          pooled,
+			PoolDisabled:    ablated,
+			IdenticalOutput: identical,
+		}
+		if ablated.AllocsPerOp > 0 {
+			row.AllocReductionPct = 100 * (ablated.AllocsPerOp - pooled.AllocsPerOp) / ablated.AllocsPerOp
+		}
+		rep.Levels = append(rep.Levels, row)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	for _, row := range rep.Levels {
+		fmt.Fprintf(stdout, "hotpath %-14s %7.0f allocs/op pooled vs %7.0f ablated (%.0f%% fewer), %.2fms/op\n",
+			row.Level, row.Pooled.AllocsPerOp, row.PoolDisabled.AllocsPerOp,
+			row.AllocReductionPct, row.Pooled.NsPerOp/1e6)
+	}
+	fmt.Fprintf(stdout, "report written to %s\n", outPath)
+	return nil
+}

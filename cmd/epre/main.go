@@ -93,12 +93,14 @@ func usage(w io.Writer) {
             [-no-validate] file.{mf,iloc}
   epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
              [-timeout 30s]   run the concurrent optimization service
-  epre table1 [-parallel N] [-passstats]
+  epre table1 [-parallel N] [-passstats] [-cpuprofile f] [-memprofile f]
                      regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
   epre bench [-out BENCH_serve.json] [-passmgr-out BENCH_passmgr.json]
+             [-hotpath-out BENCH_hotpath.json] [-hotpath-iters N]
              [-requests N] [-concurrency N] [-parallel N]
-                     serve-mode, parallel-table1 and analysis-cache benchmark
+             [-cpuprofile f] [-memprofile f]
+                     serve-mode, analysis-cache and hot-path benchmarks
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }
@@ -325,11 +327,21 @@ func cmdRun(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func cmdTable1(args []string, stdout io.Writer) error {
+func cmdTable1(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
 	passStats := fs.Bool("passstats", false, "append a per-pass table: applications, changed-bit reports, time, analysis cache misses")
+	prof := addProfileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	var opts core.OptimizeOptions
 	var collector *core.PassStatsCollector
 	if *passStats {

@@ -89,18 +89,30 @@ type benchReport struct {
 // cmdBench measures the service end to end — an in-process daemon under
 // concurrent load over the whole suite corpus — and the parallel
 // Table 1 run against the serial one, then writes the JSON report.
-func cmdBench(args []string, stdout io.Writer) error {
+func cmdBench(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_serve.json", "report file")
 	passMgrOut := fs.String("passmgr-out", "BENCH_passmgr.json", "pass-manager/analysis-cache report file (empty to skip)")
+	hotpathOut := fs.String("hotpath-out", "BENCH_hotpath.json", "hot-path allocation report file (empty to skip)")
+	hotpathIters := fs.Int("hotpath-iters", 10, "optimizer runs per hot-path measurement")
 	requests := fs.Int("requests", 200, "optimize requests to issue")
 	concurrency := fs.Int("concurrency", 16, "concurrent clients")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "table1 worker count to compare against serial")
 	level := fs.String("level", "reassoc", "optimization level for the serve workload")
+	prof := addProfileFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("bench: unexpected arguments %v", fs.Args())
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	rep := &benchReport{
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
@@ -116,6 +128,11 @@ func cmdBench(args []string, stdout io.Writer) error {
 	}
 	if *passMgrOut != "" {
 		if err := benchPassMgr(*passMgrOut, stdout); err != nil {
+			return err
+		}
+	}
+	if *hotpathOut != "" {
+		if err := benchHotpath(*hotpathOut, *hotpathIters, stdout); err != nil {
 			return err
 		}
 	}

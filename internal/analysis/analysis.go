@@ -61,6 +61,9 @@ type Cache struct {
 	loops   *cfg.LoopInfo
 	live    *dataflow.Liveness
 
+	// Reusable worklist buffers the passes borrow; see scratch.go.
+	scratch scratch
+
 	counts BuildCounts
 }
 

@@ -1,0 +1,104 @@
+package analysis
+
+import "repro/internal/ir"
+
+// scratch is the Cache's per-function arena of reusable worklist
+// buffers.  Passes over one function run sequentially on one goroutine
+// (the Cache contract), so a simple free-list per element type is
+// enough: Borrow pops a zeroed buffer, Return pushes it back.  The
+// arena survives across passes — the second pass that needs an
+// RPO-sized []int gets the first pass's buffer instead of the
+// allocator.
+//
+// Ownership rules (DESIGN.md §12): a borrowed buffer is owned until
+// Returned, must not be retained across a Return, and must never
+// escape the pass that borrowed it.  Returning is optional — a buffer
+// that escapes analysis (or whose lifetime is unclear) is simply not
+// Returned and becomes ordinary garbage.
+type scratch struct {
+	ints   [][]int
+	regs   [][]ir.Reg
+	blocks [][]*ir.Block
+	bools  [][]bool
+}
+
+// BorrowInts returns a zeroed []int of length n from the arena.
+func (c *Cache) BorrowInts(n int) []int {
+	for i := len(c.scratch.ints) - 1; i >= 0; i-- {
+		if buf := c.scratch.ints[i]; cap(buf) >= n {
+			c.scratch.ints = append(c.scratch.ints[:i], c.scratch.ints[i+1:]...)
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]int, n)
+}
+
+// ReturnInts gives a BorrowInts buffer back to the arena.
+func (c *Cache) ReturnInts(buf []int) {
+	if cap(buf) > 0 {
+		c.scratch.ints = append(c.scratch.ints, buf)
+	}
+}
+
+// BorrowRegs returns a zeroed []ir.Reg of length n from the arena.
+func (c *Cache) BorrowRegs(n int) []ir.Reg {
+	for i := len(c.scratch.regs) - 1; i >= 0; i-- {
+		if buf := c.scratch.regs[i]; cap(buf) >= n {
+			c.scratch.regs = append(c.scratch.regs[:i], c.scratch.regs[i+1:]...)
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]ir.Reg, n)
+}
+
+// ReturnRegs gives a BorrowRegs buffer back to the arena.
+func (c *Cache) ReturnRegs(buf []ir.Reg) {
+	if cap(buf) > 0 {
+		c.scratch.regs = append(c.scratch.regs, buf)
+	}
+}
+
+// BorrowBlocks returns a zeroed []*ir.Block of length n from the
+// arena — the shape of postorder stacks and block worklists.
+func (c *Cache) BorrowBlocks(n int) []*ir.Block {
+	for i := len(c.scratch.blocks) - 1; i >= 0; i-- {
+		if buf := c.scratch.blocks[i]; cap(buf) >= n {
+			c.scratch.blocks = append(c.scratch.blocks[:i], c.scratch.blocks[i+1:]...)
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]*ir.Block, n)
+}
+
+// ReturnBlocks gives a BorrowBlocks buffer back to the arena.
+func (c *Cache) ReturnBlocks(buf []*ir.Block) {
+	if cap(buf) > 0 {
+		c.scratch.blocks = append(c.scratch.blocks, buf)
+	}
+}
+
+// BorrowBools returns a zeroed []bool of length n from the arena.
+func (c *Cache) BorrowBools(n int) []bool {
+	for i := len(c.scratch.bools) - 1; i >= 0; i-- {
+		if buf := c.scratch.bools[i]; cap(buf) >= n {
+			c.scratch.bools = append(c.scratch.bools[:i], c.scratch.bools[i+1:]...)
+			buf = buf[:n]
+			clear(buf)
+			return buf
+		}
+	}
+	return make([]bool, n)
+}
+
+// ReturnBools gives a BorrowBools buffer back to the arena.
+func (c *Cache) ReturnBools(buf []bool) {
+	if cap(buf) > 0 {
+		c.scratch.bools = append(c.scratch.bools, buf)
+	}
+}

@@ -7,6 +7,7 @@ package coalesce
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/dataflow"
 	"repro/internal/ir"
 )
 
@@ -36,56 +37,84 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 			}
 		}
 	}
+	g := &interference{pairs: make(map[uint64]struct{})}
 	for {
 		st.Rounds++
-		merged := coalesceRound(f, ac, &st)
+		merged := coalesceRound(f, ac, g, &st)
 		if !merged {
 			return st
 		}
 	}
 }
 
-// interference is a sparse symmetric adjacency over registers.
+// interference is a sparse symmetric adjacency over registers: a hash
+// set of packed register pairs answers membership, and per-register
+// append lists drive neighbor iteration.  Both survive round over
+// round (reset, not reallocated), so building the graph costs map
+// bucket growth only on the first round.
 type interference struct {
-	adj []map[ir.Reg]bool
+	pairs map[uint64]struct{}
+	adj   [][]ir.Reg
+}
+
+func pairKey(a, b ir.Reg) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// reset empties the graph and re-dimensions it for nr registers.
+func (g *interference) reset(nr int) {
+	clear(g.pairs)
+	if cap(g.adj) < nr {
+		g.adj = make([][]ir.Reg, nr)
+	} else {
+		g.adj = g.adj[:nr]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
 }
 
 func (g *interference) add(a, b ir.Reg) {
 	if a == b {
 		return
 	}
-	if g.adj[a] == nil {
-		g.adj[a] = map[ir.Reg]bool{}
+	k := pairKey(a, b)
+	if _, dup := g.pairs[k]; dup {
+		return
 	}
-	if g.adj[b] == nil {
-		g.adj[b] = map[ir.Reg]bool{}
-	}
-	g.adj[a][b] = true
-	g.adj[b][a] = true
+	g.pairs[k] = struct{}{}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
 }
 
 func (g *interference) has(a, b ir.Reg) bool {
-	return g.adj[a] != nil && g.adj[a][b]
+	_, ok := g.pairs[pairKey(a, b)]
+	return ok
 }
 
 // union merges b's adjacency into a's (conservative after coalescing).
 func (g *interference) union(a, b ir.Reg) {
-	for n := range g.adj[b] {
+	for _, n := range g.adj[b] {
 		if n != a {
 			g.add(a, n)
 		}
 	}
 }
 
-func coalesceRound(f *ir.Func, ac *analysis.Cache, st *Stats) bool {
+func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) bool {
 	lv := ac.Liveness()
-	g := &interference{adj: make([]map[ir.Reg]bool, f.NumRegs())}
+	g.reset(f.NumRegs())
 
 	// Build interference: at each definition of r, r interferes with
 	// everything live after the instruction; for a copy d ← s, d does
 	// not interfere with s on account of this def.
+	live := dataflow.GetScratch(f.NumRegs())
+	defer dataflow.PutScratch(live)
 	for _, b := range f.Blocks {
-		live := lv.LiveOut[b.ID].Copy()
+		live.CopyFrom(lv.LiveOut[b.ID])
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
 			defs := in.Args

@@ -48,6 +48,7 @@ func RunDominatorWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	st.RemovedBlocks = ac.RemoveUnreachable()
 	u := dataflow.BuildUniverse(f)
+	defer u.Release()
 	canon := CanonicalDsts(f, u)
 	dom := ac.DomTree()
 	n := u.NumExprs()
@@ -135,6 +136,7 @@ func RunAvailWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	st.RemovedBlocks = ac.RemoveUnreachable()
 	u := dataflow.BuildUniverse(f)
+	defer u.Release()
 	canon := CanonicalDsts(f, u)
 	n := u.NumExprs()
 	nb := len(f.Blocks)

@@ -55,6 +55,20 @@ func (s *BitSet) trim() {
 	}
 }
 
+// Reset re-dimensions the set to capacity n and empties it, reusing
+// the backing array when it is large enough.  A Reset set is
+// indistinguishable from a fresh NewBitSet(n).
+func (s *BitSet) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		clear(s.words)
+	}
+	s.n = n
+}
+
 // Copy returns an independent duplicate of the set.
 func (s *BitSet) Copy() *BitSet {
 	return &BitSet{words: append([]uint64(nil), s.words...), n: s.n}
@@ -87,6 +101,16 @@ func (s *BitSet) Intersect(t *BitSet) bool {
 		}
 	}
 	return changed
+}
+
+// UnionDiff adds every element of t that is not in u — s ∪= (t ∖ u) —
+// without materializing the difference.  The dataflow solvers use it
+// for terms like LATERIN(i) ∩ ¬ANTLOC(i) that would otherwise cost a
+// temporary vector per edge per iteration.
+func (s *BitSet) UnionDiff(t, u *BitSet) {
+	for i, w := range t.words {
+		s.words[i] |= w &^ u.words[i]
+	}
 }
 
 // Subtract removes every element of t; reports whether s changed.

@@ -117,7 +117,8 @@ func BuildUniverse(f *ir.Func) *Universe {
 			usedBy[k.B] = append(usedBy[k.B], i)
 		}
 	}
-	loads := NewBitSet(n)
+	loads := GetScratch(n)
+	defer PutScratch(loads)
 	for i, isLd := range u.IsLoad {
 		if isLd {
 			loads.Set(i)
@@ -128,12 +129,14 @@ func BuildUniverse(f *ir.Func) *Universe {
 	u.Transp = make([]*BitSet, nb)
 	u.AntLoc = make([]*BitSet, nb)
 	u.Comp = make([]*BitSet, nb)
+	killed := GetScratch(n) // expressions killed so far in this block
+	defer PutScratch(killed)
 	for _, b := range f.Blocks {
-		transp := NewBitSet(n)
+		transp := GetScratch(n)
 		transp.SetAll()
-		antloc := NewBitSet(n)
-		comp := NewBitSet(n)
-		killed := NewBitSet(n) // expressions killed so far in this block
+		antloc := GetScratch(n)
+		comp := GetScratch(n)
+		killed.Reset(n)
 
 		kill := func(e int) {
 			killed.Set(e)
@@ -175,6 +178,19 @@ func mustKey(in *ir.Instr) ExprKey {
 
 // NumExprs returns the size of the universe.
 func (u *Universe) NumExprs() int { return len(u.Keys) }
+
+// Release returns the universe's local-property sets to the scratch
+// pool.  The owning pass calls it once it is done with the universe;
+// afterwards the universe must not be used.  Universes that are never
+// Released (tests, diagnostics) are simply collected as garbage.
+func (u *Universe) Release() {
+	for i := range u.Transp {
+		PutScratch(u.Transp[i])
+		PutScratch(u.AntLoc[i])
+		PutScratch(u.Comp[i])
+		u.Transp[i], u.AntLoc[i], u.Comp[i] = nil, nil, nil
+	}
+}
 
 // MakeInstr materializes expression e into destination register dst.
 func (u *Universe) MakeInstr(e int, dst ir.Reg) *ir.Instr {

@@ -23,14 +23,23 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 		LiveIn:  make([]*BitSet, n),
 		LiveOut: make([]*BitSet, n),
 	}
+	// use/def are block-local scratch; the LiveIn/LiveOut results
+	// escape to the caller (and analysis caches retain them), so only
+	// the scratch comes from — and returns to — the pool.
 	use := make([]*BitSet, n) // upward-exposed non-φ uses
 	def := make([]*BitSet, n) // registers defined in block
+	defer func() {
+		for i := range use {
+			PutScratch(use[i])
+			PutScratch(def[i])
+		}
+	}()
 
 	for _, b := range f.Blocks {
 		lv.LiveIn[b.ID] = NewBitSet(nr)
 		lv.LiveOut[b.ID] = NewBitSet(nr)
-		use[b.ID] = NewBitSet(nr)
-		def[b.ID] = NewBitSet(nr)
+		use[b.ID] = GetScratch(nr)
+		def[b.ID] = GetScratch(nr)
 	}
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
@@ -54,7 +63,10 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 	}
 
 	// Iterate to fixed point in postorder (reverse RPO) for speed.
+	// One scratch vector serves every block and every round.
 	rpo := cfg.ReversePostorder(f)
+	in := GetScratch(nr)
+	defer PutScratch(in)
 	for changed := true; changed; {
 		changed = false
 		for i := len(rpo) - 1; i >= 0; i-- {
@@ -73,7 +85,7 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 					}
 				}
 			}
-			in := out.Copy()
+			in.CopyFrom(out)
 			in.Subtract(def[b.ID])
 			in.Union(use[b.ID])
 			if !in.Equal(lv.LiveIn[b.ID]) {

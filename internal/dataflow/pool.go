@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// ScratchPool recycles BitSets for the iterative dataflow solvers.
+// The optimize hot path (liveness, availability/anticipability, PRE's
+// edge sets) allocates and drops thousands of identically sized bit
+// vectors per function; the pool hands them back instead.
+//
+// Sets are bucketed by backing-array word count rounded up to a power
+// of two, so a Get never reuses a vector that is too small and a
+// returned vector serves every smaller capacity in its bucket.  Get
+// always returns an empty set of exactly the requested capacity —
+// callers cannot observe whether a set was recycled, which is what
+// keeps pooling invisible to the deterministic optimizer output.
+//
+// A ScratchPool is safe for concurrent use (it is sync.Pool per
+// bucket); the zero value is ready to use.
+type ScratchPool struct {
+	// buckets[i] holds sets whose backing arrays are exactly 1<<i
+	// words.  32 buckets cover sets of up to 2^37 elements.
+	buckets [32]sync.Pool
+}
+
+// bucketFor returns the bucket index for a capacity of n elements and
+// the rounded word count allocated for that bucket.
+func bucketFor(n int) (int, int) {
+	w := (n + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	idx := bits.Len(uint(w - 1)) // ceil(log2(w))
+	return idx, 1 << idx
+}
+
+// Get returns an empty set with capacity for n elements, recycling a
+// previously Put set when one is available.
+func (p *ScratchPool) Get(n int) *BitSet {
+	idx, words := bucketFor(n)
+	if s, ok := p.buckets[idx].Get().(*BitSet); ok {
+		s.Reset(n)
+		return s
+	}
+	return &BitSet{words: make([]uint64, (n+63)/64, words), n: n}
+}
+
+// Put returns a set to the pool for reuse.  The caller must not touch
+// s afterwards.  Put(nil) is a no-op.
+func (p *ScratchPool) Put(s *BitSet) {
+	if s == nil {
+		return
+	}
+	w := cap(s.words)
+	if w == 0 {
+		return
+	}
+	idx := bits.Len(uint(w - 1))
+	if w != 1<<idx {
+		// Not pool-allocated (odd capacity): dropping it keeps the
+		// bucket invariant that capacity is exactly 1<<idx.
+		return
+	}
+	p.buckets[idx].Put(s)
+}
+
+// shared is the package-level pool the dataflow solvers and PRE draw
+// scratch vectors from.
+var shared ScratchPool
+
+// poolDisabled gates the shared pool for the allocation-regression
+// ablation: when set, GetScratch allocates fresh sets and PutScratch
+// drops them, reproducing the pre-pool behavior byte for byte.
+var poolDisabled atomic.Bool
+
+// SetPoolEnabled turns the shared scratch pool on or off.  Disabling
+// it is the benchmark ablation (`epre bench -hotpath-out` measures
+// both states); optimized output is identical either way.  It returns
+// the previous state.
+func SetPoolEnabled(on bool) bool { return !poolDisabled.Swap(!on) }
+
+// PoolEnabled reports whether the shared scratch pool is active.
+func PoolEnabled() bool { return !poolDisabled.Load() }
+
+// GetScratch returns an empty scratch set with capacity n from the
+// shared pool (or a fresh allocation when pooling is disabled).
+// The caller owns the set until PutScratch.
+func GetScratch(n int) *BitSet {
+	if poolDisabled.Load() {
+		return NewBitSet(n)
+	}
+	return shared.Get(n)
+}
+
+// PutScratch returns a GetScratch set to the shared pool.  Sets that
+// escape to callers (liveness results, universes) must never be Put;
+// only truly function-local scratch goes back.
+func PutScratch(s *BitSet) {
+	if poolDisabled.Load() {
+		return
+	}
+	shared.Put(s)
+}

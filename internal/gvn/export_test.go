@@ -1,0 +1,6 @@
+package gvn
+
+// ClassesForTest exposes the congruence partitioner to the external
+// regression test, which compares it against the retired byte-string
+// keying implementation.
+var ClassesForTest = classes

@@ -22,7 +22,6 @@
 package gvn
 
 import (
-	"encoding/binary"
 	"math"
 	"sort"
 
@@ -57,22 +56,52 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	return st
 }
 
-// Partition value-numbers an SSA-form function and renames values to
-// class representatives in place (leaving the function in SSA form,
-// with duplicate φs removed).  Exposed separately so callers that
-// manage SSA themselves can reuse it; most callers want Run.
-func Partition(f *ir.Func) Stats {
-	type def struct {
-		in    *ir.Instr
-		block *ir.Block
-		// enterIdx is the parameter position when in.Op == OpEnter,
-		// else -1.
-		enterIdx int
-	}
-	defs := map[ir.Reg]def{}
-	var values []ir.Reg
+// def describes the defining site of one SSA value.
+type def struct {
+	in    *ir.Instr
+	block *ir.Block
+	// enterIdx is the parameter position when in.Op == OpEnter,
+	// else -1.
+	enterIdx int
+}
+
+// initKey is the structured operator-level identity of a value — what
+// the byte-buffer keys of the original implementation spelled out with
+// encoding/binary.  kind disambiguates the payload space: 'p' enter
+// parameter (position), 'c'/'f' integer/float constant (value bits),
+// 'F' φ (block), 'u' opaque load/call result (the register itself),
+// 'o' ordinary operator (opcode).  Being a comparable struct it keys a
+// Go map directly, with no per-intern allocation.
+type initKey struct {
+	kind    uint8
+	payload uint64
+}
+
+// initSentinel starts every refinement hash chain (see classes): fold
+// ids are assigned sequentially from zero, so the sentinel in the high
+// word can never collide with a real chain prefix.
+const initSentinel = uint64(0xFFFFFFFF) << 32
+
+// classes computes the coarsest congruence partition of f's SSA
+// values.  It returns the values in ascending register order and a
+// register-indexed table of class ids (0 marks a register that is not
+// an SSA value).  Two values are congruent exactly when their class
+// ids are equal.
+//
+// The refinement key of a value is its initial operator key plus the
+// classes of its operands, position-wise.  Instead of spelling that
+// tuple into a byte buffer and interning it through map[string]uint32
+// (an allocation per value per round), the tuple is folded pairwise
+// through an integer-keyed map: h₀ = intern(sentinel | init), hᵢ =
+// intern(hᵢ₋₁ · classᵢ).  Each intern is a bijection between (prefix,
+// class) pairs and fresh ids, so equal final ids mean equal tuples —
+// the same partition the byte keys produced, without the buffers.
+func classes(f *ir.Func) ([]ir.Reg, []uint32) {
+	nr := f.NumRegs()
+	defs := make([]def, nr)
+	values := make([]ir.Reg, 0, nr)
 	addValue := func(r ir.Reg, d def) {
-		if _, dup := defs[r]; dup {
+		if defs[r].in != nil {
 			// Multiple defs: not SSA; keep the first, the partition
 			// will simply be conservative for this register.
 			return
@@ -95,104 +124,140 @@ func Partition(f *ir.Func) Stats {
 	}
 	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
 
-	// Initial optimistic partition.
-	initID := map[ir.Reg]uint32{}
-	keyIDs := map[string]uint32{}
-	intern := func(k []byte) uint32 {
-		id, ok := keyIDs[string(k)]
-		if !ok {
-			id = uint32(len(keyIDs) + 1)
-			keyIDs[string(k)] = id
-		}
-		return id
-	}
-	var buf []byte
+	// Initial optimistic partition over structured keys.
+	initID := make([]uint32, nr)
+	keyIDs := make(map[initKey]uint32, len(values))
 	for _, v := range values {
 		d := defs[v]
-		buf = buf[:0]
+		var k initKey
 		switch {
 		case d.enterIdx >= 0:
-			buf = append(buf, 'p')
-			buf = binary.AppendUvarint(buf, uint64(d.enterIdx))
+			k = initKey{'p', uint64(d.enterIdx)}
 		case d.in.Op == ir.OpLoadI:
-			buf = append(buf, 'c')
-			buf = binary.AppendVarint(buf, d.in.Imm)
+			k = initKey{'c', uint64(d.in.Imm)}
 		case d.in.Op == ir.OpLoadF:
-			buf = append(buf, 'f')
-			buf = binary.AppendUvarint(buf, floatBitsOf(d.in.FImm))
+			k = initKey{'f', floatBitsOf(d.in.FImm)}
 		case d.in.Op == ir.OpPhi:
-			buf = append(buf, 'F')
-			buf = binary.AppendUvarint(buf, uint64(d.block.ID))
+			k = initKey{'F', uint64(d.block.ID)}
 		case d.in.Op == ir.OpCall || d.in.Op.IsLoad():
 			// Loads and call results are opaque: singleton classes.
-			buf = append(buf, 'u')
-			buf = binary.AppendUvarint(buf, uint64(v))
+			k = initKey{'u', uint64(v)}
 		default:
-			buf = append(buf, 'o', byte(d.in.Op))
+			k = initKey{'o', uint64(d.in.Op)}
 		}
-		initID[v] = intern(buf)
+		id, ok := keyIDs[k]
+		if !ok {
+			id = uint32(len(keyIDs) + 1)
+			keyIDs[k] = id
+		}
+		initID[v] = id
 	}
 
-	// Refine to the coarsest congruence: a value's key is its initial
-	// key plus the classes of its operands, position-wise.
-	class := map[ir.Reg]uint32{}
+	// Refine to the coarsest congruence.  The fold map and the class
+	// tables are the only per-round state, and all of them are reused
+	// round over round (the map via clear, the tables by swapping).
+	class := make([]uint32, nr)
+	next := make([]uint32, nr)
 	for _, v := range values {
 		class[v] = initID[v]
 	}
 	classOf := func(r ir.Reg) uint32 {
-		if c, ok := class[r]; ok {
-			return c
+		if int(r) < nr {
+			if c := class[r]; c != 0 {
+				return c
+			}
 		}
 		// Uses of registers with no def (should not happen after SSA
 		// construction): unique by register.
 		return ^uint32(r)
 	}
+	fold := make(map[uint64]uint32, len(values))
+	var foldID uint32
+	intern := func(k uint64) uint32 {
+		id, ok := fold[k]
+		if !ok {
+			foldID++
+			id = foldID
+			fold[k] = id
+		}
+		return id
+	}
+	var seen []bool // marks final ids when counting classes per round
 	prevCount := -1
 	for {
-		next := map[ir.Reg]uint32{}
-		ids := map[string]uint32{}
+		clear(fold)
+		foldID = 0
 		for _, v := range values {
 			d := defs[v]
-			buf = buf[:0]
-			buf = binary.AppendUvarint(buf, uint64(initID[v]))
+			h := intern(initSentinel | uint64(initID[v]))
 			if d.enterIdx < 0 && d.in.Op != ir.OpLoadI && d.in.Op != ir.OpLoadF {
 				for _, a := range d.in.Args {
-					buf = binary.AppendUvarint(buf, uint64(classOf(a)))
+					h = intern(uint64(h)<<32 | uint64(classOf(a)))
 				}
 			}
-			id, ok := ids[string(buf)]
-			if !ok {
-				id = uint32(len(ids) + 1)
-				ids[string(buf)] = id
-			}
-			next[v] = id
+			next[v] = h
 		}
-		count := len(ids)
+		// Count distinct classes (final ids only; the fold counter
+		// also numbers intermediate prefixes).
+		if int(foldID)+1 > len(seen) {
+			seen = make([]bool, foldID+1)
+		} else {
+			clear(seen[:foldID+1])
+		}
+		count := 0
+		for _, v := range values {
+			if !seen[next[v]] {
+				seen[next[v]] = true
+				count++
+			}
+		}
+		class, next = next, class
 		same := count == prevCount
 		prevCount = count
-		class = next
 		if same {
 			break
 		}
 	}
+	return values, class
+}
 
-	// Pick one representative register per class and rewrite.
-	rep := map[uint32]ir.Reg{}
+// Partition value-numbers an SSA-form function and renames values to
+// class representatives in place (leaving the function in SSA form,
+// with duplicate φs removed).  Exposed separately so callers that
+// manage SSA themselves can reuse it; most callers want Run.
+func Partition(f *ir.Func) Stats {
+	values, class := classes(f)
+
+	// Pick one representative register per class and rewrite.  Values
+	// are visited in ascending register order, so representative
+	// numbering is deterministic and independent of how the class ids
+	// happen to be numbered.
+	var maxClass uint32
 	for _, v := range values {
-		c := class[v]
-		if _, ok := rep[c]; !ok {
+		if class[v] > maxClass {
+			maxClass = class[v]
+		}
+	}
+	rep := make([]ir.Reg, maxClass+1)
+	nClasses := 0
+	for _, v := range values {
+		if c := class[v]; rep[c] == ir.NoReg {
 			rep[c] = f.NewReg()
+			nClasses++
 		}
 	}
 	rename := func(r ir.Reg) ir.Reg {
-		if c, ok := class[r]; ok {
-			return rep[c]
+		if int(r) < len(class) {
+			if c := class[r]; c != 0 {
+				return rep[c]
+			}
 		}
 		return r
 	}
-	st := Stats{Values: len(values), Classes: len(rep)}
+	st := Stats{Values: len(values), Classes: nClasses}
+	var phiSeen []ir.Reg // φ-dsts already kept in the current block
 	for _, b := range f.Blocks {
-		seenPhi := map[ir.Reg]bool{}
+		phiSeen = phiSeen[:0]
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			for i, a := range in.Args {
@@ -212,11 +277,18 @@ func Partition(f *ir.Func) Stats {
 				in.Dst = rename(in.Dst)
 			}
 			if in.Op == ir.OpPhi {
-				if seenPhi[in.Dst] {
+				dup := false
+				for _, d := range phiSeen {
+					if d == in.Dst {
+						dup = true
+						break
+					}
+				}
+				if dup {
 					st.PhiDups++
 					continue // congruent φ already present
 				}
-				seenPhi[in.Dst] = true
+				phiSeen = append(phiSeen, in.Dst)
 			}
 			kept = append(kept, in)
 		}

@@ -1,0 +1,83 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/suite"
+)
+
+// benchCorpus renders the largest suite routines to ILOC text: the
+// parser/printer workload is the same code the optimizer hot path
+// reads and writes.
+func benchCorpus(b *testing.B) map[string]string {
+	b.Helper()
+	corpus := map[string]string{}
+	for _, name := range []string{"tomcatv", "deseco", "sgemv"} {
+		r, ok := suite.ByName(name)
+		if !ok {
+			b.Fatalf("no suite routine %q", name)
+		}
+		prog, err := minift.Compile(r.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus[name] = prog.String()
+	}
+	return corpus
+}
+
+func BenchmarkParse(b *testing.B) {
+	for name, text := range benchCorpus(b) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(text)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ir.ParseProgramString(text); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPrint(b *testing.B) {
+	for name, text := range benchCorpus(b) {
+		prog, err := ir.ParseProgramString(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if out := prog.String(); len(out) == 0 {
+					b.Fatal("empty print")
+				}
+			}
+		})
+	}
+}
+
+// TestParseRoundTrip pins the parser refactor: parse(print(parse(x)))
+// must reproduce print(parse(x)) byte for byte over the bench corpus.
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range []string{"tomcatv", "deseco", "sgemv"} {
+		r, ok := suite.ByName(name)
+		if !ok {
+			t.Fatalf("no suite routine %q", name)
+		}
+		prog, err := minift.Compile(r.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := prog.String()
+		reparsed, err := ir.ParseProgramString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", name, err)
+		}
+		if got := reparsed.String(); got != text {
+			t.Errorf("%s: print→parse→print not a fixpoint", name)
+		}
+	}
+}

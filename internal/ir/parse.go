@@ -56,6 +56,12 @@ type parser struct {
 	line int
 	cur  string
 	eof  bool
+	// arena backs the Args slices of parsed instructions in large
+	// chunks, so a function of N instructions costs a handful of
+	// register-slice allocations instead of N.  Slices handed out are
+	// capacity-clipped, so a later append to one cannot bleed into its
+	// neighbor.
+	arena []Reg
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -203,8 +209,13 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 	var targets []string
 	if op, rest, ok := strings.Cut(line, "->"); ok {
 		line = strings.TrimSpace(op)
-		for _, t := range strings.Split(rest, ",") {
+		for {
+			t, more, cont := strings.Cut(rest, ",")
 			targets = append(targets, strings.TrimSpace(t))
+			if !cont {
+				break
+			}
+			rest = more
 		}
 	}
 	// Split off destination: "... => rN" (but stores write "=> [rN]").
@@ -306,9 +317,10 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 	if a := op.Arity(); a >= 0 && len(in.Args) != a {
 		return nil, nil, p.errf("%s expects %d operands, got %d", op, a, len(in.Args))
 	}
-	for _, r := range append(in.Args, in.Dst) {
+	for _, r := range in.Args {
 		f.SetRegHint(r)
 	}
+	f.SetRegHint(in.Dst)
 	return in, targets, nil
 }
 
@@ -317,15 +329,25 @@ func (p *parser) regList(s string) ([]Reg, error) {
 	if s == "" {
 		return nil, nil
 	}
-	parts := strings.Split(s, ",")
-	regs := make([]Reg, 0, len(parts))
-	for _, part := range parts {
+	n := 1 + strings.Count(s, ",")
+	if len(p.arena)+n > cap(p.arena) {
+		p.arena = make([]Reg, 0, max(1024, n))
+	}
+	start := len(p.arena)
+	regs := p.arena[start : start : start+n]
+	for {
+		part, rest, more := strings.Cut(s, ",")
 		r, err := p.reg(strings.TrimSpace(part))
 		if err != nil {
 			return nil, err
 		}
 		regs = append(regs, r)
+		if !more {
+			break
+		}
+		s = rest
 	}
+	p.arena = p.arena[:start+len(regs)]
 	return regs, nil
 }
 

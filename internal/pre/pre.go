@@ -102,6 +102,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	st.RemovedBlocks = ac.RemoveUnreachable()
 	st.EdgesSplit = cfg.SplitCriticalEdges(f)
 	u := dataflow.BuildUniverse(f)
+	defer u.Release()
 	n := u.NumExprs()
 	st.Exprs = n
 	if n == 0 {
@@ -110,9 +111,17 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	rpo := ac.RPO()
 	nb := len(f.Blocks)
 
+	// All dataflow vectors below are function-local: they come from the
+	// scratch pool and go back wholesale when the run finishes.  One
+	// extra vector (tmp) absorbs every per-iteration intermediate that
+	// used to be a fresh Copy.
+	var bw borrower
+	defer bw.release()
+	tmp := bw.get(n)
+
 	// --- Anticipability (backward) ---
-	antin := newSets(nb, n)
-	antout := newSets(nb, n)
+	antin := bw.perBlock(nb, n)
+	antout := bw.perBlock(nb, n)
 	for _, b := range f.Blocks {
 		antin[b.ID].SetAll()
 	}
@@ -129,19 +138,19 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 					out.Intersect(antin[s.ID])
 				}
 			}
-			in := out.Copy()
-			in.Intersect(u.Transp[b.ID])
-			in.Union(u.AntLoc[b.ID])
-			if !in.Equal(antin[b.ID]) {
-				antin[b.ID].CopyFrom(in)
+			tmp.CopyFrom(out)
+			tmp.Intersect(u.Transp[b.ID])
+			tmp.Union(u.AntLoc[b.ID])
+			if !tmp.Equal(antin[b.ID]) {
+				antin[b.ID].CopyFrom(tmp)
 				changed = true
 			}
 		}
 	}
 
 	// --- Availability (forward) ---
-	avin := newSets(nb, n)
-	avout := newSets(nb, n)
+	avin := bw.perBlock(nb, n)
+	avout := bw.perBlock(nb, n)
 	for _, b := range f.Blocks {
 		if b != f.Entry() {
 			avout[b.ID].SetAll()
@@ -161,11 +170,11 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 					in.Intersect(avout[p.ID])
 				}
 			}
-			out := in.Copy()
-			out.Intersect(u.Transp[b.ID])
-			out.Union(u.Comp[b.ID])
-			if !out.Equal(avout[b.ID]) {
-				avout[b.ID].CopyFrom(out)
+			tmp.CopyFrom(in)
+			tmp.Intersect(u.Transp[b.ID])
+			tmp.Union(u.Comp[b.ID])
+			if !tmp.Equal(avout[b.ID]) {
+				avout[b.ID].CopyFrom(tmp)
 				changed = true
 			}
 		}
@@ -175,56 +184,54 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	type edge struct {
 		from, to *ir.Block // from == nil for the virtual entry edge
 	}
-	var edges []edge
+	edges := make([]edge, 0, nb+1)
 	edges = append(edges, edge{nil, f.Entry()})
 	for _, b := range f.Blocks {
 		for _, s := range b.Succs {
 			edges = append(edges, edge{b, s})
 		}
 	}
-	earliest := make([]*dataflow.BitSet, len(edges))
+	earliest := bw.perEdge(len(edges), n)
 	for ei, e := range edges {
-		set := antin[e.to.ID].Copy()
+		set := earliest[ei]
+		set.CopyFrom(antin[e.to.ID])
 		if e.from != nil {
 			set.Subtract(avout[e.from.ID])
 			// ∩ (¬TRANSP(i) ∪ ¬ANTOUT(i)):
-			mask := u.Transp[e.from.ID].Copy()
-			mask.Intersect(antout[e.from.ID])
-			set.Subtract(mask)
+			tmp.CopyFrom(u.Transp[e.from.ID])
+			tmp.Intersect(antout[e.from.ID])
+			set.Subtract(tmp)
 		}
-		earliest[ei] = set
 	}
 
 	// --- LATER / LATERIN (forward over edges, greatest fixed point) ---
 	// The virtual entry edge gives LATERIN(entry) = EARLIEST(v→entry) =
 	// ANTIN(entry), so nothing in the entry block is ever deleted and
 	// no insertion lands before the procedure starts.
-	laterin := newSets(nb, n)
+	laterin := bw.perBlock(nb, n)
 	for _, b := range f.Blocks {
 		laterin[b.ID].SetAll()
 	}
-	later := make([]*dataflow.BitSet, len(edges))
+	later := bw.perEdge(len(edges), n)
 	for ei := range edges {
-		later[ei] = dataflow.NewBitSet(n)
 		later[ei].SetAll()
 	}
+	recompute := bw.perBlock(nb, n)
 	for changed := true; changed; {
 		changed = false
 		for ei, e := range edges {
-			set := earliest[ei].Copy()
+			tmp.CopyFrom(earliest[ei])
 			if e.from != nil {
-				prop := laterin[e.from.ID].Copy()
-				prop.Subtract(u.AntLoc[e.from.ID])
-				set.Union(prop)
+				// ∪ (LATERIN(i) ∩ ¬ANTLOC(i)), without materializing
+				// the intermediate: x ∪ (y ∖ z) word-wise.
+				tmp.UnionDiff(laterin[e.from.ID], u.AntLoc[e.from.ID])
 			}
-			if !set.Equal(later[ei]) {
-				later[ei].CopyFrom(set)
+			if !tmp.Equal(later[ei]) {
+				later[ei].CopyFrom(tmp)
 				changed = true
 			}
 		}
-		recompute := make([]*dataflow.BitSet, nb)
 		for _, b := range f.Blocks {
-			recompute[b.ID] = dataflow.NewBitSet(n)
 			recompute[b.ID].SetAll()
 		}
 		for ei, e := range edges {
@@ -239,17 +246,17 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	}
 
 	// --- INSERT / DELETE ---
-	insert := make([]*dataflow.BitSet, len(edges))
+	insert := bw.perEdge(len(edges), n)
 	for ei, e := range edges {
-		set := later[ei].Copy()
+		set := insert[ei]
+		set.CopyFrom(later[ei])
 		set.Subtract(laterin[e.to.ID])
-		insert[ei] = set
 	}
-	del := make([]*dataflow.BitSet, nb)
+	del := bw.perBlock(nb, n)
 	for _, b := range f.Blocks {
-		set := u.AntLoc[b.ID].Copy()
+		set := del[b.ID]
+		set.CopyFrom(u.AntLoc[b.ID])
 		set.Subtract(laterin[b.ID])
-		del[b.ID] = set
 	}
 
 	// --- Allocate temporaries for interesting expressions ---
@@ -270,16 +277,19 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	// e; deletions become copies from h and surviving occurrences are
 	// rewritten to "h ← e; t ← copy h".  This mode is safe on arbitrary
 	// input code that ignores the naming discipline.
-	temp := make([]ir.Reg, n)
-	modeA := make([]bool, n)
-	interesting := dataflow.NewBitSet(n)
+	temp := ac.BorrowRegs(n)
+	defer ac.ReturnRegs(temp)
+	modeA := ac.BorrowBools(n)
+	defer ac.ReturnBools(modeA)
+	interesting := bw.get(n)
 	for ei := range edges {
 		interesting.Union(insert[ei])
 	}
 	for _, b := range f.Blocks {
 		interesting.Union(del[b.ID])
 	}
-	canon := canonicalDsts(f, u)
+	canon := canonicalDsts(f, u, ac)
+	defer ac.ReturnRegs(canon)
 	// Mode A applies to every canonically named expression, not just
 	// the ones with global insert/delete sets: the same scan then also
 	// removes block-local recomputations (classic PRE presentations
@@ -334,8 +344,9 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	}
 
 	// --- Rewrite original computations ---
+	hValid := bw.get(n)
 	for _, b := range f.Blocks {
-		hValid := del[b.ID].Copy()
+		hValid.CopyFrom(del[b.ID])
 		hValid.Intersect(interesting)
 		kept := make([]*ir.Instr, 0, len(b.Instrs))
 		for _, in := range b.Instrs {
@@ -416,15 +427,19 @@ func killScan(u *dataflow.Universe, hValid *dataflow.BitSet, n int, dst ir.Reg, 
 }
 
 // canonicalDsts finds, for each expression, the Mode A canonical
-// destination register, or NoReg when the conditions fail.
-func canonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
+// destination register, or NoReg when the conditions fail.  The
+// returned slice is borrowed from the cache's arena; the caller
+// returns it with ReturnRegs.
+func canonicalDsts(f *ir.Func, u *dataflow.Universe, ac *analysis.Cache) []ir.Reg {
 	n := u.NumExprs()
-	canon := make([]ir.Reg, n)
+	canon := ac.BorrowRegs(n)
 	for i := range canon {
 		canon[i] = ir.Reg(-1) // unseen
 	}
-	defCount := make([]int, f.NumRegs())
-	exprDefCount := make([]int, n)
+	defCount := ac.BorrowInts(f.NumRegs())
+	defer ac.ReturnInts(defCount)
+	exprDefCount := ac.BorrowInts(n)
+	defer ac.ReturnInts(exprDefCount)
 	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
 		if in.Op == ir.OpEnter {
 			for _, p := range in.Args {
@@ -448,8 +463,10 @@ func canonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
 		}
 	})
 	// Reject: other defs of t, t an operand of e, or t used non-locally.
-	nonLocalUse := make([]bool, f.NumRegs())
-	definedHere := make([]int, f.NumRegs())
+	nonLocalUse := ac.BorrowBools(f.NumRegs())
+	defer ac.ReturnBools(nonLocalUse)
+	definedHere := ac.BorrowInts(f.NumRegs())
+	defer ac.ReturnInts(definedHere)
 	gen := 0
 	for _, b := range f.Blocks {
 		gen++
@@ -480,10 +497,40 @@ func canonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
 	return canon
 }
 
-func newSets(nb, n int) []*dataflow.BitSet {
+// borrower tracks the scratch vectors one PRE run draws from the
+// shared pool so release can hand every one of them back at once.
+// Only the vectors — the actual allocation churn — are pooled; the
+// small per-block/per-edge pointer tables are not worth the
+// bookkeeping.
+type borrower struct {
+	borrowed []*dataflow.BitSet
+}
+
+// get borrows one empty capacity-n vector.
+func (bw *borrower) get(n int) *dataflow.BitSet {
+	s := dataflow.GetScratch(n)
+	bw.borrowed = append(bw.borrowed, s)
+	return s
+}
+
+// perBlock borrows a block-indexed family of empty capacity-n vectors.
+func (bw *borrower) perBlock(nb, n int) []*dataflow.BitSet {
 	s := make([]*dataflow.BitSet, nb)
 	for i := range s {
-		s[i] = dataflow.NewBitSet(n)
+		s[i] = bw.get(n)
 	}
 	return s
+}
+
+// perEdge borrows an edge-indexed family of empty capacity-n vectors.
+func (bw *borrower) perEdge(ne, n int) []*dataflow.BitSet {
+	return bw.perBlock(ne, n)
+}
+
+// release returns every borrowed vector to the pool.
+func (bw *borrower) release() {
+	for _, s := range bw.borrowed {
+		dataflow.PutScratch(s)
+	}
+	bw.borrowed = nil
 }

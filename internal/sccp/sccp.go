@@ -55,8 +55,6 @@ func meet(a, b value) value {
 // state is a register→lattice map at a program point.
 type state []value
 
-func (s state) copyState() state { return append(state(nil), s...) }
-
 // meetInto merges src into dst; reports whether dst changed.
 func (s state) meetInto(src state) bool {
 	changed := false
@@ -92,10 +90,15 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	nb := len(f.Blocks)
 	nr := f.NumRegs()
 
+	// One backing array holds every block's entry state; out is a
+	// single reused evaluation buffer (its contents are dead once the
+	// successors have been met into).
+	backing := make([]value, nb*nr)
 	in := make([]state, nb)
 	for i := range in {
-		in[i] = make(state, nr)
+		in[i] = backing[i*nr : (i+1)*nr : (i+1)*nr]
 	}
+	out := make(state, nr)
 	edgeExec := map[[2]int]bool{}
 	blockSeen := make([]bool, nb)
 
@@ -104,7 +107,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	for len(work) > 0 {
 		b := work[len(work)-1]
 		work = work[:len(work)-1]
-		out := in[b.ID].copyState()
+		copy(out, in[b.ID])
 		var condVal value
 		for _, instr := range b.Instrs {
 			condVal = evalInstr(instr, out)
@@ -138,7 +141,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 		if !blockSeen[b.ID] {
 			continue
 		}
-		out := in[b.ID].copyState()
+		copy(out, in[b.ID])
 		for i, instr := range b.Instrs {
 			evalInstr(instr, out)
 			// Copies are never rewritten: re-materializing a constant
@@ -229,8 +232,15 @@ func evalInstr(in *ir.Instr, s state) value {
 	case ir.OpJump, ir.OpRet, ir.OpStoreW, ir.OpStoreD, ir.OpStoreS:
 		return bot
 	}
-	// Pure arithmetic: fold when all operands are constants.
-	args := make([]value, len(in.Args))
+	// Pure arithmetic: fold when all operands are constants.  Operand
+	// values live in a fixed-size stack buffer — pure operators take at
+	// most two operands, and foldOp does not retain the slice — so the
+	// per-instruction evaluation allocates nothing.
+	var argbuf [3]value
+	args := argbuf[:len(in.Args)]
+	if len(in.Args) > len(argbuf) {
+		args = make([]value, len(in.Args))
+	}
 	allConst := true
 	anyBottom := false
 	for i, a := range in.Args {

@@ -263,6 +263,26 @@ func TestBadRequests(t *testing.T) {
 
 // TestDebugVars: /debug/vars serves the counters, the per-pass timing
 // map and the queue-depth gauge as JSON.
+// TestDebugPprof verifies the live-profiling surface: the pprof index
+// and a sample profile are served off the debug mux.
+func TestDebugPprof(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
 func TestDebugVars(t *testing.T) {
 	s := New(Config{})
 	ts := httptest.NewServer(s.Handler())

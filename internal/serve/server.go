@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
@@ -174,6 +175,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/levels", s.handleLevels)
 	s.mux.Handle("/debug/vars", s.metrics)
+	// Live profiling of the daemon: the stock pprof handlers hang off
+	// the same debug mux, so `go tool pprof host/debug/pprof/heap` (or
+	// profile, goroutine, ...) works against a running service.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }

@@ -51,7 +51,8 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 
 	nr := f.NumRegs()
 	defBlocks := make([][]*ir.Block, nr) // blocks defining each register
-	hasDef := make([]bool, nr)
+	hasDef := ac.BorrowBools(nr)
+	defer ac.ReturnBools(hasDef)
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.Dst != ir.NoReg {
@@ -72,42 +73,55 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 		lv = ac.Liveness()
 	}
 
-	// Insert φ-nodes at iterated dominance frontiers.
+	// Insert φ-nodes at iterated dominance frontiers.  The per-variable
+	// placed/on-worklist sets are generation-stamped block tables
+	// borrowed from the analysis arena — one pair of []int serves every
+	// register instead of two fresh maps each.
 	phiFor := map[*ir.Instr]ir.Reg{} // φ instr → original variable
+	nb := len(f.Blocks)
+	placedAt := ac.BorrowInts(nb)
+	onWorkAt := ac.BorrowInts(nb)
+	work := ac.BorrowBlocks(nb)[:0]
+	for i := range placedAt {
+		placedAt[i] = -1
+		onWorkAt[i] = -1
+	}
 	for v := ir.Reg(1); int(v) < nr; v++ {
 		if !hasDef[v] {
 			continue
 		}
-		work := append([]*ir.Block(nil), defBlocks[v]...)
-		placed := map[*ir.Block]bool{}
-		onWork := map[*ir.Block]bool{}
+		gen := int(v)
+		work = append(work[:0], defBlocks[v]...)
 		for _, b := range work {
-			onWork[b] = true
+			onWorkAt[b.ID] = gen
 		}
 		for len(work) > 0 {
 			b := work[len(work)-1]
 			work = work[:len(work)-1]
 			for _, d := range dom.Frontier(b) {
-				if placed[d] {
+				if placedAt[d.ID] == gen {
 					continue
 				}
 				if opt.Prune && !lv.LiveIn[d.ID].Has(int(v)) {
 					continue
 				}
-				placed[d] = true
+				placedAt[d.ID] = gen
 				phi := &ir.Instr{Op: ir.OpPhi, Dst: v, Args: make([]ir.Reg, len(d.Preds))}
 				for i := range phi.Args {
 					phi.Args[i] = v
 				}
 				d.InsertAt(0, phi)
 				phiFor[phi] = v
-				if !onWork[d] {
-					onWork[d] = true
+				if onWorkAt[d.ID] != gen {
+					onWorkAt[d.ID] = gen
 					work = append(work, d)
 				}
 			}
 		}
 	}
+	ac.ReturnInts(placedAt)
+	ac.ReturnInts(onWorkAt)
+	ac.ReturnBlocks(work)
 
 	// Rename with a dominator-tree walk.
 	stacks := make([][]ir.Reg, nr)
@@ -130,12 +144,17 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 		return s[len(s)-1]
 	}
 
+	// undoLog records, across the whole dominator-tree walk, which
+	// variable each push was for; a block's exit pops its own suffix.
+	// This replaces a per-block map of push counts with one shared
+	// slice that the recursion indexes by position.
+	var undoLog []ir.Reg
 	var rename func(b *ir.Block)
 	rename = func(b *ir.Block) {
-		pushed := make(map[ir.Reg]int)
+		undoMark := len(undoLog)
 		push := func(v, nv ir.Reg) {
 			stacks[v] = append(stacks[v], nv)
-			pushed[v]++
+			undoLog = append(undoLog, v)
 		}
 
 		kept := b.Instrs[:0]
@@ -194,9 +213,11 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 		for _, c := range dom.Children(b) {
 			rename(c)
 		}
-		for v, n := range pushed {
-			stacks[v] = stacks[v][:len(stacks[v])-n]
+		for i := len(undoLog) - 1; i >= undoMark; i-- {
+			v := undoLog[i]
+			stacks[v] = stacks[v][:len(stacks[v])-1]
 		}
+		undoLog = undoLog[:undoMark]
 	}
 	rename(f.Entry())
 	// Renaming rewrites instruction slices in place; record the code
