@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz bench bench-hotpath
+.PHONY: check build test race vet fmt fuzz fuzz-smoke bench bench-hotpath
 
-check: fmt vet build test race
+check: fmt vet build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ fmt:
 # `check`; the committed seeds already run under plain `go test`).
 fuzz:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s
+
+# Differential-fuzzing smoke test, part of `check`: 200 generated
+# programs at fixed seeds, every optimization level interpreted
+# against the unoptimized reference.  Any miscompile, verifier
+# reject, panic, or runaway exits nonzero with a shrunk reproducer.
+fuzz-smoke:
+	$(GO) run ./cmd/epre fuzz -seed 1 -n 200 -workers 4
 
 # Performance tracking: Go micro-benchmarks plus the end-to-end serve
 # throughput + parallel-table1 measurement (BENCH_serve.json), the

@@ -57,7 +57,7 @@ func BenchmarkTable2ForwardProp(b *testing.B) {
 		b.Run(r.Name, func(b *testing.B) {
 			var expansion float64
 			for i := 0; i < b.N; i++ {
-				prog, err := minift.Compile(r.Source)
+				prog, err := r.Compile()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -342,7 +342,7 @@ func BenchmarkAblationDupLimit(b *testing.B) {
 		b.Run(lim.name, func(b *testing.B) {
 			var ops int64
 			for i := 0; i < b.N; i++ {
-				prog, err := minift.Compile(r.Source)
+				prog, err := r.Compile()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -376,7 +376,7 @@ func BenchmarkOptimizerSpeed(b *testing.B) {
 	if !ok {
 		b.Fatal("no tomcatv routine")
 	}
-	prog, err := minift.Compile(r.Source)
+	prog, err := r.Compile()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func BenchmarkRegisterPressure(b *testing.B) {
 			var spills int
 			var ops int64
 			for i := 0; i < b.N; i++ {
-				prog, err := minift.Compile(r.Source)
+				prog, err := r.Compile()
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/ir"
-	"repro/internal/minift"
 	"repro/internal/suite"
 )
 
@@ -76,7 +75,7 @@ func benchHotpath(outPath string, iters int, stdout io.Writer) error {
 	if !ok {
 		return fmt.Errorf("bench: no suite routine %q", routine)
 	}
-	prog, err := minift.Compile(r.Source)
+	prog, err := r.Compile()
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 //	epre table1 [-parallel N]                      # the paper's Table 1
 //	epre table2                                    # the paper's Table 2
 //	epre bench [-out BENCH_serve.json]             # service/parallel bench
+//	epre fuzz [-seed 1] [-n 200] [-level all]      # differential fuzzing
 //	epre example                                   # Figures 2–10 walkthrough
 //	epre levels                                    # list levels and passes
 //
@@ -62,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdServe(args[1:], stderr)
 	case "bench":
 		err = cmdBench(args[1:], stdout)
+	case "fuzz":
+		err = cmdFuzz(args[1:], stdout)
 	case "table1":
 		err = cmdTable1(args[1:], stdout)
 	case "table2":
@@ -101,6 +104,10 @@ func usage(w io.Writer) {
              [-requests N] [-concurrency N] [-parallel N]
              [-cpuprofile f] [-memprofile f]
                      serve-mode, analysis-cache and hot-path benchmarks
+  epre fuzz [-seed N] [-n N] [-level L|all] [-workers N] [-shrink]
+            [-artifact-dir DIR] [-per-pass] [-timeout 5m] [-stats]
+                     differential fuzzing: random programs vs. the
+                     reference interpreter at every optimization level
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/ir"
 )
 
 func runEpre(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -368,5 +370,88 @@ func TestRunHonorsCheckEnv(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "result      = 405") {
 		t.Errorf("wrong result:\n%s", stdout)
+	}
+}
+
+func TestFuzzClean(t *testing.T) {
+	code, stdout, stderr := runEpre(t, "fuzz", "-seed", "1", "-n", "10", "-workers", "2", "-stats")
+	if code != 0 {
+		t.Fatalf("fuzz on a clean pipeline exited %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "10 programs, 0 failures") {
+		t.Errorf("missing summary line: %s", stdout)
+	}
+	if !strings.Contains(stdout, "programs_per_second") {
+		t.Errorf("-stats did not print metrics: %s", stdout)
+	}
+}
+
+func TestFuzzLevelFlag(t *testing.T) {
+	code, stdout, stderr := runEpre(t, "fuzz", "-seed", "1", "-n", "5", "-level", "partial")
+	if code != 0 {
+		t.Fatalf("fuzz -level partial exited %d: %s%s", code, stdout, stderr)
+	}
+	if code, _, stderr := runEpre(t, "fuzz", "-level", "bogus"); code == 0 || !strings.Contains(stderr, "unknown optimization level") {
+		t.Errorf("bogus level accepted (exit %d): %s", code, stderr)
+	}
+	if code, _, _ := runEpre(t, "fuzz", "stray-arg"); code == 0 {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+func TestFuzzArtifactDir(t *testing.T) {
+	// A clean pipeline writes no artifacts; the directory flag alone
+	// must not create clutter or fail.
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	code, _, stderr := runEpre(t, "fuzz", "-seed", "1", "-n", "3", "-artifact-dir", dir)
+	if code != 0 {
+		t.Fatalf("fuzz with -artifact-dir exited %d: %s", code, stderr)
+	}
+	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+		t.Errorf("clean run wrote %d artifacts", len(entries))
+	}
+}
+
+func TestFuzzUsageListed(t *testing.T) {
+	code, stdout, _ := runEpre(t, "help")
+	if code != 0 {
+		t.Fatalf("help exited %d", code)
+	}
+	if !strings.Contains(stdout, "epre fuzz") {
+		t.Error("usage text does not mention the fuzz command")
+	}
+}
+
+// TestFuzzMiscompileExit drives the CLI's failure path end to end: a
+// deliberately sabotaged pipeline (via the test-only EPRE_FUZZ_SABOTAGE
+// hook) must produce a nonzero exit, FAIL lines with shrink counts, and
+// a reparsable artifact on disk.
+func TestFuzzMiscompileExit(t *testing.T) {
+	t.Setenv("EPRE_FUZZ_SABOTAGE", "partial")
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	code, stdout, stderr := runEpre(t, "fuzz",
+		"-seed", "1", "-n", "3", "-level", "partial", "-artifact-dir", dir)
+	if code == 0 {
+		t.Fatalf("sabotaged fuzz run exited 0:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "FAIL: miscompile at partial") {
+		t.Errorf("missing FAIL line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "shrunk") {
+		t.Errorf("failures were not shrunk:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "failure(s)") {
+		t.Errorf("stderr missing failure summary: %s", stderr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no artifacts written (err %v)", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.ParseProgramString(string(data)); err != nil {
+		t.Errorf("artifact %s does not reparse: %v", entries[0].Name(), err)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/minift"
 	"repro/internal/suite"
 )
 
@@ -22,7 +21,7 @@ func TestDeterministicOutput(t *testing.T) {
 		for _, level := range core.Levels {
 			var golden string
 			for trial := 0; trial < 3; trial++ {
-				prog, err := minift.Compile(r.Source)
+				prog, err := r.Compile()
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -126,7 +126,7 @@ func TestExtensionsPreserveSemantics(t *testing.T) {
 	}
 	for _, r := range suite.All() {
 		for pi, passes := range pipelines {
-			prog, err := minift.Compile(r.Source)
+			prog, err := r.Compile()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,7 +159,7 @@ func TestExtensionsPreserveSemantics(t *testing.T) {
 // "strength reduction should reduce non-essential overhead").
 func TestStrengthReductionHelps(t *testing.T) {
 	measure := func(r suite.Routine, passes []string) (int64, int64) {
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -140,6 +140,14 @@ func ValidatePass(before, after *ir.Program, pass string, opt ValidateOptions) [
 	return diags
 }
 
+// ValuesAgree reports whether two interpreter values agree under the
+// given relative float tolerance (exact, bit-for-bit on floats, when
+// tol is zero).  Exported so differential harnesses compare observed
+// behavior with exactly the semantics translation validation uses.
+func ValuesAgree(want, got interp.Value, tol float64) bool {
+	return valuesAgree(want, got, tol)
+}
+
 // valuesAgree compares two interpreter values; float comparisons use
 // the given relative tolerance (exact when tol is zero).
 func valuesAgree(want, got interp.Value, tol float64) bool {
@@ -363,6 +371,20 @@ func argKind(op ir.Op, i int) kind {
 		return kindInt // address
 	}
 	return kindUnknown
+}
+
+// ProgramInputs returns up to n deterministic argument tuples for the
+// named function, with each parameter's int/float kind inferred from
+// its uses across the whole program (the same inference translation
+// validation uses).  Differential harnesses call this so that their
+// inputs and the checker's inputs agree on typing and never provoke
+// spurious int/float traps.  It returns nil if the function is absent.
+func ProgramInputs(p *ir.Program, fn string, n int) [][]interp.Value {
+	f := p.Func(fn)
+	if f == nil {
+		return nil
+	}
+	return genInputs(inferParamKinds(p)[fn], n)
 }
 
 // genInputs builds up to n deterministic argument tuples for a function

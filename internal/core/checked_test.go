@@ -25,7 +25,7 @@ func TestCheckedOptimizeSuiteClean(t *testing.T) {
 	// comparison (decomp at reassociation; see interp.FloatVal).
 	cfg := core.CheckConfig{Validate: true, MaxInputs: 3, MaxSteps: 200_000}
 	for _, r := range routines {
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}

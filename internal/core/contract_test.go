@@ -7,7 +7,6 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/ir"
-	"repro/internal/minift"
 	"repro/internal/suite"
 )
 
@@ -35,7 +34,7 @@ func TestPreservesContracts(t *testing.T) {
 		routines = routines[:6]
 	}
 	for _, r := range routines {
-		raw, err := minift.Compile(r.Source)
+		raw, err := r.Compile()
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}

@@ -1,0 +1,60 @@
+package difftest
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+)
+
+// Metrics is the fuzzing run's observability surface, mirroring the
+// serve daemon's expvar pattern: per-instance, never registered in the
+// process-global namespace, safe for concurrent update from the worker
+// pool.
+type Metrics struct {
+	programs expvar.Int // programs generated and tested
+	failures expvar.Int // total failures across all classes
+	byKind   expvar.Map // failure class -> count
+	elapsedS expvar.Float
+	rate     expvar.Float // programs per second
+	top      expvar.Map
+}
+
+// NewMetrics builds an unpublished metrics set.
+func NewMetrics() *Metrics {
+	m := &Metrics{}
+	m.byKind.Init()
+	m.top.Init()
+	m.top.Set("programs", &m.programs)
+	m.top.Set("failures", &m.failures)
+	m.top.Set("failures_by_kind", &m.byKind)
+	m.top.Set("elapsed_seconds", &m.elapsedS)
+	m.top.Set("programs_per_second", &m.rate)
+	return m
+}
+
+// observeReport folds a finished run's aggregates into the counters.
+func (m *Metrics) observeReport(rep *Report) {
+	m.failures.Add(int64(len(rep.Failures)))
+	for kind, n := range rep.ByKind {
+		m.byKind.Add(string(kind), int64(n))
+	}
+	secs := rep.Elapsed.Seconds()
+	m.elapsedS.Set(secs)
+	if secs > 0 {
+		m.rate.Set(float64(rep.Programs) / secs)
+	}
+}
+
+// Get returns a named counter, for tests.
+func (m *Metrics) Get(name string) int64 {
+	if v, ok := m.top.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// WriteTo renders the metrics as an expvar-style JSON document.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	n, err := fmt.Fprintf(w, "%s\n", m.top.String())
+	return int64(n), err
+}

@@ -1,0 +1,258 @@
+package difftest
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// ShrinkOptions configure the reducer.
+type ShrinkOptions struct {
+	// Level and Kind pin the failure being reduced: a candidate is
+	// accepted only if it still fails with the same kind at the same
+	// level, so reduction can never wander onto a different bug.
+	Level core.Level
+	Kind  Kind
+	// Optimize is the pipeline under test (same seam as Options).
+	Optimize OptimizeFunc
+	// MaxSteps bounds each reference execution during the predicate.
+	MaxSteps int64
+	// MaxAttempts bounds total predicate evaluations (default 2500) —
+	// each evaluation optimizes and interprets the candidate, so the
+	// budget is what keeps reduction of a stubborn program bounded.
+	MaxAttempts int
+}
+
+func (o ShrinkOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 2500
+	}
+	return o.MaxAttempts
+}
+
+// Shrink reduces a failing program by delta debugging.  Candidates are
+// produced by four structural simplifications — dropping whole helper
+// functions, dropping blocks, dropping instruction runs (at halving
+// granularities, ddmin style), and replacing pure instructions with
+// constant zeros — and a candidate is kept only when it (a) still
+// passes the structural verifier and (b) still reproduces the pinned
+// failure.  Invalid or non-reproducing candidates are discarded, so
+// every intermediate state of the reduction is itself a valid, failing
+// reproducer; cancellation simply stops early with the best so far.
+//
+// The second return is false when no candidate was accepted (the
+// original is already minimal or the budget was spent fruitlessly).
+func Shrink(ctx context.Context, prog *ir.Program, opt ShrinkOptions) (*ir.Program, bool) {
+	attempts := 0
+	try := func(cand *ir.Program) bool {
+		if cand == nil || attempts >= opt.maxAttempts() || ctx.Err() != nil {
+			return false
+		}
+		attempts++
+		return reproduces(ctx, cand, opt)
+	}
+
+	cur := prog
+	shrunk := false
+	for {
+		improved := false
+
+		// 1. Drop helper functions (biggest single win).
+		for fi := len(cur.Funcs) - 1; fi >= 1; fi-- {
+			if cand := dropFunc(cur, fi); try(cand) {
+				cur, improved, shrunk = cand, true, true
+			}
+		}
+
+		// 2. Drop whole blocks, later blocks first so indices of the
+		// blocks still to be visited stay valid after an acceptance.
+		for fi := range cur.Funcs {
+			for bi := len(cur.Funcs[fi].Blocks) - 1; bi >= 1; bi-- {
+				if cand := dropBlock(cur, fi, bi); try(cand) {
+					cur, improved, shrunk = cand, true, true
+				}
+			}
+		}
+
+		// 3. Simplify conditional branches to one-armed jumps.
+		for fi := range cur.Funcs {
+			for bi := range cur.Funcs[fi].Blocks {
+				for keep := 0; keep < 2; keep++ {
+					if cand := cbrToJump(cur, fi, bi, keep); try(cand) {
+						cur, improved, shrunk = cand, true, true
+					}
+				}
+			}
+		}
+
+		// 4. Drop instruction runs, halving the chunk size (ddmin).
+		for fi := range cur.Funcs {
+			for bi := range cur.Funcs[fi].Blocks {
+				n := len(cur.Funcs[fi].Blocks[bi].Instrs)
+				for chunk := n/2 + 1; chunk >= 1; chunk /= 2 {
+					lo := 0
+					for lo < len(cur.Funcs[fi].Blocks[bi].Instrs) {
+						cand := dropInstrs(cur, fi, bi, lo, lo+chunk)
+						if try(cand) {
+							cur, improved, shrunk = cand, true, true
+							continue // same lo: the slice shifted left
+						}
+						lo += chunk
+					}
+				}
+			}
+		}
+
+		// 5. Replace pure computations with constant zeros, severing
+		// operand chains so earlier stages can delete their inputs on
+		// the next round.
+		for fi := range cur.Funcs {
+			for bi := range cur.Funcs[fi].Blocks {
+				for ii := 0; ii < len(cur.Funcs[fi].Blocks[bi].Instrs); ii++ {
+					if cand := constify(cur, fi, bi, ii); try(cand) {
+						cur, improved, shrunk = cand, true, true
+					}
+				}
+			}
+		}
+
+		if !improved || attempts >= opt.maxAttempts() || ctx.Err() != nil {
+			return cur, shrunk
+		}
+	}
+}
+
+// reproduces reports whether the candidate still fails with the pinned
+// kind at the pinned level.
+func reproduces(ctx context.Context, cand *ir.Program, opt ShrinkOptions) bool {
+	if ir.VerifyProgram(cand) != nil {
+		return false
+	}
+	refs := referenceRuns(ctx, cand, opt.MaxSteps)
+	f := testLevel(ctx, cand, refs, 0, opt.Level, Options{
+		Optimize: opt.Optimize,
+		MaxSteps: opt.MaxSteps,
+	})
+	return f != nil && f.Kind == opt.Kind
+}
+
+// dropFunc removes function fi (never main, index 0).  Calls to it
+// would trap in the reference run, making every input unjudgable, so
+// the candidate only survives when the function was genuinely
+// irrelevant to the failure.
+func dropFunc(p *ir.Program, fi int) *ir.Program {
+	if fi <= 0 || fi >= len(p.Funcs) {
+		return nil
+	}
+	q := p.Clone()
+	q.Funcs = append(q.Funcs[:fi], q.Funcs[fi+1:]...)
+	return q
+}
+
+// dropBlock removes block bi of function fi, unlinking every edge and
+// repairing the terminators of its former predecessors.
+func dropBlock(p *ir.Program, fi, bi int) *ir.Program {
+	q := p.Clone()
+	f := q.Funcs[fi]
+	if bi <= 0 || bi >= len(f.Blocks) {
+		return nil
+	}
+	b := f.Blocks[bi]
+	for len(b.Preds) > 0 {
+		pred := b.Preds[0]
+		if pred == b {
+			// Self-loop: drop the edge on the successor side only.
+			ir.RemoveEdge(b, b)
+			continue
+		}
+		ir.RemoveEdge(pred, b)
+		fixTerminator(pred)
+	}
+	for len(b.Succs) > 0 {
+		ir.RemoveEdge(b, b.Succs[0])
+	}
+	f.RemoveBlocks(func(x *ir.Block) bool { return x == b })
+	return q
+}
+
+// fixTerminator rewrites a block's terminator to match its remaining
+// successor count after edge removal: a one-armed cbr becomes a jump,
+// a zero-armed branch becomes a return.
+func fixTerminator(b *ir.Block) {
+	t := b.Terminator()
+	if t == nil {
+		return
+	}
+	switch {
+	case t.Op == ir.OpCBr && len(b.Succs) == 1:
+		t.Op = ir.OpJump
+		t.Args = nil
+	case (t.Op == ir.OpCBr || t.Op == ir.OpJump) && len(b.Succs) == 0:
+		t.Op = ir.OpRet
+		t.Args = nil
+	}
+}
+
+// cbrToJump keeps exactly one arm of a conditional branch.
+func cbrToJump(p *ir.Program, fi, bi, keep int) *ir.Program {
+	q := p.Clone()
+	b := q.Funcs[fi].Blocks[bi]
+	t := b.Terminator()
+	if t == nil || t.Op != ir.OpCBr || len(b.Succs) != 2 || keep > 1 {
+		return nil
+	}
+	drop := b.Succs[1-keep]
+	ir.RemoveEdge(b, drop)
+	t.Op = ir.OpJump
+	t.Args = nil
+	return q
+}
+
+// dropInstrs removes the removable instructions with index in [lo,hi)
+// of the block — everything except enter, φ-nodes and the terminator.
+// Returns nil when the range removes nothing.
+func dropInstrs(p *ir.Program, fi, bi, lo, hi int) *ir.Program {
+	q := p.Clone()
+	b := q.Funcs[fi].Blocks[bi]
+	kept := b.Instrs[:0]
+	dropped := 0
+	for i, in := range b.Instrs {
+		removable := i >= lo && i < hi &&
+			in.Op != ir.OpEnter && in.Op != ir.OpPhi && !in.Op.IsTerminator()
+		if removable {
+			dropped++
+			continue
+		}
+		kept = append(kept, in)
+	}
+	if dropped == 0 {
+		return nil
+	}
+	b.Instrs = kept
+	q.Funcs[fi].MarkCodeMutated()
+	return q
+}
+
+// constify replaces a pure value-producing instruction with a load of
+// constant zero (of the matching type), preserving the definition but
+// severing its operand dependencies.
+func constify(p *ir.Program, fi, bi, ii int) *ir.Program {
+	q := p.Clone()
+	b := q.Funcs[fi].Blocks[bi]
+	if ii >= len(b.Instrs) {
+		return nil
+	}
+	in := b.Instrs[ii]
+	if !in.Op.Pure() || in.Dst == ir.NoReg || in.IsConst() ||
+		in.Op == ir.OpPhi || in.Op == ir.OpEnter || len(in.Args) == 0 {
+		return nil
+	}
+	if in.Op.Float() {
+		b.Instrs[ii] = ir.LoadF(in.Dst, 0)
+	} else {
+		b.Instrs[ii] = ir.LoadI(in.Dst, 0)
+	}
+	q.Funcs[fi].MarkCodeMutated()
+	return q
+}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/gvn"
 	"repro/internal/ir"
-	"repro/internal/minift"
 	"repro/internal/ssa"
 	"repro/internal/suite"
 )
@@ -151,7 +150,7 @@ func samePartition(values []ir.Reg, newClass []uint32, oldClass map[ir.Reg]uint3
 // exactly the congruence classes the byte-string keying produced.
 func TestIntegerKeyingMatchesStringKeying(t *testing.T) {
 	for _, r := range suite.All() {
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			t.Fatalf("%s: %v", r.Name, err)
 		}

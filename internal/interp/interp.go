@@ -53,6 +53,19 @@ func (v Value) String() string {
 	return fmt.Sprintf("%d", v.I)
 }
 
+// StepLimitError reports that a run exceeded its MaxSteps budget.  It
+// is a distinct type so differential harnesses can tell a runaway
+// execution (a possible miscompile that introduced an infinite loop)
+// from an ordinary trap or an external cancellation.
+type StepLimitError struct {
+	Func  string
+	Limit int64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("interp: step limit (%d) exceeded in %s", e.Limit, e.Func)
+}
+
 // Trap describes a runtime error with the function and block where it
 // occurred.
 type Trap struct {
@@ -213,7 +226,7 @@ func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
 				m.OpCounts[in.Op]++
 			}
 			if m.Steps > m.MaxSteps {
-				return Value{}, fmt.Errorf("interp: step limit (%d) exceeded in %s", m.MaxSteps, f.Name)
+				return Value{}, &StepLimitError{Func: f.Name, Limit: m.MaxSteps}
 			}
 			if m.ctx != nil && m.Steps&ctxPollMask == 0 {
 				if err := m.ctx.Err(); err != nil {

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/ir"
-	"repro/internal/minift"
 	"repro/internal/suite"
 )
 
@@ -19,7 +18,7 @@ func benchCorpus(b *testing.B) map[string]string {
 		if !ok {
 			b.Fatalf("no suite routine %q", name)
 		}
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +66,7 @@ func TestParseRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("no suite routine %q", name)
 		}
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -245,6 +245,21 @@ func (op Op) IsStore() bool { return op == OpStoreW || op == OpStoreD || op == O
 // IsCompare reports whether the operation is a comparison producing 0/1.
 func (op Op) IsCompare() bool { return op >= OpCmpEQ && op <= OpFCmpGE }
 
+// Ops returns every valid operation, in opcode order.  Tooling that
+// must stay exhaustive over the instruction set — the interpreter's
+// semantics audit, the random program generator — iterates this list
+// instead of hard-coding opcode ranges, so a newly added operation is
+// picked up (or loudly reported as unhandled) automatically.
+func Ops() []Op {
+	ops := make([]Op, 0, len(opTable)-1)
+	for op := range opTable {
+		if Op(op) != OpInvalid && opTable[op].name != "" {
+			ops = append(ops, Op(op))
+		}
+	}
+	return ops
+}
+
 // opByName maps mnemonics back to opcodes for the parser.
 var opByName = func() map[string]Op {
 	m := make(map[string]Op, len(opTable))

@@ -1,0 +1,792 @@
+// Package progen generates random-but-well-defined ILOC programs for
+// differential testing.
+//
+// Generation is seeded and fully deterministic: the same Config and
+// seed always produce a byte-identical program.  Every program the
+// generator emits satisfies three guarantees that make it usable as a
+// differential-testing workload without any per-program vetting:
+//
+//   - it passes ir.VerifyProgram (structurally well formed);
+//   - it terminates on every input: each cycle in the control-flow
+//     graph is routed through a "trampoline" block that decrements a
+//     shared fuel register and exits once the budget is spent, so even
+//     irreducible loop nests run a bounded number of iterations;
+//   - it never traps in the interpreter: register pools are segregated
+//     by type so int and float values never mix, divisor operands are
+//     forced odd (hence nonzero) with "or x, 1", and every memory
+//     address is masked into a small aligned arena inside the global
+//     segment.
+//
+// Programs deliberately contain the shapes the optimizer is paid to
+// handle: diamonds and loops with multiple backedges (φ-pressure after
+// SSA construction), critical edges, optional irreducible regions and
+// unreachable blocks, lexically repeated expressions (PRE/GVN bait),
+// reassociable sub/neg chains, loads and stores in disjoint arenas,
+// and calls that clobber memory.
+package progen
+
+import (
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Memory arena layout.  The generated program's GlobalSize is fixed and
+// every address is masked into one of four disjoint regions, so loads
+// and stores are always in bounds, always aligned, and never overlap a
+// region holding values of a different type.
+const (
+	arenaW      = 0   // int64 words, 8-byte slots at offsets 0..56
+	arenaD      = 64  // float64 slots at offsets 64..120
+	arenaS      = 128 // float32 slots at offsets 128..188
+	arenaCallee = 192 // scratch region owned by generated callees
+	// GlobalSize is the data-segment size of every generated program.
+	GlobalSize = 256
+
+	maskW = 56 // 0b111000: 8-aligned offsets within a 64-byte arena
+	maskS = 60 // 0b111100: 4-aligned offsets within a 64-byte arena
+)
+
+// Config sets the size and shape knobs of one generated program.
+type Config struct {
+	// Blocks is the number of random body blocks (entry, exit and any
+	// trampolines are extra).
+	Blocks int
+	// BlockInstrs is the approximate instruction count per body block.
+	BlockInstrs int
+	// IntParams and FloatParams size the generated main function's
+	// parameter list.  Parameters feed branch conditions and expression
+	// operands, so different input tuples genuinely exercise different
+	// paths.
+	IntParams   int
+	FloatParams int
+	// Fuel bounds the total number of backedge traversals, and hence
+	// execution time, on any input.
+	Fuel int64
+	// Floats enables floating-point arithmetic.
+	Floats bool
+	// Memory enables loads and stores into the typed arenas.
+	Memory bool
+	// Calls enables a generated callee and call sites in main, which
+	// exercise the rank-0/clobber rules (calls read and write memory,
+	// so no load may move across one).
+	Calls bool
+	// Irreducible forces a two-entry cycle — a region no structured
+	// source would produce but every CFG-level pass must survive.
+	Irreducible bool
+	// Unreachable appends a block no edge targets.
+	Unreachable bool
+	// BiasRedundant re-emits earlier expressions verbatim under fresh
+	// names, manufacturing the partial and full redundancies PRE and
+	// GVN are meant to remove.
+	BiasRedundant bool
+	// BiasChains emits sub/neg/add chains, the reassociation pass's
+	// favorite food (paper §3: rewriting x-y as x+(-y) to expose
+	// commutativity).
+	BiasChains bool
+}
+
+// Default returns a mid-sized configuration with every feature on
+// except the pathological CFG shapes.
+func Default() Config {
+	return Config{
+		Blocks:        6,
+		BlockInstrs:   8,
+		IntParams:     2,
+		FloatParams:   1,
+		Fuel:          48,
+		Floats:        true,
+		Memory:        true,
+		Calls:         true,
+		BiasRedundant: true,
+		BiasChains:    true,
+	}
+}
+
+// ForSeed derives a varied configuration from a seed, so a fuzzing run
+// over consecutive seeds sweeps the shape space (small/large, with and
+// without floats, memory, calls, irreducible regions) rather than
+// testing one silhouette a thousand times.  Deterministic in the seed.
+func ForSeed(seed uint64) Config {
+	rng := rand.New(rand.NewSource(int64(seed ^ 0x9e3779b97f4a7c15)))
+	c := Default()
+	c.Blocks = 3 + rng.Intn(8)
+	c.BlockInstrs = 4 + rng.Intn(10)
+	c.IntParams = 1 + rng.Intn(3)
+	c.FloatParams = rng.Intn(3)
+	c.Fuel = int64(16 + rng.Intn(64))
+	c.Floats = rng.Intn(4) != 0
+	c.Memory = rng.Intn(4) != 0
+	c.Calls = rng.Intn(3) != 0
+	c.Irreducible = rng.Intn(3) == 0
+	c.Unreachable = rng.Intn(4) == 0
+	c.BiasRedundant = rng.Intn(3) != 0
+	c.BiasChains = rng.Intn(3) != 0
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Blocks <= 0 {
+		c.Blocks = d.Blocks
+	}
+	if c.BlockInstrs <= 0 {
+		c.BlockInstrs = d.BlockInstrs
+	}
+	if c.IntParams < 0 {
+		c.IntParams = 0
+	}
+	if c.FloatParams < 0 {
+		c.FloatParams = 0
+	}
+	if c.Fuel <= 0 {
+		c.Fuel = d.Fuel
+	}
+	return c
+}
+
+// Generate builds one program from the configuration and seed.  The
+// result is structurally verified before being returned; a verifier
+// complaint indicates a bug in the generator itself and panics so it
+// cannot masquerade as an optimizer failure.
+func Generate(cfg Config, seed uint64) *ir.Program {
+	cfg = cfg.withDefaults()
+	g := &gen{
+		rng: rand.New(rand.NewSource(int64(seed))),
+		cfg: cfg,
+	}
+	prog := &ir.Program{GlobalSize: GlobalSize}
+	if cfg.Calls {
+		prog.Funcs = append(prog.Funcs, g.genCallee())
+	}
+	prog.Funcs = append([]*ir.Func{g.genMain()}, prog.Funcs...)
+	if err := ir.VerifyProgram(prog); err != nil {
+		panic("progen: generated invalid program (seed " +
+			itoa(seed) + "): " + err.Error())
+	}
+	return prog
+}
+
+func itoa(u uint64) string {
+	if u == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(buf[i:])
+}
+
+// gen carries the mutable state of one generation run.
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	f   *ir.Func
+
+	// Register pools.  "ints" and "floats" are readable anywhere: they
+	// are defined in the entry block, so every use is dominated.
+	// "mutI" and "mutF" are the subsets that body blocks may also
+	// redefine — multiple defs reaching a merge is exactly what forces
+	// φ-nodes during SSA construction.
+	ints   []ir.Reg
+	floats []ir.Reg
+	mutI   []ir.Reg
+	mutF   []ir.Reg
+
+	// Well-known entry-defined registers.
+	zero, one          ir.Reg
+	fuel               ir.Reg
+	maskWReg, maskSReg ir.Reg
+	baseW, baseD       ir.Reg
+	baseS              ir.Reg
+
+	// Block-local fresh definitions, readable only later in the same
+	// block (trivially dominated); reset at every block boundary.
+	localI []ir.Reg
+	localF []ir.Reg
+
+	// Recorded (op, a, b) triples for redundancy bait.
+	exprs []exprTemplate
+
+	calleeName string
+}
+
+type exprTemplate struct {
+	op   ir.Op
+	a, b ir.Reg
+}
+
+// ---------------------------------------------------------------------
+// main-function generation
+
+func (g *gen) genMain() *ir.Func {
+	cfg := g.cfg
+	f := ir.NewFunc("main", cfg.IntParams+cfg.FloatParams)
+	g.f = f
+	entry := f.Entry()
+
+	// Parameters: the first IntParams are integers, the rest floats.
+	for i, p := range f.Params {
+		if i < cfg.IntParams {
+			g.ints = append(g.ints, p)
+		} else {
+			g.floats = append(g.floats, p)
+		}
+	}
+
+	emit := func(in *ir.Instr) { entry.Instrs = append(entry.Instrs, in) }
+	newI := func(imm int64) ir.Reg {
+		r := f.NewReg()
+		emit(ir.LoadI(r, imm))
+		return r
+	}
+	newF := func(imm float64) ir.Reg {
+		r := f.NewReg()
+		emit(ir.LoadF(r, imm))
+		return r
+	}
+
+	g.zero = newI(0)
+	g.one = newI(1)
+	g.ints = append(g.ints, g.zero, g.one)
+	for i := 0; i < 3; i++ {
+		g.ints = append(g.ints, newI(int64(g.rng.Intn(200)-100)))
+	}
+	g.fuel = newI(cfg.Fuel)
+	if cfg.Memory {
+		g.maskWReg = newI(maskW)
+		g.maskSReg = newI(maskS)
+		g.baseW = newI(arenaW)
+		g.baseD = newI(arenaD)
+		g.baseS = newI(arenaS)
+	}
+	if cfg.Floats {
+		for i := 0; i < 3; i++ {
+			g.floats = append(g.floats, newF(float64(g.rng.Intn(64))/4.0-4.0))
+		}
+	}
+
+	// Mutable registers, initialized from the immutable pools so their
+	// starting values depend on the parameters.
+	for i := 0; i < 3; i++ {
+		r := f.NewReg()
+		emit(ir.NewInstr(ir.OpAdd, r, g.pickInt(), g.pickInt()))
+		g.mutI = append(g.mutI, r)
+		g.ints = append(g.ints, r)
+	}
+	if cfg.Floats {
+		for i := 0; i < 2; i++ {
+			r := f.NewReg()
+			emit(ir.NewInstr(ir.OpFAdd, r, g.pickFloat(), g.pickFloat()))
+			g.mutF = append(g.mutF, r)
+			g.floats = append(g.floats, r)
+		}
+	}
+
+	// Body blocks, then the exit block.
+	body := make([]*ir.Block, cfg.Blocks)
+	for i := range body {
+		body[i] = f.NewBlock()
+	}
+	exit := f.NewBlockNamed("exit")
+
+	entry.Instrs = append(entry.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+	ir.AddEdge(entry, body[0])
+
+	for i, b := range body {
+		g.fillBlock(b)
+		g.terminate(b, i, body, exit)
+	}
+
+	g.fillExit(exit)
+
+	// Reroute every backward edge through a fuel trampoline.  Edges are
+	// classified by the body-order index: entry precedes all body
+	// blocks, exit follows them, so an edge into a block at the same or
+	// smaller index is the only way a cycle can close.
+	g.insertTrampolines(body, exit)
+
+	if cfg.Unreachable {
+		g.addUnreachable()
+	}
+	return f
+}
+
+// pickInt returns a random readable integer register, preferring the
+// block-local pool now and then so fresh values flow into later
+// expressions.
+func (g *gen) pickInt() ir.Reg {
+	if len(g.localI) > 0 && g.rng.Intn(3) == 0 {
+		return g.localI[g.rng.Intn(len(g.localI))]
+	}
+	return g.ints[g.rng.Intn(len(g.ints))]
+}
+
+func (g *gen) pickFloat() ir.Reg {
+	if len(g.localF) > 0 && g.rng.Intn(3) == 0 {
+		return g.localF[g.rng.Intn(len(g.localF))]
+	}
+	return g.floats[g.rng.Intn(len(g.floats))]
+}
+
+// pickGlobalInt avoids block-locals; used for recorded redundancy
+// templates, which may be re-emitted in a different block where the
+// local would not dominate.
+func (g *gen) pickGlobalInt() ir.Reg {
+	return g.ints[g.rng.Intn(len(g.ints))]
+}
+
+func (g *gen) freshLocalI(b *ir.Block, in *ir.Instr) ir.Reg {
+	b.Instrs = append(b.Instrs, in)
+	g.localI = append(g.localI, in.Dst)
+	return in.Dst
+}
+
+func (g *gen) freshLocalF(b *ir.Block, in *ir.Instr) ir.Reg {
+	b.Instrs = append(b.Instrs, in)
+	g.localF = append(g.localF, in.Dst)
+	return in.Dst
+}
+
+// fillBlock emits roughly cfg.BlockInstrs random instructions.
+func (g *gen) fillBlock(b *ir.Block) {
+	g.localI = g.localI[:0]
+	g.localF = g.localF[:0]
+	n := g.cfg.BlockInstrs - 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		g.emitRandom(b)
+	}
+	// Guarantee at least one cross-block dataflow update per block.
+	g.emitMutIntUpdate(b)
+}
+
+var intBinOps = []ir.Op{
+	ir.OpAdd, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMin, ir.OpMax,
+	ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+}
+
+var intCmpOps = []ir.Op{
+	ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+}
+
+var floatCmpOps = []ir.Op{
+	ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE,
+}
+
+// emitRandom appends one random construct (one to four instructions).
+func (g *gen) emitRandom(b *ir.Block) {
+	type emitter struct {
+		weight int
+		fn     func(*ir.Block)
+	}
+	cands := []emitter{
+		{30, g.emitIntBin},
+		{8, g.emitIntUnary},
+		{8, g.emitCompare},
+		{6, g.emitDivMod},
+		{12, g.emitMutIntUpdate},
+		{3, g.emitPrint},
+	}
+	if g.cfg.BiasChains {
+		cands = append(cands, emitter{10, g.emitChain})
+	}
+	if g.cfg.BiasRedundant {
+		cands = append(cands, emitter{12, g.emitRedundant})
+	}
+	if g.cfg.Floats {
+		cands = append(cands,
+			emitter{8, g.emitFloatBin},
+			emitter{4, g.emitFloatUnary},
+			emitter{6, g.emitMutFloatUpdate})
+	}
+	if g.cfg.Memory {
+		cands = append(cands, emitter{7, g.emitStore}, emitter{7, g.emitLoad})
+	}
+	if g.cfg.Calls {
+		cands = append(cands, emitter{5, g.emitCall})
+	}
+	total := 0
+	for _, c := range cands {
+		total += c.weight
+	}
+	pick := g.rng.Intn(total)
+	for _, c := range cands {
+		if pick < c.weight {
+			c.fn(b)
+			return
+		}
+		pick -= c.weight
+	}
+}
+
+func (g *gen) emitIntBin(b *ir.Block) {
+	op := intBinOps[g.rng.Intn(len(intBinOps))]
+	a, c := g.pickInt(), g.pickInt()
+	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), a, c))
+	if g.cfg.BiasRedundant && op.Pure() {
+		g.exprs = append(g.exprs, exprTemplate{op: op, a: a, b: c})
+	}
+}
+
+func (g *gen) emitIntUnary(b *ir.Block) {
+	ops := []ir.Op{ir.OpNeg, ir.OpNot, ir.OpAbs}
+	op := ops[g.rng.Intn(len(ops))]
+	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt()))
+}
+
+func (g *gen) emitCompare(b *ir.Block) {
+	if g.cfg.Floats && len(g.floats) > 0 && g.rng.Intn(3) == 0 {
+		op := floatCmpOps[g.rng.Intn(len(floatCmpOps))]
+		g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
+		return
+	}
+	op := intCmpOps[g.rng.Intn(len(intCmpOps))]
+	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt(), g.pickInt()))
+}
+
+// emitDivMod guards the divisor with "or x, 1": an odd number is never
+// zero, so the division cannot trap, yet the guard is a real data
+// dependence the optimizer must respect.
+func (g *gen) emitDivMod(b *ir.Block) {
+	den := g.freshLocalI(b, ir.NewInstr(ir.OpOr, g.f.NewReg(), g.pickInt(), g.one))
+	op := ir.OpDiv
+	if g.rng.Intn(2) == 0 {
+		op = ir.OpMod
+	}
+	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt(), den))
+}
+
+// emitMutIntUpdate redefines one of the mutable integers, the move that
+// creates multi-def registers and hence φ-functions under SSA.
+func (g *gen) emitMutIntUpdate(b *ir.Block) {
+	dst := g.mutI[g.rng.Intn(len(g.mutI))]
+	switch g.rng.Intn(3) {
+	case 0:
+		b.Instrs = append(b.Instrs, ir.Copy(dst, g.pickInt()))
+	case 1:
+		op := intBinOps[g.rng.Intn(len(intBinOps))]
+		b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, dst, g.pickInt()))
+	default:
+		op := intBinOps[g.rng.Intn(len(intBinOps))]
+		b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, g.pickInt(), g.pickInt()))
+	}
+}
+
+// emitMutFloatUpdate keeps float magnitudes bounded by restricting the
+// update to operations that cannot blow up (no fmul towers): repeated
+// fadd/fsub grow linearly per iteration and fuel bounds the iterations.
+func (g *gen) emitMutFloatUpdate(b *ir.Block) {
+	dst := g.mutF[g.rng.Intn(len(g.mutF))]
+	ops := []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMin, ir.OpFMax}
+	op := ops[g.rng.Intn(len(ops))]
+	b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, dst, g.pickFloat()))
+}
+
+func (g *gen) emitFloatBin(b *ir.Block) {
+	ops := []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMin, ir.OpFMax}
+	op := ops[g.rng.Intn(len(ops))]
+	g.freshLocalF(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
+}
+
+func (g *gen) emitFloatUnary(b *ir.Block) {
+	if g.rng.Intn(4) == 0 {
+		// i2f bridges the pools (f2i is deliberately never generated:
+		// converting NaN or an out-of-range float to int is
+		// platform-defined, so differential runs could disagree for
+		// reasons that are not miscompiles).
+		g.freshLocalF(b, ir.NewInstr(ir.OpI2F, g.f.NewReg(), g.pickInt()))
+		return
+	}
+	ops := []ir.Op{ir.OpFNeg, ir.OpFAbs, ir.OpSqrt}
+	op := ops[g.rng.Intn(len(ops))]
+	g.freshLocalF(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat()))
+}
+
+// emitChain produces a reassociable chain: sequences of sub/neg/add
+// over shared operands are what the paper's reassociation rewrites into
+// rank-ordered sums.
+func (g *gen) emitChain(b *ir.Block) {
+	t1 := g.freshLocalI(b, ir.NewInstr(ir.OpSub, g.f.NewReg(), g.pickInt(), g.pickInt()))
+	t2 := g.freshLocalI(b, ir.NewInstr(ir.OpSub, g.f.NewReg(), t1, g.pickInt()))
+	if g.rng.Intn(2) == 0 {
+		t3 := g.freshLocalI(b, ir.NewInstr(ir.OpNeg, g.f.NewReg(), t2))
+		g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), t3, g.pickInt()))
+	} else {
+		g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), t2, g.pickInt()))
+	}
+}
+
+// emitRedundant re-emits a previously recorded expression with a fresh
+// destination.  When the original sits on only some paths to this
+// block, the copy is a partial redundancy (PRE bait); when it sits in
+// the same block, GVN bait.
+func (g *gen) emitRedundant(b *ir.Block) {
+	if len(g.exprs) == 0 {
+		// Nothing recorded yet: record one instead.
+		op := intBinOps[g.rng.Intn(len(intBinOps))]
+		a, c := g.pickGlobalInt(), g.pickGlobalInt()
+		g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), a, c))
+		g.exprs = append(g.exprs, exprTemplate{op: op, a: a, b: c})
+		return
+	}
+	t := g.exprs[g.rng.Intn(len(g.exprs))]
+	g.freshLocalI(b, ir.NewInstr(t.op, g.f.NewReg(), t.a, t.b))
+}
+
+// emitStore writes a value into the arena matching its type.  The
+// offset is masked to stay aligned and in bounds regardless of the
+// value it is derived from.
+func (g *gen) emitStore(b *ir.Block) {
+	addr, kind := g.emitAddr(b)
+	switch kind {
+	case ir.OpLoadW:
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreW, ir.NoReg, g.pickInt(), addr))
+	case ir.OpLoadD:
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreD, ir.NoReg, g.pickFloat(), addr))
+	default:
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreS, ir.NoReg, g.pickFloat(), addr))
+	}
+}
+
+func (g *gen) emitLoad(b *ir.Block) {
+	addr, kind := g.emitAddr(b)
+	switch kind {
+	case ir.OpLoadW:
+		g.freshLocalI(b, ir.NewInstr(ir.OpLoadW, g.f.NewReg(), addr))
+	case ir.OpLoadD:
+		g.freshLocalF(b, ir.NewInstr(ir.OpLoadD, g.f.NewReg(), addr))
+	default:
+		g.freshLocalF(b, ir.NewInstr(ir.OpLoadS, g.f.NewReg(), addr))
+	}
+}
+
+// emitAddr materializes an in-bounds aligned address in one of the
+// three typed arenas and returns it with the load opcode naming the
+// arena's element kind.
+func (g *gen) emitAddr(b *ir.Block) (ir.Reg, ir.Op) {
+	kinds := []ir.Op{ir.OpLoadW, ir.OpLoadW}
+	if g.cfg.Floats {
+		kinds = append(kinds, ir.OpLoadD, ir.OpLoadS)
+	}
+	kind := kinds[g.rng.Intn(len(kinds))]
+	mask, base := g.maskWReg, g.baseW
+	switch kind {
+	case ir.OpLoadD:
+		base = g.baseD
+	case ir.OpLoadS:
+		mask, base = g.maskSReg, g.baseS
+	}
+	off := g.freshLocalI(b, ir.NewInstr(ir.OpAnd, g.f.NewReg(), g.pickInt(), mask))
+	addr := g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), off, base))
+	return addr, kind
+}
+
+func (g *gen) emitCall(b *ir.Block) {
+	in := ir.NewInstr(ir.OpCall, g.f.NewReg(), g.pickInt(), g.pickInt())
+	in.Sym = g.calleeName
+	g.freshLocalI(b, in)
+}
+
+func (g *gen) emitPrint(b *ir.Block) {
+	in := ir.NewInstr(ir.OpCall, ir.NoReg, g.pickInt())
+	in.Sym = "print"
+	b.Instrs = append(b.Instrs, in)
+}
+
+// ---------------------------------------------------------------------
+// control flow
+
+// terminate attaches a terminator to body block i.  Forward targets are
+// strictly later blocks (or exit), so fuel-free paths always make
+// progress; backward targets are allowed and later rerouted through
+// trampolines by insertTrampolines.
+func (g *gen) terminate(b *ir.Block, i int, body []*ir.Block, exit *ir.Block) {
+	target := func(lo, hi int) *ir.Block { // body index in [lo,hi], len(body) = exit
+		j := lo + g.rng.Intn(hi-lo+1)
+		if j >= len(body) {
+			return exit
+		}
+		return body[j]
+	}
+	forward := func() *ir.Block { return target(i+1, len(body)) }
+	anywhere := func() *ir.Block { return target(0, len(body)) }
+
+	if g.cfg.Irreducible && len(body) >= 3 && i < 3 {
+		// Force the two-entry cycle {body[1], body[2]}: body[0]
+		// branches into the middle of it both ways, body[1] and
+		// body[2] keep each other alive until fuel runs out.
+		switch i {
+		case 0:
+			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+			ir.AddEdge(b, body[1])
+			ir.AddEdge(b, body[2])
+		case 1:
+			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+			ir.AddEdge(b, body[2])
+		case 2:
+			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+			ir.AddEdge(b, body[1]) // backward: trampolined later
+			ir.AddEdge(b, forward())
+		}
+		return
+	}
+
+	switch r := g.rng.Intn(10); {
+	case r < 5: // cbr
+		t1 := anywhere()
+		t2 := forward()
+		if t2 == t1 {
+			t2 = exit
+		}
+		if t1 == t2 { // both resolved to exit; degrade to jump
+			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+			ir.AddEdge(b, exit)
+			return
+		}
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+		ir.AddEdge(b, t1)
+		ir.AddEdge(b, t2)
+	case r < 9: // jump
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+		ir.AddEdge(b, anywhere())
+	default: // early return
+		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]))
+	}
+}
+
+// condReg returns a register to branch on: usually a fresh comparison
+// of live values (so different inputs take different paths), sometimes
+// a mutable integer directly.  The comparison is appended to b, which
+// must not yet have its terminator.
+func (g *gen) condReg(b *ir.Block) ir.Reg {
+	if g.rng.Intn(3) == 0 {
+		return g.mutI[g.rng.Intn(len(g.mutI))]
+	}
+	op := intCmpOps[g.rng.Intn(len(intCmpOps))]
+	r := g.f.NewReg()
+	b.Instrs = append(b.Instrs, ir.NewInstr(op, r, g.pickGlobalInt(), g.pickGlobalInt()))
+	return r
+}
+
+// fillExit emits the observation trailer: print every mutable register
+// (and, with memory on, a probe load from each arena) then return.
+// Everything the body computed flows into either a print, the return
+// value, or memory — all three of which the differential oracle
+// compares.
+func (g *gen) fillExit(exit *ir.Block) {
+	g.localI = g.localI[:0]
+	g.localF = g.localF[:0]
+	obs := append([]ir.Reg(nil), g.mutI...)
+	obs = append(obs, g.mutF...)
+	in := ir.NewInstr(ir.OpCall, ir.NoReg, obs...)
+	in.Sym = "print"
+	exit.Instrs = append(exit.Instrs, in)
+	if g.cfg.Memory {
+		wAddr := g.freshLocalI(exit, ir.NewInstr(ir.OpAdd, g.f.NewReg(), g.baseW, g.zero))
+		wVal := g.freshLocalI(exit, ir.NewInstr(ir.OpLoadW, g.f.NewReg(), wAddr))
+		probe := ir.NewInstr(ir.OpCall, ir.NoReg, wVal)
+		probe.Sym = "print"
+		exit.Instrs = append(exit.Instrs, probe)
+	}
+	exit.Instrs = append(exit.Instrs, ir.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]))
+}
+
+// insertTrampolines reroutes every backward edge (target's body index
+// not larger than the source's) through a fresh block that burns one
+// unit of fuel and bails out to exit when the budget is gone.  Since
+// every cycle in the generated graph must close through at least one
+// backward edge, total backedge traversals are bounded by Fuel and the
+// program terminates on every input — including inside irreducible
+// regions, which have no single loop header to guard.
+func (g *gen) insertTrampolines(body []*ir.Block, exit *ir.Block) {
+	order := make(map[*ir.Block]int, len(body)+1)
+	for i, b := range body {
+		order[b] = i
+	}
+	order[exit] = len(body)
+
+	type backedge struct{ from, to *ir.Block }
+	var edges []backedge
+	for i, b := range body {
+		for _, s := range b.Succs {
+			if j, ok := order[s]; ok && j <= i {
+				edges = append(edges, backedge{b, s})
+			}
+		}
+	}
+	for _, e := range edges {
+		t := g.f.NewBlock()
+		cond := g.f.NewReg()
+		t.Instrs = append(t.Instrs,
+			ir.NewInstr(ir.OpSub, g.fuel, g.fuel, g.one),
+			ir.NewInstr(ir.OpCmpGT, cond, g.fuel, g.zero),
+			ir.NewInstr(ir.OpCBr, ir.NoReg, cond),
+		)
+		// Splice: from → t → to, preserving the φ-operand slot the
+		// old edge held in to.Preds.
+		e.from.ReplaceSucc(e.to, t)
+		e.to.ReplacePred(e.from, t)
+		t.Preds = append(t.Preds, e.from)
+		t.Succs = append(t.Succs, e.to) // taken: continue the loop
+		ir.AddEdge(t, exit)             // fallthrough: fuel exhausted
+	}
+}
+
+// addUnreachable appends a self-contained block no edge targets.  Dead
+// blocks reach the optimizer in real life (front ends emit them after
+// returns); passes must neither crash on them nor let them perturb the
+// live code.  The block is self-contained so that even analyses that
+// pretend it is reachable see no undefined registers.
+func (g *gen) addUnreachable() {
+	b := g.f.NewBlockNamed("orphan")
+	r1 := g.f.NewReg()
+	r2 := g.f.NewReg()
+	b.Instrs = append(b.Instrs,
+		ir.LoadI(r1, 7),
+		ir.NewInstr(ir.OpMul, r2, r1, r1),
+		ir.NewInstr(ir.OpRet, ir.NoReg, r2),
+	)
+}
+
+// ---------------------------------------------------------------------
+// callee generation
+
+// genCallee builds a small straight-line helper that hashes its two
+// integer arguments, stores into its private arena slice, loads the
+// value back and returns a mix.  Because call reads and writes memory,
+// call sites in main are barriers the optimizer must respect; the
+// store/load pair inside makes any violation observable.
+func (g *gen) genCallee() *ir.Func {
+	g.calleeName = "aux"
+	f := ir.NewFunc("aux", 2)
+	b := f.Entry()
+	p0, p1 := f.Params[0], f.Params[1]
+	emit := func(in *ir.Instr) { b.Instrs = append(b.Instrs, in) }
+	newI := func(imm int64) ir.Reg {
+		r := f.NewReg()
+		emit(ir.LoadI(r, imm))
+		return r
+	}
+	mask := newI(maskW)
+	base := newI(arenaCallee)
+	t1 := f.NewReg()
+	ops := []ir.Op{ir.OpAdd, ir.OpXor, ir.OpSub, ir.OpMul}
+	emit(ir.NewInstr(ops[g.rng.Intn(len(ops))], t1, p0, p1))
+	t2 := f.NewReg()
+	emit(ir.NewInstr(ops[g.rng.Intn(len(ops))], t2, t1, p0))
+	off := f.NewReg()
+	emit(ir.NewInstr(ir.OpAnd, off, t2, mask))
+	addr := f.NewReg()
+	emit(ir.NewInstr(ir.OpAdd, addr, off, base))
+	emit(ir.NewInstr(ir.OpStoreW, ir.NoReg, t2, addr))
+	v := f.NewReg()
+	emit(ir.NewInstr(ir.OpLoadW, v, addr))
+	res := f.NewReg()
+	emit(ir.NewInstr(ir.OpAdd, res, v, t1))
+	emit(ir.NewInstr(ir.OpRet, ir.NoReg, res))
+	return f
+}

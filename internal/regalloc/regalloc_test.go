@@ -186,7 +186,7 @@ func TestRejectsTinyK(t *testing.T) {
 // validates against its reference.
 func TestWholeSuiteAtK16(t *testing.T) {
 	for _, r := range suite.All() {
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			t.Fatal(err)
 		}

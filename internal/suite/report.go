@@ -11,7 +11,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/minift"
 	"repro/internal/reassoc"
 )
 
@@ -88,7 +87,7 @@ func RunRoutineCtx(ctx context.Context, r Routine, level core.Level) (int64, err
 // (FreshAnalyses) in the table harness and the bench tool.  The given
 // ctx overrides opts.Ctx.
 func RunRoutineOpts(ctx context.Context, r Routine, level core.Level, opts core.OptimizeOptions) (int64, error) {
-	prog, err := minift.Compile(r.Source)
+	prog, err := r.Compile()
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", r.Name, err)
 	}
@@ -196,7 +195,7 @@ func Table1Opts(ctx context.Context, workers int, opts core.OptimizeOptions) ([]
 func Table2() ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, r := range All() {
-		prog, err := minift.Compile(r.Source)
+		prog, err := r.Compile()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", r.Name, err)
 		}

@@ -1,0 +1,478 @@
+// Generated-family routines: random ILOC programs promoted from the
+// differential fuzzer's program generator (internal/progen) into the
+// standing benchmark suite.  Unlike the Mini-Fortran routines, these
+// are raw ILOC text (Routine.Compile parses rather than compiles
+// them), so they exercise CFG shapes the front end never emits:
+// fuel-trampoline loop headers, critical edges, unreachable blocks,
+// and heavy φ-pressure from interleaved mutable scalars.  Each was
+// produced by progen.Generate(progen.ForSeed(seed), seed) for the
+// seed in its name, screened so the raw and per-pass-optimized
+// programs are clean under the semantic checker's def-use discipline
+// (checked mode runs over the suite), and frozen here as text so the
+// suite does not shift when the generator's distribution is tuned.
+// The reference results are the unoptimized interpreter's output;
+// every optimization level must reproduce them exactly (the returned
+// value is an integer, so reassociation's float rounding license does
+// not apply).
+package suite
+
+import "repro/internal/interp"
+
+const genSrc014 = `program globalsize=256
+
+func main(r1, r2, r3) {
+b0:
+    enter(r1, r2, r3)
+    loadI 0 => r4
+    loadI 1 => r5
+    loadI -65 => r6
+    loadI 68 => r7
+    loadI 84 => r8
+    loadI 22 => r9
+    loadF 8.0 => r10
+    loadF 4.0 => r11
+    loadF -4.0 => r12
+    add r8, r1 => r13
+    add r5, r13 => r14
+    add r8, r5 => r15
+    fadd r12, r12 => r16
+    fadd r10, r16 => r17
+    jump -> b1
+b1:
+    or r14, r15 => r18
+    sub r8, r5 => r19
+    sub r19, r18 => r20
+    neg r20 => r21
+    add r21, r20 => r22
+    cmpGE r14, r8 => r23
+    fcmpLT r11, r11 => r24
+    shr r7, r7 => r25
+    fneg r10 => r26
+    shr r7, r7 => r27
+    or r14, r15 => r28
+    add r14, r5 => r15
+    cmpNE r2, r4 => r29
+    cbr r29 -> b4, b5
+b2:
+    copy r1 => r14
+    copy r7 => r15
+    neg r3 => r30
+    shl r30, r7 => r13
+    min r30, r13 => r31
+    shr r14, r4 => r32
+    shr r31, r15 => r33
+    shr r8, r3 => r13
+    jump -> b3
+b3:
+    sub r13, r6 => r34
+    sub r34, r14 => r35
+    add r35, r14 => r36
+    call aux(r36, r7) => r37
+    shl r2, r1 => r38
+    shr r38, r38 => r39
+    sub r6, r37 => r40
+    sub r40, r1 => r41
+    neg r41 => r42
+    add r42, r8 => r43
+    fdiv r17, r10 => r44
+    copy r7 => r13
+    and r1, r39 => r14
+    jump -> exit
+b4:
+    add r13, r7 => r13
+    copy r15 => r14
+    sub r4, r13 => r45
+    sub r45, r1 => r46
+    neg r46 => r47
+    add r47, r7 => r48
+    cmpLE r47, r6 => r49
+    fmul r12, r16 => r50
+    fneg r10 => r51
+    fadd r16, r12 => r52
+    shr r15, r1 => r15
+    jump -> b5
+b5:
+    add r13, r13 => r53
+    shl r53, r53 => r54
+    sub r14, r6 => r55
+    sub r55, r13 => r56
+    neg r56 => r57
+    add r57, r1 => r58
+    or r8, r5 => r59
+    div r6, r59 => r60
+    add r2, r4 => r15
+    add r15, r13 => r61
+    and r15, r4 => r15
+    copy r13 => r15
+    cbr r14 -> b9, b6
+b6:
+    call aux(r6, r2) => r62
+    mul r62, r15 => r63
+    fmin r12, r12 => r64
+    mul r6, r62 => r65
+    and r1, r62 => r66
+    fdiv r12, r10 => r67
+    shl r14, r14 => r14
+    ret r13
+b7:
+    shl r53, r53 => r68
+    sqrt r16 => r69
+    add r14, r13 => r14
+    cmpNE r68, r68 => r70
+    not r68 => r71
+    fmin r17, r17 => r17
+    add r71, r68 => r72
+    add r71, r68 => r73
+    copy r7 => r15
+    jump -> b10
+exit:
+    call print(r13, r14, r15, r16, r17)
+    ret r13
+b9:
+    sub r9, r5 => r9
+    cmpGT r9, r4 => r74
+    cbr r74 -> b5, exit
+b10:
+    sub r9, r5 => r9
+    cmpGT r9, r4 => r75
+    cbr r75 -> b7, exit
+orphan:
+    loadI 7 => r76
+    mul r76, r76 => r77
+    ret r77
+}
+
+func aux(r1, r2) {
+b0:
+    enter(r1, r2)
+    loadI 56 => r3
+    loadI 192 => r4
+    xor r1, r2 => r5
+    add r5, r1 => r6
+    and r6, r3 => r7
+    add r7, r4 => r8
+    stw r6 => [r8]
+    ldw [r8] => r9
+    add r9, r5 => r10
+    ret r10
+}
+`
+
+const genSrc015 = `program globalsize=256
+
+func main(r1, r2, r3, r4, r5) {
+b0:
+    enter(r1, r2, r3, r4, r5)
+    loadI 0 => r6
+    loadI 1 => r7
+    loadI -36 => r8
+    loadI -90 => r9
+    loadI -45 => r10
+    loadI 79 => r11
+    loadI 56 => r12
+    loadI 60 => r13
+    loadI 0 => r14
+    loadI 64 => r15
+    loadI 128 => r16
+    loadF -0.75 => r17
+    loadF 10.75 => r18
+    loadF 4.0 => r19
+    add r2, r3 => r20
+    add r10, r8 => r21
+    add r9, r3 => r22
+    fadd r18, r19 => r23
+    fadd r18, r4 => r24
+    jump -> b1
+b1:
+    sub r8, r9 => r25
+    sub r25, r21 => r26
+    neg r26 => r27
+    add r27, r21 => r28
+    cmpNE r8, r9 => r29
+    fmul r5, r4 => r30
+    min r6, r10 => r31
+    mul r22, r25 => r22
+    sub r27, r26 => r32
+    sub r32, r31 => r33
+    neg r33 => r34
+    add r34, r8 => r35
+    neg r7 => r36
+    sub r33, r6 => r37
+    sub r37, r2 => r38
+    add r38, r29 => r39
+    and r29, r12 => r40
+    add r40, r14 => r41
+    ldw [r41] => r42
+    mul r33, r21 => r43
+    shl r41, r22 => r44
+    shr r8, r3 => r20
+    jump -> b2
+b2:
+    or r2, r10 => r20
+    cmpGT r21, r21 => r45
+    call aux(r2, r6) => r46
+    fsub r18, r18 => r47
+    max r8, r45 => r48
+    and r7, r12 => r49
+    add r49, r14 => r50
+    ldw [r50] => r51
+    fadd r24, r18 => r24
+    add r1, r1 => r52
+    or r22, r48 => r53
+    fabs r17 => r54
+    mul r21, r9 => r20
+    cmpGT r2, r1 => r55
+    cbr r55 -> b6, b4
+b3:
+    fsub r24, r19 => r56
+    cmpNE r9, r22 => r57
+    neg r2 => r58
+    xor r8, r10 => r59
+    fmin r24, r17 => r24
+    and r9, r59 => r60
+    not r59 => r61
+    min r22, r57 => r22
+    and r7, r59 => r62
+    and r6, r12 => r63
+    add r63, r15 => r64
+    ldd [r64] => r65
+    xor r20, r20 => r21
+    jump -> b6
+b4:
+    or r9, r7 => r66
+    mod r7, r66 => r67
+    cmpGT r67, r66 => r68
+    fadd r23, r18 => r23
+    sub r20, r9 => r69
+    sqrt r23 => r70
+    add r66, r22 => r71
+    not r6 => r72
+    fneg r24 => r73
+    add r3, r71 => r74
+    fsub r5, r70 => r75
+    copy r7 => r21
+    cmpLE r21, r3 => r76
+    cbr r76 -> b10, b8
+b5:
+    call aux(r9, r2) => r77
+    cmpGE r10, r8 => r78
+    copy r6 => r22
+    min r6, r2 => r79
+    add r3, r21 => r80
+    and r10, r12 => r81
+    add r81, r14 => r82
+    stw r78 => [r82]
+    sub r79, r79 => r22
+    fdiv r24, r5 => r83
+    or r10, r7 => r84
+    div r82, r84 => r85
+    min r84, r78 => r86
+    copy r1 => r22
+    cbr r21 -> b6, b7
+b6:
+    fadd r23, r19 => r23
+    and r3, r13 => r87
+    add r87, r16 => r88
+    sts r4 => [r88]
+    fmin r4, r17 => r89
+    max r87, r88 => r90
+    and r88, r12 => r91
+    add r91, r14 => r92
+    ldw [r92] => r93
+    or r7, r7 => r94
+    mod r94, r94 => r95
+    fmul r89, r19 => r96
+    max r94, r91 => r21
+    fmax r23, r89 => r23
+    add r87, r10 => r97
+    copy r95 => r22
+    min r22, r2 => r22
+    copy r94 => r20
+    cmpNE r21, r8 => r98
+    cbr r98 -> b7, exit
+b7:
+    neg r10 => r99
+    or r21, r20 => r100
+    and r2, r13 => r101
+    add r101, r16 => r102
+    lds [r102] => r103
+    add r9, r100 => r104
+    shr r21, r104 => r21
+    sub r99, r99 => r105
+    call print(r8)
+    cmpEQ r102, r99 => r106
+    xor r10, r10 => r107
+    sub r1, r99 => r108
+    sub r108, r10 => r109
+    add r109, r107 => r110
+    xor r2, r9 => r111
+    and r21, r7 => r112
+    add r8, r111 => r21
+    jump -> b11
+b8:
+    sub r21, r2 => r113
+    sub r113, r3 => r114
+    add r114, r21 => r115
+    sub r9, r10 => r116
+    sub r116, r1 => r117
+    neg r117 => r118
+    add r118, r117 => r119
+    sub r20, r2 => r20
+    max r1, r115 => r120
+    call aux(r120, r116) => r121
+    copy r6 => r20
+    call print(r6)
+    and r22, r12 => r122
+    add r122, r14 => r123
+    ldw [r123] => r124
+    and r113, r12 => r125
+    add r125, r15 => r126
+    std r17 => [r126]
+    fmin r23, r4 => r23
+    copy r113 => r22
+    copy r20 => r21
+    copy r119 => r20
+    jump -> b12
+exit:
+    call print(r20, r21, r22, r23, r24)
+    add r14, r6 => r127
+    ldw [r127] => r128
+    call print(r128)
+    ret r20
+b10:
+    sub r11, r7 => r11
+    cmpGT r11, r6 => r129
+    cbr r129 -> b4, exit
+b11:
+    sub r11, r7 => r11
+    cmpGT r11, r6 => r130
+    cbr r130 -> b5, exit
+b12:
+    sub r11, r7 => r11
+    cmpGT r11, r6 => r131
+    cbr r131 -> b1, exit
+}
+
+func aux(r1, r2) {
+b0:
+    enter(r1, r2)
+    loadI 56 => r3
+    loadI 192 => r4
+    mul r1, r2 => r5
+    add r5, r1 => r6
+    and r6, r3 => r7
+    add r7, r4 => r8
+    stw r6 => [r8]
+    ldw [r8] => r9
+    add r9, r5 => r10
+    ret r10
+}
+`
+
+const genSrc054 = `program globalsize=256
+
+func main(r1, r2, r3) {
+b0:
+    enter(r1, r2, r3)
+    loadI 0 => r4
+    loadI 1 => r5
+    loadI -81 => r6
+    loadI 2 => r7
+    loadI 64 => r8
+    loadI 59 => r9
+    loadI 56 => r10
+    loadI 60 => r11
+    loadI 0 => r12
+    loadI 64 => r13
+    loadI 128 => r14
+    add r8, r1 => r15
+    add r5, r15 => r16
+    add r6, r16 => r17
+    jump -> b1
+b1:
+    and r2, r10 => r18
+    add r18, r12 => r19
+    stw r17 => [r19]
+    sub r19, r5 => r20
+    sub r20, r15 => r21
+    add r21, r17 => r22
+    cmpEQ r15, r15 => r23
+    and r2, r10 => r24
+    add r24, r12 => r25
+    ldw [r25] => r26
+    sub r16, r8 => r16
+    cmpEQ r7, r6 => r27
+    cbr r27 -> b2, b3
+b2:
+    add r8, r5 => r28
+    and r15, r10 => r29
+    add r29, r12 => r30
+    ldw [r30] => r31
+    and r16, r10 => r32
+    add r32, r12 => r33
+    ldw [r33] => r34
+    shl r15, r28 => r15
+    add r16, r15 => r16
+    jump -> b3
+b3:
+    add r8, r5 => r35
+    sub r2, r4 => r36
+    call print(r35)
+    sub r2, r4 => r37
+    copy r6 => r16
+    cbr r17 -> b5, exit
+exit:
+    call print(r15, r16, r17)
+    add r12, r4 => r38
+    ldw [r38] => r39
+    call print(r39)
+    ret r15
+b5:
+    sub r9, r5 => r9
+    cmpGT r9, r4 => r40
+    cbr r40 -> b2, exit
+}
+
+func aux(r1, r2) {
+b0:
+    enter(r1, r2)
+    loadI 56 => r3
+    loadI 192 => r4
+    mul r1, r2 => r5
+    add r5, r1 => r6
+    and r6, r3 => r7
+    add r7, r4 => r8
+    stw r6 => [r8]
+    ldw [r8] => r9
+    add r9, r5 => r10
+    ret r10
+}
+`
+
+func init() {
+	register(Routine{
+		Name:   "gen014",
+		Note:   "progen seed 14: looping mixed int/float body with aux calls and an orphan block",
+		Source: genSrc014,
+		Driver: "main",
+		Args:   []interp.Value{interp.IntVal(1), interp.IntVal(2), interp.IntVal(3)},
+		RefInt: intRef(153),
+	})
+	register(Routine{
+		Name:   "gen015",
+		Note:   "progen seed 15: largest promoted program — memory arena traffic, 5.3k-step loop nest",
+		Source: genSrc015,
+		Driver: "main",
+		Args: []interp.Value{interp.IntVal(1), interp.IntVal(2), interp.IntVal(3),
+			interp.FloatVal(4.5), interp.FloatVal(5.5)},
+		RefInt: intRef(1),
+	})
+	register(Routine{
+		Name:   "gen054",
+		Note:   "progen seed 54: compact scalar kernel whose result exercises full 64-bit range",
+		Source: genSrc054,
+		Driver: "main",
+		Args:   []interp.Value{interp.IntVal(1), interp.IntVal(2), interp.IntVal(3)},
+		RefInt: intRef(288230376151711744),
+	})
+}
