@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt fuzz fuzz-smoke bench bench-hotpath
+.PHONY: check build test race vet fmt lint fuzz fuzz-smoke bench bench-hotpath
 
-check: fmt vet build test race fuzz-smoke
+check: fmt vet lint build test race fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ race:
 	$(GO) test -race ./...
 
 vet:
+	$(GO) vet ./...
+
+# Repo-invariant linter (cmd/eprelint): CFG edges only written through
+# the marking helpers, deterministic pass bodies (no wall clock, no
+# map-order-dependent output), scratch-arena borrows always released.
+# Runs beside go vet; both are part of `check`.
+lint:
+	$(GO) run ./cmd/eprelint .
 	$(GO) vet ./...
 
 # Fails (and lists the files) if anything is not gofmt-clean.
@@ -35,10 +43,14 @@ fuzz:
 
 # Differential-fuzzing smoke test, part of `check`: 200 generated
 # programs at fixed seeds, every optimization level interpreted
-# against the unoptimized reference.  Any miscompile, verifier
-# reject, panic, or runaway exits nonzero with a shrunk reproducer.
+# against the unoptimized reference, then 200 more in cross-backend
+# mode (-gvn-diff: the GVN-carrying levels run under both the AWZ and
+# the precise backend, so the two implementations oracle each other).
+# Any miscompile, verifier reject, panic, or runaway exits nonzero
+# with a shrunk reproducer.
 fuzz-smoke:
 	$(GO) run ./cmd/epre fuzz -seed 1 -n 200 -workers 4
+	$(GO) run ./cmd/epre fuzz -seed 1000 -n 200 -workers 4 -gvn-diff
 
 # Performance tracking: Go micro-benchmarks plus the end-to-end serve
 # throughput + parallel-table1 measurement (BENCH_serve.json), the

@@ -58,6 +58,7 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 	shrink := fs.Bool("shrink", true, "minimize failing programs by delta debugging")
 	artifactDir := fs.String("artifact-dir", "", "write failing reproducers into this directory")
 	perPass := fs.Bool("per-pass", false, "re-validate miscompiles pass by pass to name the guilty pass")
+	gvnDiff := fs.Bool("gvn-diff", false, "cross-backend mode: test every GVN-carrying level with both the awz and precise backends")
 	timeout := fs.Duration("timeout", 0, "overall run deadline (0 = none)")
 	stats := fs.Bool("stats", false, "print expvar-style run metrics")
 	fs.Parse(args)
@@ -85,6 +86,9 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 
 	var optimize difftest.OptimizeFunc
 	if lv := os.Getenv(sabotageEnv); lv != "" {
+		if *gvnDiff {
+			return fmt.Errorf("fuzz: -gvn-diff cannot be combined with %s", sabotageEnv)
+		}
 		var err error
 		if optimize, err = sabotagedOptimize(lv); err != nil {
 			return err
@@ -103,6 +107,7 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 		Shrink:      *shrink,
 		ArtifactDir: *artifactDir,
 		PerPass:     *perPass,
+		GVNDiff:     *gvnDiff,
 		Metrics:     metrics,
 	})
 	if err != nil {

@@ -69,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTable1(args[1:], stdout)
 	case "table2":
 		err = cmdTable2(stdout)
+	case "gvncompare":
+		err = cmdGVNCompare(args[1:], stdout)
 	case "example":
 		err = cmdExample(stdout)
 	case "levels":
@@ -96,18 +98,26 @@ func usage(w io.Writer) {
             [-no-validate] file.{mf,iloc}
   epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
              [-timeout 30s]   run the concurrent optimization service
-  epre table1 [-parallel N] [-passstats] [-cpuprofile f] [-memprofile f]
+  epre table1 [-parallel N] [-gvn awz|precise] [-passstats]
+              [-cpuprofile f] [-memprofile f]
                      regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
+  epre gvncompare [-parallel N]
+                     compare the AWZ and precise GVN backends per
+                     routine: congruence classes on identical SSA and
+                     dynamic ops at the distribution level
   epre bench [-out BENCH_serve.json] [-passmgr-out BENCH_passmgr.json]
              [-hotpath-out BENCH_hotpath.json] [-hotpath-iters N]
              [-requests N] [-concurrency N] [-parallel N]
              [-cpuprofile f] [-memprofile f]
                      serve-mode, analysis-cache and hot-path benchmarks
   epre fuzz [-seed N] [-n N] [-level L|all] [-workers N] [-shrink]
-            [-artifact-dir DIR] [-per-pass] [-timeout 5m] [-stats]
+            [-artifact-dir DIR] [-per-pass] [-gvn-diff] [-timeout 5m]
+            [-stats]
                      differential fuzzing: random programs vs. the
                      reference interpreter at every optimization level
+                     (-gvn-diff additionally cross-checks the AWZ and
+                     precise GVN backends against each other)
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }
@@ -338,6 +348,7 @@ func cmdTable1(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
 	passStats := fs.Bool("passstats", false, "append a per-pass table: applications, changed-bit reports, time, analysis cache misses")
+	gvnName := fs.String("gvn", "", "global value numbering backend (awz|precise; default awz)")
 	prof := addProfileFlags(fs)
 	fs.Parse(args)
 	stopProf, err := prof.start()
@@ -350,6 +361,9 @@ func cmdTable1(args []string, stdout io.Writer) (err error) {
 		}
 	}()
 	var opts core.OptimizeOptions
+	if opts.GVN, err = core.ParseGVNBackend(*gvnName); err != nil {
+		return err
+	}
 	var collector *core.PassStatsCollector
 	if *passStats {
 		collector = core.NewPassStatsCollector()
@@ -365,6 +379,21 @@ func cmdTable1(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintln(stdout, "per-pass statistics (analysis columns count cache misses, not queries):")
 		collector.Write(stdout)
 	}
+	return nil
+}
+
+func cmdGVNCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gvncompare", flag.ExitOnError)
+	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("gvncompare: unexpected argument %q", fs.Arg(0))
+	}
+	rows, err := suite.GVNCompare(context.Background(), *parallel)
+	if err != nil {
+		return err
+	}
+	suite.WriteGVNCompare(stdout, rows)
 	return nil
 }
 

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRepoLintsClean(t *testing.T) {
+	if code := run([]string{"../.."}); code != 0 {
+		t.Errorf("eprelint on the repo exited %d, want 0", code)
+	}
+}
+
+func TestFindingsExitNonzero(t *testing.T) {
+	dir := t.TempDir()
+	// A fake pass package with a wall-clock read.
+	pkg := filepath.Join(dir, "internal", "gvn")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package gvn\nimport \"time\"\nfunc f() time.Time { return time.Now() }\n"
+	if err := os.WriteFile(filepath.Join(pkg, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{dir}); code != 1 {
+		t.Errorf("eprelint on a dirty tree exited %d, want 1", code)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if code := run([]string{"a", "b"}); code != 2 {
+		t.Errorf("two arguments accepted (exit %d), want usage error 2", code)
+	}
+	if code := run([]string{"--help"}); code != 2 {
+		t.Errorf("--help exited %d, want 2", code)
+	}
+}

@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -39,15 +40,35 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
-	if len(args) != 1 || args[0] == "-h" || args[0] == "--help" {
-		fmt.Fprintln(stderr, "usage: ilocfilter PASS   (reads ILOC on stdin, writes ILOC on stdout)")
+	fs := flag.NewFlagSet("ilocfilter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gvnName := fs.String("gvn", "", "GVN backend selecting the pass the generic \"gvn\" stage runs (awz|precise; default awz)")
+	usage := func() {
+		fmt.Fprintln(stderr, "usage: ilocfilter [-gvn awz|precise] PASS   (reads ILOC on stdin, writes ILOC on stdout)")
 		fmt.Fprintln(stderr, "passes:")
 		for _, p := range core.AllPasses() {
 			fmt.Fprintf(stderr, "  %s\n", p.Name)
 		}
+	}
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	name := args[0]
+	if fs.NArg() != 1 {
+		usage()
+		return 2
+	}
+	backend, err := core.ParseGVNBackend(*gvnName)
+	if err != nil {
+		fmt.Fprintln(stderr, "ilocfilter:", err)
+		return 2
+	}
+	name := fs.Arg(0)
+	if name == "gvn" {
+		// The generic stage name resolves through the backend flag, so
+		// pipelines can switch backends without renaming the stage.
+		name = backend.PassName()
+	}
 	pass, err := core.PassByName(name)
 	if err != nil {
 		fmt.Fprintln(stderr, "ilocfilter:", err)

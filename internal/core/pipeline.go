@@ -52,6 +52,55 @@ const (
 // Levels lists the Table 1 levels in presentation order.
 var Levels = []Level{LevelBaseline, LevelPartial, LevelReassoc, LevelDist}
 
+// GVNBackend selects the analysis behind the pipeline's value-numbering
+// slot.  Both backends share the renaming transformation (classes →
+// representative registers); they differ only in which congruences the
+// analysis proves.
+type GVNBackend string
+
+const (
+	// GVNAWZ is the paper's backend: Alpern–Wegman–Zadeck partition
+	// refinement, "the simplest variation" (§4).  The zero value of
+	// GVNBackend behaves as GVNAWZ everywhere.
+	GVNAWZ GVNBackend = "awz"
+	// GVNPrecise is the sparse iterative value-expression analysis with
+	// value-φ folding (fold/compose rules); it proves strictly more
+	// congruences — every AWZ congruence plus those that flow through
+	// φs (φ(x,x) ≡ x, φ(x+1,y+1) ≡ φ(x,y)+1) and commutations.
+	GVNPrecise GVNBackend = "precise"
+)
+
+// GVNBackends lists the selectable backends in presentation order.
+var GVNBackends = []GVNBackend{GVNAWZ, GVNPrecise}
+
+// ParseGVNBackend maps a -gvn flag value to a backend; the empty string
+// selects the default (AWZ).
+func ParseGVNBackend(s string) (GVNBackend, error) {
+	switch s {
+	case "", "awz":
+		return GVNAWZ, nil
+	case "precise":
+		return GVNPrecise, nil
+	}
+	return "", fmt.Errorf("core: unknown GVN backend %q (want awz or precise)", s)
+}
+
+// orDefault folds the zero value into the default backend.
+func (b GVNBackend) orDefault() GVNBackend {
+	if b == "" {
+		return GVNAWZ
+	}
+	return b
+}
+
+// PassName is the pipeline pass implementing this backend.
+func (b GVNBackend) PassName() string {
+	if b.orDefault() == GVNPrecise {
+		return "gvn-precise"
+	}
+	return "gvn"
+}
+
 // ParseLevel maps a level name (or its common abbreviations) to a Level.
 func ParseLevel(s string) (Level, error) {
 	switch s {
@@ -171,6 +220,10 @@ func AllPasses() []Pass {
 			gvn.RunWith(pc.Func, pc.Analyses)
 			return true
 		}},
+		{"gvn-precise", nil, func(pc *PassContext) bool {
+			gvn.RunPreciseWith(pc.Func, pc.Analyses)
+			return true
+		}},
 		{"reassoc", nil, func(pc *PassContext) bool {
 			reassoc.RunWith(pc.Func, reassoc.Options{AllowFloat: true}, pc.Analyses)
 			return true
@@ -217,8 +270,15 @@ func baselineTail() []string {
 	return []string{"sccp", "peephole", "dce", "coalesce", "emptyblocks", "dce"}
 }
 
-// PassNames returns the pass sequence for a level.
-func PassNames(level Level) []string {
+// PassNames returns the pass sequence for a level with the default
+// (AWZ) value-numbering backend.
+func PassNames(level Level) []string { return PassNamesWith(level, GVNAWZ) }
+
+// PassNamesWith returns the pass sequence for a level with the given
+// value-numbering backend filling the pipeline's GVN slot.  Levels
+// without a GVN slot are identical across backends.
+func PassNamesWith(level Level, backend GVNBackend) []string {
+	g := backend.PassName()
 	switch level {
 	case LevelNone:
 		return nil
@@ -227,9 +287,9 @@ func PassNames(level Level) []string {
 	case LevelPartial:
 		return append([]string{"normalize", "pre"}, baselineTail()...)
 	case LevelReassoc:
-		return append([]string{"reassoc", "gvn", "normalize", "pre"}, baselineTail()...)
+		return append([]string{"reassoc", g, "normalize", "pre"}, baselineTail()...)
 	case LevelDist:
-		return append([]string{"reassoc-dist", "gvn", "normalize", "pre"}, baselineTail()...)
+		return append([]string{"reassoc-dist", g, "normalize", "pre"}, baselineTail()...)
 	}
 	return nil
 }
@@ -241,15 +301,27 @@ func PassNames(level Level) []string {
 // automatically whenever a pass is added, removed, resequenced, or its
 // invalidation contract changes.  It is deterministic across processes
 // and runs.
-func PipelineVersion() string { return pipelineVersion(AllPasses()) }
+func PipelineVersion() string { return PipelineVersionFor(GVNAWZ) }
+
+// PipelineVersionFor is the pipeline fingerprint with the given GVN
+// backend selected.  The backend changes the reassociation levels' pass
+// sequences (and is hashed explicitly besides), so distinct backends
+// always fingerprint differently and a content-addressed cache can
+// never serve one backend's result for the other's request.
+func PipelineVersionFor(backend GVNBackend) string {
+	return pipelineVersion(AllPasses(), backend)
+}
 
 // pipelineVersion computes the fingerprint over a given pass inventory;
 // split out so tests can prove the hash is sensitive to contract edits.
-func pipelineVersion(passes []Pass) string {
+func pipelineVersion(passes []Pass, backend GVNBackend) string {
 	h := sha256.New()
+	io.WriteString(h, "gvn-backend:")
+	io.WriteString(h, string(backend.orDefault()))
+	io.WriteString(h, "\n")
 	for _, l := range append([]Level{LevelNone}, Levels...) {
 		io.WriteString(h, string(l))
-		for _, name := range PassNames(l) {
+		for _, name := range PassNamesWith(l, backend) {
 			io.WriteString(h, ":")
 			io.WriteString(h, name)
 		}
@@ -308,6 +380,10 @@ type OptimizeOptions struct {
 	// sequence until no tail pass reports a change (bounded by
 	// MaxTailRounds).  The default single sweep matches the paper.
 	TailFixpoint bool
+	// GVN selects the value-numbering backend filling the pipeline's
+	// GVN slot at the reassociation levels.  The zero value is GVNAWZ,
+	// the paper's configuration.
+	GVN GVNBackend
 }
 
 // MaxTailRounds bounds OptimizeOptions.TailFixpoint iteration.
@@ -374,7 +450,7 @@ func optimizeFunc(ctx context.Context, f *ir.Func, level Level, opts OptimizeOpt
 		return changed, nil
 	}
 
-	for _, name := range PassNames(level) {
+	for _, name := range PassNamesWith(level, opts.GVN) {
 		if _, err := runPass(name); err != nil {
 			return err
 		}
@@ -417,7 +493,7 @@ func OptimizeWith(p *ir.Program, level Level, opts OptimizeOptions) (*ir.Program
 	if CheckEnabled() {
 		// Checked mode validates whole-program snapshots around every
 		// pass, so it stays serial at pass granularity.
-		return checkedOptimizeStrict(ctx, p, level)
+		return checkedOptimizeStrict(ctx, p, level, opts.GVN)
 	}
 	out := p.Clone()
 	workers := opts.workers(len(out.Funcs))

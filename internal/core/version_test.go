@@ -21,16 +21,16 @@ func TestPipelineVersionStable(t *testing.T) {
 // is renamed, removed, or — crucially for the result caches — when its
 // preservation contract changes without any other edit.
 func TestPipelineVersionSensitivity(t *testing.T) {
-	base := pipelineVersion(AllPasses())
+	base := pipelineVersion(AllPasses(), GVNAWZ)
 
 	renamed := AllPasses()
 	renamed[0].Name = renamed[0].Name + "-v2"
-	if pipelineVersion(renamed) == base {
+	if pipelineVersion(renamed, GVNAWZ) == base {
 		t.Error("renaming a pass did not change the version")
 	}
 
 	removed := AllPasses()[1:]
-	if pipelineVersion(removed) == base {
+	if pipelineVersion(removed, GVNAWZ) == base {
 		t.Error("removing a pass did not change the version")
 	}
 
@@ -48,7 +48,7 @@ func TestPipelineVersionSensitivity(t *testing.T) {
 	if !flipped {
 		t.Fatal("no pass declares a Preserves contract")
 	}
-	if pipelineVersion(contract) == base {
+	if pipelineVersion(contract, GVNAWZ) == base {
 		t.Error("clearing a Preserves contract did not change the version")
 	}
 
@@ -59,7 +59,57 @@ func TestPipelineVersionSensitivity(t *testing.T) {
 			break
 		}
 	}
-	if pipelineVersion(granted) == base {
+	if pipelineVersion(granted, GVNAWZ) == base {
 		t.Error("granting a Preserves contract did not change the version")
+	}
+}
+
+// TestPipelineVersionGVNBackend: selecting a different GVN backend must
+// move the fingerprint, so a content-addressed result cache (the serve
+// cache folds the version into its keys) can never return a stale
+// cross-backend result.  The zero value must fingerprint exactly as the
+// explicit default.
+func TestPipelineVersionGVNBackend(t *testing.T) {
+	awz := PipelineVersionFor(GVNAWZ)
+	precise := PipelineVersionFor(GVNPrecise)
+	if awz == precise {
+		t.Fatalf("AWZ and precise backends share a pipeline version: %q", awz)
+	}
+	if def := PipelineVersionFor(""); def != awz {
+		t.Errorf("zero-value backend version %q differs from explicit awz %q", def, awz)
+	}
+	if PipelineVersion() != awz {
+		t.Errorf("PipelineVersion() does not default to the AWZ backend")
+	}
+	for _, b := range GVNBackends {
+		v := PipelineVersionFor(b)
+		if !strings.HasPrefix(v, "epre-") || len(v) != len("epre-")+16 {
+			t.Errorf("backend %s: unexpected version shape %q", b, v)
+		}
+	}
+}
+
+// TestPassNamesWithBackend: the precise backend swaps only the GVN slot
+// of the reassociation levels; every other level is identical.
+func TestPassNamesWithBackend(t *testing.T) {
+	for _, l := range append([]Level{LevelNone}, Levels...) {
+		a := PassNamesWith(l, GVNAWZ)
+		p := PassNamesWith(l, GVNPrecise)
+		if len(a) != len(p) {
+			t.Fatalf("%s: pass count differs across backends: %v vs %v", l, a, p)
+		}
+		diff := 0
+		for i := range a {
+			if a[i] != p[i] {
+				diff++
+				if a[i] != "gvn" || p[i] != "gvn-precise" {
+					t.Errorf("%s: unexpected substitution %s -> %s", l, a[i], p[i])
+				}
+			}
+		}
+		hasGVN := l == LevelReassoc || l == LevelDist
+		if hasGVN && diff != 1 || !hasGVN && diff != 0 {
+			t.Errorf("%s: %d slots differ across backends (%v vs %v)", l, diff, a, p)
+		}
 	}
 }

@@ -87,6 +87,13 @@ type Options struct {
 	// PerPass, for miscompiles, re-runs the level pass by pass under
 	// translation validation to name the guilty pass in the detail.
 	PerPass bool
+	// GVNDiff enables cross-backend differential mode: every level
+	// whose pass sequence has a value-numbering slot is optimized twice
+	// — once per GVN backend — and both results are validated against
+	// the same reference behavior, so the two backends act as free
+	// oracles for each other.  Incompatible with a custom Optimize
+	// (which has no backend dimension).
+	GVNDiff bool
 	// Metrics, when non-nil, receives live counters during the run.
 	Metrics *Metrics
 }
@@ -112,19 +119,43 @@ func (o Options) maxSteps() int64 {
 	return 1 << 20
 }
 
-func (o Options) optimize() OptimizeFunc {
+func (o Options) optimize() OptimizeFunc { return o.optimizeFor(core.GVNAWZ) }
+
+// optimizeFor is the optimizer under test with an explicit GVN backend;
+// a custom Optimize override has no backend dimension and wins outright.
+func (o Options) optimizeFor(backend core.GVNBackend) OptimizeFunc {
 	if o.Optimize != nil {
 		return o.Optimize
 	}
 	return func(ctx context.Context, p *ir.Program, level core.Level) (*ir.Program, error) {
-		return core.OptimizeWith(p, level, core.OptimizeOptions{Ctx: ctx})
+		return core.OptimizeWith(p, level, core.OptimizeOptions{Ctx: ctx, GVN: backend})
 	}
+}
+
+// backends lists the GVN backends one level is tested with: just the
+// default, unless GVNDiff is set and the level's pipeline actually has
+// a value-numbering slot (levels without one are backend-independent).
+func (o Options) backends(level core.Level) []core.GVNBackend {
+	if !o.GVNDiff {
+		return []core.GVNBackend{core.GVNAWZ}
+	}
+	a := core.PassNamesWith(level, core.GVNAWZ)
+	p := core.PassNamesWith(level, core.GVNPrecise)
+	for i := range a {
+		if a[i] != p[i] {
+			return core.GVNBackends
+		}
+	}
+	return []core.GVNBackend{core.GVNAWZ}
 }
 
 // Failure describes one failing (program, level) pair.
 type Failure struct {
-	Seed   uint64
-	Level  core.Level
+	Seed  uint64
+	Level core.Level
+	// GVN is the value-numbering backend the failing pipeline ran with
+	// (set in GVNDiff mode; empty means the default backend).
+	GVN    core.GVNBackend
 	Kind   Kind
 	Detail string
 	// Program is the reproducer: the original generated program, or
@@ -140,7 +171,11 @@ type Failure struct {
 }
 
 func (f *Failure) String() string {
-	s := fmt.Sprintf("%s at %s (seed %d): %s", f.Kind, f.Level, f.Seed, f.Detail)
+	level := string(f.Level)
+	if f.GVN != "" {
+		level += "/gvn=" + string(f.GVN)
+	}
+	s := fmt.Sprintf("%s at %s (seed %d): %s", f.Kind, level, f.Seed, f.Detail)
 	if f.Shrunk {
 		s += fmt.Sprintf(" [shrunk %d -> %d instrs]", f.OrigInstrs, f.MinInstrs)
 	}
@@ -161,6 +196,9 @@ type Report struct {
 // are data, not errors.
 func Run(opt Options) (*Report, error) {
 	ctx := opt.ctx()
+	if opt.GVNDiff && opt.Optimize != nil {
+		return nil, fmt.Errorf("difftest: GVNDiff is incompatible with a custom Optimize (no backend dimension)")
+	}
 	start := time.Now()
 	n := opt.N
 	if n <= 0 {
@@ -268,16 +306,18 @@ func testSeed(ctx context.Context, seed uint64, opt Options) []Failure {
 
 	var failures []Failure
 	for _, level := range opt.levels() {
-		if ctx.Err() != nil {
-			failures = append(failures, Failure{
-				Seed: seed, Level: level, Kind: KindTimeout,
-				Detail: ctx.Err().Error(), Program: prog,
-				OrigInstrs: prog.InstrCount(), MinInstrs: prog.InstrCount(),
-			})
-			continue
-		}
-		if f := testLevel(ctx, prog, refs, seed, level, opt); f != nil {
-			failures = append(failures, *f)
+		for _, backend := range opt.backends(level) {
+			if ctx.Err() != nil {
+				failures = append(failures, Failure{
+					Seed: seed, Level: level, Kind: KindTimeout,
+					Detail: ctx.Err().Error(), Program: prog,
+					OrigInstrs: prog.InstrCount(), MinInstrs: prog.InstrCount(),
+				})
+				continue
+			}
+			if f := testLevel(ctx, prog, refs, seed, level, backend, opt); f != nil {
+				failures = append(failures, *f)
+			}
 		}
 	}
 	return failures
@@ -322,21 +362,25 @@ func floatTolFor(level core.Level) (tol float64, exactMem bool) {
 	return 0, true
 }
 
-// testLevel runs one optimization level against the reference behavior
-// and returns a classified failure, or nil.
-func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64, level core.Level, opt Options) *Failure {
+// testLevel runs one optimization level (with one GVN backend) against
+// the reference behavior and returns a classified failure, or nil.
+func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64, level core.Level, backend core.GVNBackend, opt Options) *Failure {
+	var tag core.GVNBackend
+	if opt.GVNDiff {
+		tag = backend // record the pipeline variant on any failure
+	}
 	fail := func(kind Kind, detail string, repro *ir.Program) *Failure {
 		if repro == nil {
 			repro = prog
 		}
 		n := prog.InstrCount()
 		return &Failure{
-			Seed: seed, Level: level, Kind: kind, Detail: detail,
+			Seed: seed, Level: level, GVN: tag, Kind: kind, Detail: detail,
 			Program: repro, OrigInstrs: n, MinInstrs: n,
 		}
 	}
 
-	optimized, panicMsg, err := safeOptimize(ctx, prog, level, opt.optimize())
+	optimized, panicMsg, err := safeOptimize(ctx, prog, level, opt.optimizeFor(backend))
 	switch {
 	case panicMsg != "":
 		return fail(KindPanic, panicMsg, nil)
@@ -357,7 +401,7 @@ func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64
 				return fail(KindTimeout, ctx.Err().Error(), nil)
 			}
 			if opt.PerPass {
-				detail += blamePass(ctx, prog, level)
+				detail += blamePass(ctx, prog, level, backend)
 			}
 			return fail(KindMiscompile, detail, nil)
 		}
@@ -430,8 +474,8 @@ func safeOptimize(ctx context.Context, p *ir.Program, level core.Level, optimize
 // and names the first pass with an error diagnostic.  Best effort: the
 // real pipeline optimizes whole programs, so the blame run can only
 // narrow, never widen, the already-established miscompile.
-func blamePass(ctx context.Context, prog *ir.Program, level core.Level) string {
-	_, diags, err := core.CheckedOptimizeCtx(ctx, prog, level)
+func blamePass(ctx context.Context, prog *ir.Program, level core.Level, backend core.GVNBackend) string {
+	_, diags, err := core.CheckedOptimizeFor(ctx, prog, level, backend)
 	for _, d := range check.Errors(diags) {
 		if d.Pass != "" {
 			return fmt.Sprintf(" [blamed pass: %s]", d.Pass)
@@ -449,7 +493,7 @@ func shrinkFailure(ctx context.Context, f *Failure, opt Options) {
 	reduced, ok := Shrink(ctx, f.Program, ShrinkOptions{
 		Level:    f.Level,
 		Kind:     f.Kind,
-		Optimize: opt.optimize(),
+		Optimize: opt.optimizeFor(f.GVN),
 		MaxSteps: opt.maxSteps(),
 	})
 	if ok && reduced.InstrCount() < f.Program.InstrCount() {
@@ -467,12 +511,18 @@ func writeArtifact(dir string, f *Failure) (string, error) {
 		return "", err
 	}
 	name := fmt.Sprintf("%s-seed%d-%s.iloc", f.Kind, f.Seed, f.Level)
+	if f.GVN != "" {
+		name = fmt.Sprintf("%s-seed%d-%s-gvn-%s.iloc", f.Kind, f.Seed, f.Level, f.GVN)
+	}
 	path := filepath.Join(dir, name)
 	var b strings.Builder
 	fmt.Fprintf(&b, "# difftest artifact\n")
 	fmt.Fprintf(&b, "# kind: %s\n", f.Kind)
 	fmt.Fprintf(&b, "# seed: %d\n", f.Seed)
 	fmt.Fprintf(&b, "# level: %s\n", f.Level)
+	if f.GVN != "" {
+		fmt.Fprintf(&b, "# gvn: %s\n", f.GVN)
+	}
 	fmt.Fprintf(&b, "# shrunk: %v (%d -> %d instructions)\n", f.Shrunk, f.OrigInstrs, f.MinInstrs)
 	for _, line := range strings.Split(f.Detail, "\n") {
 		fmt.Fprintf(&b, "# detail: %s\n", line)

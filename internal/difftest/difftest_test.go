@@ -38,6 +38,73 @@ func TestCleanPipeline(t *testing.T) {
 	}
 }
 
+// TestGVNDiffMode: cross-backend differential fuzzing — both GVN
+// backends over the same programs, zero divergence expected from the
+// repo's own pipeline, and the mode doubles only the levels that have
+// a value-numbering slot.
+func TestGVNDiffMode(t *testing.T) {
+	rep, err := Run(Options{Seed: 1, N: 25, Workers: 4, GVNDiff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 25 {
+		t.Fatalf("tested %d programs, want 25", rep.Programs)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("cross-backend divergence: %s\n%s", f.String(), f.Program)
+	}
+
+	// The backend fan-out applies exactly to the GVN-slot levels.
+	var o Options
+	o.GVNDiff = true
+	for _, l := range core.Levels {
+		got := len(o.backends(l))
+		want := 1
+		if l == core.LevelReassoc || l == core.LevelDist {
+			want = 2
+		}
+		if got != want {
+			t.Errorf("%s: tested with %d backends, want %d", l, got, want)
+		}
+	}
+	if len(Options{}.backends(core.LevelDist)) != 1 {
+		t.Error("GVNDiff off must test a single backend")
+	}
+
+	// A custom pipeline has no backend dimension; combining it with
+	// GVNDiff must be rejected, not silently degraded.
+	if _, err := Run(Options{N: 1, GVNDiff: true, Optimize: sabotage(core.LevelDist)}); err == nil {
+		t.Error("GVNDiff with custom Optimize did not error")
+	}
+}
+
+// TestGVNDiffCatchesPreciseBug: a sabotaged precise backend (wrong
+// result only when the precise pipeline runs) is caught and the
+// failure names the backend.
+func TestGVNDiffCatchesPreciseBug(t *testing.T) {
+	// Sabotage cannot go through Options.Optimize in GVNDiff mode, so
+	// simulate the harness's per-backend loop directly: testLevel with
+	// a pipeline that miscompiles regardless of backend stands in for a
+	// precise-only bug — what matters is the failure's GVN tag.
+	cfg := smallConfig()
+	var f *Failure
+	for seed := uint64(1); seed <= 20 && f == nil; seed++ {
+		prog := progen.Generate(*cfg, seed)
+		refs := referenceRuns(context.Background(), prog, 1<<20)
+		f = testLevel(context.Background(), prog, refs, seed, core.LevelDist,
+			core.GVNPrecise, Options{GVNDiff: true, Optimize: sabotage(core.LevelDist)})
+	}
+	if f == nil {
+		t.Fatal("sabotaged pipeline not caught on any of 20 seeds")
+	}
+	if f.GVN != core.GVNPrecise {
+		t.Errorf("failure GVN tag = %q, want precise", f.GVN)
+	}
+	if !strings.Contains(f.String(), "gvn=precise") {
+		t.Errorf("failure string does not name the backend: %s", f.String())
+	}
+}
+
 // sabotage wraps the real pipeline but, at the target level, flips
 // every integer add in main to a subtract — a classic miscompile.
 func sabotage(target core.Level) OptimizeFunc {
@@ -317,7 +384,7 @@ func TestShrinkPreservesKind(t *testing.T) {
 	}
 	refs := referenceRuns(context.Background(), reduced, 1<<20)
 	f := testLevel(context.Background(), reduced, refs, 1, core.LevelPartial,
-		Options{Optimize: sabotage(core.LevelPartial)})
+		core.GVNAWZ, Options{Optimize: sabotage(core.LevelPartial)})
 	if f == nil || f.Kind != KindMiscompile {
 		t.Fatalf("reduced program no longer reproduces the miscompile: %+v", f)
 	}

@@ -130,7 +130,9 @@ func reproduces(ctx context.Context, cand *ir.Program, opt ShrinkOptions) bool {
 		return false
 	}
 	refs := referenceRuns(ctx, cand, opt.MaxSteps)
-	f := testLevel(ctx, cand, refs, 0, opt.Level, Options{
+	// The backend argument is irrelevant here: ShrinkOptions.Optimize is
+	// always set and already bound to the failing pipeline variant.
+	f := testLevel(ctx, cand, refs, 0, opt.Level, core.GVNAWZ, Options{
 		Optimize: opt.Optimize,
 		MaxSteps: opt.MaxSteps,
 	})

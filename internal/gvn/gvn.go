@@ -227,7 +227,21 @@ func classes(f *ir.Func) ([]ir.Reg, []uint32) {
 // manage SSA themselves can reuse it; most callers want Run.
 func Partition(f *ir.Func) Stats {
 	values, class := classes(f)
+	return renameToReps(f, values, class)
+}
 
+// AWZClasses exposes the AWZ congruence partition of an SSA-form
+// function without renaming: the values in ascending register order
+// and a register-indexed class table (0 marks a non-value register).
+// The refinement tests and the gvncompare report consume it to compare
+// the two backends' partitions on identical SSA input.
+func AWZClasses(f *ir.Func) ([]ir.Reg, []uint32) { return classes(f) }
+
+// renameToReps encodes a congruence partition into the name space:
+// every member of a class is renamed to one representative register
+// and duplicated φ-nodes are removed.  Shared by both GVN backends —
+// they differ only in how the partition is computed.
+func renameToReps(f *ir.Func, values []ir.Reg, class []uint32) Stats {
 	// Pick one representative register per class and rewrite.  Values
 	// are visited in ascending register order, so representative
 	// numbering is deterministic and independent of how the class ids

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// lintSrc parses src as a single file of the given module-relative
+// package and returns the findings.
+func lintSrc(t *testing.T, pkgRel, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return File(fset, f, pkgRel)
+}
+
+func wantChecks(t *testing.T, diags []Diagnostic, want ...string) {
+	t.Helper()
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Check)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %v", len(got), diags, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d: check %q, want %q (%s)", i, got[i], want[i], diags[i])
+		}
+	}
+}
+
+func TestCFGWriteFlagged(t *testing.T) {
+	src := `package dce
+func f(b *Block) {
+	b.Succs = nil
+	b.Preds = append(b.Preds, b)
+	b.Succs[0] = b
+	b.Instrs = nil // not an edge list
+}`
+	wantChecks(t, lintSrc(t, "internal/dce", src), "cfgwrite", "cfgwrite", "cfgwrite")
+}
+
+func TestCFGWriteAllowedInOwners(t *testing.T) {
+	src := `package ir
+func f(b *Block) { b.Succs = nil }`
+	wantChecks(t, lintSrc(t, "internal/ir", src))
+	src2 := `package cfg
+func f(b *Block) { b.Preds = nil }`
+	wantChecks(t, lintSrc(t, "internal/cfg", src2))
+}
+
+func TestCFGWriteSuppressedWithReason(t *testing.T) {
+	src := `package progen
+func f(b *Block) {
+	b.Succs = nil //lint:ignore cfgwrite fresh block in a generator
+}`
+	wantChecks(t, lintSrc(t, "internal/progen", src))
+
+	// A directive without a reason does not suppress.
+	src2 := `package progen
+func f(b *Block) {
+	b.Succs = nil //lint:ignore cfgwrite
+}`
+	wantChecks(t, lintSrc(t, "internal/progen", src2), "cfgwrite")
+}
+
+func TestTimeNowFlaggedInPassBodies(t *testing.T) {
+	src := `package gvn
+import "time"
+func f() time.Time { return time.Now() }`
+	wantChecks(t, lintSrc(t, "internal/gvn", src), "timenow")
+
+	// The pass manager (internal/core) owns timing instrumentation.
+	src2 := `package core
+import "time"
+func f() time.Time { return time.Now() }`
+	wantChecks(t, lintSrc(t, "internal/core", src2))
+}
+
+func TestMapOrderAppendFlagged(t *testing.T) {
+	src := `package pre
+func f(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`
+	wantChecks(t, lintSrc(t, "internal/pre", src), "maporder")
+}
+
+func TestMapOrderSortedAppendAllowed(t *testing.T) {
+	src := `package pre
+import "sort"
+func f(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}`
+	wantChecks(t, lintSrc(t, "internal/pre", src))
+}
+
+func TestMapOrderPrintFlagged(t *testing.T) {
+	src := `package sccp
+import "fmt"
+func f() {
+	m := make(map[string]int)
+	for k := range m {
+		fmt.Println(k)
+	}
+}`
+	wantChecks(t, lintSrc(t, "internal/sccp", src), "maporder")
+}
+
+func TestMapOrderWriteFlagged(t *testing.T) {
+	src := `package sccp
+import "strings"
+func f(w *strings.Builder) {
+	m := map[string]int{}
+	for k := range m {
+		w.WriteString(k)
+	}
+}`
+	wantChecks(t, lintSrc(t, "internal/sccp", src), "maporder")
+}
+
+func TestMapOrderCommutativeBodyAllowed(t *testing.T) {
+	// Pure map-to-map work and counting are order-independent.
+	src := `package gvn
+func f(m map[int]int) int {
+	n := 0
+	other := map[int]bool{}
+	for k, v := range m {
+		n += v
+		other[k] = true
+	}
+	return n
+}`
+	wantChecks(t, lintSrc(t, "internal/gvn", src))
+}
+
+func TestMapOrderSliceRangeNotFlagged(t *testing.T) {
+	src := `package gvn
+func f(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}`
+	wantChecks(t, lintSrc(t, "internal/gvn", src))
+}
+
+func TestScratchUnreleasedFlagged(t *testing.T) {
+	src := `package ssa
+func f(ac *Cache, n int) {
+	buf := ac.BorrowInts(n)
+	_ = buf
+}`
+	wantChecks(t, lintSrc(t, "internal/ssa", src), "scratch")
+}
+
+func TestScratchDeferReleaseAllowed(t *testing.T) {
+	src := `package ssa
+func f(ac *Cache, n int) {
+	buf := ac.BorrowInts(n)
+	defer ac.ReturnInts(buf)
+	work := ac.BorrowBlocks(n)[:0]
+	_ = work
+	ac.ReturnBlocks(work)
+}`
+	wantChecks(t, lintSrc(t, "internal/ssa", src))
+}
+
+func TestScratchOwnershipTransferAllowed(t *testing.T) {
+	// Returning the borrowed buffer hands ownership to the caller
+	// (canonicalDsts-style) — not a leak.
+	src := `package pre
+func f(ac *Cache, n int) []int {
+	buf := ac.BorrowInts(n)
+	return buf
+}`
+	wantChecks(t, lintSrc(t, "internal/pre", src))
+}
+
+func TestScratchMismatchedKindFlagged(t *testing.T) {
+	src := `package ssa
+func f(ac *Cache, n int) {
+	buf := ac.BorrowBools(n)
+	ac.ReturnInts(nil)
+	_ = buf
+}`
+	wantChecks(t, lintSrc(t, "internal/ssa", src), "scratch")
+}
+
+func TestScratchUnboundBorrowFlagged(t *testing.T) {
+	src := `package ssa
+func f(ac *Cache, n int) {
+	use(ac.BorrowInts(n))
+}`
+	diags := lintSrc(t, "internal/ssa", src)
+	wantChecks(t, diags, "scratch")
+	if !strings.Contains(diags[0].Message, "not bound") {
+		t.Errorf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestRepoClean is the gate that wires the linter into the test
+// suite: the repository itself must lint clean.  This is the same
+// walk cmd/eprelint and `make lint` perform.
+func TestRepoClean(t *testing.T) {
+	diags, err := Tree("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -730,9 +730,9 @@ func (g *gen) insertTrampolines(body []*ir.Block, exit *ir.Block) {
 		// old edge held in to.Preds.
 		e.from.ReplaceSucc(e.to, t)
 		e.to.ReplacePred(e.from, t)
-		t.Preds = append(t.Preds, e.from)
-		t.Succs = append(t.Succs, e.to) // taken: continue the loop
-		ir.AddEdge(t, exit)             // fallthrough: fuel exhausted
+		t.Preds = append(t.Preds, e.from) //lint:ignore cfgwrite fresh block in a generator; splice must keep φ slot order
+		t.Succs = append(t.Succs, e.to)   //lint:ignore cfgwrite taken edge: continue the loop
+		ir.AddEdge(t, exit)               // fallthrough: fuel exhausted
 	}
 }
 

@@ -137,6 +137,57 @@ func TestCanonicalAddressing(t *testing.T) {
 	}
 }
 
+// TestGVNBackendCacheDimension: the same source at the same level with
+// different GVN backends must address different cache slots — and an
+// invalid backend is a 400, not a cache entry.
+func TestGVNBackendCacheDimension(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := OptimizeRequest{Source: serveSrc, Level: "reassoc",
+		Run: &RunSpec{Fn: "driver", Args: []string{"9"}}}
+	code, awz, raw := postOptimize(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("awz request: status %d: %s", code, raw)
+	}
+	if awz.GVN != "awz" {
+		t.Errorf("default backend reported as %q, want awz", awz.GVN)
+	}
+
+	req.GVN = "precise"
+	code2, precise, raw2 := postOptimize(t, ts, req)
+	if code2 != http.StatusOK {
+		t.Fatalf("precise request: status %d: %s", code2, raw2)
+	}
+	if precise.GVN != "precise" {
+		t.Errorf("backend reported as %q, want precise", precise.GVN)
+	}
+	if precise.Cached {
+		t.Error("precise request hit the awz cache entry")
+	}
+	if precise.Key == awz.Key {
+		t.Errorf("backends share cache key %s", awz.Key)
+	}
+	// Both backends compute the same value.
+	if precise.Run == nil || awz.Run == nil || precise.Run.Result != awz.Run.Result {
+		t.Errorf("backends disagree on the program result: %+v vs %+v", awz.Run, precise.Run)
+	}
+
+	// Explicit "awz" is the same dimension as the default.
+	req.GVN = "awz"
+	code3, again, _ := postOptimize(t, ts, req)
+	if code3 != http.StatusOK || !again.Cached || again.Key != awz.Key {
+		t.Errorf("explicit awz did not hit the default entry: status %d cached=%v", code3, again.Cached)
+	}
+
+	req.GVN = "bogus"
+	code4, _, raw4 := postOptimize(t, ts, req)
+	if code4 != http.StatusBadRequest {
+		t.Errorf("bogus backend: status %d, want 400 (%s)", code4, raw4)
+	}
+}
+
 // TestSingleFlight100: the acceptance bar — 100 concurrent identical
 // requests cost exactly one cache-miss optimization; everyone gets the
 // same bytes back.

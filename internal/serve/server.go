@@ -95,6 +95,10 @@ type OptimizeRequest struct {
 	Format string `json:"format,omitempty"`
 	// Level is the optimization level name (default "reassoc").
 	Level string `json:"level,omitempty"`
+	// GVN selects the value-numbering backend: "awz" (default) or
+	// "precise".  The backend is a cache-key dimension — each backend
+	// has its own pipeline version, so results never cross over.
+	GVN string `json:"gvn,omitempty"`
 	// Check runs the optimization in checked mode: every pass is
 	// validated by the internal/check analyzers and the diagnostics are
 	// returned.
@@ -128,6 +132,8 @@ type OptimizeResponse struct {
 	Cached bool   `json:"cached"`
 	Shared bool   `json:"shared,omitempty"`
 	Level  string `json:"level"`
+	// GVN is the value-numbering backend the result was produced with.
+	GVN string `json:"gvn"`
 	// ILOC is the optimized program.
 	ILOC      string `json:"iloc"`
 	StaticOps int    `json:"static_ops"`
@@ -160,6 +166,7 @@ type Server struct {
 	mux      *http.ServeMux
 	hs       *http.Server
 	version  string
+	versions map[core.GVNBackend]string
 	draining atomic.Bool
 }
 
@@ -167,6 +174,13 @@ type Server struct {
 // listen yet.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), version: core.PipelineVersion()}
+	// Per-backend pipeline versions, each folded into the cache keys of
+	// the requests that select that backend: results computed by one
+	// value-numbering backend can never answer for the other.
+	s.versions = make(map[core.GVNBackend]string, len(core.GVNBackends))
+	for _, b := range core.GVNBackends {
+		s.versions[b] = core.PipelineVersionFor(b)
+	}
 	s.pool = NewPool(s.cfg.Workers, s.cfg.Queue)
 	s.cache = NewCache(s.cfg.CacheSize)
 	s.metrics = NewMetrics(s.pool.QueueDepth)
@@ -255,10 +269,15 @@ func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
 		passes = append(passes, p.Name)
 	}
 	sort.Strings(passes)
+	versions := make(map[string]string, len(s.versions))
+	for b, v := range s.versions {
+		versions[string(b)] = v
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"version": s.version,
-		"levels":  levels,
-		"passes":  passes,
+		"version":      s.version,
+		"levels":       levels,
+		"passes":       passes,
+		"gvn_backends": versions,
 	})
 }
 
@@ -286,13 +305,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	backend, err := core.ParseGVNBackend(req.GVN)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
 	prog, err := parseSource(req.Source, req.Format)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	canonical := prog.String()
-	key := CacheKey(canonical, string(level), s.version, req.Check)
+	key := CacheKey(canonical, string(level), s.versions[backend], req.Check)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -306,7 +330,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		)
 		if perr := s.pool.Do(ctx, func(ctx context.Context) {
 			ran = true
-			res, oerr = s.optimize(ctx, prog, level, req.Check)
+			res, oerr = s.optimize(ctx, prog, level, backend, req.Check)
 		}); perr != nil {
 			return nil, perr
 		}
@@ -347,6 +371,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Cached:      hit,
 		Shared:      shared,
 		Level:       string(level),
+		GVN:         string(backend),
 		ILOC:        res.iloc,
 		StaticOps:   res.staticOps,
 		Diagnostics: res.diags,
@@ -368,9 +393,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 // optimize is the cache-miss path, executed on a pool worker.
-func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, checked bool) (*cachedResult, error) {
+func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, backend core.GVNBackend, checked bool) (*cachedResult, error) {
 	if checked {
-		out, diags, err := core.CheckedOptimizeCtx(ctx, prog, level)
+		out, diags, err := core.CheckedOptimizeFor(ctx, prog, level, backend)
 		if err != nil {
 			return nil, err
 		}
@@ -384,6 +409,7 @@ func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Leve
 		Ctx:     ctx,
 		Workers: s.cfg.OptWorkers,
 		OnPass:  s.metrics.ObservePass,
+		GVN:     backend,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,70 @@
+package suite
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestGVNPreciseRefinesAWZSuiteWide is the backend-ordering gate over
+// the whole suite: on every routine, at both comparison points
+// (minimal SSA and the pipeline's pruned post-reassociation input),
+// every congruence AWZ proves must also hold under the precise
+// backend, and the precise partition can never have more classes.
+// The reverse — precise proving strictly more — must happen on at
+// least three routines, or the second backend isn't earning its keep.
+func TestGVNPreciseRefinesAWZSuiteWide(t *testing.T) {
+	rows, err := GVNCompare(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(All()) {
+		t.Fatalf("GVNCompare returned %d rows, suite has %d routines", len(rows), len(All()))
+	}
+	strictly := 0
+	for _, r := range rows {
+		if !r.Monotone {
+			t.Errorf("%s: AWZ-congruent values split by the precise backend", r.Name)
+		}
+		if r.Merged < 0 {
+			t.Errorf("%s: precise found %d MORE classes than AWZ on minimal SSA", r.Name, -r.Merged)
+		}
+		if r.MergedPruned < 0 {
+			t.Errorf("%s: precise found %d MORE classes than AWZ on pruned SSA", r.Name, -r.MergedPruned)
+		}
+		if r.Merged > 0 {
+			strictly++
+		}
+		if r.DynAWZ <= 0 || r.DynPrecise <= 0 {
+			t.Errorf("%s: non-positive dynamic op count (awz=%d precise=%d)", r.Name, r.DynAWZ, r.DynPrecise)
+		}
+	}
+	if strictly < 3 {
+		t.Errorf("precise backend strictly stronger on only %d routines, want >= 3", strictly)
+	}
+}
+
+// TestGVNCompareCanonicalOrder pins the report's row order (Merged
+// descending, then name) so the rendered table is byte-identical for
+// any worker count.
+func TestGVNCompareCanonicalOrder(t *testing.T) {
+	rows, err := GVNCompare(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.Merged < b.Merged || (a.Merged == b.Merged && a.Name >= b.Name) {
+			t.Errorf("rows out of canonical order: %q (merged %d) before %q (merged %d)",
+				a.Name, a.Merged, b.Name, b.Merged)
+		}
+	}
+	var sb strings.Builder
+	WriteGVNCompare(&sb, rows[:1])
+	out := sb.String()
+	for _, want := range []string{"routine", "merged", "monotone", rows[0].Name} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
