@@ -43,14 +43,16 @@ fuzz:
 
 # Differential-fuzzing smoke test, part of `check`: 200 generated
 # programs at fixed seeds, every optimization level interpreted
-# against the unoptimized reference, then 200 more in cross-backend
-# mode (-gvn-diff: the GVN-carrying levels run under both the AWZ and
-# the precise backend, so the two implementations oracle each other).
-# Any miscompile, verifier reject, panic, or runaway exits nonzero
-# with a shrunk reproducer.
+# against the unoptimized reference, then 200 more in each
+# cross-backend mode (-gvn-diff: the GVN-carrying levels run under
+# both the AWZ and the precise backend; -pre-diff: the PRE-carrying
+# levels run under drechsler, lcm and lospre — the independent
+# implementations oracle each other).  Any miscompile, verifier
+# reject, panic, or runaway exits nonzero with a shrunk reproducer.
 fuzz-smoke:
 	$(GO) run ./cmd/epre fuzz -seed 1 -n 200 -workers 4
 	$(GO) run ./cmd/epre fuzz -seed 1000 -n 200 -workers 4 -gvn-diff
+	$(GO) run ./cmd/epre fuzz -seed 2000 -n 200 -workers 4 -pre-diff
 
 # Performance tracking: Go micro-benchmarks plus the end-to-end serve
 # throughput + parallel-table1 measurement (BENCH_serve.json), the

@@ -59,6 +59,7 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 	artifactDir := fs.String("artifact-dir", "", "write failing reproducers into this directory")
 	perPass := fs.Bool("per-pass", false, "re-validate miscompiles pass by pass to name the guilty pass")
 	gvnDiff := fs.Bool("gvn-diff", false, "cross-backend mode: test every GVN-carrying level with both the awz and precise backends")
+	preDiff := fs.Bool("pre-diff", false, "cross-backend mode: test every PRE-carrying level with the drechsler, lcm and lospre backends")
 	timeout := fs.Duration("timeout", 0, "overall run deadline (0 = none)")
 	stats := fs.Bool("stats", false, "print expvar-style run metrics")
 	fs.Parse(args)
@@ -86,8 +87,8 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 
 	var optimize difftest.OptimizeFunc
 	if lv := os.Getenv(sabotageEnv); lv != "" {
-		if *gvnDiff {
-			return fmt.Errorf("fuzz: -gvn-diff cannot be combined with %s", sabotageEnv)
+		if *gvnDiff || *preDiff {
+			return fmt.Errorf("fuzz: -gvn-diff/-pre-diff cannot be combined with %s", sabotageEnv)
 		}
 		var err error
 		if optimize, err = sabotagedOptimize(lv); err != nil {
@@ -108,6 +109,7 @@ func cmdFuzz(args []string, stdout io.Writer) error {
 		ArtifactDir: *artifactDir,
 		PerPass:     *perPass,
 		GVNDiff:     *gvnDiff,
+		PREDiff:     *preDiff,
 		Metrics:     metrics,
 	})
 	if err != nil {

@@ -71,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdTable2(stdout)
 	case "gvncompare":
 		err = cmdGVNCompare(args[1:], stdout)
+	case "precompare":
+		err = cmdPreCompare(args[1:], stdout)
 	case "example":
 		err = cmdExample(stdout)
 	case "levels":
@@ -98,7 +100,8 @@ func usage(w io.Writer) {
             [-no-validate] file.{mf,iloc}
   epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
              [-timeout 30s]   run the concurrent optimization service
-  epre table1 [-parallel N] [-gvn awz|precise] [-passstats]
+  epre table1 [-parallel N] [-gvn awz|precise]
+              [-pre drechsler|lcm|lospre] [-passstats]
               [-cpuprofile f] [-memprofile f]
                      regenerate the paper's Table 1 over the suite
   epre table2        regenerate the paper's Table 2 (code expansion)
@@ -106,18 +109,24 @@ func usage(w io.Writer) {
                      compare the AWZ and precise GVN backends per
                      routine: congruence classes on identical SSA and
                      dynamic ops at the distribution level
+  epre precompare [-parallel N]
+                     compare the drechsler, lcm and lospre PRE backends
+                     per routine: static insert/eliminate counts at the
+                     PRE position and dynamic ops at the partial level
   epre bench [-out BENCH_serve.json] [-passmgr-out BENCH_passmgr.json]
              [-hotpath-out BENCH_hotpath.json] [-hotpath-iters N]
              [-requests N] [-concurrency N] [-parallel N]
              [-cpuprofile f] [-memprofile f]
                      serve-mode, analysis-cache and hot-path benchmarks
   epre fuzz [-seed N] [-n N] [-level L|all] [-workers N] [-shrink]
-            [-artifact-dir DIR] [-per-pass] [-gvn-diff] [-timeout 5m]
-            [-stats]
+            [-artifact-dir DIR] [-per-pass] [-gvn-diff] [-pre-diff]
+            [-timeout 5m] [-stats]
                      differential fuzzing: random programs vs. the
                      reference interpreter at every optimization level
                      (-gvn-diff additionally cross-checks the AWZ and
-                     precise GVN backends against each other)
+                     precise GVN backends against each other; -pre-diff
+                     does the same for the drechsler, lcm and lospre
+                     PRE backends)
   epre example       print the Figures 2-10 walkthrough
   epre levels        list optimization levels and passes`)
 }
@@ -349,6 +358,7 @@ func cmdTable1(args []string, stdout io.Writer) (err error) {
 	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
 	passStats := fs.Bool("passstats", false, "append a per-pass table: applications, changed-bit reports, time, analysis cache misses")
 	gvnName := fs.String("gvn", "", "global value numbering backend (awz|precise; default awz)")
+	preName := fs.String("pre", "", "redundancy elimination backend (drechsler|lcm|lospre; default drechsler)")
 	prof := addProfileFlags(fs)
 	fs.Parse(args)
 	stopProf, err := prof.start()
@@ -362,6 +372,9 @@ func cmdTable1(args []string, stdout io.Writer) (err error) {
 	}()
 	var opts core.OptimizeOptions
 	if opts.GVN, err = core.ParseGVNBackend(*gvnName); err != nil {
+		return err
+	}
+	if opts.PRE, err = core.ParsePREBackend(*preName); err != nil {
 		return err
 	}
 	var collector *core.PassStatsCollector
@@ -397,6 +410,21 @@ func cmdGVNCompare(args []string, stdout io.Writer) error {
 	return nil
 }
 
+func cmdPreCompare(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("precompare", flag.ExitOnError)
+	parallel := fs.Int("parallel", 1, "measure up to N routines concurrently (output is byte-identical to the serial run)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("precompare: unexpected argument %q", fs.Arg(0))
+	}
+	rows, err := suite.PreCompare(context.Background(), *parallel)
+	if err != nil {
+		return err
+	}
+	suite.WritePreCompare(stdout, rows)
+	return nil
+}
+
 func cmdTable2(stdout io.Writer) error {
 	rows, err := suite.Table2()
 	if err != nil {
@@ -422,6 +450,17 @@ func cmdLevels(stdout io.Writer) {
 	for _, name := range names {
 		fmt.Fprintf(stdout, "  %s\n", name)
 	}
+	fmt.Fprintln(stdout, "\nselectable backends (swap a level's slot without renaming the stage):")
+	gvnNames := make([]string, len(core.GVNBackends))
+	for i, b := range core.GVNBackends {
+		gvnNames[i] = fmt.Sprintf("%s (pass %s)", b, b.PassName())
+	}
+	fmt.Fprintf(stdout, "  %-5s %s\n", "gvn:", strings.Join(gvnNames, ", "))
+	preNames := make([]string, len(core.PREBackends))
+	for i, b := range core.PREBackends {
+		preNames[i] = fmt.Sprintf("%s (pass %s)", b, b.PassName())
+	}
+	fmt.Fprintf(stdout, "  %-5s %s\n", "pre:", strings.Join(preNames, ", "))
 }
 
 // cmdExample prints the paper's running example at each stage: the

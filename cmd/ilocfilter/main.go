@@ -43,8 +43,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ilocfilter", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	gvnName := fs.String("gvn", "", "GVN backend selecting the pass the generic \"gvn\" stage runs (awz|precise; default awz)")
+	preName := fs.String("pre", "", "PRE backend selecting the pass the generic \"pre\" stage runs (drechsler|lcm|lospre; default drechsler)")
 	usage := func() {
-		fmt.Fprintln(stderr, "usage: ilocfilter [-gvn awz|precise] PASS   (reads ILOC on stdin, writes ILOC on stdout)")
+		fmt.Fprintln(stderr, "usage: ilocfilter [-gvn awz|precise] [-pre drechsler|lcm|lospre] PASS   (reads ILOC on stdin, writes ILOC on stdout)")
 		fmt.Fprintln(stderr, "passes:")
 		for _, p := range core.AllPasses() {
 			fmt.Fprintf(stderr, "  %s\n", p.Name)
@@ -58,16 +59,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		usage()
 		return 2
 	}
-	backend, err := core.ParseGVNBackend(*gvnName)
+	gvnBackend, err := core.ParseGVNBackend(*gvnName)
+	if err != nil {
+		fmt.Fprintln(stderr, "ilocfilter:", err)
+		return 2
+	}
+	preBackend, err := core.ParsePREBackend(*preName)
 	if err != nil {
 		fmt.Fprintln(stderr, "ilocfilter:", err)
 		return 2
 	}
 	name := fs.Arg(0)
-	if name == "gvn" {
-		// The generic stage name resolves through the backend flag, so
-		// pipelines can switch backends without renaming the stage.
-		name = backend.PassName()
+	// The generic stage names resolve through the backend flags, so
+	// pipelines can switch backends without renaming the stage.
+	switch name {
+	case "gvn":
+		name = gvnBackend.PassName()
+	case "pre":
+		name = preBackend.PassName()
 	}
 	pass, err := core.PassByName(name)
 	if err != nil {

@@ -32,7 +32,7 @@ func TestHelp(t *testing.T) {
 	if code != 2 {
 		t.Errorf("help exit = %d, want 2", code)
 	}
-	for _, want := range []string{"usage: ilocfilter [-gvn awz|precise] PASS", "pre", "gvn", "check"} {
+	for _, want := range []string{"usage: ilocfilter [-gvn awz|precise] [-pre drechsler|lcm|lospre] PASS", "pre", "gvn", "check"} {
 		if !strings.Contains(stderr, want) {
 			t.Errorf("help output missing %q:\n%s", want, stderr)
 		}
@@ -162,6 +162,44 @@ func TestGVNBackendFlag(t *testing.T) {
 	}
 	if code, _, stderr := runFilter(t, []string{"-gvn", "bogus", "gvn"}, src.String()); code != 2 ||
 		!strings.Contains(stderr, "unknown GVN backend") {
+		t.Errorf("bogus backend accepted (exit %d): %s", code, stderr)
+	}
+}
+
+// TestPREBackendFlag: the generic "pre" stage resolves through -pre to
+// each backend's pass, every backend's output reparses and computes the
+// same result, and a bogus backend is a usage error.
+func TestPREBackendFlag(t *testing.T) {
+	prog, err := minift.Compile(filterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src bytes.Buffer
+	prog.Fprint(&src)
+	want := runMain(t, prog)
+
+	for _, backend := range []string{"drechsler", "lcm", "lospre"} {
+		code, stdout, stderr := runFilter(t, []string{"-pre", backend, "pre"}, src.String())
+		if code != 0 {
+			t.Fatalf("-pre %s pre exited %d: %s", backend, code, stderr)
+		}
+		out, err := ir.ParseProgramString(stdout)
+		if err != nil {
+			t.Fatalf("-pre %s output unparsable: %v", backend, err)
+		}
+		if got := runMain(t, out); got != want {
+			t.Errorf("-pre %s: main() = %s, want %s", backend, got, want)
+		}
+	}
+	// The default resolves to the paper's pass: identical bytes to an
+	// explicit drechsler run.
+	_, defOut, _ := runFilter(t, []string{"pre"}, src.String())
+	_, dreOut, _ := runFilter(t, []string{"-pre", "drechsler", "pre"}, src.String())
+	if defOut != dreOut {
+		t.Error("default pre stage differs from explicit -pre drechsler")
+	}
+	if code, _, stderr := runFilter(t, []string{"-pre", "bogus", "pre"}, src.String()); code != 2 ||
+		!strings.Contains(stderr, "unknown PRE backend") {
 		t.Errorf("bogus backend accepted (exit %d): %s", code, stderr)
 	}
 }

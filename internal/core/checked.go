@@ -61,23 +61,23 @@ func CheckedOptimize(p *ir.Program, level Level) (*ir.Program, []check.Diagnosti
 // bounds even the checker's reference executions.  On expiry it returns
 // an error wrapping ctx.Err().
 func CheckedOptimizeCtx(ctx context.Context, p *ir.Program, level Level) (*ir.Program, []check.Diagnostic, error) {
-	return CheckedOptimizeFor(ctx, p, level, GVNAWZ)
+	return CheckedOptimizeFor(ctx, p, level, GVNAWZ, PREDrechsler)
 }
 
-// CheckedOptimizeFor is CheckedOptimizeCtx with an explicit GVN backend
-// filling the pipeline's value-numbering slot, so checked mode covers
-// both backends with the same per-pass translation validation.
-func CheckedOptimizeFor(ctx context.Context, p *ir.Program, level Level, backend GVNBackend) (*ir.Program, []check.Diagnostic, error) {
-	passes, err := passesForLevel(level, backend)
+// CheckedOptimizeFor is CheckedOptimizeCtx with explicit GVN and PRE
+// backends filling the pipeline's slots, so checked mode covers every
+// backend with the same per-pass translation validation.
+func CheckedOptimizeFor(ctx context.Context, p *ir.Program, level Level, gvn GVNBackend, pre PREBackend) (*ir.Program, []check.Diagnostic, error) {
+	passes, err := passesForLevel(level, gvn, pre)
 	if err != nil {
 		return nil, nil, err
 	}
 	return CheckedRunCtx(ctx, p, passes, DefaultCheckConfig())
 }
 
-func passesForLevel(level Level, backend GVNBackend) ([]Pass, error) {
+func passesForLevel(level Level, gvn GVNBackend, pre PREBackend) ([]Pass, error) {
 	var passes []Pass
-	for _, name := range PassNamesWith(level, backend) {
+	for _, name := range PassNamesWith(level, gvn, pre) {
 		p, err := PassByName(name)
 		if err != nil {
 			return nil, err
@@ -166,8 +166,8 @@ func CheckedRunCtx(ctx context.Context, p *ir.Program, passes []Pass, cfg CheckC
 // checkedOptimizeStrict runs CheckedOptimize and converts error
 // diagnostics into a hard error; this is the EPRE_CHECK=1 path of
 // Optimize.
-func checkedOptimizeStrict(ctx context.Context, p *ir.Program, level Level, backend GVNBackend) (*ir.Program, error) {
-	out, diags, err := CheckedOptimizeFor(ctx, p, level, backend)
+func checkedOptimizeStrict(ctx context.Context, p *ir.Program, level Level, gvn GVNBackend, pre PREBackend) (*ir.Program, error) {
+	out, diags, err := CheckedOptimizeFor(ctx, p, level, gvn, pre)
 	if err != nil {
 		return nil, err
 	}

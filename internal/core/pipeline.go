@@ -19,6 +19,8 @@ import (
 	"repro/internal/dce"
 	"repro/internal/gvn"
 	"repro/internal/ir"
+	"repro/internal/lcm"
+	"repro/internal/lospre"
 	"repro/internal/lvn"
 	"repro/internal/peephole"
 	"repro/internal/pre"
@@ -99,6 +101,66 @@ func (b GVNBackend) PassName() string {
 		return "gvn-precise"
 	}
 	return "gvn"
+}
+
+// PREBackend selects the algorithm behind the pipeline's redundancy-
+// elimination slot.  All three backends eliminate partial redundancies
+// by inserting computations and rewriting occurrences into copies; they
+// differ in placement strategy and safety envelope.
+type PREBackend string
+
+const (
+	// PREDrechsler is the paper's backend: the Drechsler–Stadel
+	// edge-placement variant of Morel–Renvoise PRE (internal/pre),
+	// with the Mode A naming discipline.  The zero value of PREBackend
+	// behaves as PREDrechsler everywhere.
+	PREDrechsler PREBackend = "drechsler"
+	// PRELCM is Knoop–Rüthing–Steffen lazy code motion
+	// (internal/lcm): computationally optimal like Drechsler–Stadel
+	// but additionally lifetime-optimal — insertions are postponed to
+	// the latest down-safe points, minimizing temp live ranges.
+	PRELCM PREBackend = "lcm"
+	// PRELospre is speculative PRE as a per-expression minimum cut
+	// (internal/lospre): it may insert on paths that never computed
+	// the expression when the frequency model says that is cheaper,
+	// restricted to operations that cannot trap.
+	PRELospre PREBackend = "lospre"
+)
+
+// PREBackends lists the selectable backends in presentation order.
+var PREBackends = []PREBackend{PREDrechsler, PRELCM, PRELospre}
+
+// ParsePREBackend maps a -pre flag value to a backend; the empty string
+// selects the default (Drechsler–Stadel).
+func ParsePREBackend(s string) (PREBackend, error) {
+	switch s {
+	case "", "drechsler":
+		return PREDrechsler, nil
+	case "lcm":
+		return PRELCM, nil
+	case "lospre":
+		return PRELospre, nil
+	}
+	return "", fmt.Errorf("core: unknown PRE backend %q (want drechsler, lcm or lospre)", s)
+}
+
+// orDefault folds the zero value into the default backend.
+func (b PREBackend) orDefault() PREBackend {
+	if b == "" {
+		return PREDrechsler
+	}
+	return b
+}
+
+// PassName is the pipeline pass implementing this backend.
+func (b PREBackend) PassName() string {
+	switch b.orDefault() {
+	case PRELCM:
+		return "pre-lcm"
+	case PRELospre:
+		return "pre-lospre"
+	}
+	return "pre"
 }
 
 // ParseLevel maps a level name (or its common abbreviations) to a Level.
@@ -213,6 +275,12 @@ func AllPasses() []Pass {
 		{"pre", nil, func(pc *PassContext) bool {
 			return pre.RunToFixpointWith(pc.Func, pc.Analyses).Mutated()
 		}},
+		{"pre-lcm", nil, func(pc *PassContext) bool {
+			return lcm.RunToFixpointWith(pc.Func, pc.Analyses).Mutated()
+		}},
+		{"pre-lospre", nil, func(pc *PassContext) bool {
+			return lospre.RunToFixpointWith(pc.Func, pc.Analyses).Mutated()
+		}},
 		// gvn, reassoc and strength rebuild the function through an
 		// SSA round-trip, which renames registers wholesale even when
 		// no optimization fires; they always report changed.
@@ -271,25 +339,27 @@ func baselineTail() []string {
 }
 
 // PassNames returns the pass sequence for a level with the default
-// (AWZ) value-numbering backend.
-func PassNames(level Level) []string { return PassNamesWith(level, GVNAWZ) }
+// backends (AWZ value numbering, Drechsler–Stadel PRE).
+func PassNames(level Level) []string { return PassNamesWith(level, GVNAWZ, PREDrechsler) }
 
 // PassNamesWith returns the pass sequence for a level with the given
-// value-numbering backend filling the pipeline's GVN slot.  Levels
-// without a GVN slot are identical across backends.
-func PassNamesWith(level Level, backend GVNBackend) []string {
-	g := backend.PassName()
+// backends filling the pipeline's GVN and PRE slots.  Levels without a
+// slot are identical across that slot's backends: baseline has neither,
+// partial has only the PRE slot.
+func PassNamesWith(level Level, gvn GVNBackend, pre PREBackend) []string {
+	g := gvn.PassName()
+	p := pre.PassName()
 	switch level {
 	case LevelNone:
 		return nil
 	case LevelBaseline:
 		return baselineTail()
 	case LevelPartial:
-		return append([]string{"normalize", "pre"}, baselineTail()...)
+		return append([]string{"normalize", p}, baselineTail()...)
 	case LevelReassoc:
-		return append([]string{"reassoc", g, "normalize", "pre"}, baselineTail()...)
+		return append([]string{"reassoc", g, "normalize", p}, baselineTail()...)
 	case LevelDist:
-		return append([]string{"reassoc-dist", g, "normalize", "pre"}, baselineTail()...)
+		return append([]string{"reassoc-dist", g, "normalize", p}, baselineTail()...)
 	}
 	return nil
 }
@@ -301,27 +371,31 @@ func PassNamesWith(level Level, backend GVNBackend) []string {
 // automatically whenever a pass is added, removed, resequenced, or its
 // invalidation contract changes.  It is deterministic across processes
 // and runs.
-func PipelineVersion() string { return PipelineVersionFor(GVNAWZ) }
+func PipelineVersion() string { return PipelineVersionFor(GVNAWZ, PREDrechsler) }
 
-// PipelineVersionFor is the pipeline fingerprint with the given GVN
-// backend selected.  The backend changes the reassociation levels' pass
-// sequences (and is hashed explicitly besides), so distinct backends
-// always fingerprint differently and a content-addressed cache can
-// never serve one backend's result for the other's request.
-func PipelineVersionFor(backend GVNBackend) string {
-	return pipelineVersion(AllPasses(), backend)
+// PipelineVersionFor is the pipeline fingerprint with the given GVN and
+// PRE backends selected.  Each backend changes some level's pass
+// sequence (and both are hashed explicitly besides), so distinct
+// backend combinations always fingerprint differently and a
+// content-addressed cache can never serve one combination's result for
+// another's request.
+func PipelineVersionFor(gvn GVNBackend, pre PREBackend) string {
+	return pipelineVersion(AllPasses(), gvn, pre)
 }
 
 // pipelineVersion computes the fingerprint over a given pass inventory;
 // split out so tests can prove the hash is sensitive to contract edits.
-func pipelineVersion(passes []Pass, backend GVNBackend) string {
+func pipelineVersion(passes []Pass, gvn GVNBackend, pre PREBackend) string {
 	h := sha256.New()
 	io.WriteString(h, "gvn-backend:")
-	io.WriteString(h, string(backend.orDefault()))
+	io.WriteString(h, string(gvn.orDefault()))
+	io.WriteString(h, "\n")
+	io.WriteString(h, "pre-backend:")
+	io.WriteString(h, string(pre.orDefault()))
 	io.WriteString(h, "\n")
 	for _, l := range append([]Level{LevelNone}, Levels...) {
 		io.WriteString(h, string(l))
-		for _, name := range PassNamesWith(l, backend) {
+		for _, name := range PassNamesWith(l, gvn, pre) {
 			io.WriteString(h, ":")
 			io.WriteString(h, name)
 		}
@@ -384,6 +458,10 @@ type OptimizeOptions struct {
 	// GVN slot at the reassociation levels.  The zero value is GVNAWZ,
 	// the paper's configuration.
 	GVN GVNBackend
+	// PRE selects the redundancy-elimination backend filling the
+	// pipeline's PRE slot at the partial level and above.  The zero
+	// value is PREDrechsler, the paper's configuration.
+	PRE PREBackend
 }
 
 // MaxTailRounds bounds OptimizeOptions.TailFixpoint iteration.
@@ -450,7 +528,7 @@ func optimizeFunc(ctx context.Context, f *ir.Func, level Level, opts OptimizeOpt
 		return changed, nil
 	}
 
-	for _, name := range PassNamesWith(level, opts.GVN) {
+	for _, name := range PassNamesWith(level, opts.GVN, opts.PRE) {
 		if _, err := runPass(name); err != nil {
 			return err
 		}
@@ -493,7 +571,7 @@ func OptimizeWith(p *ir.Program, level Level, opts OptimizeOptions) (*ir.Program
 	if CheckEnabled() {
 		// Checked mode validates whole-program snapshots around every
 		// pass, so it stays serial at pass granularity.
-		return checkedOptimizeStrict(ctx, p, level, opts.GVN)
+		return checkedOptimizeStrict(ctx, p, level, opts.GVN, opts.PRE)
 	}
 	out := p.Clone()
 	workers := opts.workers(len(out.Funcs))

@@ -1,0 +1,36 @@
+package dataflow
+
+// Borrower tracks the scratch vectors one analysis run draws from the
+// shared pool so Release can hand every one of them back at once.
+// Only the vectors — the actual allocation churn — are pooled; the
+// small per-block pointer tables are not worth the bookkeeping.  The
+// zero value is ready to use.  (internal/pre predates this type and
+// keeps its own private copy; the alternate redundancy-elimination
+// backends borrow through this one.)
+type Borrower struct {
+	borrowed []*BitSet
+}
+
+// Get borrows one empty capacity-n vector.
+func (bw *Borrower) Get(n int) *BitSet {
+	s := GetScratch(n)
+	bw.borrowed = append(bw.borrowed, s)
+	return s
+}
+
+// PerBlock borrows a block-indexed family of empty capacity-n vectors.
+func (bw *Borrower) PerBlock(nb, n int) []*BitSet {
+	s := make([]*BitSet, nb)
+	for i := range s {
+		s[i] = bw.Get(n)
+	}
+	return s
+}
+
+// Release returns every borrowed vector to the pool.
+func (bw *Borrower) Release() {
+	for _, s := range bw.borrowed {
+		PutScratch(s)
+	}
+	bw.borrowed = nil
+}

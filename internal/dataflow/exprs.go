@@ -211,3 +211,30 @@ func (u *Universe) MakeInstr(e int, dst ir.Reg) *ir.Instr {
 	}
 	return in
 }
+
+// KillScan clears valid-set entries invalidated by an instruction: any
+// expression with dst as an operand and, when memWrite is set, every
+// load.  It is the in-block bookkeeping the rewriting phases of the
+// redundancy-elimination backends share while walking a block's
+// instructions with a "temporary still holds expression e" vector.
+func (u *Universe) KillScan(valid *BitSet, dst ir.Reg, memWrite bool) {
+	n := len(u.Keys)
+	if memWrite {
+		for e := 0; e < n; e++ {
+			if u.IsLoad[e] && valid.Has(e) {
+				valid.Clear(e)
+			}
+		}
+	}
+	if dst == ir.NoReg {
+		return
+	}
+	for e := 0; e < n; e++ {
+		if !valid.Has(e) {
+			continue
+		}
+		if k := u.Keys[e]; k.A == dst || k.B == dst {
+			valid.Clear(e)
+		}
+	}
+}

@@ -94,6 +94,12 @@ type Options struct {
 	// oracles for each other.  Incompatible with a custom Optimize
 	// (which has no backend dimension).
 	GVNDiff bool
+	// PREDiff is GVNDiff for the redundancy-elimination slot: every
+	// level with a PRE slot is optimized once per PRE backend
+	// (drechsler, lcm, lospre), all validated against the same
+	// reference behavior.  Combined with GVNDiff the harness tests the
+	// full backend product.  Incompatible with a custom Optimize.
+	PREDiff bool
 	// Metrics, when non-nil, receives live counters during the run.
 	Metrics *Metrics
 }
@@ -119,34 +125,63 @@ func (o Options) maxSteps() int64 {
 	return 1 << 20
 }
 
-func (o Options) optimize() OptimizeFunc { return o.optimizeFor(core.GVNAWZ) }
+// variant is one pipeline configuration under test: a point in the
+// (GVN backend × PRE backend) product.
+type variant struct {
+	gvn core.GVNBackend
+	pre core.PREBackend
+}
 
-// optimizeFor is the optimizer under test with an explicit GVN backend;
-// a custom Optimize override has no backend dimension and wins outright.
-func (o Options) optimizeFor(backend core.GVNBackend) OptimizeFunc {
+func (o Options) optimize() OptimizeFunc {
+	return o.optimizeFor(variant{core.GVNAWZ, core.PREDrechsler})
+}
+
+// optimizeFor is the optimizer under test with explicit backends; a
+// custom Optimize override has no backend dimension and wins outright.
+func (o Options) optimizeFor(v variant) OptimizeFunc {
 	if o.Optimize != nil {
 		return o.Optimize
 	}
 	return func(ctx context.Context, p *ir.Program, level core.Level) (*ir.Program, error) {
-		return core.OptimizeWith(p, level, core.OptimizeOptions{Ctx: ctx, GVN: backend})
+		return core.OptimizeWith(p, level, core.OptimizeOptions{Ctx: ctx, GVN: v.gvn, PRE: v.pre})
 	}
 }
 
-// backends lists the GVN backends one level is tested with: just the
-// default, unless GVNDiff is set and the level's pipeline actually has
-// a value-numbering slot (levels without one are backend-independent).
-func (o Options) backends(level core.Level) []core.GVNBackend {
-	if !o.GVNDiff {
-		return []core.GVNBackend{core.GVNAWZ}
-	}
-	a := core.PassNamesWith(level, core.GVNAWZ)
-	p := core.PassNamesWith(level, core.GVNPrecise)
-	for i := range a {
-		if a[i] != p[i] {
-			return core.GVNBackends
+// passSeqDiffers reports whether two pipeline configurations produce
+// different pass sequences at a level; identical sequences make the
+// variants byte-identical, so testing both would be pure waste.
+func passSeqDiffers(level core.Level, a, b variant) bool {
+	x := core.PassNamesWith(level, a.gvn, a.pre)
+	y := core.PassNamesWith(level, b.gvn, b.pre)
+	for i := range x {
+		if x[i] != y[i] {
+			return true
 		}
 	}
-	return []core.GVNBackend{core.GVNAWZ}
+	return false
+}
+
+// variants lists the pipeline configurations one level is tested with:
+// just the default, plus every GVN backend when GVNDiff is set and the
+// level has a value-numbering slot, crossed with every PRE backend when
+// PREDiff is set and the level has a redundancy-elimination slot.
+func (o Options) variants(level core.Level) []variant {
+	def := variant{core.GVNAWZ, core.PREDrechsler}
+	gvns := []core.GVNBackend{core.GVNAWZ}
+	if o.GVNDiff && passSeqDiffers(level, def, variant{core.GVNPrecise, core.PREDrechsler}) {
+		gvns = core.GVNBackends
+	}
+	pres := []core.PREBackend{core.PREDrechsler}
+	if o.PREDiff && passSeqDiffers(level, def, variant{core.GVNAWZ, core.PRELCM}) {
+		pres = core.PREBackends
+	}
+	vs := make([]variant, 0, len(gvns)*len(pres))
+	for _, g := range gvns {
+		for _, p := range pres {
+			vs = append(vs, variant{g, p})
+		}
+	}
+	return vs
 }
 
 // Failure describes one failing (program, level) pair.
@@ -155,7 +190,10 @@ type Failure struct {
 	Level core.Level
 	// GVN is the value-numbering backend the failing pipeline ran with
 	// (set in GVNDiff mode; empty means the default backend).
-	GVN    core.GVNBackend
+	GVN core.GVNBackend
+	// PRE is the redundancy-elimination backend the failing pipeline
+	// ran with (set in PREDiff mode; empty means the default backend).
+	PRE    core.PREBackend
 	Kind   Kind
 	Detail string
 	// Program is the reproducer: the original generated program, or
@@ -174,6 +212,9 @@ func (f *Failure) String() string {
 	level := string(f.Level)
 	if f.GVN != "" {
 		level += "/gvn=" + string(f.GVN)
+	}
+	if f.PRE != "" {
+		level += "/pre=" + string(f.PRE)
 	}
 	s := fmt.Sprintf("%s at %s (seed %d): %s", f.Kind, level, f.Seed, f.Detail)
 	if f.Shrunk {
@@ -196,8 +237,8 @@ type Report struct {
 // are data, not errors.
 func Run(opt Options) (*Report, error) {
 	ctx := opt.ctx()
-	if opt.GVNDiff && opt.Optimize != nil {
-		return nil, fmt.Errorf("difftest: GVNDiff is incompatible with a custom Optimize (no backend dimension)")
+	if (opt.GVNDiff || opt.PREDiff) && opt.Optimize != nil {
+		return nil, fmt.Errorf("difftest: GVNDiff/PREDiff is incompatible with a custom Optimize (no backend dimension)")
 	}
 	start := time.Now()
 	n := opt.N
@@ -306,7 +347,7 @@ func testSeed(ctx context.Context, seed uint64, opt Options) []Failure {
 
 	var failures []Failure
 	for _, level := range opt.levels() {
-		for _, backend := range opt.backends(level) {
+		for _, v := range opt.variants(level) {
 			if ctx.Err() != nil {
 				failures = append(failures, Failure{
 					Seed: seed, Level: level, Kind: KindTimeout,
@@ -315,7 +356,7 @@ func testSeed(ctx context.Context, seed uint64, opt Options) []Failure {
 				})
 				continue
 			}
-			if f := testLevel(ctx, prog, refs, seed, level, backend, opt); f != nil {
+			if f := testLevel(ctx, prog, refs, seed, level, v, opt); f != nil {
 				failures = append(failures, *f)
 			}
 		}
@@ -362,12 +403,17 @@ func floatTolFor(level core.Level) (tol float64, exactMem bool) {
 	return 0, true
 }
 
-// testLevel runs one optimization level (with one GVN backend) against
-// the reference behavior and returns a classified failure, or nil.
-func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64, level core.Level, backend core.GVNBackend, opt Options) *Failure {
-	var tag core.GVNBackend
+// testLevel runs one optimization level (with one pipeline variant)
+// against the reference behavior and returns a classified failure, or
+// nil.
+func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64, level core.Level, v variant, opt Options) *Failure {
+	var gvnTag core.GVNBackend
+	var preTag core.PREBackend
 	if opt.GVNDiff {
-		tag = backend // record the pipeline variant on any failure
+		gvnTag = v.gvn // record the pipeline variant on any failure
+	}
+	if opt.PREDiff {
+		preTag = v.pre
 	}
 	fail := func(kind Kind, detail string, repro *ir.Program) *Failure {
 		if repro == nil {
@@ -375,12 +421,12 @@ func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64
 		}
 		n := prog.InstrCount()
 		return &Failure{
-			Seed: seed, Level: level, GVN: tag, Kind: kind, Detail: detail,
+			Seed: seed, Level: level, GVN: gvnTag, PRE: preTag, Kind: kind, Detail: detail,
 			Program: repro, OrigInstrs: n, MinInstrs: n,
 		}
 	}
 
-	optimized, panicMsg, err := safeOptimize(ctx, prog, level, opt.optimizeFor(backend))
+	optimized, panicMsg, err := safeOptimize(ctx, prog, level, opt.optimizeFor(v))
 	switch {
 	case panicMsg != "":
 		return fail(KindPanic, panicMsg, nil)
@@ -401,7 +447,7 @@ func testLevel(ctx context.Context, prog *ir.Program, refs []refRun, seed uint64
 				return fail(KindTimeout, ctx.Err().Error(), nil)
 			}
 			if opt.PerPass {
-				detail += blamePass(ctx, prog, level, backend)
+				detail += blamePass(ctx, prog, level, v)
 			}
 			return fail(KindMiscompile, detail, nil)
 		}
@@ -474,8 +520,8 @@ func safeOptimize(ctx context.Context, p *ir.Program, level core.Level, optimize
 // and names the first pass with an error diagnostic.  Best effort: the
 // real pipeline optimizes whole programs, so the blame run can only
 // narrow, never widen, the already-established miscompile.
-func blamePass(ctx context.Context, prog *ir.Program, level core.Level, backend core.GVNBackend) string {
-	_, diags, err := core.CheckedOptimizeFor(ctx, prog, level, backend)
+func blamePass(ctx context.Context, prog *ir.Program, level core.Level, v variant) string {
+	_, diags, err := core.CheckedOptimizeFor(ctx, prog, level, v.gvn, v.pre)
 	for _, d := range check.Errors(diags) {
 		if d.Pass != "" {
 			return fmt.Sprintf(" [blamed pass: %s]", d.Pass)
@@ -493,7 +539,7 @@ func shrinkFailure(ctx context.Context, f *Failure, opt Options) {
 	reduced, ok := Shrink(ctx, f.Program, ShrinkOptions{
 		Level:    f.Level,
 		Kind:     f.Kind,
-		Optimize: opt.optimizeFor(f.GVN),
+		Optimize: opt.optimizeFor(variant{f.GVN, f.PRE}),
 		MaxSteps: opt.maxSteps(),
 	})
 	if ok && reduced.InstrCount() < f.Program.InstrCount() {
@@ -510,10 +556,14 @@ func writeArtifact(dir string, f *Failure) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	name := fmt.Sprintf("%s-seed%d-%s.iloc", f.Kind, f.Seed, f.Level)
+	name := fmt.Sprintf("%s-seed%d-%s", f.Kind, f.Seed, f.Level)
 	if f.GVN != "" {
-		name = fmt.Sprintf("%s-seed%d-%s-gvn-%s.iloc", f.Kind, f.Seed, f.Level, f.GVN)
+		name += "-gvn-" + string(f.GVN)
 	}
+	if f.PRE != "" {
+		name += "-pre-" + string(f.PRE)
+	}
+	name += ".iloc"
 	path := filepath.Join(dir, name)
 	var b strings.Builder
 	fmt.Fprintf(&b, "# difftest artifact\n")
@@ -522,6 +572,9 @@ func writeArtifact(dir string, f *Failure) (string, error) {
 	fmt.Fprintf(&b, "# level: %s\n", f.Level)
 	if f.GVN != "" {
 		fmt.Fprintf(&b, "# gvn: %s\n", f.GVN)
+	}
+	if f.PRE != "" {
+		fmt.Fprintf(&b, "# pre: %s\n", f.PRE)
 	}
 	fmt.Fprintf(&b, "# shrunk: %v (%d -> %d instructions)\n", f.Shrunk, f.OrigInstrs, f.MinInstrs)
 	for _, line := range strings.Split(f.Detail, "\n") {

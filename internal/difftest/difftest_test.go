@@ -58,23 +58,87 @@ func TestGVNDiffMode(t *testing.T) {
 	var o Options
 	o.GVNDiff = true
 	for _, l := range core.Levels {
-		got := len(o.backends(l))
+		got := len(o.variants(l))
 		want := 1
 		if l == core.LevelReassoc || l == core.LevelDist {
 			want = 2
 		}
 		if got != want {
-			t.Errorf("%s: tested with %d backends, want %d", l, got, want)
+			t.Errorf("%s: tested with %d variants, want %d", l, got, want)
 		}
 	}
-	if len(Options{}.backends(core.LevelDist)) != 1 {
-		t.Error("GVNDiff off must test a single backend")
+	if len(Options{}.variants(core.LevelDist)) != 1 {
+		t.Error("GVNDiff off must test a single variant")
 	}
 
 	// A custom pipeline has no backend dimension; combining it with
 	// GVNDiff must be rejected, not silently degraded.
 	if _, err := Run(Options{N: 1, GVNDiff: true, Optimize: sabotage(core.LevelDist)}); err == nil {
 		t.Error("GVNDiff with custom Optimize did not error")
+	}
+}
+
+// TestPREDiffMode: cross-backend differential fuzzing over the three
+// PRE backends — zero divergence expected from the repo's own pipeline,
+// the fan-out applies exactly to the PRE-slot levels, and combining
+// with GVNDiff tests the full backend product.
+func TestPREDiffMode(t *testing.T) {
+	rep, err := Run(Options{Seed: 1, N: 25, Workers: 4, PREDiff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 25 {
+		t.Fatalf("tested %d programs, want 25", rep.Programs)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("cross-backend divergence: %s\n%s", f.String(), f.Program)
+	}
+
+	var o Options
+	o.PREDiff = true
+	for _, l := range core.Levels {
+		got := len(o.variants(l))
+		want := 1
+		if l != core.LevelBaseline {
+			want = 3
+		}
+		if got != want {
+			t.Errorf("%s: tested with %d variants, want %d", l, got, want)
+		}
+	}
+	o.GVNDiff = true
+	if got := len(o.variants(core.LevelDist)); got != 6 {
+		t.Errorf("GVNDiff+PREDiff at dist: %d variants, want the full 2x3 product", got)
+	}
+	if got := len(o.variants(core.LevelPartial)); got != 3 {
+		t.Errorf("GVNDiff+PREDiff at partial: %d variants, want 3 (no GVN slot)", got)
+	}
+
+	if _, err := Run(Options{N: 1, PREDiff: true, Optimize: sabotage(core.LevelPartial)}); err == nil {
+		t.Error("PREDiff with custom Optimize did not error")
+	}
+}
+
+// TestPREDiffTagsBackend: a miscompile in PREDiff mode carries the PRE
+// backend tag through the failure string and artifact naming.
+func TestPREDiffTagsBackend(t *testing.T) {
+	cfg := smallConfig()
+	var f *Failure
+	for seed := uint64(1); seed <= 20 && f == nil; seed++ {
+		prog := progen.Generate(*cfg, seed)
+		refs := referenceRuns(context.Background(), prog, 1<<20)
+		f = testLevel(context.Background(), prog, refs, seed, core.LevelPartial,
+			variant{core.GVNAWZ, core.PRELospre},
+			Options{PREDiff: true, Optimize: sabotage(core.LevelPartial)})
+	}
+	if f == nil {
+		t.Fatal("sabotaged pipeline not caught on any of 20 seeds")
+	}
+	if f.PRE != core.PRELospre {
+		t.Errorf("failure PRE tag = %q, want lospre", f.PRE)
+	}
+	if !strings.Contains(f.String(), "pre=lospre") {
+		t.Errorf("failure string does not name the backend: %s", f.String())
 	}
 }
 
@@ -92,7 +156,8 @@ func TestGVNDiffCatchesPreciseBug(t *testing.T) {
 		prog := progen.Generate(*cfg, seed)
 		refs := referenceRuns(context.Background(), prog, 1<<20)
 		f = testLevel(context.Background(), prog, refs, seed, core.LevelDist,
-			core.GVNPrecise, Options{GVNDiff: true, Optimize: sabotage(core.LevelDist)})
+			variant{core.GVNPrecise, core.PREDrechsler},
+			Options{GVNDiff: true, Optimize: sabotage(core.LevelDist)})
 	}
 	if f == nil {
 		t.Fatal("sabotaged pipeline not caught on any of 20 seeds")
@@ -384,7 +449,8 @@ func TestShrinkPreservesKind(t *testing.T) {
 	}
 	refs := referenceRuns(context.Background(), reduced, 1<<20)
 	f := testLevel(context.Background(), reduced, refs, 1, core.LevelPartial,
-		core.GVNAWZ, Options{Optimize: sabotage(core.LevelPartial)})
+		variant{core.GVNAWZ, core.PREDrechsler},
+		Options{Optimize: sabotage(core.LevelPartial)})
 	if f == nil || f.Kind != KindMiscompile {
 		t.Fatalf("reduced program no longer reproduces the miscompile: %+v", f)
 	}

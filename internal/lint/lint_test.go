@@ -214,6 +214,78 @@ func f(ac *Cache, n int) {
 	}
 }
 
+// TestPassPackageDenylist pins the coverage inversion: internal/
+// packages are pass packages unless explicitly exempted, so a newly
+// added backend package is linted without registration, while cmd/
+// binaries and the exempted harness packages stay out of the
+// determinism checks (the cfgwrite check applies to them regardless).
+func TestPassPackageDenylist(t *testing.T) {
+	for pkg, want := range map[string]bool{
+		"internal/lcm":     true,
+		"internal/lospre":  true,
+		"internal/pre":     true,
+		"internal/newpass": true, // hypothetical future backend: covered by default
+		"internal/core":    false,
+		"internal/suite":   false,
+		"internal/lint":    false,
+		"cmd/epre":         false,
+		"cmd/ilocfilter":   false,
+	} {
+		if got := isPassPackage(pkg); got != want {
+			t.Errorf("isPassPackage(%q) = %v, want %v", pkg, got, want)
+		}
+	}
+
+	// The determinism checks really fire in the newly covered packages…
+	src := `package lospre
+import "time"
+func f() time.Time { return time.Now() }`
+	wantChecks(t, lintSrc(t, "internal/lospre", src), "timenow")
+
+	// …and really stay off in cmd/ even for map-order sinks.
+	src2 := `package main
+import "fmt"
+func f(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}`
+	wantChecks(t, lintSrc(t, "cmd/epre", src2))
+}
+
+// TestMapOrderInsertionPointMap is the fixture the lcm/lospre
+// backends motivated: both keep per-block insertion-point maps, and
+// draining one into the instruction stream without sorting would make
+// the emitted order depend on map iteration.  The unsorted drain must
+// be flagged; the canonical collect-keys-sort-iterate drain must pass.
+func TestMapOrderInsertionPointMap(t *testing.T) {
+	src := `package lcm
+func drain(insertAt map[*Block][]*Instr) []*Instr {
+	var out []*Instr
+	for _, instrs := range insertAt {
+		out = append(out, instrs...)
+	}
+	return out
+}`
+	wantChecks(t, lintSrc(t, "internal/lcm", src), "maporder")
+
+	src2 := `package lcm
+import "sort"
+func drain(insertAt map[int][]*Instr) []*Instr {
+	keys := make([]int, 0, len(insertAt))
+	for b := range insertAt {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	var out []*Instr
+	for _, b := range keys {
+		out = append(out, insertAt[b]...)
+	}
+	return out
+}`
+	wantChecks(t, lintSrc(t, "internal/lcm", src2))
+}
+
 // TestRepoClean is the gate that wires the linter into the test
 // suite: the repository itself must lint clean.  This is the same
 // walk cmd/eprelint and `make lint` perform.

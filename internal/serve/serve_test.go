@@ -188,6 +188,84 @@ func TestGVNBackendCacheDimension(t *testing.T) {
 	}
 }
 
+// TestPREBackendCacheDimension mirrors the GVN test for the PRE slot:
+// the same program with a different `pre` field must address a distinct
+// cache entry, every backend pair gets its own slot, and all backends
+// agree on the program's result.
+func TestPREBackendCacheDimension(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := OptimizeRequest{Source: serveSrc, Level: "partial",
+		Run: &RunSpec{Fn: "driver", Args: []string{"9"}}}
+	keys := map[string]string{}
+	results := map[string]string{}
+	for _, pre := range []string{"", "drechsler", "lcm", "lospre"} {
+		req.PRE = pre
+		code, resp, raw := postOptimize(t, ts, req)
+		if code != http.StatusOK {
+			t.Fatalf("pre=%q: status %d: %s", pre, code, raw)
+		}
+		want := pre
+		if want == "" {
+			want = "drechsler"
+		}
+		if resp.PRE != want {
+			t.Errorf("pre=%q reported as %q, want %q", pre, resp.PRE, want)
+		}
+		// Empty and explicit "drechsler" are the same dimension; the
+		// second of the pair must hit the first's entry.
+		if prev, ok := keys[want]; ok {
+			if prev != resp.Key || !resp.Cached {
+				t.Errorf("pre=%q did not hit the %s entry (cached=%v)", pre, want, resp.Cached)
+			}
+		} else if resp.Cached {
+			t.Errorf("pre=%q: first request was already cached", pre)
+		}
+		keys[want] = resp.Key
+		if resp.Run != nil {
+			results[want] = resp.Run.Result
+		}
+	}
+	if keys["drechsler"] == keys["lcm"] || keys["drechsler"] == keys["lospre"] || keys["lcm"] == keys["lospre"] {
+		t.Errorf("PRE backends share a cache key: %v", keys)
+	}
+	if results["drechsler"] != results["lcm"] || results["drechsler"] != results["lospre"] {
+		t.Errorf("PRE backends disagree on the program result: %v", results)
+	}
+
+	req.PRE = "bogus"
+	code, _, raw := postOptimize(t, ts, req)
+	if code != http.StatusBadRequest {
+		t.Errorf("bogus backend: status %d, want 400 (%s)", code, raw)
+	}
+
+	// The self-description advertises the per-backend versions.
+	resp, err := http.Get(ts.URL + "/levels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var levels struct {
+		PREBackends map[string]string `json:"pre_backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&levels); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, b := range []string{"drechsler", "lcm", "lospre"} {
+		v, ok := levels.PREBackends[b]
+		if !ok || v == "" {
+			t.Errorf("/levels missing pre backend %s", b)
+		}
+		if seen[v] {
+			t.Errorf("pre backends share pipeline version %s", v)
+		}
+		seen[v] = true
+	}
+}
+
 // TestSingleFlight100: the acceptance bar — 100 concurrent identical
 // requests cost exactly one cache-miss optimization; everyone gets the
 // same bytes back.

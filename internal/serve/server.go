@@ -99,6 +99,10 @@ type OptimizeRequest struct {
 	// "precise".  The backend is a cache-key dimension — each backend
 	// has its own pipeline version, so results never cross over.
 	GVN string `json:"gvn,omitempty"`
+	// PRE selects the redundancy-elimination backend: "drechsler"
+	// (default), "lcm" or "lospre".  Like GVN it is a cache-key
+	// dimension via the per-combination pipeline version.
+	PRE string `json:"pre,omitempty"`
 	// Check runs the optimization in checked mode: every pass is
 	// validated by the internal/check analyzers and the diagnostics are
 	// returned.
@@ -134,6 +138,9 @@ type OptimizeResponse struct {
 	Level  string `json:"level"`
 	// GVN is the value-numbering backend the result was produced with.
 	GVN string `json:"gvn"`
+	// PRE is the redundancy-elimination backend the result was
+	// produced with.
+	PRE string `json:"pre"`
 	// ILOC is the optimized program.
 	ILOC      string `json:"iloc"`
 	StaticOps int    `json:"static_ops"`
@@ -166,20 +173,29 @@ type Server struct {
 	mux      *http.ServeMux
 	hs       *http.Server
 	version  string
-	versions map[core.GVNBackend]string
+	versions map[backendPair]string
 	draining atomic.Bool
+}
+
+// backendPair is one point of the (GVN × PRE) backend product — the
+// cache's backend dimension.
+type backendPair struct {
+	gvn core.GVNBackend
+	pre core.PREBackend
 }
 
 // New assembles a server (pool, cache, metrics, routes); it does not
 // listen yet.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), version: core.PipelineVersion()}
-	// Per-backend pipeline versions, each folded into the cache keys of
-	// the requests that select that backend: results computed by one
-	// value-numbering backend can never answer for the other.
-	s.versions = make(map[core.GVNBackend]string, len(core.GVNBackends))
-	for _, b := range core.GVNBackends {
-		s.versions[b] = core.PipelineVersionFor(b)
+	// Per-combination pipeline versions, each folded into the cache
+	// keys of the requests that select that backend pair: results
+	// computed by one backend combination can never answer for another.
+	s.versions = make(map[backendPair]string, len(core.GVNBackends)*len(core.PREBackends))
+	for _, g := range core.GVNBackends {
+		for _, p := range core.PREBackends {
+			s.versions[backendPair{g, p}] = core.PipelineVersionFor(g, p)
+		}
 	}
 	s.pool = NewPool(s.cfg.Workers, s.cfg.Queue)
 	s.cache = NewCache(s.cfg.CacheSize)
@@ -269,15 +285,20 @@ func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
 		passes = append(passes, p.Name)
 	}
 	sort.Strings(passes)
-	versions := make(map[string]string, len(s.versions))
-	for b, v := range s.versions {
-		versions[string(b)] = v
+	gvnVersions := make(map[string]string, len(core.GVNBackends))
+	for _, g := range core.GVNBackends {
+		gvnVersions[string(g)] = s.versions[backendPair{g, core.PREDrechsler}]
+	}
+	preVersions := make(map[string]string, len(core.PREBackends))
+	for _, p := range core.PREBackends {
+		preVersions[string(p)] = s.versions[backendPair{core.GVNAWZ, p}]
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"version":      s.version,
 		"levels":       levels,
 		"passes":       passes,
-		"gvn_backends": versions,
+		"gvn_backends": gvnVersions,
+		"pre_backends": preVersions,
 	})
 }
 
@@ -305,7 +326,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	backend, err := core.ParseGVNBackend(req.GVN)
+	gvnBackend, err := core.ParseGVNBackend(req.GVN)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	preBackend, err := core.ParsePREBackend(req.PRE)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -316,7 +342,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canonical := prog.String()
-	key := CacheKey(canonical, string(level), s.versions[backend], req.Check)
+	key := CacheKey(canonical, string(level), s.versions[backendPair{gvnBackend, preBackend}], req.Check)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -330,7 +356,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		)
 		if perr := s.pool.Do(ctx, func(ctx context.Context) {
 			ran = true
-			res, oerr = s.optimize(ctx, prog, level, backend, req.Check)
+			res, oerr = s.optimize(ctx, prog, level, gvnBackend, preBackend, req.Check)
 		}); perr != nil {
 			return nil, perr
 		}
@@ -371,7 +397,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Cached:      hit,
 		Shared:      shared,
 		Level:       string(level),
-		GVN:         string(backend),
+		GVN:         string(gvnBackend),
+		PRE:         string(preBackend),
 		ILOC:        res.iloc,
 		StaticOps:   res.staticOps,
 		Diagnostics: res.diags,
@@ -393,9 +420,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 // optimize is the cache-miss path, executed on a pool worker.
-func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, backend core.GVNBackend, checked bool) (*cachedResult, error) {
+func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, gvn core.GVNBackend, pre core.PREBackend, checked bool) (*cachedResult, error) {
 	if checked {
-		out, diags, err := core.CheckedOptimizeFor(ctx, prog, level, backend)
+		out, diags, err := core.CheckedOptimizeFor(ctx, prog, level, gvn, pre)
 		if err != nil {
 			return nil, err
 		}
@@ -409,7 +436,8 @@ func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Leve
 		Ctx:     ctx,
 		Workers: s.cfg.OptWorkers,
 		OnPass:  s.metrics.ObservePass,
-		GVN:     backend,
+		GVN:     gvn,
+		PRE:     pre,
 	})
 	if err != nil {
 		return nil, err
