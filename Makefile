@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt lint fuzz fuzz-smoke bench bench-hotpath
+.PHONY: check build test race vet fmt lint fuzz fuzz-smoke bench bench-hotpath bench-hotpath-smoke
 
-check: fmt vet lint build test race fuzz-smoke
+check: fmt vet lint build test race fuzz-smoke bench-hotpath-smoke
 
 build:
 	$(GO) build ./...
@@ -69,3 +69,12 @@ bench:
 bench-hotpath:
 	$(GO) run ./cmd/epre bench -out /dev/null -passmgr-out '' -requests 8 \
 		-concurrency 4 -parallel 2 -hotpath-out BENCH_hotpath.json -hotpath-iters 3
+
+# Hot-path smoke, part of `check`: one measurement iteration per level,
+# report discarded.  The run exits nonzero unless the pooled and
+# pool-ablated pipelines emit byte-identical ILOC at every level, so
+# this is the determinism assertion, not a timing measurement —
+# numbers land in BENCH_hotpath.json via `make bench-hotpath`.
+bench-hotpath-smoke:
+	$(GO) run ./cmd/epre bench -out /dev/null -passmgr-out '' -requests 1 \
+		-concurrency 1 -hotpath-out /dev/null -hotpath-iters 1

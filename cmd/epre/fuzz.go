@@ -33,7 +33,8 @@ func sabotagedOptimize(levelName string) (difftest.OptimizeFunc, error) {
 		}
 		if f := out.Func("main"); f != nil {
 			for _, b := range f.Blocks {
-				for _, in := range b.Instrs {
+				for _, inID := range b.Instrs {
+					in := b.Fn.Instr(inID)
 					if in.Op == ir.OpAdd {
 						in.Op = ir.OpSub
 					}

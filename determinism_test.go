@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/ir"
 	"repro/internal/suite"
 )
 
@@ -11,6 +12,14 @@ import (
 // every pipeline must produce byte-identical ILOC on repeated runs.
 // (Register numbering feeds sorting tie-breaks, so even
 // semantics-preserving reordering would make Table 1 unreproducible.)
+//
+// Since the arena refactor the test also pins the representation side
+// of the property: determinism must survive a trip through the parser
+// — a program rebuilt from its own printed text (fresh arena, fresh
+// symbol table, fresh InstrIDs) must optimize to the same bytes as the
+// original.  Interning order or arena layout leaking into pass
+// decisions would show up here as a reparse/direct divergence even
+// when direct runs agree with each other.
 func TestDeterministicOutput(t *testing.T) {
 	routines := []string{"fmin", "sgemv", "tomcatv", "foo"}
 	for _, name := range routines {
@@ -35,6 +44,24 @@ func TestDeterministicOutput(t *testing.T) {
 				} else if text != golden {
 					t.Fatalf("%s at %s: output differs between runs", name, level)
 				}
+			}
+
+			// Rebuild the input in a fresh arena via the textual
+			// boundary and re-run the level: same bytes.
+			prog, err := r.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reparsed, err := ir.ParseProgramString(prog.String())
+			if err != nil {
+				t.Fatalf("%s: compiled program does not re-parse: %v", name, err)
+			}
+			opt, err := core.Optimize(reparsed, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if text := opt.String(); text != golden {
+				t.Fatalf("%s at %s: optimizing the reparsed program diverges from the direct run", name, level)
 			}
 		}
 	}

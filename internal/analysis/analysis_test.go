@@ -13,10 +13,10 @@ func diamond(t *testing.T) *ir.Func {
 	f := ir.NewFunc("d", 1)
 	entry := f.Entry()
 	a, b, exit := f.NewBlock(), f.NewBlock(), f.NewBlock()
-	entry.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
-	a.Append(&ir.Instr{Op: ir.OpJump})
-	b.Append(&ir.Instr{Op: ir.OpJump})
-	exit.Append(&ir.Instr{Op: ir.OpRet})
+	entry.Append(entry.Fn.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
+	a.Append(a.Fn.NewInstr(ir.OpJump, ir.NoReg))
+	b.Append(b.Fn.NewInstr(ir.OpJump, ir.NoReg))
+	exit.Append(exit.Fn.NewInstr(ir.OpRet, ir.NoReg))
 	ir.AddEdge(entry, a)
 	ir.AddEdge(entry, b)
 	ir.AddEdge(a, exit)
@@ -57,7 +57,7 @@ func TestCacheInvalidation(t *testing.T) {
 	lv1 := c.Liveness()
 
 	// Instruction-level mutation: liveness rebuilds, dom tree survives.
-	f.Blocks[1].Append(ir.NewInstr(ir.OpAdd, f.NewReg(), f.Params[0], f.Params[0]))
+	f.Blocks[1].Append(f.Blocks[1].Fn.NewInstr(ir.OpAdd, f.NewReg(), f.Params[0], f.Params[0]))
 	if c.DomTree() != dom1 {
 		t.Errorf("DomTree invalidated by instruction-level mutation")
 	}
@@ -68,7 +68,7 @@ func TestCacheInvalidation(t *testing.T) {
 	// Structural mutation: everything rebuilds.
 	lv2 := c.Liveness()
 	nb := f.NewBlock()
-	nb.Append(&ir.Instr{Op: ir.OpRet})
+	nb.Append(nb.Fn.NewInstr(ir.OpRet, ir.NoReg))
 	if c.DomTree() == dom1 {
 		t.Errorf("DomTree not invalidated by structural mutation")
 	}
@@ -87,8 +87,8 @@ func TestCacheRemoveUnreachable(t *testing.T) {
 	f := diamond(t)
 	// An unreachable self-loop pair feeding nothing reachable.
 	u1, u2 := f.NewBlock(), f.NewBlock()
-	u1.Append(&ir.Instr{Op: ir.OpJump})
-	u2.Append(&ir.Instr{Op: ir.OpJump})
+	u1.Append(u1.Fn.NewInstr(ir.OpJump, ir.NoReg))
+	u2.Append(u2.Fn.NewInstr(ir.OpJump, ir.NoReg))
 	ir.AddEdge(u1, u2)
 	ir.AddEdge(u2, u1)
 

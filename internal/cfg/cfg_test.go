@@ -25,11 +25,11 @@ func buildCFG(t *testing.T, n int, edges [][2]int) *ir.Func {
 	for i, b := range blocks {
 		switch len(out[i]) {
 		case 0:
-			b.Append(&ir.Instr{Op: ir.OpRet})
+			b.Append(b.Fn.NewInstr(ir.OpRet, ir.NoReg))
 		case 1:
-			b.Append(&ir.Instr{Op: ir.OpJump})
+			b.Append(b.Fn.NewInstr(ir.OpJump, ir.NoReg))
 		case 2:
-			b.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
+			b.Append(b.Fn.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
 		default:
 			t.Fatalf("block %d has out-degree %d", i, len(out[i]))
 		}
@@ -263,7 +263,7 @@ func TestSplitCriticalEdges(t *testing.T) {
 func TestSplitEdgePreservesPhiSlots(t *testing.T) {
 	f := buildCFG(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
 	join := f.Blocks[3]
-	phi := ir.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[0])
+	phi := f.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[0])
 	join.InsertAt(0, phi)
 	pred := f.Blocks[1]
 	slot := join.PredIndex(pred)
@@ -296,8 +296,8 @@ func TestRemoveEmptyBlocks(t *testing.T) {
 
 func TestMergeStraightLine(t *testing.T) {
 	f := buildCFG(t, 3, [][2]int{{0, 1}, {1, 2}})
-	f.Blocks[1].InsertAt(0, ir.LoadI(f.NewReg(), 7)) // non-empty, so not "empty block"
-	f.Blocks[2].InsertAt(0, ir.LoadI(f.NewReg(), 8))
+	f.Blocks[1].InsertAt(0, f.Blocks[1].Fn.NewLoadI(f.NewReg(), 7)) // non-empty, so not "empty block"
+	f.Blocks[2].InsertAt(0, f.Blocks[2].Fn.NewLoadI(f.NewReg(), 8))
 	merged := cfg.MergeStraightLine(f)
 	if merged != 2 {
 		t.Fatalf("merged %d, want 2", merged)

@@ -58,11 +58,30 @@ func BuildDomTree(f *ir.Func) *DomTree {
 		}
 	}
 
-	t.children = make([][]*ir.Block, len(f.Blocks))
+	// Child lists are views into one flat array, built by counting
+	// sort, instead of len(f.Blocks) independently grown slices.
+	nb := len(f.Blocks)
+	offs := make([]int32, nb+1)
 	for _, b := range t.rpo[1:] {
 		if id := t.idom[b.ID]; id != nil {
-			t.children[id.ID] = append(t.children[id.ID], b)
+			offs[id.ID+1]++
 		}
+	}
+	for i := 1; i <= nb; i++ {
+		offs[i] += offs[i-1]
+	}
+	flat := make([]*ir.Block, offs[nb])
+	fill := make([]int32, nb)
+	copy(fill, offs[:nb])
+	for _, b := range t.rpo[1:] {
+		if id := t.idom[b.ID]; id != nil {
+			flat[fill[id.ID]] = b
+			fill[id.ID]++
+		}
+	}
+	t.children = make([][]*ir.Block, nb)
+	for i := range t.children {
+		t.children[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
 	}
 
 	t.frontier = make([][]*ir.Block, len(f.Blocks))

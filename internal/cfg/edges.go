@@ -12,7 +12,7 @@ import "repro/internal/ir"
 func SplitEdge(pred, succ *ir.Block) *ir.Block {
 	f := pred.Fn
 	mid := f.NewBlock()
-	mid.Instrs = []*ir.Instr{{Op: ir.OpJump}}
+	mid.Instrs = append(mid.Instrs, f.NewInstr(ir.OpJump, ir.NoReg).ID())
 	pred.ReplaceSucc(succ, mid)
 	succ.ReplacePred(pred, mid)
 	mid.Preds = []*ir.Block{pred}
@@ -31,11 +31,15 @@ func IsCriticalEdge(pred, succ *ir.Block) bool {
 // number of edges split.
 func SplitCriticalEdges(f *ir.Func) int {
 	n := 0
-	// Snapshot the block list: splitting appends new blocks.
-	blocks := append([]*ir.Block(nil), f.Blocks...)
-	for _, b := range blocks {
-		for _, s := range append([]*ir.Block(nil), b.Succs...) {
-			if IsCriticalEdge(b, s) {
+	// Iterate by index with the pre-split bounds: SplitEdge replaces
+	// the successor slot in place (no growth of b.Succs) and only
+	// appends fresh blocks — which have a single predecessor and a
+	// single successor, so they never source a critical edge.
+	nb := len(f.Blocks)
+	for bi := 0; bi < nb; bi++ {
+		b := f.Blocks[bi]
+		for si := 0; si < len(b.Succs); si++ {
+			if s := b.Succs[si]; IsCriticalEdge(b, s) {
 				SplitEdge(b, s)
 				n++
 			}
@@ -54,7 +58,7 @@ func RemoveEmptyBlocks(f *ir.Func) int {
 	for changed := true; changed; {
 		changed = false
 		for _, b := range f.Blocks {
-			if b == f.Entry() || len(b.Instrs) != 1 || b.Instrs[0].Op != ir.OpJump {
+			if b == f.Entry() || len(b.Instrs) != 1 || b.Instr(0).Op != ir.OpJump {
 				continue
 			}
 			succ := b.Succs[0]
@@ -86,7 +90,8 @@ func RemoveEmptyBlocks(f *ir.Func) int {
 					succ.ReplacePred(b, p)
 				} else {
 					succ.Preds = append(succ.Preds, p)
-					for _, phi := range succ.Phis() {
+					for _, pid := range succ.Phis() {
+						phi := f.Instr(pid)
 						phi.Args = append(phi.Args, phi.Args[slot])
 					}
 				}

@@ -50,7 +50,7 @@ func TestRemoveUnreachableNoOpKeepsGenerations(t *testing.T) {
 	// Give every block a real instruction so none is an empty (jump-only)
 	// block that RemoveEmptyBlocks would legitimately take out.
 	for _, b := range f.Blocks {
-		b.InsertAt(0, ir.NewInstr(ir.OpCopy, f.NewReg(), f.Params[0]))
+		b.InsertAt(0, b.Fn.NewInstr(ir.OpCopy, f.NewReg(), f.Params[0]))
 	}
 	ac := analysis.NewCache(f)
 	domBefore := ac.DomTree()

@@ -362,7 +362,7 @@ b0:
 }
 `)
 	after := before.Clone()
-	after.Funcs[0].Blocks[0].Instrs[1].Op = ir.OpSub // add -> sub: wrong
+	after.Funcs[0].Blocks[0].Instr(1).Op = ir.OpSub // add -> sub: wrong
 	diags := check.ValidatePass(before, after, "bad-fold", check.ValidateOptions{})
 	if len(check.Errors(diags)) == 0 {
 		t.Fatal("miscompile not caught")
@@ -388,7 +388,7 @@ b0:
 }
 `)
 	after := before.Clone()
-	after.Funcs[0].Blocks[0].Instrs[1].Op = ir.OpFMul
+	after.Funcs[0].Blocks[0].Instr(1).Op = ir.OpFMul
 	diags := check.ValidatePass(before, after, "bad", check.ValidateOptions{})
 	if len(check.Errors(diags)) == 0 {
 		t.Fatal("float miscompile not caught — param kinds likely misinferred")
@@ -453,7 +453,7 @@ b0:
 		t.Fatalf("rounding-level difference flagged despite tolerance: %v", diags)
 	}
 	broken := before.Clone()
-	broken.Funcs[0].Blocks[0].Instrs[1].Op = ir.OpFMul
+	broken.Funcs[0].Blocks[0].Instr(1).Op = ir.OpFMul
 	if diags := check.ValidatePass(before, broken, "reassoc", opt); len(check.Errors(diags)) == 0 {
 		t.Fatal("real miscompile slipped through the tolerance")
 	}

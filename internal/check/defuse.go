@@ -77,7 +77,8 @@ func DefUseWith(f *ir.Func, strictSSA bool, ac *analysis.Cache) []Diagnostic {
 		if !reachable[b.ID] {
 			continue
 		}
-		for i, in := range b.Instrs {
+		for i, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for _, p := range in.Args {
 					if inRange(p) {
@@ -116,7 +117,8 @@ func DefUseWith(f *ir.Func, strictSSA bool, ac *analysis.Cache) []Diagnostic {
 		}
 	}
 	addDefs := func(b *ir.Block, s *dataflow.BitSet) {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for _, p := range in.Args {
 					if inRange(p) {
@@ -193,7 +195,8 @@ func DefUseWith(f *ir.Func, strictSSA bool, ac *analysis.Cache) []Diagnostic {
 	live := dataflow.NewBitSet(nr)
 	for _, b := range rpo {
 		blockIn(b, live)
-		for i, in := range b.Instrs {
+		for i, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			switch in.Op {
 			case ir.OpEnter:
 				for _, p := range in.Args {

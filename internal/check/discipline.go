@@ -83,7 +83,8 @@ func Discipline(f *ir.Func) []Diagnostic {
 	gen := 0
 	for _, b := range f.Blocks {
 		gen++
-		for i, in := range b.Instrs {
+		for i, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			switch in.Op {
 			case ir.OpEnter:
 				for _, p := range in.Args {

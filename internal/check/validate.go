@@ -205,8 +205,9 @@ func vnEqual(f, g *ir.Func) bool {
 				return false
 			}
 		}
-		for ii, fi := range fb.Instrs {
-			gi := gb.Instrs[ii]
+		for ii, fiID := range fb.Instrs {
+			fi := fb.Fn.Instr(fiID)
+			gi := gb.Instr(ii)
 			if fi.Op != gi.Op || fi.Imm != gi.Imm || fi.Sym != gi.Sym ||
 				math.Float64bits(fi.FImm) != math.Float64bits(gi.FImm) ||
 				len(fi.Args) != len(gi.Args) {
@@ -271,7 +272,8 @@ func inferParamKinds(p *ir.Program) map[string][]kind {
 
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				switch in.Op {
 				case ir.OpEnter:
 					// Parameter kinds come from their uses.
@@ -284,7 +286,7 @@ func inferParamKinds(p *ir.Program) map[string][]kind {
 						equate(node(f, in.Dst), node(f, a))
 					}
 				case ir.OpCall:
-					if callee := p.Func(in.Sym); callee != nil {
+					if callee := p.Func(f.SymName(in.Sym)); callee != nil {
 						for i, a := range in.Args {
 							if i < len(callee.Params) {
 								equate(node(f, a), node(callee, callee.Params[i]))

@@ -31,7 +31,8 @@ func Run(f *ir.Func) Stats {
 func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	var st Stats
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpPhi {
 				return st
 			}
@@ -48,13 +49,18 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 }
 
 // interference is a sparse symmetric adjacency over registers: a hash
-// set of packed register pairs answers membership, and per-register
-// append lists drive neighbor iteration.  Both survive round over
-// round (reset, not reallocated), so building the graph costs map
-// bucket growth only on the first round.
+// set of packed register pairs answers membership, and an index-linked
+// edge list drives neighbor iteration.  Edges live in two flat arrays
+// (to, next) threaded through per-register head indices, so adding an
+// edge never allocates beyond the amortized growth of those arrays —
+// per-register append slices would pay a grow-allocation per register
+// instead.  All storage survives round over round (reset, not
+// reallocated).
 type interference struct {
 	pairs map[uint64]struct{}
-	adj   [][]ir.Reg
+	head  []int32 // first edge index per register, -1 when none
+	to    []ir.Reg
+	next  []int32
 }
 
 func pairKey(a, b ir.Reg) uint64 {
@@ -67,14 +73,16 @@ func pairKey(a, b ir.Reg) uint64 {
 // reset empties the graph and re-dimensions it for nr registers.
 func (g *interference) reset(nr int) {
 	clear(g.pairs)
-	if cap(g.adj) < nr {
-		g.adj = make([][]ir.Reg, nr)
+	if cap(g.head) < nr {
+		g.head = make([]int32, nr)
 	} else {
-		g.adj = g.adj[:nr]
+		g.head = g.head[:nr]
 	}
-	for i := range g.adj {
-		g.adj[i] = g.adj[i][:0]
+	for i := range g.head {
+		g.head[i] = -1
 	}
+	g.to = g.to[:0]
+	g.next = g.next[:0]
 }
 
 func (g *interference) add(a, b ir.Reg) {
@@ -86,8 +94,12 @@ func (g *interference) add(a, b ir.Reg) {
 		return
 	}
 	g.pairs[k] = struct{}{}
-	g.adj[a] = append(g.adj[a], b)
-	g.adj[b] = append(g.adj[b], a)
+	g.to = append(g.to, b)
+	g.next = append(g.next, g.head[a])
+	g.head[a] = int32(len(g.to) - 1)
+	g.to = append(g.to, a)
+	g.next = append(g.next, g.head[b])
+	g.head[b] = int32(len(g.to) - 1)
 }
 
 func (g *interference) has(a, b ir.Reg) bool {
@@ -96,9 +108,11 @@ func (g *interference) has(a, b ir.Reg) bool {
 }
 
 // union merges b's adjacency into a's (conservative after coalescing).
+// New edges are appended past the end of b's chain, so the traversal
+// never revisits them.
 func (g *interference) union(a, b ir.Reg) {
-	for _, n := range g.adj[b] {
-		if n != a {
+	for e := g.head[b]; e >= 0; e = g.next[e] {
+		if n := g.to[e]; n != a {
 			g.add(a, n)
 		}
 	}
@@ -116,7 +130,7 @@ func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) b
 	for _, b := range f.Blocks {
 		live.CopyFrom(lv.LiveOut[b.ID])
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := b.Instrs[i]
+			in := b.Instr(i)
 			defs := in.Args
 			if in.Op != ir.OpEnter {
 				defs = nil
@@ -161,7 +175,8 @@ func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) b
 
 	merged := false
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op != ir.OpCopy {
 				continue
 			}
@@ -183,12 +198,13 @@ func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) b
 		before := st.SelfCopy
 		for _, b := range f.Blocks {
 			kept := b.Instrs[:0]
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				if in.Op == ir.OpCopy && in.Dst == in.Args[0] {
 					st.SelfCopy++
 					continue
 				}
-				kept = append(kept, in)
+				kept = append(kept, inID)
 			}
 			b.Instrs = kept
 		}
@@ -202,7 +218,8 @@ func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) b
 	// that became self-copies.
 	for _, b := range f.Blocks {
 		kept := b.Instrs[:0]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			for i, a := range in.Args {
 				in.Args[i] = find(a)
 			}
@@ -213,7 +230,7 @@ func coalesceRound(f *ir.Func, ac *analysis.Cache, g *interference, st *Stats) b
 				st.Coalesced++
 				continue
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 		}
 		b.Instrs = kept
 	}

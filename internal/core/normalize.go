@@ -81,7 +81,8 @@ func Normalize(f *ir.Func) NormalizeStats {
 	gen := 0
 	for _, b := range f.Blocks {
 		gen++
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op != ir.OpEnter {
 				for ai, a := range in.Args {
 					if !candidate(a) || definedHere[a] == gen {
@@ -104,11 +105,12 @@ func Normalize(f *ir.Func) NormalizeStats {
 	// Phase 3: insert the shadow copy after every definition of each
 	// register that acquired cross-block uses.
 	for _, b := range f.Blocks {
-		rebuilt := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
-			rebuilt = append(rebuilt, in)
+		rebuilt := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
+			rebuilt = append(rebuilt, inID)
 			if in.Dst != ir.NoReg && needShadow[in.Dst] {
-				rebuilt = append(rebuilt, ir.Copy(varFor[in.Dst], in.Dst))
+				rebuilt = append(rebuilt, f.NewCopy(varFor[in.Dst], in.Dst).ID())
 				st.CopiesInserted++
 			}
 		}

@@ -61,7 +61,8 @@ func RunDominatorWith(f *ir.Func, ac *analysis.Cache) Stats {
 	walk = func(b *ir.Block, avail *dataflow.BitSet) {
 		local := avail.Copy()
 		kept := b.Instrs[:0]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if k, ok := dataflow.KeyOf(in); ok {
 				if e, found := u.Index[k]; found && canon[e] != ir.NoReg {
 					if local.Has(e) {
@@ -71,7 +72,7 @@ func RunDominatorWith(f *ir.Func, ac *analysis.Cache) Stats {
 					local.Set(e)
 				}
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 			killUpdate(u, local, in)
 		}
 		b.Instrs = kept
@@ -178,7 +179,8 @@ func RunAvailWith(f *ir.Func, ac *analysis.Cache) Stats {
 	for _, b := range f.Blocks {
 		avail := avin[b.ID].Copy()
 		kept := b.Instrs[:0]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if k, ok := dataflow.KeyOf(in); ok {
 				if e, found := u.Index[k]; found && canon[e] != ir.NoReg {
 					if avail.Has(e) {
@@ -188,7 +190,7 @@ func RunAvailWith(f *ir.Func, ac *analysis.Cache) Stats {
 					avail.Set(e)
 				}
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 			killUpdate(u, avail, in)
 		}
 		b.Instrs = kept
@@ -261,7 +263,8 @@ func CanonicalDsts(f *ir.Func, u *dataflow.Universe) []ir.Reg {
 	gen := 0
 	for _, b := range f.Blocks {
 		gen++
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op != ir.OpEnter {
 				for _, a := range in.Args {
 					if defined[a] != gen {

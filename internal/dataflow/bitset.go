@@ -21,6 +21,27 @@ func NewBitSet(n int) *BitSet {
 	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewBitSetFamily returns nb independent empty capacity-n sets backed
+// by three bulk allocations (the headers, one flat word array, and the
+// pointer table) instead of nb separate NewBitSet calls.  The members
+// are ordinary BitSets in every observable way; their word slices are
+// disjoint views of the shared backing, so even handing individual
+// members to PutScratch is safe.
+func NewBitSetFamily(nb, n int) []*BitSet {
+	w := (n + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	hdrs := make([]BitSet, nb)
+	words := make([]uint64, nb*w)
+	ptrs := make([]*BitSet, nb)
+	for i := range hdrs {
+		hdrs[i] = BitSet{words: words[i*w : (i+1)*w : (i+1)*w], n: n}
+		ptrs[i] = &hdrs[i]
+	}
+	return ptrs
+}
+
 // Len returns the set's capacity.
 func (s *BitSet) Len() int { return s.n }
 

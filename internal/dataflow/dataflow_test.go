@@ -202,27 +202,28 @@ b3:
 }
 
 func TestExprKeyCanonicalization(t *testing.T) {
-	a := ir.NewInstr(ir.OpAdd, 5, 1, 2)
-	b := ir.NewInstr(ir.OpAdd, 6, 2, 1)
+	f := ir.NewFunc("scratch", 0)
+	a := f.NewInstr(ir.OpAdd, 5, 1, 2)
+	b := f.NewInstr(ir.OpAdd, 6, 2, 1)
 	ka, ok1 := dataflow.KeyOf(a)
 	kb, ok2 := dataflow.KeyOf(b)
 	if !ok1 || !ok2 || ka != kb {
 		t.Errorf("commutative keys differ: %v vs %v", ka, kb)
 	}
-	s := ir.NewInstr(ir.OpSub, 5, 1, 2)
-	s2 := ir.NewInstr(ir.OpSub, 6, 2, 1)
+	s := f.NewInstr(ir.OpSub, 5, 1, 2)
+	s2 := f.NewInstr(ir.OpSub, 6, 2, 1)
 	ks, _ := dataflow.KeyOf(s)
 	ks2, _ := dataflow.KeyOf(s2)
 	if ks == ks2 {
 		t.Error("sub keys must be order-sensitive")
 	}
-	if _, ok := dataflow.KeyOf(ir.Copy(1, 2)); ok {
+	if _, ok := dataflow.KeyOf(f.NewCopy(1, 2)); ok {
 		t.Error("copies are not expressions")
 	}
-	if _, ok := dataflow.KeyOf(&ir.Instr{Op: ir.OpCall, Sym: "f"}); ok {
+	if _, ok := dataflow.KeyOf(f.NewCall("f", ir.NoReg)); ok {
 		t.Error("calls are not expressions")
 	}
-	if _, ok := dataflow.KeyOf(ir.NewInstr(ir.OpLoadW, 3, 1)); !ok {
+	if _, ok := dataflow.KeyOf(f.NewInstr(ir.OpLoadW, 3, 1)); !ok {
 		t.Error("loads are expressions (with memory kills)")
 	}
 }
@@ -243,7 +244,7 @@ b0:
 	f := ir.MustParseFunc(src)
 	u := dataflow.BuildUniverse(f)
 	idx := func(op ir.Op, a, b ir.Reg) int {
-		k, _ := dataflow.KeyOf(ir.NewInstr(op, 99, a, b))
+		k, _ := dataflow.KeyOf(f.NewInstr(op, 99, a, b))
 		e, ok := u.Index[k]
 		if !ok {
 			t.Fatalf("expression %v not in universe", k)

@@ -92,7 +92,8 @@ type Universe struct {
 func BuildUniverse(f *ir.Func) *Universe {
 	u := &Universe{Fn: f, Index: map[ExprKey]int{}}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for i := range b.Instrs {
+			in := b.Instr(i)
 			k, ok := KeyOf(in)
 			if !ok {
 				continue
@@ -107,16 +108,37 @@ func BuildUniverse(f *ir.Func) *Universe {
 	}
 	n := len(u.Keys)
 
-	// usedBy[r] lists expressions having register r as an operand.
-	usedBy := make([][]int, f.NumRegs())
-	for i, k := range u.Keys {
+	// usedBy[r] lists expressions having register r as an operand,
+	// stored counting-sort style: one flat array partitioned by
+	// per-register offsets, so building it costs two allocations
+	// rather than one grow-append chain per register.
+	nr := f.NumRegs()
+	offs := make([]int32, nr+1)
+	for _, k := range u.Keys {
 		if k.A != ir.NoReg {
-			usedBy[k.A] = append(usedBy[k.A], i)
+			offs[k.A+1]++
 		}
 		if k.B != ir.NoReg && k.B != k.A {
-			usedBy[k.B] = append(usedBy[k.B], i)
+			offs[k.B+1]++
 		}
 	}
+	for r := 0; r < nr; r++ {
+		offs[r+1] += offs[r]
+	}
+	usedByFlat := make([]int32, offs[nr])
+	fill := make([]int32, nr)
+	copy(fill, offs[:nr])
+	for i, k := range u.Keys {
+		if k.A != ir.NoReg {
+			usedByFlat[fill[k.A]] = int32(i)
+			fill[k.A]++
+		}
+		if k.B != ir.NoReg && k.B != k.A {
+			usedByFlat[fill[k.B]] = int32(i)
+			fill[k.B]++
+		}
+	}
+	usedBy := func(r ir.Reg) []int32 { return usedByFlat[offs[r]:offs[r+1]] }
 	loads := GetScratch(n)
 	defer PutScratch(loads)
 	for i, isLd := range u.IsLoad {
@@ -143,7 +165,8 @@ func BuildUniverse(f *ir.Func) *Universe {
 			transp.Clear(e)
 			comp.Clear(e)
 		}
-		for _, in := range b.Instrs {
+		for i := range b.Instrs {
+			in := b.Instr(i)
 			if e, ok := u.Index[mustKey(in)]; ok {
 				if !killed.Has(e) {
 					antloc.Set(e)
@@ -154,8 +177,8 @@ func BuildUniverse(f *ir.Func) *Universe {
 				loads.ForEach(kill)
 			}
 			if in.Dst != ir.NoReg {
-				for _, e := range usedBy[in.Dst] {
-					kill(e)
+				for _, e := range usedBy(in.Dst) {
+					kill(int(e))
 				}
 			}
 		}
@@ -192,24 +215,23 @@ func (u *Universe) Release() {
 	}
 }
 
-// MakeInstr materializes expression e into destination register dst.
+// MakeInstr materializes expression e into destination register dst,
+// allocated in the universe's function arena.
 func (u *Universe) MakeInstr(e int, dst ir.Reg) *ir.Instr {
 	k := u.Keys[e]
-	in := &ir.Instr{Op: k.Op, Dst: dst}
 	switch k.Op {
 	case ir.OpLoadI:
-		in.Imm = k.Imm
+		return u.Fn.NewLoadI(dst, k.Imm)
 	case ir.OpLoadF:
-		in.FImm = floatFromBits(k.FBits)
-	default:
-		if k.A != ir.NoReg {
-			in.Args = append(in.Args, k.A)
-		}
-		if k.B != ir.NoReg {
-			in.Args = append(in.Args, k.B)
-		}
+		return u.Fn.NewLoadF(dst, floatFromBits(k.FBits))
 	}
-	return in
+	if k.B != ir.NoReg {
+		return u.Fn.NewInstr(k.Op, dst, k.A, k.B)
+	}
+	if k.A != ir.NoReg {
+		return u.Fn.NewInstr(k.Op, dst, k.A)
+	}
+	return u.Fn.NewInstr(k.Op, dst)
 }
 
 // KillScan clears valid-set entries invalidated by an instruction: any

@@ -23,26 +23,27 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 		LiveIn:  make([]*BitSet, n),
 		LiveOut: make([]*BitSet, n),
 	}
-	// use/def are block-local scratch; the LiveIn/LiveOut results
-	// escape to the caller (and analysis caches retain them), so only
-	// the scratch comes from — and returns to — the pool.
-	use := make([]*BitSet, n) // upward-exposed non-φ uses
-	def := make([]*BitSet, n) // registers defined in block
-	defer func() {
-		for i := range use {
-			PutScratch(use[i])
-			PutScratch(def[i])
-		}
-	}()
+	// All 4n per-block sets come from two bulk allocations (the BitSet
+	// headers and one flat word array) instead of 4n separate
+	// NewBitSet calls.  LiveIn/LiveOut escape to the caller inside
+	// those bulk arrays; use/def occupy the tail of the same arrays
+	// and die with this frame.
+	w := (nr + 63) / 64
+	hdrs := make([]BitSet, 4*n)
+	words := make([]uint64, 4*n*w)
+	for i := range hdrs {
+		hdrs[i] = BitSet{words: words[i*w : (i+1)*w], n: nr}
+	}
+	use := hdrs[2*n : 3*n] // upward-exposed non-φ uses
+	def := hdrs[3*n:]      // registers defined in block
 
 	for _, b := range f.Blocks {
-		lv.LiveIn[b.ID] = NewBitSet(nr)
-		lv.LiveOut[b.ID] = NewBitSet(nr)
-		use[b.ID] = GetScratch(nr)
-		def[b.ID] = GetScratch(nr)
+		lv.LiveIn[b.ID] = &hdrs[2*b.ID]
+		lv.LiveOut[b.ID] = &hdrs[2*b.ID+1]
 	}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for ii := range b.Instrs {
+			in := b.Instr(ii)
 			if in.Op == ir.OpPhi {
 				// φ defs happen "on entry"; uses are charged to the
 				// predecessors during the fixed-point loop below.
@@ -78,7 +79,8 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 				}
 				// φ operands flowing along this edge.
 				pi := s.PredIndex(b)
-				for _, phi := range s.Phis() {
+				for _, pid := range s.Phis() {
+					phi := f.Instr(pid)
 					if pi < len(phi.Args) && !out.Has(int(phi.Args[pi])) {
 						out.Set(int(phi.Args[pi]))
 						changed = true
@@ -86,8 +88,8 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 				}
 			}
 			in.CopyFrom(out)
-			in.Subtract(def[b.ID])
-			in.Union(use[b.ID])
+			in.Subtract(&def[b.ID])
+			in.Union(&use[b.ID])
 			if !in.Equal(lv.LiveIn[b.ID]) {
 				lv.LiveIn[b.ID].CopyFrom(in)
 				changed = true
@@ -107,8 +109,8 @@ func LiveAcrossBlocks(f *ir.Func) *BitSet {
 	for _, b := range f.Blocks {
 		s.Union(lv.LiveIn[b.ID])
 		// φ operands cross the edge even if not live-in.
-		for _, phi := range b.Phis() {
-			for _, a := range phi.Args {
+		for _, pid := range b.Phis() {
+			for _, a := range f.Instr(pid).Args {
 				s.Set(int(a))
 			}
 		}

@@ -89,7 +89,7 @@ func TestSolveForwardAvailability(t *testing.T) {
 			dst.Union(u.Comp[b.ID])
 		})
 
-	k, _ := dataflow.KeyOf(ir.NewInstr(ir.OpAdd, 99, 1, 2))
+	k, _ := dataflow.KeyOf(f.NewInstr(ir.OpAdd, 99, 1, 2))
 	e := u.Index[k]
 	// r1+r2 is available out of b1, killed by b2's write to r2, so the
 	// all-paths meet at the join must drop it.
@@ -121,7 +121,7 @@ func TestSolveBackwardAnticipability(t *testing.T) {
 			dst.Union(u.AntLoc[b.ID])
 		})
 
-	k, _ := dataflow.KeyOf(ir.NewInstr(ir.OpAdd, 99, 1, 2))
+	k, _ := dataflow.KeyOf(f.NewInstr(ir.OpAdd, 99, 1, 2))
 	e := u.Index[k]
 	// Every path from b0 reaches b3's r1+r2, but b2 redefines r2 on the
 	// way, so the expression is anticipated at b0's exit only via b1.
@@ -154,7 +154,7 @@ func TestSolveBackwardMeetAny(t *testing.T) {
 			dst.Union(u.AntLoc[b.ID])
 		})
 
-	k, _ := dataflow.KeyOf(ir.NewInstr(ir.OpAdd, 99, 1, 2))
+	k, _ := dataflow.KeyOf(f.NewInstr(ir.OpAdd, 99, 1, 2))
 	e := u.Index[k]
 	if !out[byName["b0"].ID].Has(e) {
 		t.Error("union meet at the fork must see the use in b1")

@@ -34,7 +34,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 			// Walk backwards; collect deletions by index.
 			var dead []int
 			for i := len(b.Instrs) - 1; i >= 0; i-- {
-				in := b.Instrs[i]
+				in := b.Instr(i)
 				removable := in.Dst != ir.NoReg &&
 					!live.Has(int(in.Dst)) &&
 					(in.Op.Pure() || in.Op.IsLoad() || in.Op == ir.OpCopy)

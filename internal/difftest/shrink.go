@@ -219,14 +219,15 @@ func dropInstrs(p *ir.Program, fi, bi, lo, hi int) *ir.Program {
 	b := q.Funcs[fi].Blocks[bi]
 	kept := b.Instrs[:0]
 	dropped := 0
-	for i, in := range b.Instrs {
+	for i, inID := range b.Instrs {
+		in := b.Fn.Instr(inID)
 		removable := i >= lo && i < hi &&
 			in.Op != ir.OpEnter && in.Op != ir.OpPhi && !in.Op.IsTerminator()
 		if removable {
 			dropped++
 			continue
 		}
-		kept = append(kept, in)
+		kept = append(kept, inID)
 	}
 	if dropped == 0 {
 		return nil
@@ -245,15 +246,15 @@ func constify(p *ir.Program, fi, bi, ii int) *ir.Program {
 	if ii >= len(b.Instrs) {
 		return nil
 	}
-	in := b.Instrs[ii]
+	in := b.Instr(ii)
 	if !in.Op.Pure() || in.Dst == ir.NoReg || in.IsConst() ||
 		in.Op == ir.OpPhi || in.Op == ir.OpEnter || len(in.Args) == 0 {
 		return nil
 	}
 	if in.Op.Float() {
-		b.Instrs[ii] = ir.LoadF(in.Dst, 0)
+		in.SetLoadF(0)
 	} else {
-		b.Instrs[ii] = ir.LoadI(in.Dst, 0)
+		in.SetLoadI(0)
 	}
 	q.Funcs[fi].MarkCodeMutated()
 	return q

@@ -110,7 +110,8 @@ func classes(f *ir.Func) ([]ir.Reg, []uint32) {
 		values = append(values, r)
 	}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for i, p := range in.Args {
 					addValue(p, def{in: in, block: b, enterIdx: i})
@@ -273,7 +274,8 @@ func renameToReps(f *ir.Func, values []ir.Reg, class []uint32) Stats {
 	for _, b := range f.Blocks {
 		phiSeen = phiSeen[:0]
 		kept := b.Instrs[:0]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			for i, a := range in.Args {
 				if in.Op != ir.OpEnter {
 					in.Args[i] = rename(a)
@@ -304,7 +306,7 @@ func renameToReps(f *ir.Func, values []ir.Reg, class []uint32) Stats {
 				}
 				phiSeen = append(phiSeen, in.Dst)
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 		}
 		b.Instrs = kept
 	}

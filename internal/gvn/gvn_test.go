@@ -52,8 +52,8 @@ b0:
 
 	// Without GVN, the two adds are lexically different.
 	u := dataflow.BuildUniverse(f)
-	k1, _ := dataflow.KeyOf(f.Entry().Instrs[1]) // add r1, r2
-	k2, _ := dataflow.KeyOf(f.Entry().Instrs[4]) // add r5, r2
+	k1, _ := dataflow.KeyOf(f.Entry().Instr(1)) // add r1, r2
+	k2, _ := dataflow.KeyOf(f.Entry().Instr(4)) // add r5, r2
 	if k1 == k2 {
 		t.Fatal("test premise broken: keys already equal")
 	}

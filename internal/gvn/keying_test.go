@@ -33,7 +33,8 @@ func oldClasses(f *ir.Func) map[ir.Reg]uint32 {
 		values = append(values, r)
 	}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for i, p := range in.Args {
 					addValue(p, def{in: in, block: b, enterIdx: i})

@@ -244,7 +244,8 @@ func PreciseClasses(f *ir.Func) ([]ir.Reg, []uint32) {
 	rpo := cfg.ReversePostorder(f)
 	inRPO := make([]bool, len(f.Blocks))
 	collect := func(b *ir.Block) {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for i, p := range in.Args {
 					addValue(p, def{in: in, block: b, enterIdx: i})

@@ -196,14 +196,15 @@ func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
 				return Value{}, m.trap(f, cur, "no edge from %s", prev.Name)
 			}
 			vals := make([]Value, len(phis))
-			for i, phi := range phis {
+			for i, pid := range phis {
+				phi := f.Instr(pid)
 				if pi >= len(phi.Args) {
 					return Value{}, m.trap(f, cur, "φ operand index out of range")
 				}
 				vals[i] = regs[phi.Args[pi]]
 			}
-			for i, phi := range phis {
-				regs[phi.Dst] = vals[i]
+			for i, pid := range phis {
+				regs[f.Instr(pid).Dst] = vals[i]
 			}
 		}
 
@@ -211,7 +212,7 @@ func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
 		var retVal Value
 		var returned bool
 		for ii := len(phis); ii < len(cur.Instrs); ii++ {
-			in := cur.Instrs[ii]
+			in := cur.Instr(ii)
 			if in.Op == ir.OpEnter {
 				if len(args) != len(in.Args) {
 					return Value{}, m.trap(f, cur, "called with %d args, want %d", len(args), len(in.Args))
@@ -284,15 +285,15 @@ func (m *Machine) run(f *ir.Func, args []Value) (Value, error) {
 // callTarget dispatches a call instruction: "print" is the built-in
 // output primitive; every other name must be a program function.
 func (m *Machine) callTarget(f *ir.Func, b *ir.Block, in *ir.Instr, regs []Value) (Value, error) {
-	if in.Sym == "print" {
+	if f.SymName(in.Sym) == "print" {
 		for _, a := range in.Args {
 			m.Output = append(m.Output, regs[a])
 		}
 		return Value{}, nil
 	}
-	callee := m.Prog.Func(in.Sym)
+	callee := m.Prog.Func(f.SymName(in.Sym))
 	if callee == nil {
-		return Value{}, m.trap(f, b, "call to undefined function %q", in.Sym)
+		return Value{}, m.trap(f, b, "call to undefined function %q", f.SymName(in.Sym))
 	}
 	args := make([]Value, len(in.Args))
 	for i, a := range in.Args {

@@ -43,7 +43,7 @@ func TestFoldMatchesExecution(t *testing.T) {
 			f := ir.NewFunc("f", 0)
 			b := f.Entry()
 			ret := build(f)
-			b.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{ret.Dst}})
+			b.Append(b.Fn.NewInstr(ir.OpRet, ir.NoReg, ret.Dst))
 			return f
 		}
 		run := func(f *ir.Func) (interp.Value, error) {
@@ -82,9 +82,9 @@ func TestFoldMatchesExecution(t *testing.T) {
 				check(fmt.Sprintf("%s(%d,%d)", op, a, b), func(f *ir.Func) *ir.Instr {
 					blk := f.Entry()
 					ra, rb, rc := f.NewReg(), f.NewReg(), f.NewReg()
-					blk.Append(ir.LoadI(ra, a))
-					blk.Append(ir.LoadI(rb, b))
-					in := ir.NewInstr(op, rc, ra, rb)
+					blk.Append(blk.Fn.NewLoadI(ra, a))
+					blk.Append(blk.Fn.NewLoadI(rb, b))
+					in := f.NewInstr(op, rc, ra, rb)
 					blk.Append(in)
 					return in
 				})
@@ -97,8 +97,8 @@ func TestFoldMatchesExecution(t *testing.T) {
 			check(fmt.Sprintf("%s(%d)", op, a), func(f *ir.Func) *ir.Instr {
 				blk := f.Entry()
 				ra, rc := f.NewReg(), f.NewReg()
-				blk.Append(ir.LoadI(ra, a))
-				in := ir.NewInstr(op, rc, ra)
+				blk.Append(blk.Fn.NewLoadI(ra, a))
+				in := f.NewInstr(op, rc, ra)
 				blk.Append(in)
 				return in
 			})
@@ -111,9 +111,9 @@ func TestFoldMatchesExecution(t *testing.T) {
 				check(fmt.Sprintf("%s(%g,%g)", op, a, b), func(f *ir.Func) *ir.Instr {
 					blk := f.Entry()
 					ra, rb, rc := f.NewReg(), f.NewReg(), f.NewReg()
-					blk.Append(ir.LoadF(ra, a))
-					blk.Append(ir.LoadF(rb, b))
-					in := ir.NewInstr(op, rc, ra, rb)
+					blk.Append(blk.Fn.NewLoadF(ra, a))
+					blk.Append(blk.Fn.NewLoadF(rb, b))
+					in := f.NewInstr(op, rc, ra, rb)
 					blk.Append(in)
 					return in
 				})
@@ -126,8 +126,8 @@ func TestFoldMatchesExecution(t *testing.T) {
 			check(fmt.Sprintf("%s(%g)", op, a), func(f *ir.Func) *ir.Instr {
 				blk := f.Entry()
 				ra, rc := f.NewReg(), f.NewReg()
-				blk.Append(ir.LoadF(ra, a))
-				in := ir.NewInstr(op, rc, ra)
+				blk.Append(blk.Fn.NewLoadF(ra, a))
+				in := f.NewInstr(op, rc, ra)
 				blk.Append(in)
 				return in
 			})
@@ -141,7 +141,7 @@ func buildAndRun(t *testing.T, globalSize int64, build func(f *ir.Func) ir.Reg) 
 	t.Helper()
 	f := ir.NewFunc("f", 0)
 	ret := build(f)
-	f.Entry().Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{ret}})
+	f.Entry().Append(f.Entry().Fn.NewInstr(ir.OpRet, ir.NoReg, ret))
 	p := &ir.Program{Funcs: []*ir.Func{f}, GlobalSize: globalSize}
 	m := interp.NewMachine(p)
 	v, err := m.Call("f")
@@ -154,8 +154,8 @@ func TestCopySemantics(t *testing.T) {
 	v, _, err := buildAndRun(t, 0, func(f *ir.Func) ir.Reg {
 		b := f.Entry()
 		ra, rc := f.NewReg(), f.NewReg()
-		b.Append(ir.LoadI(ra, -42))
-		b.Append(ir.NewInstr(ir.OpCopy, rc, ra))
+		b.Append(b.Fn.NewLoadI(ra, -42))
+		b.Append(b.Fn.NewInstr(ir.OpCopy, rc, ra))
 		return rc
 	})
 	if err != nil {
@@ -167,8 +167,8 @@ func TestCopySemantics(t *testing.T) {
 	v, _, err = buildAndRun(t, 0, func(f *ir.Func) ir.Reg {
 		b := f.Entry()
 		ra, rc := f.NewReg(), f.NewReg()
-		b.Append(ir.LoadF(ra, -2.25))
-		b.Append(ir.NewInstr(ir.OpCopy, rc, ra))
+		b.Append(b.Fn.NewLoadF(ra, -2.25))
+		b.Append(b.Fn.NewInstr(ir.OpCopy, rc, ra))
 		return rc
 	})
 	if err != nil {
@@ -191,13 +191,13 @@ func TestMemoryOpSemantics(t *testing.T) {
 			b := f.Entry()
 			rv, rp, rc := f.NewReg(), f.NewReg(), f.NewReg()
 			if val.Float {
-				b.Append(ir.LoadF(rv, val.F))
+				b.Append(b.Fn.NewLoadF(rv, val.F))
 			} else {
-				b.Append(ir.LoadI(rv, val.I))
+				b.Append(b.Fn.NewLoadI(rv, val.I))
 			}
-			b.Append(ir.LoadI(rp, addr))
-			b.Append(ir.NewInstr(store, ir.NoReg, rv, rp))
-			b.Append(ir.NewInstr(load, rc, rp))
+			b.Append(b.Fn.NewLoadI(rp, addr))
+			b.Append(b.Fn.NewInstr(store, ir.NoReg, rv, rp))
+			b.Append(b.Fn.NewInstr(load, rc, rp))
 			return rc
 		})
 		return v, err
@@ -254,17 +254,17 @@ func TestMemoryOpBounds(t *testing.T) {
 			_, _, err := buildAndRun(t, size, func(f *ir.Func) ir.Reg {
 				b := f.Entry()
 				rv, rp, rc := f.NewReg(), f.NewReg(), f.NewReg()
-				b.Append(ir.LoadI(rc, 0))
-				b.Append(ir.LoadI(rp, addr))
+				b.Append(b.Fn.NewLoadI(rc, 0))
+				b.Append(b.Fn.NewLoadI(rp, addr))
 				if tc.op.IsStore() {
 					if tc.op == ir.OpStoreW {
-						b.Append(ir.LoadI(rv, 1))
+						b.Append(b.Fn.NewLoadI(rv, 1))
 					} else {
-						b.Append(ir.LoadF(rv, 1))
+						b.Append(b.Fn.NewLoadF(rv, 1))
 					}
-					b.Append(ir.NewInstr(tc.op, ir.NoReg, rv, rp))
+					b.Append(b.Fn.NewInstr(tc.op, ir.NoReg, rv, rp))
 				} else {
-					b.Append(ir.NewInstr(tc.op, rc, rp))
+					b.Append(b.Fn.NewInstr(tc.op, rc, rp))
 				}
 				return rc
 			})

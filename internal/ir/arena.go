@@ -1,0 +1,197 @@
+package ir
+
+import "strings"
+
+// Instruction storage: every instruction of a function lives in a
+// per-function arena — a chain of fixed-capacity chunks — and is
+// identified by a dense InstrID assigned at allocation.  Chunks are
+// extended in place and never reallocated, so *Instr pointers handed
+// out by the constructors stay valid for the life of the function,
+// while IDs keep side tables (and the Block instruction lists) free of
+// pointers.  Operand lists are carved out of a shared per-function
+// register pool, so a typical instruction costs no allocation of its
+// own: one chunk allocation covers instrChunkSize instructions and one
+// pool chunk covers argChunkSize operands.
+//
+// Ownership discipline: instructions are created only through the
+// Func constructors (NewInstr, NewLoadI, NewLoadF, NewCopy, NewCall,
+// NewPhi, CloneInstr).  The Block mutators verify ownership, and the
+// repo linter's irconstruct rule rejects &ir.Instr{} composite
+// literals outside this package.
+
+const (
+	instrChunkBits = 8
+	instrChunkSize = 1 << instrChunkBits // instructions per arena chunk
+	instrChunkMask = instrChunkSize - 1
+
+	argChunkSize = 1024 // registers per operand-pool chunk
+)
+
+// Instr returns the arena instruction with the given dense ID.  The
+// returned pointer is stable: arena chunks are never moved.
+func (f *Func) Instr(id InstrID) *Instr {
+	return &f.arena[id>>instrChunkBits][id&instrChunkMask]
+}
+
+// NumInstrIDs returns one past the highest allocated InstrID, so side
+// tables indexed by InstrID can be sized with it.  IDs are never
+// reused; instructions removed from a block keep their arena slot (and
+// stay readable through Instr) until the function is dropped.
+func (f *Func) NumInstrIDs() int { return int(f.numInstrs) }
+
+// allocInstr reserves the next arena slot and stamps its ID.
+func (f *Func) allocInstr() *Instr {
+	if int(f.numInstrs)&instrChunkMask == 0 {
+		f.arena = append(f.arena, make([]Instr, 0, instrChunkSize))
+	}
+	c := &f.arena[len(f.arena)-1]
+	*c = append(*c, Instr{id: f.numInstrs + 1})
+	f.numInstrs++
+	return &(*c)[len(*c)-1]
+}
+
+// allocArgs carves an operand list of length n out of the register
+// pool.  The view is capacity-clipped: a later append through it
+// cannot bleed into a neighbouring instruction's operands.
+func (f *Func) allocArgs(n int) []Reg {
+	if n == 0 {
+		return nil
+	}
+	if len(f.argPool)+n > cap(f.argPool) {
+		c := argChunkSize
+		if n > c {
+			c = n
+		}
+		f.argPool = make([]Reg, 0, c)
+	}
+	s := len(f.argPool)
+	f.argPool = f.argPool[:s+n]
+	return f.argPool[s : s+n : s+n]
+}
+
+// NewInstr allocates an instruction in the function's arena with the
+// given opcode, destination and operands (copied into the operand
+// pool).
+func (f *Func) NewInstr(op Op, dst Reg, args ...Reg) *Instr {
+	in := f.allocInstr()
+	in.Op, in.Dst = op, dst
+	if len(args) > 0 {
+		a := f.allocArgs(len(args))
+		copy(a, args)
+		in.Args = a
+	}
+	return in
+}
+
+// NewLoadI builds "loadI imm => dst" in the arena.
+func (f *Func) NewLoadI(dst Reg, imm int64) *Instr {
+	in := f.allocInstr()
+	in.Op, in.Dst, in.Imm = OpLoadI, dst, imm
+	return in
+}
+
+// NewLoadF builds "loadF fimm => dst" in the arena.
+func (f *Func) NewLoadF(dst Reg, fimm float64) *Instr {
+	in := f.allocInstr()
+	in.Op, in.Dst, in.FImm = OpLoadF, dst, fimm
+	return in
+}
+
+// NewCopy builds "copy src => dst" in the arena.
+func (f *Func) NewCopy(dst, src Reg) *Instr {
+	in := f.allocInstr()
+	in.Op, in.Dst = OpCopy, dst
+	a := f.allocArgs(1)
+	a[0] = src
+	in.Args = a
+	return in
+}
+
+// NewCall builds "call callee(args...)" in the arena, interning the
+// callee name into the function's symbol table.
+func (f *Func) NewCall(callee string, dst Reg, args ...Reg) *Instr {
+	in := f.NewInstr(OpCall, dst, args...)
+	in.Sym = f.InternSym(callee)
+	return in
+}
+
+// NewPhi builds a φ-node with nargs zeroed operand slots (one per
+// predecessor, to be filled by the caller).
+func (f *Func) NewPhi(dst Reg, nargs int) *Instr {
+	in := f.allocInstr()
+	in.Op, in.Dst = OpPhi, dst
+	in.Args = f.allocArgs(nargs)
+	return in
+}
+
+// CloneInstr copies in — owned by function src, which may be f itself
+// or another function — into f's arena, re-interning any symbol.
+func (f *Func) CloneInstr(in *Instr, src *Func) *Instr {
+	cp := f.allocInstr()
+	id := cp.id
+	*cp = *in
+	cp.id = id
+	if len(in.Args) > 0 {
+		a := f.allocArgs(len(in.Args))
+		copy(a, in.Args)
+		cp.Args = a
+	} else {
+		cp.Args = nil
+	}
+	if in.Sym != NoSym && src != f {
+		cp.Sym = f.InternSym(src.SymName(in.Sym))
+	}
+	return cp
+}
+
+// owns reports whether in is a live slot of f's arena.
+func (f *Func) owns(in *Instr) bool {
+	id := in.ID()
+	return id >= 0 && int(id) < f.NumInstrIDs() && f.Instr(id) == in
+}
+
+// InternSym interns a name into the function's symbol table and
+// returns its index.  The empty name is NoSym.  Interning copies the
+// string, so parser line buffers are not retained.
+func (f *Func) InternSym(name string) Sym {
+	if name == "" {
+		return NoSym
+	}
+	if len(f.syms) == 0 {
+		f.syms = append(f.syms, "") // slot 0 is NoSym
+	}
+	if f.symIdx == nil {
+		f.symIdx = make(map[string]Sym, len(f.syms)+8)
+		for i, s := range f.syms {
+			if s != "" {
+				f.symIdx[s] = Sym(i)
+			}
+		}
+	}
+	if s, ok := f.symIdx[name]; ok {
+		return s
+	}
+	name = strings.Clone(name)
+	s := Sym(len(f.syms))
+	f.syms = append(f.syms, name)
+	f.symIdx[name] = s
+	return s
+}
+
+// SymName resolves an interned symbol back to its name.
+func (f *Func) SymName(s Sym) string {
+	if s <= 0 || int(s) >= len(f.syms) {
+		return ""
+	}
+	return f.syms[s]
+}
+
+// internedName interns a block label through the symbol table and
+// returns the canonical stored string.
+func (f *Func) internedName(name string) string {
+	s := f.InternSym(name)
+	if s == NoSym {
+		return ""
+	}
+	return f.syms[s]
+}

@@ -6,26 +6,45 @@ import "fmt"
 // exactly one terminator.  Successor order is significant for cbr
 // (Succs[0] is the taken/true target) and for φ-operands, which appear
 // in predecessor order.
+//
+// Instrs holds dense arena IDs rather than pointers; resolve one with
+// Block.Instr (by position) or Func.Instr (by ID).  The ID slice may be
+// rebuilt freely by passes (filtering, splicing); the arena slots
+// behind the IDs are stable for the life of the function.
 type Block struct {
 	ID     int // dense index within the function
 	Name   string
-	Instrs []*Instr
+	Instrs []InstrID
 	Succs  []*Block
 	Preds  []*Block
 	Fn     *Func
 }
 
+// Instr returns the instruction at position i in the block.
+func (b *Block) Instr(i int) *Instr { return b.Fn.Instr(b.Instrs[i]) }
+
+// mustOwn verifies that in was allocated from the owning function's
+// arena and returns its ID.  Catching foreign instructions here keeps
+// every ID in a block resolvable through the function.
+func (b *Block) mustOwn(in *Instr) InstrID {
+	if b.Fn == nil || !b.Fn.owns(in) {
+		panic(fmt.Sprintf("ir: instruction %v not allocated from the arena of the owning function", in.Op))
+	}
+	return in.ID()
+}
+
 // Terminator returns the block's final instruction, or nil if the block
 // is empty or unterminated (only legal mid-construction).
 func (b *Block) Terminator() *Instr {
-	if n := len(b.Instrs); n > 0 && b.Instrs[n-1].Op.IsTerminator() {
-		return b.Instrs[n-1]
+	if n := len(b.Instrs); n > 0 {
+		if in := b.Instr(n - 1); in.Op.IsTerminator() {
+			return in
+		}
 	}
 	return nil
 }
 
-// markCode bumps the owning function's code generation (blocks built
-// by hand in tests may have no Fn).
+// markCode bumps the owning function's code generation.
 func (b *Block) markCode() {
 	if b.Fn != nil {
 		b.Fn.MarkCodeMutated()
@@ -35,27 +54,34 @@ func (b *Block) markCode() {
 // Append adds an instruction at the end of the block, before any
 // existing terminator.
 func (b *Block) Append(in *Instr) {
+	id := b.mustOwn(in)
 	b.markCode()
 	if t := b.Terminator(); t != nil {
-		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], in, t)
+		tid := b.Instrs[len(b.Instrs)-1]
+		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], id, tid)
 		return
 	}
-	b.Instrs = append(b.Instrs, in)
+	b.Instrs = append(b.Instrs, id)
 }
 
 // InsertAt inserts an instruction at index i.
 func (b *Block) InsertAt(i int, in *Instr) {
+	id := b.mustOwn(in)
 	b.markCode()
-	b.Instrs = append(b.Instrs, nil)
+	b.Instrs = append(b.Instrs, NoInstr)
 	copy(b.Instrs[i+1:], b.Instrs[i:])
-	b.Instrs[i] = in
+	b.Instrs[i] = id
 }
 
-// RemoveAt deletes the instruction at index i.
+// RemoveAt deletes the instruction at index i.  The vacated tail slot
+// is cleared so the slice backing array does not go on referencing the
+// removed instruction's ID.
 func (b *Block) RemoveAt(i int) {
 	b.markCode()
+	n := len(b.Instrs)
 	copy(b.Instrs[i:], b.Instrs[i+1:])
-	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	b.Instrs[n-1] = NoInstr
+	b.Instrs = b.Instrs[:n-1]
 }
 
 // PredIndex returns the position of p in b.Preds, or -1.
@@ -68,10 +94,10 @@ func (b *Block) PredIndex(p *Block) int {
 	return -1
 }
 
-// Phis returns the block's leading φ-instructions.
-func (b *Block) Phis() []*Instr {
+// Phis returns the IDs of the block's leading φ-instructions.
+func (b *Block) Phis() []InstrID {
 	n := 0
-	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+	for n < len(b.Instrs) && b.Instr(n).Op == OpPhi {
 		n++
 	}
 	return b.Instrs[:n]
@@ -93,7 +119,8 @@ func RemoveEdge(b, succ *Block) {
 	if pi < 0 {
 		panic(fmt.Sprintf("ir: no edge %s -> %s", b.Name, succ.Name))
 	}
-	for _, phi := range succ.Phis() {
+	for _, pid := range succ.Phis() {
+		phi := succ.Fn.Instr(pid)
 		phi.Args = append(phi.Args[:pi], phi.Args[pi+1:]...)
 	}
 	succ.Preds = append(succ.Preds[:pi], succ.Preds[pi+1:]...)

@@ -6,10 +6,21 @@ import "fmt"
 // a virtual-register namespace.  Blocks[0] is always the entry block,
 // whose first instruction is the enter operation defining the formal
 // parameters.
+//
+// The function owns all storage for its instructions: the chunked
+// instruction arena (see arena.go), the operand pool backing the Args
+// lists, and the symbol table interning call symbols and block labels.
 type Func struct {
 	Name   string
 	Params []Reg // parameter registers, in order (also on the enter instr)
 	Blocks []*Block
+
+	// Arena storage (see arena.go).
+	arena     [][]Instr
+	numInstrs InstrID
+	argPool   []Reg
+	syms      []string
+	symIdx    map[string]Sym
 
 	nextReg  Reg
 	nextName int
@@ -59,7 +70,7 @@ func NewFunc(name string, nparams int) *Func {
 		params[i] = f.NewReg()
 	}
 	f.Params = params
-	entry.Instrs = append(entry.Instrs, &Instr{Op: OpEnter, Args: append([]Reg(nil), params...)})
+	entry.Append(f.NewInstr(OpEnter, NoReg, params...))
 	return f
 }
 
@@ -87,16 +98,17 @@ func (f *Func) SetRegHint(n Reg) {
 
 // NewBlock appends a fresh, empty block with a unique label.
 func (f *Func) NewBlock() *Block {
-	b := &Block{ID: len(f.Blocks), Name: fmt.Sprintf("b%d", f.nextName), Fn: f}
+	b := &Block{ID: len(f.Blocks), Name: f.internedName(fmt.Sprintf("b%d", f.nextName)), Fn: f}
 	f.nextName++
 	f.Blocks = append(f.Blocks, b)
 	f.MarkCFGMutated()
 	return b
 }
 
-// NewBlockNamed appends a fresh block with the given label.
+// NewBlockNamed appends a fresh block with the given label, interned
+// into the function's symbol table.
 func (f *Func) NewBlockNamed(name string) *Block {
-	b := &Block{ID: len(f.Blocks), Name: name, Fn: f}
+	b := &Block{ID: len(f.Blocks), Name: f.internedName(name), Fn: f}
 	f.nextName++
 	f.Blocks = append(f.Blocks, b)
 	f.MarkCFGMutated()
@@ -108,8 +120,10 @@ func (f *Func) Entry() *Block { return f.Blocks[0] }
 
 // EnterInstr returns the enter instruction in the entry block, or nil.
 func (f *Func) EnterInstr() *Instr {
-	if len(f.Blocks) > 0 && len(f.Blocks[0].Instrs) > 0 && f.Blocks[0].Instrs[0].Op == OpEnter {
-		return f.Blocks[0].Instrs[0]
+	if len(f.Blocks) > 0 && len(f.Blocks[0].Instrs) > 0 {
+		if in := f.Blocks[0].Instr(0); in.Op == OpEnter {
+			return in
+		}
 	}
 	return nil
 }
@@ -130,7 +144,11 @@ func (f *Func) RemoveBlocks(dead func(*Block) bool) {
 			kept = append(kept, b)
 		}
 	}
+	tail := f.Blocks[len(kept):]
 	f.Blocks = kept
+	for i := range tail {
+		tail[i] = nil // release the dropped blocks to the collector
+	}
 	f.Renumber()
 	f.MarkCFGMutated()
 }
@@ -148,25 +166,42 @@ func (f *Func) InstrCount() int {
 // ForEachInstr calls fn for every instruction in block order.
 func (f *Func) ForEachInstr(fn func(b *Block, i int, in *Instr)) {
 	for _, b := range f.Blocks {
-		for i, in := range b.Instrs {
-			fn(b, i, in)
+		for i := range b.Instrs {
+			fn(b, i, f.Instr(b.Instrs[i]))
 		}
 	}
 }
 
-// Clone returns a deep copy of the function.
+// Clone returns a deep copy of the function.  The clone's arena is
+// compacted to the live instructions in block order, so IDs are dense
+// again even if the original accumulated dead arena slots; IDs are
+// therefore not preserved across Clone.
 func (f *Func) Clone() *Func {
 	nf := &Func{
 		Name:     f.Name,
 		Params:   append([]Reg(nil), f.Params...),
+		syms:     append([]string(nil), f.syms...),
 		nextReg:  f.nextReg,
 		nextName: f.nextName,
 	}
 	old2new := make(map[*Block]*Block, len(f.Blocks))
 	for _, b := range f.Blocks {
 		nb := &Block{ID: b.ID, Name: b.Name, Fn: nf}
-		for _, in := range b.Instrs {
-			nb.Instrs = append(nb.Instrs, in.Clone())
+		nb.Instrs = make([]InstrID, len(b.Instrs))
+		for i, id := range b.Instrs {
+			in := f.Instr(id)
+			cp := nf.allocInstr()
+			cid := cp.id
+			*cp = *in
+			cp.id = cid
+			if len(in.Args) > 0 {
+				a := nf.allocArgs(len(in.Args))
+				copy(a, in.Args)
+				cp.Args = a
+			} else {
+				cp.Args = nil
+			}
+			nb.Instrs[i] = cp.ID()
 		}
 		nf.Blocks = append(nf.Blocks, nb)
 		old2new[b] = nb

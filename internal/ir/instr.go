@@ -1,10 +1,6 @@
 package ir
 
-import (
-	"fmt"
-	"strconv"
-	"strings"
-)
+import "strconv"
 
 // Reg names a virtual register.  Register 0 is "no register".
 type Reg int32
@@ -12,52 +8,93 @@ type Reg int32
 // NoReg is the absent register (e.g. the destination of a store).
 const NoReg Reg = 0
 
+// regNameCacheSize bounds the precomputed register-name table; names
+// of larger register numbers fall back to strconv.
+const regNameCacheSize = 2048
+
+// regNames caches the textual form of small register numbers so the
+// print hot path does not call strconv.Itoa once per operand.
+var regNames = func() [regNameCacheSize]string {
+	var t [regNameCacheSize]string
+	t[0] = "r?"
+	for i := 1; i < len(t); i++ {
+		t[i] = "r" + strconv.Itoa(i)
+	}
+	return t
+}()
+
 // String renders the register in ILOC syntax: r1, r2, ...
 func (r Reg) String() string {
+	if r > NoReg && int(r) < len(regNames) {
+		return regNames[r]
+	}
 	if r == NoReg {
 		return "r?"
 	}
 	return "r" + strconv.Itoa(int(r))
 }
 
-// Instr is a single ILOC instruction.
+// appendReg appends the register's ILOC name to buf.
+func appendReg(buf []byte, r Reg) []byte {
+	if r > NoReg && int(r) < len(regNames) {
+		return append(buf, regNames[r]...)
+	}
+	if r == NoReg {
+		return append(buf, "r?"...)
+	}
+	buf = append(buf, 'r')
+	return strconv.AppendInt(buf, int64(r), 10)
+}
+
+// InstrID densely identifies an instruction within its owning
+// function's arena.  IDs are assigned in allocation order and never
+// reused for the life of the function, so side tables indexed by
+// InstrID stay valid across block-list surgery.
+type InstrID int32
+
+// NoInstr is the absent instruction ID.
+const NoInstr InstrID = -1
+
+// Sym is an interned symbol: an index into the owning function's
+// symbol table (see Func.InternSym and Func.SymName).  The zero Sym is
+// the empty name.
+type Sym int32
+
+// NoSym is the absent symbol.
+const NoSym Sym = 0
+
+// Instr is a single ILOC instruction, stored in its function's arena.
 //
-// Only the fields relevant to Op are meaningful: Imm for loadI, FImm for
-// loadF, Sym for call.  Branch targets are not stored on the
-// instruction; they are the owning block's Succs, in order.
+// Only the fields relevant to Op are meaningful: Imm for loadI, FImm
+// for loadF, Sym for call.  Branch targets are not stored on the
+// instruction; they are the owning block's Succs, in order.  Args is a
+// capacity-clipped view into the function's operand pool: elements may
+// be rewritten in place (and the view shrunk), but appending past its
+// length reallocates the list off-pool.
 type Instr struct {
 	Op   Op
 	Dst  Reg
 	Args []Reg
 	Imm  int64   // integer immediate (loadI)
 	FImm float64 // floating immediate (loadF)
-	Sym  string  // callee name (call)
+	Sym  Sym     // interned callee name (call)
+
+	// id holds the arena slot plus one, so the zero Instr — which was
+	// not allocated from any arena — reports NoInstr.
+	id InstrID
 }
 
-// NewInstr builds an instruction with the given opcode, destination and
-// arguments.
-func NewInstr(op Op, dst Reg, args ...Reg) *Instr {
-	return &Instr{Op: op, Dst: dst, Args: args}
+// ID returns the instruction's dense arena ID, or NoInstr if the
+// instruction was not allocated from a function arena.
+func (in *Instr) ID() InstrID {
+	if in.id == 0 {
+		return NoInstr
+	}
+	return in.id - 1
 }
 
-// LoadI builds "loadI imm => dst".
-func LoadI(dst Reg, imm int64) *Instr { return &Instr{Op: OpLoadI, Dst: dst, Imm: imm} }
-
-// LoadF builds "loadF fimm => dst".
-func LoadF(dst Reg, f float64) *Instr { return &Instr{Op: OpLoadF, Dst: dst, FImm: f} }
-
-// Copy builds "copy src => dst".
-func Copy(dst, src Reg) *Instr { return &Instr{Op: OpCopy, Dst: dst, Args: []Reg{src}} }
-
-// Clone returns a deep copy of the instruction.
-func (in *Instr) Clone() *Instr {
-	cp := *in
-	cp.Args = append([]Reg(nil), in.Args...)
-	return &cp
-}
-
-// Uses returns the registers read by the instruction (the Args slice;
-// callers must not mutate it through this accessor).
+// Uses returns the registers read by the instruction (the Args list;
+// callers must not grow it through this accessor).
 func (in *Instr) Uses() []Reg { return in.Args }
 
 // ReplaceUses rewrites every use of register old to new and reports how
@@ -76,62 +113,113 @@ func (in *Instr) ReplaceUses(old, new Reg) int {
 // IsConst reports whether the instruction materializes a constant.
 func (in *Instr) IsConst() bool { return in.Op == OpLoadI || in.Op == OpLoadF }
 
-// String renders the instruction in ILOC text syntax (without branch
-// targets, which belong to the block).
-func (in *Instr) String() string {
-	var b strings.Builder
-	b.WriteString(in.Op.String())
+// appendInstr appends the instruction in ILOC text syntax (without
+// branch targets, which belong to the block).  The owning function
+// resolves interned call symbols.
+func appendInstr(buf []byte, f *Func, in *Instr) []byte {
+	buf = append(buf, in.Op.String()...)
 	switch in.Op {
 	case OpLoadI:
-		fmt.Fprintf(&b, " %d", in.Imm)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, in.Imm, 10)
 	case OpLoadF:
-		fmt.Fprintf(&b, " %s", formatFloat(in.FImm))
+		buf = append(buf, ' ')
+		buf = appendFloat(buf, in.FImm)
 	case OpCall:
-		b.WriteByte(' ')
-		b.WriteString(in.Sym)
-		b.WriteByte('(')
+		buf = append(buf, ' ')
+		buf = append(buf, f.SymName(in.Sym)...)
+		buf = append(buf, '(')
 		for i, a := range in.Args {
 			if i > 0 {
-				b.WriteString(", ")
+				buf = append(buf, ", "...)
 			}
-			b.WriteString(a.String())
+			buf = appendReg(buf, a)
 		}
-		b.WriteByte(')')
+		buf = append(buf, ')')
 	case OpEnter:
-		b.WriteByte('(')
+		buf = append(buf, '(')
 		for i, a := range in.Args {
 			if i > 0 {
-				b.WriteString(", ")
+				buf = append(buf, ", "...)
 			}
-			b.WriteString(a.String())
+			buf = appendReg(buf, a)
 		}
-		b.WriteByte(')')
+		buf = append(buf, ')')
 	case OpLoadW, OpLoadD, OpLoadS:
-		fmt.Fprintf(&b, " [%s]", in.Args[0])
+		buf = append(buf, " ["...)
+		buf = appendReg(buf, in.Args[0])
+		buf = append(buf, ']')
 	case OpStoreW, OpStoreD, OpStoreS:
-		fmt.Fprintf(&b, " %s => [%s]", in.Args[0], in.Args[1])
-		return b.String()
+		buf = append(buf, ' ')
+		buf = appendReg(buf, in.Args[0])
+		buf = append(buf, " => ["...)
+		buf = appendReg(buf, in.Args[1])
+		buf = append(buf, ']')
+		return buf
 	default:
 		for i, a := range in.Args {
 			if i > 0 {
-				b.WriteByte(',')
+				buf = append(buf, ',')
 			}
-			b.WriteByte(' ')
-			b.WriteString(a.String())
+			buf = append(buf, ' ')
+			buf = appendReg(buf, a)
 		}
 	}
 	if in.Dst != NoReg {
-		fmt.Fprintf(&b, " => %s", in.Dst)
+		buf = append(buf, " => "...)
+		buf = appendReg(buf, in.Dst)
 	}
-	return b.String()
+	return buf
 }
 
-// formatFloat renders a float immediate so that the parser can read it
+// InstrString renders an instruction of f in ILOC text syntax.
+func (f *Func) InstrString(in *Instr) string {
+	return string(appendInstr(nil, f, in))
+}
+
+// appendFloat renders a float immediate so that the parser can read it
 // back exactly and always distinguishes it from an integer.
-func formatFloat(f float64) string {
-	s := strconv.FormatFloat(f, 'g', -1, 64)
-	if !strings.ContainsAny(s, ".eEnN") { // ensure a float marker (Inf/NaN keep letters)
-		s += ".0"
+func appendFloat(buf []byte, fl float64) []byte {
+	start := len(buf)
+	buf = strconv.AppendFloat(buf, fl, 'g', -1, 64)
+	marker := false
+	for _, c := range buf[start:] { // ensure a float marker (Inf/NaN keep letters)
+		if c == '.' || c == 'e' || c == 'E' || c == 'n' || c == 'N' {
+			marker = true
+			break
+		}
 	}
-	return s
+	if !marker {
+		buf = append(buf, ".0"...)
+	}
+	return buf
+}
+
+// formatFloat is appendFloat as a string.
+func formatFloat(fl float64) string { return string(appendFloat(nil, fl)) }
+
+// SetLoadI rewrites the instruction in place into loadI v => dst,
+// keeping its arena identity.
+func (in *Instr) SetLoadI(v int64) {
+	in.Op, in.Args, in.Imm, in.FImm, in.Sym = OpLoadI, nil, v, 0, NoSym
+}
+
+// SetLoadF rewrites the instruction in place into loadF v => dst.
+func (in *Instr) SetLoadF(v float64) {
+	in.Op, in.Args, in.Imm, in.FImm, in.Sym = OpLoadF, nil, 0, v, NoSym
+}
+
+// SetCopy rewrites the instruction in place into copy src => dst.  The
+// operand list reuses the instruction's existing pool view when it has
+// capacity.
+func (in *Instr) SetCopy(src Reg) {
+	in.Op, in.Imm, in.FImm, in.Sym = OpCopy, 0, 0, NoSym
+	in.Args = append(in.Args[:0], src)
+}
+
+// SetOp2 rewrites the instruction in place into a two-operand pure
+// operation op a, b => dst.
+func (in *Instr) SetOp2(op Op, a, b Reg) {
+	in.Op, in.Imm, in.FImm, in.Sym = op, 0, 0, NoSym
+	in.Args = append(in.Args[:0], a, b)
 }

@@ -145,9 +145,9 @@ func TestVerifyCatches(t *testing.T) {
 		f := ir.NewFunc("f", 1)
 		b := f.Entry()
 		b2 := f.NewBlock()
-		b.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
+		b.Append(b.Fn.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
 		ir.AddEdge(b, b2)
-		b2.Append(&ir.Instr{Op: ir.OpRet})
+		b2.Append(b2.Fn.NewInstr(ir.OpRet, ir.NoReg))
 		if err := ir.Verify(f); err == nil || !strings.Contains(err.Error(), "successors") {
 			t.Errorf("got %v", err)
 		}
@@ -156,11 +156,11 @@ func TestVerifyCatches(t *testing.T) {
 		f := ir.NewFunc("f", 1)
 		b := f.Entry()
 		b2 := f.NewBlock()
-		b.Append(&ir.Instr{Op: ir.OpJump})
+		b.Append(b.Fn.NewInstr(ir.OpJump, ir.NoReg))
 		ir.AddEdge(b, b2)
-		phi := ir.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[0])
+		phi := f.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[0])
 		b2.InsertAt(0, phi)
-		b2.Append(&ir.Instr{Op: ir.OpRet})
+		b2.Append(b2.Fn.NewInstr(ir.OpRet, ir.NoReg))
 		if err := ir.Verify(f); err == nil || !strings.Contains(err.Error(), "φ") {
 			t.Errorf("got %v", err)
 		}
@@ -168,8 +168,8 @@ func TestVerifyCatches(t *testing.T) {
 	t.Run("register out of range", func(t *testing.T) {
 		f := ir.NewFunc("f", 0)
 		b := f.Entry()
-		b.Append(ir.LoadI(ir.Reg(9999), 1))
-		b.Append(&ir.Instr{Op: ir.OpRet})
+		b.Append(b.Fn.NewLoadI(ir.Reg(9999), 1))
+		b.Append(b.Fn.NewInstr(ir.OpRet, ir.NoReg))
 		if err := ir.Verify(f); err == nil || !strings.Contains(err.Error(), "out of range") {
 			t.Errorf("got %v", err)
 		}
@@ -178,8 +178,8 @@ func TestVerifyCatches(t *testing.T) {
 		f := ir.NewFunc("f", 0)
 		b := f.Entry()
 		b2 := f.NewBlock()
-		b.Append(&ir.Instr{Op: ir.OpRet})
-		b2.Append(&ir.Instr{Op: ir.OpRet})
+		b.Append(b.Fn.NewInstr(ir.OpRet, ir.NoReg))
+		b2.Append(b2.Fn.NewInstr(ir.OpRet, ir.NoReg))
 		b2.Preds = append(b2.Preds, b) // bogus: b has no edge to b2
 		if err := ir.Verify(f); err == nil || !strings.Contains(err.Error(), "missing from") {
 			t.Errorf("got %v", err)
@@ -197,8 +197,8 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("clone differs from original")
 	}
 	// Mutating the clone must not affect the original.
-	g.Blocks[0].Instrs[1].Imm = 999
-	g.Blocks[0].Instrs[3].Args[0] = ir.Reg(2)
+	g.Blocks[0].Instr(1).Imm = 999
+	g.Blocks[0].Instr(3).Args[0] = ir.Reg(2)
 	if strings.Contains(f.String(), "999") {
 		t.Error("mutating clone leaked into original")
 	}
@@ -218,16 +218,16 @@ func TestRemoveEdgeTrimsPhis(t *testing.T) {
 	b1 := f.NewBlock()
 	b2 := f.NewBlock()
 	b3 := f.NewBlock()
-	b0.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
+	b0.Append(b0.Fn.NewInstr(ir.OpCBr, ir.NoReg, f.Params[0]))
 	ir.AddEdge(b0, b1)
 	ir.AddEdge(b0, b2)
-	b1.Append(&ir.Instr{Op: ir.OpJump})
+	b1.Append(b1.Fn.NewInstr(ir.OpJump, ir.NoReg))
 	ir.AddEdge(b1, b3)
-	b2.Append(&ir.Instr{Op: ir.OpJump})
+	b2.Append(b2.Fn.NewInstr(ir.OpJump, ir.NoReg))
 	ir.AddEdge(b2, b3)
-	phi := ir.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[1])
+	phi := f.NewInstr(ir.OpPhi, f.NewReg(), f.Params[0], f.Params[1])
 	b3.InsertAt(0, phi)
-	b3.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{phi.Dst}})
+	b3.Append(b3.Fn.NewInstr(ir.OpRet, ir.NoReg, phi.Dst))
 	if err := ir.Verify(f); err != nil {
 		t.Fatal(err)
 	}
@@ -243,10 +243,10 @@ func TestRemoveEdgeTrimsPhis(t *testing.T) {
 func TestBlockHelpers(t *testing.T) {
 	f := ir.NewFunc("f", 0)
 	b := f.Entry()
-	b.Append(ir.LoadI(f.NewReg(), 1))
-	b.Append(&ir.Instr{Op: ir.OpRet})
+	b.Append(b.Fn.NewLoadI(f.NewReg(), 1))
+	b.Append(b.Fn.NewInstr(ir.OpRet, ir.NoReg))
 	// Append must keep the terminator last.
-	b.Append(ir.LoadI(f.NewReg(), 2))
+	b.Append(b.Fn.NewLoadI(f.NewReg(), 2))
 	if b.Terminator() == nil || b.Terminator().Op != ir.OpRet {
 		t.Fatal("Append broke the terminator position")
 	}
@@ -260,16 +260,17 @@ func TestBlockHelpers(t *testing.T) {
 }
 
 func TestInstrHelpers(t *testing.T) {
-	in := ir.NewInstr(ir.OpAdd, 3, 1, 2)
+	f := ir.NewFunc("f", 0)
+	in := f.NewInstr(ir.OpAdd, 3, 1, 2)
 	if n := in.ReplaceUses(1, 7); n != 1 || in.Args[0] != 7 {
 		t.Errorf("ReplaceUses: n=%d args=%v", n, in.Args)
 	}
-	cp := in.Clone()
+	cp := f.CloneInstr(in, f)
 	cp.Args[0] = 9
 	if in.Args[0] == 9 {
-		t.Error("Clone shares Args")
+		t.Error("CloneInstr shares Args")
 	}
-	if !ir.LoadI(1, 5).IsConst() || ir.Copy(1, 2).IsConst() {
+	if !f.NewLoadI(1, 5).IsConst() || f.NewCopy(1, 2).IsConst() {
 		t.Error("IsConst misclassifies")
 	}
 }

@@ -56,12 +56,6 @@ type parser struct {
 	line int
 	cur  string
 	eof  bool
-	// arena backs the Args slices of parsed instructions in large
-	// chunks, so a function of N instructions costs a handful of
-	// register-slice allocations instead of N.  Slices handed out are
-	// capacity-clipped, so a later append to one cannot bleed into its
-	// neighbor.
-	arena []Reg
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -149,7 +143,7 @@ func (p *parser) function() (*Func, error) {
 		return nil, p.errf("missing function name")
 	}
 	f := &Func{Name: name, nextReg: 1}
-	params, err := p.regList(head[open+1 : closeP])
+	params, err := p.regList(f, head[open+1:closeP])
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +175,7 @@ func (p *parser) function() (*Func, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur.Instrs = append(cur.Instrs, in)
+		cur.Instrs = append(cur.Instrs, in.ID())
 		if len(targets) > 0 {
 			edges = append(edges, pendingEdge{block: cur, targets: targets, line: p.line})
 		}
@@ -232,7 +226,10 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 	if !ok {
 		return nil, nil, p.errf("unknown opcode %q", mnemonic)
 	}
-	in := &Instr{Op: op}
+	// Allocate the arena slot up front; on a parse error the whole
+	// function is discarded, so an unplaced slot is harmless.
+	in := f.allocInstr()
+	in.Op = op
 	operands = strings.TrimSpace(operands)
 
 	switch op {
@@ -254,8 +251,8 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 		if open < 0 || closeP < open {
 			return nil, nil, p.errf("malformed call %q", operands)
 		}
-		in.Sym = strings.TrimSpace(operands[:open])
-		args, err := p.regList(operands[open+1 : closeP])
+		in.Sym = f.InternSym(strings.TrimSpace(operands[:open]))
+		args, err := p.regList(f, operands[open+1:closeP])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -267,7 +264,7 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 		if open >= 0 && closeP > open {
 			src = operands[open+1 : closeP]
 		}
-		args, err := p.regList(src)
+		args, err := p.regList(f, src)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -283,7 +280,9 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		in.Args = []Reg{v, a}
+		va := f.allocArgs(2)
+		va[0], va[1] = v, a
+		in.Args = va
 		dstTok = ""
 	case OpLoadW, OpLoadD, OpLoadS:
 		addrTok := strings.TrimSuffix(strings.TrimPrefix(operands, "["), "]")
@@ -291,10 +290,12 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		in.Args = []Reg{a}
+		la := f.allocArgs(1)
+		la[0] = a
+		in.Args = la
 	default:
 		if operands != "" {
-			args, err := p.regList(operands)
+			args, err := p.regList(f, operands)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -324,17 +325,16 @@ func (p *parser) instruction(line string, f *Func) (*Instr, []string, error) {
 	return in, targets, nil
 }
 
-func (p *parser) regList(s string) ([]Reg, error) {
+// regList parses a comma-separated register list into f's operand
+// pool, so a function of N instructions costs a handful of
+// register-slice allocations instead of N.
+func (p *parser) regList(f *Func, s string) ([]Reg, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
 	n := 1 + strings.Count(s, ",")
-	if len(p.arena)+n > cap(p.arena) {
-		p.arena = make([]Reg, 0, max(1024, n))
-	}
-	start := len(p.arena)
-	regs := p.arena[start : start : start+n]
+	regs := f.allocArgs(n)[:0]
 	for {
 		part, rest, more := strings.Cut(s, ",")
 		r, err := p.reg(strings.TrimSpace(part))
@@ -347,7 +347,6 @@ func (p *parser) regList(s string) ([]Reg, error) {
 		}
 		s = rest
 	}
-	p.arena = p.arena[:start+len(regs)]
 	return regs, nil
 }
 

@@ -6,33 +6,42 @@ import (
 	"strings"
 )
 
-// Fprint prints the function in ILOC text syntax.
+// Fprint prints the function in ILOC text syntax.  Instruction lines
+// are rendered into one reused buffer, so printing costs a handful of
+// allocations per function rather than one per instruction.
 func (f *Func) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "func %s(", f.Name)
+	buf := make([]byte, 0, 128)
+	buf = append(buf, "func "...)
+	buf = append(buf, f.Name...)
+	buf = append(buf, '(')
 	for i, p := range f.Params {
 		if i > 0 {
-			io.WriteString(w, ", ")
+			buf = append(buf, ", "...)
 		}
-		io.WriteString(w, p.String())
+		buf = appendReg(buf, p)
 	}
-	io.WriteString(w, ") {\n")
+	buf = append(buf, ") {\n"...)
+	w.Write(buf)
 	for _, b := range f.Blocks {
-		fmt.Fprintf(w, "%s:\n", b.Name)
-		for _, in := range b.Instrs {
-			io.WriteString(w, "    ")
-			io.WriteString(w, in.String())
+		buf = append(buf[:0], b.Name...)
+		buf = append(buf, ":\n"...)
+		for i := range b.Instrs {
+			in := b.Instr(i)
+			buf = append(buf, "    "...)
+			buf = appendInstr(buf, f, in)
 			if in.Op.IsTerminator() && in.Op != OpRet {
-				io.WriteString(w, " ->")
-				for i, s := range b.Succs {
-					if i > 0 {
-						io.WriteString(w, ",")
+				buf = append(buf, " ->"...)
+				for j, s := range b.Succs {
+					if j > 0 {
+						buf = append(buf, ',')
 					}
-					io.WriteString(w, " ")
-					io.WriteString(w, s.Name)
+					buf = append(buf, ' ')
+					buf = append(buf, s.Name...)
 				}
 			}
-			io.WriteString(w, "\n")
+			buf = append(buf, '\n')
 		}
+		w.Write(buf)
 	}
 	io.WriteString(w, "}\n")
 }

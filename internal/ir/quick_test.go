@@ -24,20 +24,20 @@ func randFunc(rng *rand.Rand) *ir.Func {
 		switch rng.Intn(6) {
 		case 0:
 			r := f.NewReg()
-			b.Append(ir.LoadI(r, int64(rng.Intn(100)-50)))
+			b.Append(f.NewLoadI(r, int64(rng.Intn(100)-50)))
 			regs = append(regs, r)
 		case 1:
 			r := f.NewReg()
-			b.Append(ir.LoadF(r, float64(rng.Intn(100))/4))
+			b.Append(f.NewLoadF(r, float64(rng.Intn(100))/4))
 			regs = append(regs, r)
 		case 2:
 			r := f.NewReg()
-			b.Append(ir.Copy(r, regs[rng.Intn(len(regs))]))
+			b.Append(f.NewCopy(r, regs[rng.Intn(len(regs))]))
 			regs = append(regs, r)
 		default:
 			ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpXor, ir.OpMin, ir.OpCmpLT}
 			r := f.NewReg()
-			b.Append(ir.NewInstr(ops[rng.Intn(len(ops))], r,
+			b.Append(f.NewInstr(ops[rng.Intn(len(ops))], r,
 				regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))]))
 			regs = append(regs, r)
 		}
@@ -50,19 +50,19 @@ func randFunc(rng *rand.Rand) *ir.Func {
 		// Terminator: last block returns; others branch forward.
 		if bi == len(blocks)-1 {
 			if rng.Intn(2) == 0 {
-				b.Append(&ir.Instr{Op: ir.OpRet})
+				b.Append(f.NewInstr(ir.OpRet, ir.NoReg))
 			} else {
-				b.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{regs[rng.Intn(len(regs))]}})
+				b.Append(f.NewInstr(ir.OpRet, ir.NoReg, regs[rng.Intn(len(regs))]))
 			}
 			continue
 		}
 		rest := blocks[bi+1:]
 		if rng.Intn(3) == 0 && len(rest) >= 2 {
-			b.Append(ir.NewInstr(ir.OpCBr, ir.NoReg, regs[rng.Intn(len(regs))]))
+			b.Append(f.NewInstr(ir.OpCBr, ir.NoReg, regs[rng.Intn(len(regs))]))
 			ir.AddEdge(b, rest[rng.Intn(len(rest))])
 			ir.AddEdge(b, rest[rng.Intn(len(rest))])
 		} else {
-			b.Append(&ir.Instr{Op: ir.OpJump})
+			b.Append(f.NewInstr(ir.OpJump, ir.NoReg))
 			ir.AddEdge(b, rest[rng.Intn(len(rest))])
 		}
 	}

@@ -26,7 +26,9 @@ func (e *VerifyError) Error() string {
 //     register;
 //   - operand counts match each opcode's arity, destinations are present
 //     exactly when required, and register numbers are in range;
-//   - the entry block starts with enter and has no predecessors.
+//   - the entry block starts with enter and has no predecessors;
+//   - every block entry is a valid arena ID and no instruction appears
+//     in two places.
 func Verify(f *Func) error {
 	var probs []string
 	errf := func(format string, args ...any) {
@@ -47,6 +49,7 @@ func Verify(f *Func) error {
 	}
 
 	seen := map[string]bool{}
+	seenID := make([]bool, f.NumInstrIDs())
 	for bi, b := range f.Blocks {
 		if b.ID != bi {
 			errf("%s: stale block ID %d (want %d)", b.Name, b.ID, bi)
@@ -65,7 +68,16 @@ func Verify(f *Func) error {
 		}
 		phisDone := false
 		var phiDsts map[Reg]bool
-		for i, in := range b.Instrs {
+		for i, id := range b.Instrs {
+			if id < 0 || int(id) >= f.NumInstrIDs() {
+				errf("%s: instruction %d has out-of-range arena ID %d", b.Name, i, id)
+				continue
+			}
+			if seenID[id] {
+				errf("%s: arena ID %d appears in more than one block position", b.Name, id)
+			}
+			seenID[id] = true
+			in := f.Instr(id)
 			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
 				errf("%s: terminator %s not at block end", b.Name, in.Op)
 			}

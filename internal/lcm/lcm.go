@@ -223,7 +223,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 			continue
 		}
 		pos := 0
-		for pos < len(b.Instrs) && (b.Instrs[pos].Op == ir.OpPhi || b.Instrs[pos].Op == ir.OpEnter) {
+		for pos < len(b.Instrs) && (b.Instr(pos).Op == ir.OpPhi || b.Instr(pos).Op == ir.OpEnter) {
 			pos++
 		}
 		set.ForEach(func(e int) {
@@ -247,22 +247,23 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 		if hValid.Empty() {
 			continue
 		}
-		kept := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
+		kept := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if insertedInstr[in] {
-				kept = append(kept, in)
+				kept = append(kept, inID)
 				continue
 			}
 			dstForKill := in.Dst
 			if k, ok := dataflow.KeyOf(in); ok {
 				if e, found := u.Index[k]; found && hValid.Has(e) {
-					kept = append(kept, ir.Copy(in.Dst, temp[e]))
+					kept = append(kept, f.NewCopy(in.Dst, temp[e]).ID())
 					st.Replaced++
 					u.KillScan(hValid, dstForKill, false)
 					continue
 				}
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 			u.KillScan(hValid, dstForKill, in.Op.WritesMemory())
 		}
 		b.Instrs = kept

@@ -124,7 +124,8 @@ b2:
 		if li.Depth(b) == 0 {
 			continue
 		}
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpAdd {
 				adds++
 			}
@@ -202,7 +203,8 @@ b4:
 			t.Errorf("case %d: skip path lengthened %d -> %d\n%s", ci, before, after, f)
 		}
 		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				if in.Op == ir.OpMul && len(in.Args) == 2 && in.Args[0] == 2 && in.Args[1] == 2 &&
 					b.Name != c.computes {
 					t.Errorf("case %d: mul r2, r2 speculated into %s\n%s", ci, b.Name, f)
@@ -239,7 +241,8 @@ b2:
 	}
 	for _, b := range f.Blocks {
 		if b.Name != "b1" {
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				if in.Op == ir.OpLoadW {
 					t.Fatalf("load hoisted out of the store loop (stats %+v)\n%s", st, f)
 				}

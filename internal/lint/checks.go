@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // checkMapOrder flags range loops over (locally inferable) map values
@@ -161,6 +162,71 @@ func isOutputCall(sel *ast.SelectorExpr) bool {
 		return true
 	}
 	return false
+}
+
+// checkIRConstruct flags direct construction of ir.Instr values —
+// composite literals (`ir.Instr{...}`, `&ir.Instr{...}`, `[]ir.Instr`
+// element literals) and `new(ir.Instr)` — outside internal/ir.  Since
+// the arena refactor, instructions live in their function's chunked
+// arena and carry a private dense InstrID; a bare literal has no
+// identity (ID() reports NoInstr) and the block mutators reject it at
+// the first Append/InsertAt.  Construction must go through a Func's
+// allocators: NewInstr, NewLoadI/NewLoadF, NewCopy, NewCall, NewPhi,
+// or CloneInstr.
+//
+// The ir package is resolved through the file's actual import spec, so
+// aliased imports are still caught and unrelated packages that happen
+// to export an Instr type are not.
+func (c *checker) checkIRConstruct(f *ast.File) {
+	irName := importLocalName(f, "repro/internal/ir")
+	if irName == "" {
+		return
+	}
+	isIRInstr := func(e ast.Expr) bool {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Instr" {
+			return false
+		}
+		x, ok := sel.X.(*ast.Ident)
+		return ok && x.Name == irName
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if isIRInstr(n.Type) {
+				c.report(n.Pos(), "irconstruct",
+					"%s.Instr composite literal outside internal/ir: arena instructions must come from a Func allocator (NewInstr, NewLoadI, NewCopy, NewCall, NewPhi, CloneInstr) so they carry a valid InstrID", irName)
+			}
+		case *ast.CallExpr:
+			if fn, ok := n.Fun.(*ast.Ident); ok && fn.Name == "new" && len(n.Args) == 1 && isIRInstr(n.Args[0]) {
+				c.report(n.Pos(), "irconstruct",
+					"new(%s.Instr) outside internal/ir: arena instructions must come from a Func allocator so they carry a valid InstrID", irName)
+			}
+		}
+		return true
+	})
+}
+
+// importLocalName returns the name the file uses for the given import
+// path ("" when the file does not import it): the alias when one is
+// given, otherwise the path's last element.
+func importLocalName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "" // not referenced by selector; dot imports don't occur here
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
 }
 
 // borrowKinds maps the arena borrow methods to their release

@@ -1,7 +1,7 @@
 // Package lint is the repo-invariant linter behind cmd/eprelint: a
 // small, stdlib-only (go/parser + go/ast, no go/packages) static
 // analyzer for the project conventions the Go compiler and go vet
-// cannot see.  It enforces three invariants, each scoped to the
+// cannot see.  It enforces four invariants, each scoped to the
 // packages where it is a correctness property rather than a style
 // preference:
 //
@@ -11,6 +11,13 @@
 //     package), because those are what bump the function's CFG
 //     generation — a pass that edits edges behind the analysis cache's
 //     back poisons every consumer of dominators or liveness after it.
+//
+//   - irconstruct: only internal/ir may construct ir.Instr values
+//     directly (`&ir.Instr{...}`, `new(ir.Instr)`).  Instructions live
+//     in their function's arena and carry a private dense InstrID;
+//     a bare literal has no identity and the block mutators panic on
+//     it.  Everyone else allocates through a Func (NewInstr, NewLoadI,
+//     NewCopy, NewCall, NewPhi, CloneInstr).
 //
 //   - timenow / maporder: pass bodies must be deterministic.  Reading
 //     the wall clock (time.Now, time.Since) or letting map iteration
@@ -49,7 +56,7 @@ import (
 // Diagnostic is one linter finding.
 type Diagnostic struct {
 	Pos     token.Position
-	Check   string // "cfgwrite", "timenow", "maporder", "scratch"
+	Check   string // "cfgwrite", "irconstruct", "timenow", "maporder", "scratch"
 	Message string
 }
 
@@ -97,6 +104,9 @@ func File(fset *token.FileSet, f *ast.File, pkgRel string) []Diagnostic {
 	c := &checker{fset: fset, pkgRel: pkgRel, ignores: directives(fset, f)}
 	if !cfgOwners[pkgRel] {
 		c.checkCFGWrites(f)
+	}
+	if pkgRel != "internal/ir" {
+		c.checkIRConstruct(f)
 	}
 	if isPassPackage(pkgRel) {
 		c.checkTimeNow(f)

@@ -286,6 +286,69 @@ func drain(insertAt map[int][]*Instr) []*Instr {
 	wantChecks(t, lintSrc(t, "internal/lcm", src2))
 }
 
+// TestIRConstructFlagged pins the arena invariant the refactor
+// introduced: a bare ir.Instr literal has no InstrID, so passes must
+// allocate through a Func.  Both literal spellings and new() are
+// caught.
+func TestIRConstructFlagged(t *testing.T) {
+	src := `package peephole
+import "repro/internal/ir"
+func f() *ir.Instr {
+	in := &ir.Instr{Op: ir.OpAdd}
+	_ = ir.Instr{}
+	return in
+}`
+	wantChecks(t, lintSrc(t, "internal/peephole", src), "irconstruct", "irconstruct")
+
+	src2 := `package peephole
+import "repro/internal/ir"
+func f() *ir.Instr { return new(ir.Instr) }`
+	wantChecks(t, lintSrc(t, "internal/peephole", src2), "irconstruct")
+}
+
+func TestIRConstructAliasedImportFlagged(t *testing.T) {
+	src := `package gvn
+import myir "repro/internal/ir"
+func f() *myir.Instr { return &myir.Instr{} }`
+	wantChecks(t, lintSrc(t, "internal/gvn", src), "irconstruct")
+}
+
+func TestIRConstructAllowedInIR(t *testing.T) {
+	// The ir package itself allocates arena chunks and the zero-value
+	// scaffolding; the unqualified spelling there is the implementation.
+	src := `package ir
+func f() *Instr { return &Instr{} }`
+	wantChecks(t, lintSrc(t, "internal/ir", src))
+}
+
+func TestIRConstructUnrelatedInstrAllowed(t *testing.T) {
+	// A different package exporting an Instr type is not ours; the
+	// check resolves the selector through the actual import path.
+	src := `package interp
+import "some/other/asm"
+func f() *asm.Instr { return &asm.Instr{} }`
+	wantChecks(t, lintSrc(t, "internal/interp", src))
+}
+
+func TestIRConstructAllocatorCallsAllowed(t *testing.T) {
+	src := `package pre
+import "repro/internal/ir"
+func f(fn *ir.Func) ir.InstrID {
+	in := fn.NewInstr(ir.OpAdd, 1, 2, 3)
+	return in.ID()
+}`
+	wantChecks(t, lintSrc(t, "internal/pre", src))
+}
+
+func TestIRConstructSuppressedWithReason(t *testing.T) {
+	src := `package difftest
+import "repro/internal/ir"
+func f() {
+	_ = ir.Instr{} //lint:ignore irconstruct detached scratch value, never enters a block
+}`
+	wantChecks(t, lintSrc(t, "internal/difftest", src))
+}
+
 // TestRepoClean is the gate that wires the linter into the test
 // suite: the repository itself must lint clean.  This is the same
 // walk cmd/eprelint and `make lint` perform.

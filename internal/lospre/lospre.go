@@ -175,7 +175,8 @@ func runWith(f *ir.Func, ac *analysis.Cache, forcedBudgetTrips int) Stats {
 	defs := bw.PerBlock(nb, nr)
 	for _, b := range f.Blocks {
 		set := defs[b.ID]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpEnter {
 				for _, p := range in.Args {
 					set.Set(int(p))
@@ -322,7 +323,7 @@ func runWith(f *ir.Func, ac *analysis.Cache, forcedBudgetTrips int) Stats {
 	for _, b := range f.Blocks {
 		for _, e := range topIns[b.ID] {
 			pos := 0
-			for pos < len(b.Instrs) && (b.Instrs[pos].Op == ir.OpPhi || b.Instrs[pos].Op == ir.OpEnter) {
+			for pos < len(b.Instrs) && (b.Instr(pos).Op == ir.OpPhi || b.Instr(pos).Op == ir.OpEnter) {
 				pos++
 			}
 			in := u.MakeInstr(e, temp[e])
@@ -345,25 +346,26 @@ func runWith(f *ir.Func, ac *analysis.Cache, forcedBudgetTrips int) Stats {
 	hValid := bw.Get(n)
 	for _, b := range f.Blocks {
 		hValid.CopyFrom(navail[b.ID])
-		kept := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
+		kept := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if insertedInstr[in] {
 				if k, ok := dataflow.KeyOf(in); ok {
 					if e, found := u.Index[k]; found {
 						hValid.Set(e)
 					}
 				}
-				kept = append(kept, in)
+				kept = append(kept, inID)
 				continue
 			}
 			dstForKill := in.Dst
 			if k, ok := dataflow.KeyOf(in); ok {
 				if e, found := u.Index[k]; found && transformed.Has(e) {
 					if hValid.Has(e) {
-						kept = append(kept, ir.Copy(in.Dst, temp[e]))
+						kept = append(kept, f.NewCopy(in.Dst, temp[e]).ID())
 						st.Replaced++
 					} else {
-						kept = append(kept, u.MakeInstr(e, temp[e]), ir.Copy(in.Dst, temp[e]))
+						kept = append(kept, u.MakeInstr(e, temp[e]).ID(), f.NewCopy(in.Dst, temp[e]).ID())
 						hValid.Set(e)
 						st.Rewritten++
 					}
@@ -371,7 +373,7 @@ func runWith(f *ir.Func, ac *analysis.Cache, forcedBudgetTrips int) Stats {
 					continue
 				}
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 			u.KillScan(hValid, dstForKill, in.Op.WritesMemory())
 		}
 		b.Instrs = kept

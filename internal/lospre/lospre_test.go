@@ -44,7 +44,8 @@ func opOutside(f *ir.Func, op ir.Op, inside ...string) int {
 		if allowed[b.Name] {
 			continue
 		}
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == op {
 				n++
 			}
@@ -148,7 +149,8 @@ b4:
 	li := cfg.FindLoops(f, dom)
 	for _, b := range f.Blocks {
 		if li.Depth(b) > 0 {
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				if in.Op == ir.OpMul {
 					t.Errorf("mul still inside the loop in %s\n%s", b.Name, f)
 				}

@@ -128,7 +128,8 @@ func runBlock(f *ir.Func, b *ir.Block, st *Stats) {
 		home:    map[vn]ir.Reg{},
 		vnConst: map[vn]constVal{},
 	}
-	for idx, in := range b.Instrs {
+	for idx, inID := range b.Instrs {
+		in := b.Fn.Instr(inID)
 		switch {
 		case in.Op == ir.OpLoadI:
 			s.define(in.Dst, s.vnForConst(constVal{i: in.Imm}))
@@ -177,8 +178,8 @@ func runBlock(f *ir.Func, b *ir.Block, st *Stats) {
 
 		// Constant folding through value numbers.
 		if in.Op.Pure() && len(in.Args) > 0 {
-			if folded, ok := s.tryFold(in); ok {
-				b.Instrs[idx] = folded
+			if folded, ok := s.tryFold(f, in); ok {
+				b.Instrs[idx] = folded.ID()
 				var c constVal
 				if folded.Op == ir.OpLoadF {
 					c = constVal{isFloat: true, f: folded.FImm}
@@ -193,7 +194,7 @@ func runBlock(f *ir.Func, b *ir.Block, st *Stats) {
 
 		if v, ok := s.exprVN[key]; ok {
 			if home, live := s.homeOf(v); live {
-				b.Instrs[idx] = ir.Copy(in.Dst, home)
+				b.Instrs[idx] = f.NewCopy(in.Dst, home).ID()
 				s.define(in.Dst, v)
 				st.Replaced++
 				continue
@@ -209,7 +210,7 @@ func runBlock(f *ir.Func, b *ir.Block, st *Stats) {
 }
 
 // tryFold evaluates in when all operand value numbers are constants.
-func (s *state) tryFold(in *ir.Instr) (*ir.Instr, bool) {
+func (s *state) tryFold(f *ir.Func, in *ir.Instr) (*ir.Instr, bool) {
 	ints := make([]int64, len(in.Args))
 	floats := make([]float64, len(in.Args))
 	isF := make([]bool, len(in.Args))
@@ -225,7 +226,7 @@ func (s *state) tryFold(in *ir.Instr) (*ir.Instr, bool) {
 		return nil, false
 	}
 	if isFloat {
-		return ir.LoadF(in.Dst, fv), true
+		return f.NewLoadF(in.Dst, fv), true
 	}
-	return ir.LoadI(in.Dst, iv), true
+	return f.NewLoadI(in.Dst, iv), true
 }

@@ -135,13 +135,13 @@ func (cc *compiler) compileFunc(decl *FuncDecl) error {
 	if ctx.cur.Terminator() == nil {
 		switch decl.Result {
 		case TypeVoid:
-			ctx.cur.Append(&ir.Instr{Op: ir.OpRet})
+			ctx.cur.Append(ctx.fn.NewInstr(ir.OpRet, ir.NoReg))
 		case TypeInt:
 			z := ctx.emitLoadI(0)
-			ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{z}})
+			ctx.cur.Append(ctx.fn.NewInstr(ir.OpRet, ir.NoReg, z))
 		default:
-			z := ctx.emit(ir.LoadF(ctx.fn.NewReg(), 0))
-			ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{z}})
+			z := ctx.emit(ctx.fn.NewLoadF(ctx.fn.NewReg(), 0))
+			ctx.cur.Append(ctx.fn.NewInstr(ir.OpRet, ir.NoReg, z))
 		}
 	}
 	cc.prog.Funcs = append(cc.prog.Funcs, f)
@@ -156,11 +156,11 @@ func (ctx *fnCtx) emit(in *ir.Instr) ir.Reg {
 }
 
 func (ctx *fnCtx) emitLoadI(v int64) ir.Reg {
-	return ctx.emit(ir.LoadI(ctx.fn.NewReg(), v))
+	return ctx.emit(ctx.fn.NewLoadI(ctx.fn.NewReg(), v))
 }
 
 func (ctx *fnCtx) emitOp(op ir.Op, args ...ir.Reg) ir.Reg {
-	return ctx.emit(ir.NewInstr(op, ctx.fn.NewReg(), args...))
+	return ctx.emit(ctx.fn.NewInstr(op, ctx.fn.NewReg(), args...))
 }
 
 // startBlock begins a new block, jumping to it from the current one if
@@ -175,12 +175,12 @@ func (ctx *fnCtx) startBlock() *ir.Block {
 }
 
 func (ctx *fnCtx) jumpTo(target *ir.Block) {
-	ctx.cur.Append(&ir.Instr{Op: ir.OpJump})
+	ctx.cur.Append(ctx.fn.NewInstr(ir.OpJump, ir.NoReg))
 	ir.AddEdge(ctx.cur, target)
 }
 
 func (ctx *fnCtx) branchTo(cond ir.Reg, then, els *ir.Block) {
-	ctx.cur.Append(&ir.Instr{Op: ir.OpCBr, Args: []ir.Reg{cond}})
+	ctx.cur.Append(ctx.fn.NewInstr(ir.OpCBr, ir.NoReg, cond))
 	ir.AddEdge(ctx.cur, then)
 	ir.AddEdge(ctx.cur, els)
 }
@@ -240,15 +240,15 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 			if err != nil {
 				return err
 			}
-			ctx.emit(ir.Copy(reg, v))
+			ctx.emit(ctx.fn.NewCopy(reg, v))
 		} else {
 			// Zero-initialize so uses before assignment are defined.
 			if st.Ty.Base.IsFloat() {
-				z := ctx.emit(ir.LoadF(ctx.fn.NewReg(), 0))
-				ctx.emit(ir.Copy(reg, z))
+				z := ctx.emit(ctx.fn.NewLoadF(ctx.fn.NewReg(), 0))
+				ctx.emit(ctx.fn.NewCopy(reg, z))
 			} else {
 				z := ctx.emitLoadI(0)
-				ctx.emit(ir.Copy(reg, z))
+				ctx.emit(ctx.fn.NewCopy(reg, z))
 			}
 		}
 		return nil
@@ -270,7 +270,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 			if err != nil {
 				return err
 			}
-			ctx.emit(ir.Copy(sym.reg, v))
+			ctx.emit(ctx.fn.NewCopy(sym.reg, v))
 			return nil
 		}
 		if !sym.isArray {
@@ -296,7 +296,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 		case TypeReal4:
 			op = ir.OpStoreS
 		}
-		ctx.cur.Append(&ir.Instr{Op: op, Args: []ir.Reg{v, addr}})
+		ctx.cur.Append(ctx.fn.NewInstr(op, ir.NoReg, v, addr))
 		return nil
 
 	case *IfStmt:
@@ -362,8 +362,8 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 		// FORTRAN DO: bounds evaluated once; bottom-tested loop with a
 		// guarding top test (the Figure 3 shape).
 		hiVar := ctx.fn.NewReg()
-		ctx.emit(ir.Copy(hiVar, hi))
-		ctx.emit(ir.Copy(sym.reg, lo))
+		ctx.emit(ctx.fn.NewCopy(hiVar, hi))
+		ctx.emit(ctx.fn.NewCopy(sym.reg, lo))
 		guard := ctx.emitOp(ir.OpCmpGT, sym.reg, hiVar)
 		bodyB := ctx.fn.NewBlock()
 		exitB := ctx.fn.NewBlock()
@@ -375,7 +375,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 		if ctx.cur.Terminator() == nil {
 			stepR := ctx.emitLoadI(st.Step)
 			next := ctx.emitOp(ir.OpAdd, sym.reg, stepR)
-			ctx.emit(ir.Copy(sym.reg, next))
+			ctx.emit(ctx.fn.NewCopy(sym.reg, next))
 			again := ctx.emitOp(ir.OpCmpLE, sym.reg, hiVar)
 			ctx.branchTo(again, bodyB, exitB)
 		}
@@ -409,7 +409,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 			if st.Val != nil {
 				return errf(st.Pos, "%s returns no value", ctx.decl.Name)
 			}
-			ctx.cur.Append(&ir.Instr{Op: ir.OpRet})
+			ctx.cur.Append(ctx.fn.NewInstr(ir.OpRet, ir.NoReg))
 			return nil
 		}
 		if st.Val == nil {
@@ -423,7 +423,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 		if err != nil {
 			return err
 		}
-		ctx.cur.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Reg{v}})
+		ctx.cur.Append(ctx.fn.NewInstr(ir.OpRet, ir.NoReg, v))
 		return nil
 
 	case *ExprStmt:
@@ -435,7 +435,7 @@ func (cc *compiler) stmt(ctx *fnCtx, s Stmt) error {
 		if err != nil {
 			return err
 		}
-		ctx.cur.Append(&ir.Instr{Op: ir.OpCall, Sym: "print", Args: []ir.Reg{v}})
+		ctx.cur.Append(ctx.fn.NewCall("print", ir.NoReg, v))
 		return nil
 	}
 	return errf(s.stmtPos(), "unhandled statement")
@@ -512,7 +512,7 @@ func (cc *compiler) expr(ctx *fnCtx, e Expr) (ir.Reg, BaseType, error) {
 	case *IntLit:
 		return ctx.emitLoadI(ex.V), TypeInt, nil
 	case *RealLit:
-		return ctx.emit(ir.LoadF(ctx.fn.NewReg(), ex.V)), TypeReal, nil
+		return ctx.emit(ctx.fn.NewLoadF(ctx.fn.NewReg(), ex.V)), TypeReal, nil
 
 	case *VarRef:
 		sym, ok := ctx.syms[ex.Name]
@@ -733,7 +733,7 @@ func (cc *compiler) call(ctx *fnCtx, ex *CallExpr, stmtCtx bool) (ir.Reg, BaseTy
 		}
 		args[i] = v
 	}
-	in := &ir.Instr{Op: ir.OpCall, Sym: ex.Name, Args: args}
+	in := ctx.fn.NewCall(ex.Name, ir.NoReg, args...)
 	if sig.result != TypeVoid {
 		in.Dst = ctx.fn.NewReg()
 	} else if !stmtCtx {

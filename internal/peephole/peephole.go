@@ -77,12 +77,13 @@ func runBlock(f *ir.Func, b *ir.Block, opt Options, st *Stats) {
 		}
 	}
 
-	out := make([]*ir.Instr, 0, len(b.Instrs))
-	for _, in := range b.Instrs {
+	out := make([]ir.InstrID, 0, len(b.Instrs))
+	for _, inID := range b.Instrs {
+		in := b.Fn.Instr(inID)
 		if !tryFold(in, consts, st) && !tryIdentity(in, consts, negs, st) && !tryNegRebuild(in, negs, st) && opt.MulToShift {
 			tryShift(f, &out, in, consts, st)
 		}
-		out = append(out, in)
+		out = append(out, inID)
 
 		if in.Dst != ir.NoReg {
 			invalidate(in.Dst)
@@ -115,9 +116,14 @@ func tryFold(in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
 		// would re-materialize hoisted constants inside loops.
 		return false
 	}
-	ints := make([]int64, len(in.Args))
-	floats := make([]float64, len(in.Args))
-	isF := make([]bool, len(in.Args))
+	n := len(in.Args)
+	if n > 2 {
+		return false // pure ops take at most two operands
+	}
+	// Fixed-size scratch keeps the per-instruction probe allocation-free.
+	var ints [2]int64
+	var floats [2]float64
+	var isF [2]bool
 	for i, a := range in.Args {
 		c, ok := consts[a]
 		if !ok {
@@ -125,14 +131,14 @@ func tryFold(in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
 		}
 		ints[i], floats[i], isF[i] = c.i, c.f, c.isFloat
 	}
-	iv, fv, isFloat, ok := sccp.Fold(in.Op, ints, floats, isF)
+	iv, fv, isFloat, ok := sccp.Fold(in.Op, ints[:n], floats[:n], isF[:n])
 	if !ok {
 		return false
 	}
 	if isFloat {
-		*in = *ir.LoadF(in.Dst, fv)
+		in.SetLoadF(fv)
 	} else {
-		*in = *ir.LoadI(in.Dst, iv)
+		in.SetLoadI(iv)
 	}
 	st.Folded++
 	return true
@@ -151,12 +157,12 @@ func tryIdentity(in *ir.Instr, consts map[ir.Reg]constVal, negs map[ir.Reg]ir.Re
 		return ok && c.isFloat && c.f == want
 	}
 	replaceCopy := func(src ir.Reg) bool {
-		*in = *ir.Copy(in.Dst, src)
+		in.SetCopy(src)
 		st.Identities++
 		return true
 	}
 	replaceConstI := func(v int64) bool {
-		*in = *ir.LoadI(in.Dst, v)
+		in.SetLoadI(v)
 		st.Identities++
 		return true
 	}
@@ -226,23 +232,23 @@ func tryNegRebuild(in *ir.Instr, negs map[ir.Reg]ir.Reg, st *Stats) bool {
 	switch in.Op {
 	case ir.OpAdd:
 		if y, ok := negs[in.Args[1]]; ok {
-			*in = *ir.NewInstr(ir.OpSub, in.Dst, in.Args[0], y)
+			in.SetOp2(ir.OpSub, in.Args[0], y)
 			st.SubRebuilt++
 			return true
 		}
 		if y, ok := negs[in.Args[0]]; ok {
-			*in = *ir.NewInstr(ir.OpSub, in.Dst, in.Args[1], y)
+			in.SetOp2(ir.OpSub, in.Args[1], y)
 			st.SubRebuilt++
 			return true
 		}
 	case ir.OpFAdd:
 		if y, ok := negs[in.Args[1]]; ok {
-			*in = *ir.NewInstr(ir.OpFSub, in.Dst, in.Args[0], y)
+			in.SetOp2(ir.OpFSub, in.Args[0], y)
 			st.SubRebuilt++
 			return true
 		}
 		if y, ok := negs[in.Args[0]]; ok {
-			*in = *ir.NewInstr(ir.OpFSub, in.Dst, in.Args[1], y)
+			in.SetOp2(ir.OpFSub, in.Args[1], y)
 			st.SubRebuilt++
 			return true
 		}
@@ -252,7 +258,7 @@ func tryNegRebuild(in *ir.Instr, negs map[ir.Reg]ir.Reg, st *Stats) bool {
 
 // tryShift rewrites mul by a power-of-two constant into shl, emitting
 // a loadI for the shift amount ahead of the rewritten instruction.
-func tryShift(f *ir.Func, out *[]*ir.Instr, in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
+func tryShift(f *ir.Func, out *[]ir.InstrID, in *ir.Instr, consts map[ir.Reg]constVal, st *Stats) bool {
 	if in.Op != ir.OpMul {
 		return false
 	}
@@ -264,9 +270,9 @@ func tryShift(f *ir.Func, out *[]*ir.Instr, in *ir.Instr, consts map[ir.Reg]cons
 		shift := int64(bits.TrailingZeros64(uint64(c.i)))
 		other := in.Args[1-i]
 		amt := f.NewReg()
-		*out = append(*out, ir.LoadI(amt, shift))
+		*out = append(*out, f.NewLoadI(amt, shift).ID())
 		consts[amt] = constVal{i: shift}
-		*in = *ir.NewInstr(ir.OpShl, in.Dst, other, amt)
+		in.SetOp2(ir.OpShl, other, amt)
 		st.Shifts++
 		return true
 	}

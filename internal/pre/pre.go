@@ -332,7 +332,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 			insertedInstr[in] = true
 			if atTop {
 				pos := 0
-				for pos < len(at.Instrs) && (at.Instrs[pos].Op == ir.OpPhi || at.Instrs[pos].Op == ir.OpEnter) {
+				for pos < len(at.Instrs) && (at.Instr(pos).Op == ir.OpPhi || at.Instr(pos).Op == ir.OpEnter) {
 					pos++
 				}
 				at.InsertAt(pos, in)
@@ -348,8 +348,9 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 	for _, b := range f.Blocks {
 		hValid.CopyFrom(del[b.ID])
 		hValid.Intersect(interesting)
-		kept := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
+		kept := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if insertedInstr[in] {
 				// Our own insertion: it validates the temp and is
 				// never a deletion candidate.
@@ -358,7 +359,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 						hValid.Set(e)
 					}
 				}
-				kept = append(kept, in)
+				kept = append(kept, inID)
 				continue
 			}
 			dstForKill := in.Dst
@@ -375,15 +376,14 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 						hValid.Set(e)
 					case hValid.Has(e):
 						// Mode B redundant: copy from the temp.
-						rep := ir.Copy(in.Dst, temp[e])
-						kept = append(kept, rep)
+						kept = append(kept, f.NewCopy(in.Dst, temp[e]).ID())
 						st.Rewritten++
 						killScan(u, hValid, n, dstForKill, false)
 						continue
 					default:
 						// Mode B first (or post-kill) computation:
 						// compute into the temp, then copy out.
-						kept = append(kept, u.MakeInstr(e, temp[e]), ir.Copy(in.Dst, temp[e]))
+						kept = append(kept, u.MakeInstr(e, temp[e]).ID(), f.NewCopy(in.Dst, temp[e]).ID())
 						hValid.Set(e)
 						st.Rewritten++
 						killScan(u, hValid, n, dstForKill, false)
@@ -391,7 +391,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 					}
 				}
 			}
-			kept = append(kept, in)
+			kept = append(kept, inID)
 			killScan(u, hValid, n, dstForKill, in.Op.WritesMemory())
 		}
 		b.Instrs = kept
@@ -470,7 +470,8 @@ func canonicalDsts(f *ir.Func, u *dataflow.Universe, ac *analysis.Cache) []ir.Re
 	gen := 0
 	for _, b := range f.Blocks {
 		gen++
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op != ir.OpEnter {
 				for _, a := range in.Args {
 					if definedHere[a] != gen {
@@ -513,13 +514,13 @@ func (bw *borrower) get(n int) *dataflow.BitSet {
 	return s
 }
 
-// perBlock borrows a block-indexed family of empty capacity-n vectors.
+// perBlock returns a block-indexed family of empty capacity-n vectors.
+// Families are bulk-allocated (dataflow.NewBitSetFamily) rather than
+// pooled: one PRE round holds several families at once — more sets
+// than the pool retains across GC cycles — so pooling them mostly
+// missed.  Bulk families die with the run instead of being released.
 func (bw *borrower) perBlock(nb, n int) []*dataflow.BitSet {
-	s := make([]*dataflow.BitSet, nb)
-	for i := range s {
-		s[i] = bw.get(n)
-	}
-	return s
+	return dataflow.NewBitSetFamily(nb, n)
 }
 
 // perEdge borrows an edge-indexed family of empty capacity-n vectors.

@@ -167,7 +167,8 @@ func loopOpCount(f *ir.Func, op ir.Op) int {
 		if li.Depth(b) == 0 {
 			continue
 		}
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == op {
 				n++
 			}
@@ -349,8 +350,8 @@ b0:
 		t.Fatalf("semantics changed: %d vs %d", got, want)
 	}
 	adds := 0
-	for _, in := range f.Entry().Instrs {
-		if in.Op == ir.OpAdd {
+	for _, id := range f.Entry().Instrs {
+		if f.Instr(id).Op == ir.OpAdd {
 			adds++
 		}
 	}

@@ -238,15 +238,15 @@ func (g *gen) genMain() *ir.Func {
 		}
 	}
 
-	emit := func(in *ir.Instr) { entry.Instrs = append(entry.Instrs, in) }
+	emit := func(in *ir.Instr) { entry.Instrs = append(entry.Instrs, in.ID()) }
 	newI := func(imm int64) ir.Reg {
 		r := f.NewReg()
-		emit(ir.LoadI(r, imm))
+		emit(f.NewLoadI(r, imm))
 		return r
 	}
 	newF := func(imm float64) ir.Reg {
 		r := f.NewReg()
-		emit(ir.LoadF(r, imm))
+		emit(f.NewLoadF(r, imm))
 		return r
 	}
 
@@ -274,14 +274,14 @@ func (g *gen) genMain() *ir.Func {
 	// starting values depend on the parameters.
 	for i := 0; i < 3; i++ {
 		r := f.NewReg()
-		emit(ir.NewInstr(ir.OpAdd, r, g.pickInt(), g.pickInt()))
+		emit(f.NewInstr(ir.OpAdd, r, g.pickInt(), g.pickInt()))
 		g.mutI = append(g.mutI, r)
 		g.ints = append(g.ints, r)
 	}
 	if cfg.Floats {
 		for i := 0; i < 2; i++ {
 			r := f.NewReg()
-			emit(ir.NewInstr(ir.OpFAdd, r, g.pickFloat(), g.pickFloat()))
+			emit(f.NewInstr(ir.OpFAdd, r, g.pickFloat(), g.pickFloat()))
 			g.mutF = append(g.mutF, r)
 			g.floats = append(g.floats, r)
 		}
@@ -294,7 +294,7 @@ func (g *gen) genMain() *ir.Func {
 	}
 	exit := f.NewBlockNamed("exit")
 
-	entry.Instrs = append(entry.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+	entry.Instrs = append(entry.Instrs, f.NewInstr(ir.OpJump, ir.NoReg).ID())
 	ir.AddEdge(entry, body[0])
 
 	for i, b := range body {
@@ -341,13 +341,13 @@ func (g *gen) pickGlobalInt() ir.Reg {
 }
 
 func (g *gen) freshLocalI(b *ir.Block, in *ir.Instr) ir.Reg {
-	b.Instrs = append(b.Instrs, in)
+	b.Instrs = append(b.Instrs, in.ID())
 	g.localI = append(g.localI, in.Dst)
 	return in.Dst
 }
 
 func (g *gen) freshLocalF(b *ir.Block, in *ir.Instr) ir.Reg {
-	b.Instrs = append(b.Instrs, in)
+	b.Instrs = append(b.Instrs, in.ID())
 	g.localF = append(g.localF, in.Dst)
 	return in.Dst
 }
@@ -426,7 +426,7 @@ func (g *gen) emitRandom(b *ir.Block) {
 func (g *gen) emitIntBin(b *ir.Block) {
 	op := intBinOps[g.rng.Intn(len(intBinOps))]
 	a, c := g.pickInt(), g.pickInt()
-	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), a, c))
+	g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), a, c))
 	if g.cfg.BiasRedundant && op.Pure() {
 		g.exprs = append(g.exprs, exprTemplate{op: op, a: a, b: c})
 	}
@@ -435,29 +435,29 @@ func (g *gen) emitIntBin(b *ir.Block) {
 func (g *gen) emitIntUnary(b *ir.Block) {
 	ops := []ir.Op{ir.OpNeg, ir.OpNot, ir.OpAbs}
 	op := ops[g.rng.Intn(len(ops))]
-	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt()))
+	g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), g.pickInt()))
 }
 
 func (g *gen) emitCompare(b *ir.Block) {
 	if g.cfg.Floats && len(g.floats) > 0 && g.rng.Intn(3) == 0 {
 		op := floatCmpOps[g.rng.Intn(len(floatCmpOps))]
-		g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
+		g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
 		return
 	}
 	op := intCmpOps[g.rng.Intn(len(intCmpOps))]
-	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt(), g.pickInt()))
+	g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), g.pickInt(), g.pickInt()))
 }
 
 // emitDivMod guards the divisor with "or x, 1": an odd number is never
 // zero, so the division cannot trap, yet the guard is a real data
 // dependence the optimizer must respect.
 func (g *gen) emitDivMod(b *ir.Block) {
-	den := g.freshLocalI(b, ir.NewInstr(ir.OpOr, g.f.NewReg(), g.pickInt(), g.one))
+	den := g.freshLocalI(b, g.f.NewInstr(ir.OpOr, g.f.NewReg(), g.pickInt(), g.one))
 	op := ir.OpDiv
 	if g.rng.Intn(2) == 0 {
 		op = ir.OpMod
 	}
-	g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), g.pickInt(), den))
+	g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), g.pickInt(), den))
 }
 
 // emitMutIntUpdate redefines one of the mutable integers, the move that
@@ -466,13 +466,13 @@ func (g *gen) emitMutIntUpdate(b *ir.Block) {
 	dst := g.mutI[g.rng.Intn(len(g.mutI))]
 	switch g.rng.Intn(3) {
 	case 0:
-		b.Instrs = append(b.Instrs, ir.Copy(dst, g.pickInt()))
+		b.Instrs = append(b.Instrs, g.f.NewCopy(dst, g.pickInt()).ID())
 	case 1:
 		op := intBinOps[g.rng.Intn(len(intBinOps))]
-		b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, dst, g.pickInt()))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(op, dst, dst, g.pickInt()).ID())
 	default:
 		op := intBinOps[g.rng.Intn(len(intBinOps))]
-		b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, g.pickInt(), g.pickInt()))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(op, dst, g.pickInt(), g.pickInt()).ID())
 	}
 }
 
@@ -483,13 +483,13 @@ func (g *gen) emitMutFloatUpdate(b *ir.Block) {
 	dst := g.mutF[g.rng.Intn(len(g.mutF))]
 	ops := []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMin, ir.OpFMax}
 	op := ops[g.rng.Intn(len(ops))]
-	b.Instrs = append(b.Instrs, ir.NewInstr(op, dst, dst, g.pickFloat()))
+	b.Instrs = append(b.Instrs, g.f.NewInstr(op, dst, dst, g.pickFloat()).ID())
 }
 
 func (g *gen) emitFloatBin(b *ir.Block) {
 	ops := []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFMin, ir.OpFMax}
 	op := ops[g.rng.Intn(len(ops))]
-	g.freshLocalF(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
+	g.freshLocalF(b, g.f.NewInstr(op, g.f.NewReg(), g.pickFloat(), g.pickFloat()))
 }
 
 func (g *gen) emitFloatUnary(b *ir.Block) {
@@ -498,25 +498,25 @@ func (g *gen) emitFloatUnary(b *ir.Block) {
 		// converting NaN or an out-of-range float to int is
 		// platform-defined, so differential runs could disagree for
 		// reasons that are not miscompiles).
-		g.freshLocalF(b, ir.NewInstr(ir.OpI2F, g.f.NewReg(), g.pickInt()))
+		g.freshLocalF(b, g.f.NewInstr(ir.OpI2F, g.f.NewReg(), g.pickInt()))
 		return
 	}
 	ops := []ir.Op{ir.OpFNeg, ir.OpFAbs, ir.OpSqrt}
 	op := ops[g.rng.Intn(len(ops))]
-	g.freshLocalF(b, ir.NewInstr(op, g.f.NewReg(), g.pickFloat()))
+	g.freshLocalF(b, g.f.NewInstr(op, g.f.NewReg(), g.pickFloat()))
 }
 
 // emitChain produces a reassociable chain: sequences of sub/neg/add
 // over shared operands are what the paper's reassociation rewrites into
 // rank-ordered sums.
 func (g *gen) emitChain(b *ir.Block) {
-	t1 := g.freshLocalI(b, ir.NewInstr(ir.OpSub, g.f.NewReg(), g.pickInt(), g.pickInt()))
-	t2 := g.freshLocalI(b, ir.NewInstr(ir.OpSub, g.f.NewReg(), t1, g.pickInt()))
+	t1 := g.freshLocalI(b, g.f.NewInstr(ir.OpSub, g.f.NewReg(), g.pickInt(), g.pickInt()))
+	t2 := g.freshLocalI(b, g.f.NewInstr(ir.OpSub, g.f.NewReg(), t1, g.pickInt()))
 	if g.rng.Intn(2) == 0 {
-		t3 := g.freshLocalI(b, ir.NewInstr(ir.OpNeg, g.f.NewReg(), t2))
-		g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), t3, g.pickInt()))
+		t3 := g.freshLocalI(b, g.f.NewInstr(ir.OpNeg, g.f.NewReg(), t2))
+		g.freshLocalI(b, g.f.NewInstr(ir.OpAdd, g.f.NewReg(), t3, g.pickInt()))
 	} else {
-		g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), t2, g.pickInt()))
+		g.freshLocalI(b, g.f.NewInstr(ir.OpAdd, g.f.NewReg(), t2, g.pickInt()))
 	}
 }
 
@@ -529,12 +529,12 @@ func (g *gen) emitRedundant(b *ir.Block) {
 		// Nothing recorded yet: record one instead.
 		op := intBinOps[g.rng.Intn(len(intBinOps))]
 		a, c := g.pickGlobalInt(), g.pickGlobalInt()
-		g.freshLocalI(b, ir.NewInstr(op, g.f.NewReg(), a, c))
+		g.freshLocalI(b, g.f.NewInstr(op, g.f.NewReg(), a, c))
 		g.exprs = append(g.exprs, exprTemplate{op: op, a: a, b: c})
 		return
 	}
 	t := g.exprs[g.rng.Intn(len(g.exprs))]
-	g.freshLocalI(b, ir.NewInstr(t.op, g.f.NewReg(), t.a, t.b))
+	g.freshLocalI(b, g.f.NewInstr(t.op, g.f.NewReg(), t.a, t.b))
 }
 
 // emitStore writes a value into the arena matching its type.  The
@@ -544,11 +544,11 @@ func (g *gen) emitStore(b *ir.Block) {
 	addr, kind := g.emitAddr(b)
 	switch kind {
 	case ir.OpLoadW:
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreW, ir.NoReg, g.pickInt(), addr))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpStoreW, ir.NoReg, g.pickInt(), addr).ID())
 	case ir.OpLoadD:
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreD, ir.NoReg, g.pickFloat(), addr))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpStoreD, ir.NoReg, g.pickFloat(), addr).ID())
 	default:
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpStoreS, ir.NoReg, g.pickFloat(), addr))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpStoreS, ir.NoReg, g.pickFloat(), addr).ID())
 	}
 }
 
@@ -556,11 +556,11 @@ func (g *gen) emitLoad(b *ir.Block) {
 	addr, kind := g.emitAddr(b)
 	switch kind {
 	case ir.OpLoadW:
-		g.freshLocalI(b, ir.NewInstr(ir.OpLoadW, g.f.NewReg(), addr))
+		g.freshLocalI(b, g.f.NewInstr(ir.OpLoadW, g.f.NewReg(), addr))
 	case ir.OpLoadD:
-		g.freshLocalF(b, ir.NewInstr(ir.OpLoadD, g.f.NewReg(), addr))
+		g.freshLocalF(b, g.f.NewInstr(ir.OpLoadD, g.f.NewReg(), addr))
 	default:
-		g.freshLocalF(b, ir.NewInstr(ir.OpLoadS, g.f.NewReg(), addr))
+		g.freshLocalF(b, g.f.NewInstr(ir.OpLoadS, g.f.NewReg(), addr))
 	}
 }
 
@@ -580,21 +580,19 @@ func (g *gen) emitAddr(b *ir.Block) (ir.Reg, ir.Op) {
 	case ir.OpLoadS:
 		mask, base = g.maskSReg, g.baseS
 	}
-	off := g.freshLocalI(b, ir.NewInstr(ir.OpAnd, g.f.NewReg(), g.pickInt(), mask))
-	addr := g.freshLocalI(b, ir.NewInstr(ir.OpAdd, g.f.NewReg(), off, base))
+	off := g.freshLocalI(b, g.f.NewInstr(ir.OpAnd, g.f.NewReg(), g.pickInt(), mask))
+	addr := g.freshLocalI(b, g.f.NewInstr(ir.OpAdd, g.f.NewReg(), off, base))
 	return addr, kind
 }
 
 func (g *gen) emitCall(b *ir.Block) {
-	in := ir.NewInstr(ir.OpCall, g.f.NewReg(), g.pickInt(), g.pickInt())
-	in.Sym = g.calleeName
+	in := g.f.NewCall(g.calleeName, g.f.NewReg(), g.pickInt(), g.pickInt())
 	g.freshLocalI(b, in)
 }
 
 func (g *gen) emitPrint(b *ir.Block) {
-	in := ir.NewInstr(ir.OpCall, ir.NoReg, g.pickInt())
-	in.Sym = "print"
-	b.Instrs = append(b.Instrs, in)
+	in := g.f.NewCall("print", ir.NoReg, g.pickInt())
+	b.Instrs = append(b.Instrs, in.ID())
 }
 
 // ---------------------------------------------------------------------
@@ -621,14 +619,14 @@ func (g *gen) terminate(b *ir.Block, i int, body []*ir.Block, exit *ir.Block) {
 		// body[2] keep each other alive until fuel runs out.
 		switch i {
 		case 0:
-			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+			b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)).ID())
 			ir.AddEdge(b, body[1])
 			ir.AddEdge(b, body[2])
 		case 1:
-			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+			b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpJump, ir.NoReg).ID())
 			ir.AddEdge(b, body[2])
 		case 2:
-			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+			b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)).ID())
 			ir.AddEdge(b, body[1]) // backward: trampolined later
 			ir.AddEdge(b, forward())
 		}
@@ -643,18 +641,18 @@ func (g *gen) terminate(b *ir.Block, i int, body []*ir.Block, exit *ir.Block) {
 			t2 = exit
 		}
 		if t1 == t2 { // both resolved to exit; degrade to jump
-			b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+			b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpJump, ir.NoReg).ID())
 			ir.AddEdge(b, exit)
 			return
 		}
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpCBr, ir.NoReg, g.condReg(b)).ID())
 		ir.AddEdge(b, t1)
 		ir.AddEdge(b, t2)
 	case r < 9: // jump
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpJump, ir.NoReg))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpJump, ir.NoReg).ID())
 		ir.AddEdge(b, anywhere())
 	default: // early return
-		b.Instrs = append(b.Instrs, ir.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]))
+		b.Instrs = append(b.Instrs, g.f.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]).ID())
 	}
 }
 
@@ -668,7 +666,7 @@ func (g *gen) condReg(b *ir.Block) ir.Reg {
 	}
 	op := intCmpOps[g.rng.Intn(len(intCmpOps))]
 	r := g.f.NewReg()
-	b.Instrs = append(b.Instrs, ir.NewInstr(op, r, g.pickGlobalInt(), g.pickGlobalInt()))
+	b.Instrs = append(b.Instrs, g.f.NewInstr(op, r, g.pickGlobalInt(), g.pickGlobalInt()).ID())
 	return r
 }
 
@@ -682,17 +680,15 @@ func (g *gen) fillExit(exit *ir.Block) {
 	g.localF = g.localF[:0]
 	obs := append([]ir.Reg(nil), g.mutI...)
 	obs = append(obs, g.mutF...)
-	in := ir.NewInstr(ir.OpCall, ir.NoReg, obs...)
-	in.Sym = "print"
-	exit.Instrs = append(exit.Instrs, in)
+	in := g.f.NewCall("print", ir.NoReg, obs...)
+	exit.Instrs = append(exit.Instrs, in.ID())
 	if g.cfg.Memory {
-		wAddr := g.freshLocalI(exit, ir.NewInstr(ir.OpAdd, g.f.NewReg(), g.baseW, g.zero))
-		wVal := g.freshLocalI(exit, ir.NewInstr(ir.OpLoadW, g.f.NewReg(), wAddr))
-		probe := ir.NewInstr(ir.OpCall, ir.NoReg, wVal)
-		probe.Sym = "print"
-		exit.Instrs = append(exit.Instrs, probe)
+		wAddr := g.freshLocalI(exit, g.f.NewInstr(ir.OpAdd, g.f.NewReg(), g.baseW, g.zero))
+		wVal := g.freshLocalI(exit, g.f.NewInstr(ir.OpLoadW, g.f.NewReg(), wAddr))
+		probe := g.f.NewCall("print", ir.NoReg, wVal)
+		exit.Instrs = append(exit.Instrs, probe.ID())
 	}
-	exit.Instrs = append(exit.Instrs, ir.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]))
+	exit.Instrs = append(exit.Instrs, g.f.NewInstr(ir.OpRet, ir.NoReg, g.mutI[0]).ID())
 }
 
 // insertTrampolines reroutes every backward edge (target's body index
@@ -722,9 +718,9 @@ func (g *gen) insertTrampolines(body []*ir.Block, exit *ir.Block) {
 		t := g.f.NewBlock()
 		cond := g.f.NewReg()
 		t.Instrs = append(t.Instrs,
-			ir.NewInstr(ir.OpSub, g.fuel, g.fuel, g.one),
-			ir.NewInstr(ir.OpCmpGT, cond, g.fuel, g.zero),
-			ir.NewInstr(ir.OpCBr, ir.NoReg, cond),
+			g.f.NewInstr(ir.OpSub, g.fuel, g.fuel, g.one).ID(),
+			g.f.NewInstr(ir.OpCmpGT, cond, g.fuel, g.zero).ID(),
+			g.f.NewInstr(ir.OpCBr, ir.NoReg, cond).ID(),
 		)
 		// Splice: from → t → to, preserving the φ-operand slot the
 		// old edge held in to.Preds.
@@ -746,9 +742,9 @@ func (g *gen) addUnreachable() {
 	r1 := g.f.NewReg()
 	r2 := g.f.NewReg()
 	b.Instrs = append(b.Instrs,
-		ir.LoadI(r1, 7),
-		ir.NewInstr(ir.OpMul, r2, r1, r1),
-		ir.NewInstr(ir.OpRet, ir.NoReg, r2),
+		g.f.NewLoadI(r1, 7).ID(),
+		g.f.NewInstr(ir.OpMul, r2, r1, r1).ID(),
+		g.f.NewInstr(ir.OpRet, ir.NoReg, r2).ID(),
 	)
 }
 
@@ -765,28 +761,28 @@ func (g *gen) genCallee() *ir.Func {
 	f := ir.NewFunc("aux", 2)
 	b := f.Entry()
 	p0, p1 := f.Params[0], f.Params[1]
-	emit := func(in *ir.Instr) { b.Instrs = append(b.Instrs, in) }
+	emit := func(in *ir.Instr) { b.Instrs = append(b.Instrs, in.ID()) }
 	newI := func(imm int64) ir.Reg {
 		r := f.NewReg()
-		emit(ir.LoadI(r, imm))
+		emit(f.NewLoadI(r, imm))
 		return r
 	}
 	mask := newI(maskW)
 	base := newI(arenaCallee)
 	t1 := f.NewReg()
 	ops := []ir.Op{ir.OpAdd, ir.OpXor, ir.OpSub, ir.OpMul}
-	emit(ir.NewInstr(ops[g.rng.Intn(len(ops))], t1, p0, p1))
+	emit(f.NewInstr(ops[g.rng.Intn(len(ops))], t1, p0, p1))
 	t2 := f.NewReg()
-	emit(ir.NewInstr(ops[g.rng.Intn(len(ops))], t2, t1, p0))
+	emit(f.NewInstr(ops[g.rng.Intn(len(ops))], t2, t1, p0))
 	off := f.NewReg()
-	emit(ir.NewInstr(ir.OpAnd, off, t2, mask))
+	emit(f.NewInstr(ir.OpAnd, off, t2, mask))
 	addr := f.NewReg()
-	emit(ir.NewInstr(ir.OpAdd, addr, off, base))
-	emit(ir.NewInstr(ir.OpStoreW, ir.NoReg, t2, addr))
+	emit(f.NewInstr(ir.OpAdd, addr, off, base))
+	emit(f.NewInstr(ir.OpStoreW, ir.NoReg, t2, addr))
 	v := f.NewReg()
-	emit(ir.NewInstr(ir.OpLoadW, v, addr))
+	emit(f.NewInstr(ir.OpLoadW, v, addr))
 	res := f.NewReg()
-	emit(ir.NewInstr(ir.OpAdd, res, v, t1))
-	emit(ir.NewInstr(ir.OpRet, ir.NoReg, res))
+	emit(f.NewInstr(ir.OpAdd, res, v, t1))
+	emit(f.NewInstr(ir.OpRet, ir.NoReg, res))
 	return f
 }

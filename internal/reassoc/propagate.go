@@ -103,9 +103,9 @@ type propagator struct {
 	defCount []int
 	defInstr []*ir.Instr
 	useCount []int
-	treeSize []int       // memoized tree size per register (0 = not computed)
-	out      []*ir.Instr // emission buffer for the current site
-	budget   int         // remaining tree nodes for the current operand
+	treeSize []int        // memoized tree size per register (0 = not computed)
+	out      []ir.InstrID // emission buffer for the current site
+	budget   int          // remaining tree nodes for the current operand
 	maxDup   int
 }
 
@@ -217,11 +217,11 @@ func (p *propagator) emit(n *Node) ir.Reg {
 		return n.Leaf
 	case n.Op == ir.OpLoadI:
 		r := p.f.NewReg()
-		p.out = append(p.out, ir.LoadI(r, n.Imm))
+		p.out = append(p.out, p.f.NewLoadI(r, n.Imm).ID())
 		return r
 	case n.Op == ir.OpLoadF:
 		r := p.f.NewReg()
-		p.out = append(p.out, ir.LoadF(r, n.FImm))
+		p.out = append(p.out, p.f.NewLoadF(r, n.FImm).ID())
 		return r
 	}
 	if len(n.Kids) > 2 && n.Op.Associative() {
@@ -229,7 +229,7 @@ func (p *propagator) emit(n *Node) ir.Reg {
 		for _, k := range n.Kids[1:] {
 			kr := p.emit(k)
 			r := p.f.NewReg()
-			p.out = append(p.out, ir.NewInstr(n.Op, r, acc, kr))
+			p.out = append(p.out, p.f.NewInstr(n.Op, r, acc, kr).ID())
 			acc = r
 		}
 		return acc
@@ -239,7 +239,7 @@ func (p *propagator) emit(n *Node) ir.Reg {
 		args[i] = p.emit(k)
 	}
 	r := p.f.NewReg()
-	p.out = append(p.out, ir.NewInstr(n.Op, r, args...))
+	p.out = append(p.out, p.f.NewInstr(n.Op, r, args...).ID())
 	return r
 }
 
@@ -265,11 +265,12 @@ func (p *propagator) rewriteOperand(r ir.Reg, st *Stats) ir.Reg {
 func (p *propagator) propagate(st *Stats) {
 	// atPredEnd[p] collects instructions to insert before p's
 	// terminator: the rebuilt trees feeding successor φ-nodes.
-	atPredEnd := map[*ir.Block][]*ir.Instr{}
+	atPredEnd := map[*ir.Block][]ir.InstrID{}
 
 	for _, b := range p.f.Blocks {
-		rebuilt := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
+		rebuilt := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpPhi {
 				// Rebuild each φ input at the end of its predecessor.
 				for ai := range in.Args {
@@ -281,7 +282,7 @@ func (p *propagator) propagate(st *Stats) {
 					in.Args[ai] = p.rewriteOperand(in.Args[ai], st)
 					atPredEnd[pred] = append(atPredEnd[pred], p.out...)
 				}
-				rebuilt = append(rebuilt, in)
+				rebuilt = append(rebuilt, inID)
 				continue
 			}
 			var operands []int // indices of Args to rewrite
@@ -317,13 +318,13 @@ func (p *propagator) propagate(st *Stats) {
 				in.Args[oi] = p.rewriteOperand(in.Args[oi], st)
 			}
 			rebuilt = append(rebuilt, p.out...)
-			rebuilt = append(rebuilt, in)
+			rebuilt = append(rebuilt, inID)
 		}
 		b.Instrs = rebuilt
 	}
-	for pred, instrs := range atPredEnd {
-		for _, in := range instrs {
-			pred.Append(in) // before the terminator
+	for pred, ids := range atPredEnd {
+		for _, id := range ids {
+			pred.Append(p.f.Instr(id)) // before the terminator
 		}
 	}
 }
@@ -346,14 +347,15 @@ func prunedDead(f *ir.Func) {
 		removed := false
 		for _, b := range f.Blocks {
 			kept := b.Instrs[:0]
-			for _, in := range b.Instrs {
+			for _, inID := range b.Instrs {
+				in := b.Fn.Instr(inID)
 				removable := in.Dst != ir.NoReg && !used[in.Dst] &&
 					(in.Op.Pure() || in.Op.IsLoad() || in.Op == ir.OpCopy)
 				if removable {
 					removed = true
 					continue
 				}
-				kept = append(kept, in)
+				kept = append(kept, inID)
 			}
 			b.Instrs = kept
 		}

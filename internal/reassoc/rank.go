@@ -69,7 +69,8 @@ func computeRanksRPO(f *ir.Func, rpo []*ir.Block) *Ranks {
 	}
 	for _, b := range rpo {
 		blockRank := rk.ByBlock[b.ID]
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			switch in.Op {
 			case ir.OpEnter:
 				for _, p := range in.Args {

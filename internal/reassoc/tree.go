@@ -1,9 +1,12 @@
 package reassoc
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -190,38 +193,97 @@ func flatten(n *Node, allowFloat bool) *Node {
 // nodes by ascending rank.  Ties break on a deterministic structural
 // key so output code is stable run to run.
 func sortKids(n *Node, allowFloat bool) {
+	scr := scratchPool.Get().(*sortScratch)
+	sortKidsRec(n, allowFloat, scr)
+	scratchPool.Put(scr)
+}
+
+// scratchPool recycles sort scratch across trees (and safely across
+// the concurrent table runs, which is why this is a sync.Pool rather
+// than a package-level buffer).
+var scratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
+// sortScratch is reused across every node of one sortKids walk.  A
+// child's sort completes before its parent consults the scratch, so a
+// single instance serves the whole recursion.
+type sortScratch struct {
+	buf    []byte // all keys of the node being sorted, concatenated
+	ends   []int  // ends[i] = end offset of child i's key in buf
+	order  []int
+	sorted []*Node
+}
+
+func sortKidsRec(n *Node, allowFloat bool, scr *sortScratch) {
 	for _, k := range n.Kids {
-		sortKids(k, allowFloat)
+		sortKidsRec(k, allowFloat, scr)
 	}
 	canSort := assocOK(n.Op, allowFloat) ||
 		(n.Op.Commutative() && (!n.Op.Float() || allowFloat))
 	if canSort && len(n.Kids) > 1 {
-		sort.SliceStable(n.Kids, func(i, j int) bool {
+		// Keys are computed once per child, not once per comparison,
+		// and the sort avoids reflection; the ordering is identical to
+		// sorting on (Rank, structuralKey) pairwise.
+		scr.buf = scr.buf[:0]
+		scr.ends = scr.ends[:0]
+		for _, k := range n.Kids {
+			scr.buf = appendStructuralKey(scr.buf, k)
+			scr.ends = append(scr.ends, len(scr.buf))
+		}
+		key := func(i int) []byte {
+			start := 0
+			if i > 0 {
+				start = scr.ends[i-1]
+			}
+			return scr.buf[start:scr.ends[i]]
+		}
+		scr.order = scr.order[:0]
+		for i := range n.Kids {
+			scr.order = append(scr.order, i)
+		}
+		slices.SortStableFunc(scr.order, func(i, j int) int {
 			a, b := n.Kids[i], n.Kids[j]
 			if a.Rank != b.Rank {
-				return a.Rank < b.Rank
+				return a.Rank - b.Rank
 			}
-			return structuralKey(a) < structuralKey(b)
+			return bytes.Compare(key(i), key(j))
 		})
+		scr.sorted = scr.sorted[:0]
+		for _, o := range scr.order {
+			scr.sorted = append(scr.sorted, n.Kids[o])
+		}
+		copy(n.Kids, scr.sorted)
 	}
 	n.recomputeRank()
 }
 
 func structuralKey(n *Node) string {
+	return string(appendStructuralKey(nil, n))
+}
+
+// appendStructuralKey renders the structural key into buf without the
+// intermediate strings that fmt.Sprintf and strings.Join would build.
+func appendStructuralKey(buf []byte, n *Node) []byte {
 	switch {
 	case n.IsLeafReg():
-		return fmt.Sprintf("r%09d", n.Leaf)
+		return fmt.Appendf(buf, "r%09d", n.Leaf)
 	case n.Op == ir.OpLoadI:
-		return fmt.Sprintf("c%020d", n.Imm)
+		return fmt.Appendf(buf, "c%020d", n.Imm)
 	case n.Op == ir.OpLoadF:
-		return fmt.Sprintf("f%020g", n.FImm)
+		return fmt.Appendf(buf, "f%020g", n.FImm)
 	}
-	parts := make([]string, 0, len(n.Kids)+1)
-	parts = append(parts, fmt.Sprintf("o%03d", n.Op))
+	buf = append(buf, 'o')
+	if n.Op < 100 {
+		buf = append(buf, '0')
+	}
+	if n.Op < 10 {
+		buf = append(buf, '0')
+	}
+	buf = strconv.AppendInt(buf, int64(n.Op), 10)
 	for _, k := range n.Kids {
-		parts = append(parts, structuralKey(k))
+		buf = append(buf, '|')
+		buf = appendStructuralKey(buf, k)
 	}
-	return strings.Join(parts, "|")
+	return buf
 }
 
 // maxDistributeSize caps tree growth during distribution; beyond this

@@ -86,7 +86,8 @@ const (
 func runFunc(f *ir.Func, prog *ir.Program, k int) (Result, error) {
 	var res Result
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpPhi {
 				return res, fmt.Errorf("function still contains φ-nodes")
 			}
@@ -161,7 +162,7 @@ func buildInterference(f *ir.Func) (*graph, map[ir.Reg]bool) {
 	for _, b := range f.Blocks {
 		live := lv.LiveOut[b.ID].Copy()
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
-			in := b.Instrs[i]
+			in := b.Instr(i)
 			defs := []ir.Reg(nil)
 			if in.Op == ir.OpEnter {
 				defs = in.Args
@@ -300,7 +301,8 @@ func applyColoring(f *ir.Func, coloring map[ir.Reg]int, res *Result) {
 		return r
 	}
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			for i, a := range in.Args {
 				in.Args[i] = phys(a)
 			}
@@ -370,7 +372,7 @@ func InferProgramTypes(prog *ir.Program) map[string]map[ir.Reg]regType {
 						changed = true
 					}
 				case ir.OpCall:
-					callee := prog.Func(in.Sym)
+					callee := prog.Func(f.SymName(in.Sym))
 					if callee == nil {
 						return
 					}
@@ -409,8 +411,9 @@ func spillReg(f *ir.Func, prog *ir.Program, v ir.Reg, isFloat bool) {
 	}
 
 	for _, b := range f.Blocks {
-		out := make([]*ir.Instr, 0, len(b.Instrs))
-		for _, in := range b.Instrs {
+		out := make([]ir.InstrID, 0, len(b.Instrs))
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			usesV := false
 			if in.Op != ir.OpEnter {
 				for _, a := range in.Args {
@@ -422,14 +425,14 @@ func spillReg(f *ir.Func, prog *ir.Program, v ir.Reg, isFloat bool) {
 			if usesV {
 				addr := f.NewReg()
 				tmp := f.NewReg()
-				out = append(out, ir.LoadI(addr, slot), ir.NewInstr(loadOp, tmp, addr))
+				out = append(out, f.NewLoadI(addr, slot).ID(), f.NewInstr(loadOp, tmp, addr).ID())
 				for i, a := range in.Args {
 					if a == v {
 						in.Args[i] = tmp
 					}
 				}
 			}
-			out = append(out, in)
+			out = append(out, inID)
 			defsV := in.Dst == v
 			if in.Op == ir.OpEnter {
 				for _, p := range in.Args {
@@ -440,8 +443,8 @@ func spillReg(f *ir.Func, prog *ir.Program, v ir.Reg, isFloat bool) {
 			}
 			if defsV {
 				addr := f.NewReg()
-				out = append(out, ir.LoadI(addr, slot),
-					&ir.Instr{Op: storeOp, Args: []ir.Reg{v, addr}})
+				out = append(out, f.NewLoadI(addr, slot).ID(),
+					f.NewInstr(storeOp, ir.NoReg, v, addr).ID())
 			}
 		}
 		b.Instrs = out

@@ -109,7 +109,8 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 		work = work[:len(work)-1]
 		copy(out, in[b.ID])
 		var condVal value
-		for _, instr := range b.Instrs {
+		for _, instrID := range b.Instrs {
+			instr := b.Fn.Instr(instrID)
 			condVal = evalInstr(instr, out)
 		}
 		t := b.Terminator()
@@ -142,7 +143,8 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 			continue
 		}
 		copy(out, in[b.ID])
-		for i, instr := range b.Instrs {
+		for i, instrID := range b.Instrs {
+			instr := b.Fn.Instr(instrID)
 			evalInstr(instr, out)
 			// Copies are never rewritten: re-materializing a constant
 			// at each copy would undo PRE's hoisting of loadI out of
@@ -157,9 +159,9 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 				continue
 			}
 			if v.kind == consti {
-				b.Instrs[i] = ir.LoadI(instr.Dst, v.i)
+				b.Instrs[i] = f.NewLoadI(instr.Dst, v.i).ID()
 			} else {
-				b.Instrs[i] = ir.LoadF(instr.Dst, v.f)
+				b.Instrs[i] = f.NewLoadF(instr.Dst, v.f).ID()
 			}
 			st.Folded++
 		}
@@ -172,7 +174,7 @@ func RunWith(f *ir.Func, ac *analysis.Cache) Stats {
 					keep, drop = drop, keep
 				}
 				ir.RemoveEdge(b, drop)
-				b.Instrs[len(b.Instrs)-1] = &ir.Instr{Op: ir.OpJump}
+				b.Instrs[len(b.Instrs)-1] = f.NewInstr(ir.OpJump, ir.NoReg).ID()
 				if len(b.Succs) != 1 || b.Succs[0] != keep {
 					// RemoveEdge may have removed the wrong duplicate
 					// when both targets coincide; normalize.

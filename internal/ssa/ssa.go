@@ -54,7 +54,8 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 	hasDef := ac.BorrowBools(nr)
 	defer ac.ReturnBools(hasDef)
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
+		for ii := range b.Instrs {
+			in := b.Instr(ii)
 			if in.Dst != ir.NoReg {
 				defBlocks[in.Dst] = append(defBlocks[in.Dst], b)
 				hasDef[in.Dst] = true
@@ -106,7 +107,7 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 					continue
 				}
 				placedAt[d.ID] = gen
-				phi := &ir.Instr{Op: ir.OpPhi, Dst: v, Args: make([]ir.Reg, len(d.Preds))}
+				phi := f.NewPhi(v, len(d.Preds))
 				for i := range phi.Args {
 					phi.Args[i] = v
 				}
@@ -123,49 +124,54 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 	ac.ReturnInts(onWorkAt)
 	ac.ReturnBlocks(work)
 
-	// Rename with a dominator-tree walk.
-	stacks := make([][]ir.Reg, nr)
+	// Rename with a dominator-tree walk.  tops[v] is the innermost SSA
+	// name for v (NoReg when v has no binding); shadowed bindings live
+	// in the undo log rather than per-register stacks, so renaming
+	// allocates nothing per register.
+	tops := make([]ir.Reg, nr)
 	var undef ir.Reg // lazily created zero register for undefined uses
 
 	top := func(v ir.Reg) ir.Reg {
-		s := stacks[v]
-		if len(s) == 0 {
+		s := tops[v]
+		if s == ir.NoReg {
 			if undef == ir.NoReg {
 				undef = f.NewReg()
 				entry := f.Entry()
 				pos := 0
-				if entry.Instrs[0].Op == ir.OpEnter {
+				if entry.Instr(0).Op == ir.OpEnter {
 					pos = 1
 				}
-				entry.InsertAt(pos, ir.LoadI(undef, 0))
+				entry.InsertAt(pos, f.NewLoadI(undef, 0))
 			}
 			return undef
 		}
-		return s[len(s)-1]
+		return s
 	}
 
-	// undoLog records, across the whole dominator-tree walk, which
-	// variable each push was for; a block's exit pops its own suffix.
-	// This replaces a per-block map of push counts with one shared
-	// slice that the recursion indexes by position.
-	var undoLog []ir.Reg
+	// undoLog records, across the whole dominator-tree walk, each
+	// binding that a push displaced; a block's exit restores its own
+	// suffix.  This replaces a per-block map of push counts with one
+	// shared slice that the recursion indexes by position.
+	type savedBinding struct{ v, prev ir.Reg }
+	var undoLog []savedBinding
 	var rename func(b *ir.Block)
 	rename = func(b *ir.Block) {
 		undoMark := len(undoLog)
 		push := func(v, nv ir.Reg) {
-			stacks[v] = append(stacks[v], nv)
-			undoLog = append(undoLog, v)
+			undoLog = append(undoLog, savedBinding{v, tops[v]})
+			tops[v] = nv
 		}
 
 		kept := b.Instrs[:0]
-		for _, in := range b.Instrs {
+		for _, id := range b.Instrs {
+			in := f.Instr(id)
 			switch in.Op {
 			case ir.OpPhi:
 				v := in.Dst
 				nv := f.NewReg()
 				in.Dst = nv
 				push(v, nv)
-				kept = append(kept, in)
+				kept = append(kept, id)
 				continue
 			case ir.OpEnter:
 				for i, p := range in.Args {
@@ -176,7 +182,7 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 						f.Params[i] = nv
 					}
 				}
-				kept = append(kept, in)
+				kept = append(kept, id)
 				continue
 			case ir.OpCopy:
 				if opt.FoldCopies {
@@ -196,13 +202,14 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 				in.Dst = nv
 				push(v, nv)
 			}
-			kept = append(kept, in)
+			kept = append(kept, id)
 		}
 		b.Instrs = kept
 
 		for _, s := range b.Succs {
 			pi := s.PredIndex(b)
-			for _, phi := range s.Phis() {
+			for _, pid := range s.Phis() {
+				phi := f.Instr(pid)
 				v := phiFor[phi]
 				if v == ir.NoReg {
 					continue
@@ -214,8 +221,8 @@ func BuildWith(f *ir.Func, opt BuildOptions, ac *analysis.Cache) {
 			rename(c)
 		}
 		for i := len(undoLog) - 1; i >= undoMark; i-- {
-			v := undoLog[i]
-			stacks[v] = stacks[v][:len(stacks[v])-1]
+			e := undoLog[i]
+			tops[e.v] = e.prev
 		}
 		undoLog = undoLog[:undoMark]
 	}
@@ -264,11 +271,12 @@ func DestructWith(f *ir.Func, ac *analysis.Cache) {
 	var splits []splitJob
 
 	// Snapshot every block's φ-nodes before any mutation, then delete
-	// them; placement decisions below consult the snapshot.
-	phiSnap := map[*ir.Block][]*ir.Instr{}
+	// them; placement decisions below consult the snapshot.  Arena IDs
+	// stay readable through f.Instr after removal from the block.
+	phiSnap := map[*ir.Block][]ir.InstrID{}
 	for _, b := range f.Blocks {
 		if phis := b.Phis(); len(phis) > 0 {
-			phiSnap[b] = append([]*ir.Instr(nil), phis...)
+			phiSnap[b] = append([]ir.InstrID(nil), phis...)
 			b.Instrs = b.Instrs[len(phis):]
 		}
 	}
@@ -289,7 +297,8 @@ func DestructWith(f *ir.Func, ac *analysis.Cache) {
 				return true
 			}
 			pi := t.PredIndex(p)
-			for _, phi := range phiSnap[t] {
+			for _, pid := range phiSnap[t] {
+				phi := f.Instr(pid)
 				if pi >= 0 && pi < len(phi.Args) && phi.Args[pi] == d {
 					return true
 				}
@@ -305,7 +314,8 @@ func DestructWith(f *ir.Func, ac *analysis.Cache) {
 		}
 		for pi, p := range b.Preds {
 			var dsts, srcs []ir.Reg
-			for _, phi := range phis {
+			for _, pid := range phis {
+				phi := f.Instr(pid)
 				if phi.Dst != phi.Args[pi] {
 					dsts = append(dsts, phi.Dst)
 					srcs = append(srcs, phi.Args[pi])
@@ -387,7 +397,7 @@ func SequentializeParallelCopy(f *ir.Func, dsts, srcs []ir.Reg) []*ir.Instr {
 			if !ok {
 				continue
 			}
-			out = append(out, ir.Copy(d, s))
+			out = append(out, f.NewCopy(d, s))
 			delete(pending, d)
 			uses[s]--
 			if uses[s] == 0 {
@@ -408,7 +418,7 @@ func SequentializeParallelCopy(f *ir.Func, dsts, srcs []ir.Reg) []*ir.Instr {
 			}
 		}
 		tmp := f.NewReg()
-		out = append(out, ir.Copy(tmp, d))
+		out = append(out, f.NewCopy(tmp, d))
 		for k, s := range pending {
 			if s == d {
 				uses[d]--

@@ -124,7 +124,7 @@ func TestBuildProducesValidSSA(t *testing.T) {
 	// Copy folding must have removed all copies.
 	f.ForEachInstr(func(b *ir.Block, i int, in *ir.Instr) {
 		if in.Op == ir.OpCopy {
-			t.Errorf("copy survived folding: %s", in)
+			t.Errorf("copy survived folding: %s", f.InstrString(in))
 		}
 	})
 	// Pruned SSA for this function needs φs for s and i in the loop

@@ -104,7 +104,8 @@ func reduce(f *ir.Func, ac *analysis.Cache) Stats {
 		if len(h.Preds) != 2 {
 			continue // one entry edge, one back edge — keep it simple
 		}
-		for _, phi := range h.Phis() {
+		for _, phiID := range h.Phis() {
+			phi := f.Instr(phiID)
 			if len(phi.Args) != 2 {
 				continue
 			}
@@ -146,7 +147,7 @@ func reduce(f *ir.Func, ac *analysis.Cache) Stats {
 		updBlock := defBlock[iv.update.Dst]
 		for _, b := range iv.loop.Blocks {
 			for idx := 0; idx < len(b.Instrs); idx++ {
-				in := b.Instrs[idx]
+				in := b.Instr(idx)
 				if in.Op != ir.OpMul {
 					continue
 				}
@@ -170,29 +171,30 @@ func reduce(f *ir.Func, ac *analysis.Cache) Stats {
 
 				// Materialize init×k and step×k in the preheader.
 				initMul := f.NewReg()
-				preheader.Append(ir.NewInstr(ir.OpMul, initMul, iv.phi.Args[iv.initIdx], kPre))
+				preheader.Append(f.NewInstr(ir.OpMul, initMul, iv.phi.Args[iv.initIdx], kPre))
 				stepMul := f.NewReg()
-				preheader.Append(ir.NewInstr(ir.OpMul, stepMul, stepPre, kPre))
+				preheader.Append(f.NewInstr(ir.OpMul, stepMul, stepPre, kPre))
 
 				jphi := f.NewReg()
 				jnext := f.NewReg()
 
 				// Replace the multiplication with a copy of j' first:
 				// the insertions below may shift slice indices.
-				b.Instrs[idx] = ir.Copy(in.Dst, jphi)
+				b.Instrs[idx] = f.NewCopy(in.Dst, jphi).ID()
 				st.Reduced++
 
 				// j' = φ(init×k, j'next) at the header.
 				phiArgs := make([]ir.Reg, 2)
 				phiArgs[iv.initIdx] = initMul
 				phiArgs[iv.backIdx] = jnext
-				iv.header.InsertAt(len(iv.header.Phis()), &ir.Instr{
-					Op: ir.OpPhi, Dst: jphi, Args: phiArgs,
-				})
+				nphi := f.NewPhi(jphi, 2)
+				copy(nphi.Args, phiArgs)
+				iv.header.InsertAt(len(iv.header.Phis()), nphi)
 				// j'next = j' + step×k, placed right after the IV update.
-				for ui, uin := range updBlock.Instrs {
+				for ui, uinID := range updBlock.Instrs {
+					uin := updBlock.Fn.Instr(uinID)
 					if uin == iv.update {
-						updBlock.InsertAt(ui+1, ir.NewInstr(ir.OpAdd, jnext, jphi, stepMul))
+						updBlock.InsertAt(ui+1, f.NewInstr(ir.OpAdd, jnext, jphi, stepMul))
 						break
 					}
 				}
@@ -218,7 +220,7 @@ func materializeAt(f *ir.Func, dom *cfg.DomTree, defBlock map[ir.Reg]*ir.Block, 
 	}
 	if di := defInstr[r]; di != nil && di.IsConst() {
 		nr := f.NewReg()
-		cp := di.Clone()
+		cp := f.CloneInstr(di, f)
 		cp.Dst = nr
 		b.Append(cp)
 		defBlock[nr] = b

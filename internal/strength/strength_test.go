@@ -32,7 +32,8 @@ func loopMulCount(f *ir.Func) int {
 		if li.Depth(b) == 0 {
 			continue
 		}
-		for _, in := range b.Instrs {
+		for _, inID := range b.Instrs {
+			in := b.Fn.Instr(inID)
 			if in.Op == ir.OpMul {
 				n++
 			}

@@ -1,0 +1,119 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// TestSuiteRoundTrip is the suite-wide property test for the arena
+// representation: for every routine — both the raw compile and each
+// Table 1 optimization level — the printed ILOC must parse back into
+// an arena-backed program whose printed form is byte-identical.  The
+// textual form is the compatibility boundary of the arena refactor
+// (DESIGN.md §16); this pins print∘parse as the identity on it, which
+// is what makes golden_levels.txt comparable across representations.
+func TestSuiteRoundTrip(t *testing.T) {
+	routines := All()
+	if len(routines) != 39 {
+		t.Fatalf("suite has %d routines, want 39", len(routines))
+	}
+	check := func(t *testing.T, label, text string) {
+		t.Helper()
+		reparsed, err := ir.ParseProgramString(text)
+		if err != nil {
+			t.Fatalf("%s: printed form does not re-parse: %v", label, err)
+		}
+		if again := reparsed.String(); again != text {
+			t.Errorf("%s: print∘parse is not the identity on printed ILOC", label)
+		}
+	}
+	for _, r := range routines {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			prog, err := r.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, r.Name+" raw", prog.String())
+			for _, level := range core.Levels {
+				fresh, err := r.Compile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt, err := core.Optimize(fresh, level)
+				if err != nil {
+					t.Fatalf("%s: %v", level, err)
+				}
+				check(t, r.Name+" "+string(level), opt.String())
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTrip replays the committed FuzzParseRoundTrip corpus
+// (seeds plus saved interesting inputs) through the arena parser and
+// printer.  Corpus entries that the parser rejects are skipped — the
+// property only covers accepted programs, same as the fuzz target.
+func TestCorpusRoundTrip(t *testing.T) {
+	dir := filepath.Join("..", "ir", "testdata", "fuzz", "FuzzParseRoundTrip")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading committed corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, ok := corpusString(string(data))
+		if !ok {
+			t.Fatalf("%s: unrecognized corpus encoding", e.Name())
+		}
+		prog, err := ir.ParseProgramString(text)
+		if err != nil {
+			continue // rejected inputs carry no round-trip obligation
+		}
+		ran++
+		printed := prog.String()
+		reparsed, err := ir.ParseProgramString(printed)
+		if err != nil {
+			t.Fatalf("%s: printed form does not re-parse: %v", e.Name(), err)
+		}
+		if again := reparsed.String(); again != printed {
+			t.Errorf("%s: print∘parse is not the identity", e.Name())
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no corpus entry parsed; the corpus has rotted")
+	}
+}
+
+// corpusString decodes one `go test fuzz v1` corpus file's single
+// string argument.
+func corpusString(data string) (string, bool) {
+	for _, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "string(") || !strings.HasSuffix(line, ")") {
+			continue
+		}
+		s, err := strconv.Unquote(line[len("string(") : len(line)-1])
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	}
+	return "", false
+}
