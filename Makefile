@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt lint fuzz fuzz-smoke bench bench-hotpath bench-hotpath-smoke
+.PHONY: check build test race vet fmt lint fuzz fuzz-smoke bench bench-hotpath bench-hotpath-smoke bench-serve-smoke
 
-check: fmt vet lint build test race fuzz-smoke bench-hotpath-smoke
+check: fmt vet lint build test race fuzz-smoke bench-hotpath-smoke bench-serve-smoke
 
 build:
 	$(GO) build ./...
@@ -54,15 +54,17 @@ fuzz-smoke:
 	$(GO) run ./cmd/epre fuzz -seed 1000 -n 200 -workers 4 -gvn-diff
 	$(GO) run ./cmd/epre fuzz -seed 2000 -n 200 -workers 4 -pre-diff
 
-# Performance tracking: Go micro-benchmarks plus the end-to-end serve
-# throughput + parallel-table1 measurement (BENCH_serve.json), the
-# analysis-cache cached-vs-uncached build counts (BENCH_passmgr.json),
-# and the hot-path allocation profile with the scratch pools on vs
-# ablated (BENCH_hotpath.json).
+# Performance tracking: Go micro-benchmarks, the serve/table1 bench
+# (single-flight dedup assertion, analysis-cache counts into
+# BENCH_passmgr.json, hot-path allocation profile into
+# BENCH_hotpath.json), and the loadgen corpus replay that owns
+# BENCH_serve.json (single/batch/warm-restart scenarios with HDR
+# latency histograms and counter deltas).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) run ./cmd/epre bench -out BENCH_serve.json -passmgr-out BENCH_passmgr.json \
+	$(GO) run ./cmd/epre bench -passmgr-out BENCH_passmgr.json \
 		-hotpath-out BENCH_hotpath.json
+	$(GO) run ./cmd/epre loadgen -out BENCH_serve.json
 
 # Hot-path allocation report alone, in short mode (quick regression
 # probe: a few optimizer runs per level, pooled vs pool-disabled).
@@ -78,3 +80,13 @@ bench-hotpath:
 bench-hotpath-smoke:
 	$(GO) run ./cmd/epre bench -out /dev/null -passmgr-out '' -requests 1 \
 		-concurrency 1 -hotpath-out /dev/null -hotpath-iters 1
+
+# Serve-tier smoke, part of `check`: a tiny loadgen replay through the
+# single, batch and warm-restart scenarios with response verification
+# on — every served ILOC must be byte-identical to a direct in-process
+# core optimization, across the memory-cache, batch and disk-warmed
+# paths, with zero request errors.  Report discarded; numbers land in
+# BENCH_serve.json via `make bench`.
+bench-serve-smoke:
+	$(GO) run ./cmd/epre loadgen -out '' -requests 24 -corpus-n 6 \
+		-workers 4 -batch 6

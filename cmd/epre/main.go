@@ -11,7 +11,8 @@
 //	epre serve [-addr :8080]                       # optimization service
 //	epre table1 [-parallel N]                      # the paper's Table 1
 //	epre table2                                    # the paper's Table 2
-//	epre bench [-out BENCH_serve.json]             # service/parallel bench
+//	epre bench                                     # service/parallel bench
+//	epre loadgen [-out BENCH_serve.json]           # corpus replay load test
 //	epre fuzz [-seed 1] [-n 200] [-level all]      # differential fuzzing
 //	epre example                                   # Figures 2–10 walkthrough
 //	epre levels                                    # list levels and passes
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdServe(args[1:], stderr)
 	case "bench":
 		err = cmdBench(args[1:], stdout)
+	case "loadgen":
+		err = cmdLoadgen(args[1:], stdout)
 	case "fuzz":
 		err = cmdFuzz(args[1:], stdout)
 	case "table1":
@@ -113,11 +116,19 @@ func usage(w io.Writer) {
                      compare the drechsler, lcm and lospre PRE backends
                      per routine: static insert/eliminate counts at the
                      PRE position and dynamic ops at the partial level
-  epre bench [-out BENCH_serve.json] [-passmgr-out BENCH_passmgr.json]
+  epre bench [-out report.json] [-passmgr-out BENCH_passmgr.json]
              [-hotpath-out BENCH_hotpath.json] [-hotpath-iters N]
              [-requests N] [-concurrency N] [-parallel N]
              [-cpuprofile f] [-memprofile f]
                      serve-mode, analysis-cache and hot-path benchmarks
+  epre loadgen [-out BENCH_serve.json] [-addr URL] [-requests N]
+               [-workers N] [-qps R] [-batch N] [-level L]
+               [-corpus progen|suite] [-corpus-seed N] [-corpus-n N]
+               [-seed N] [-verify=false]
+                     deterministic corpus replay against the service:
+                     single/batch/warm-restart scenarios (or one
+                     scenario against -addr), HDR latency histograms
+                     and counter deltas written to BENCH_serve.json
   epre fuzz [-seed N] [-n N] [-level L|all] [-workers N] [-shrink]
             [-artifact-dir DIR] [-per-pass] [-gvn-diff] [-pre-diff]
             [-timeout 5m] [-stats]

@@ -11,6 +11,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"flag"
@@ -32,19 +34,52 @@ func cmdServe(args []string, stderr io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	optParallel := fs.Int("opt-parallel", 1, "function-level parallelism inside one optimization")
+	maxBatch := fs.Int("max-batch", 256, "maximum items per /optimize/batch request")
+	cacheDir := fs.String("cache-dir", "", "persistent content-addressed result store directory (empty = memory only)")
+	diskBytes := fs.Int64("disk-cache-bytes", 0, "on-disk store byte budget (0 = unlimited)")
+	diskFsync := fs.Bool("disk-fsync", false, "fsync disk-store entries before the atomic rename")
+	peers := fs.String("peers", "", "comma-separated base URLs of every ring peer, including this server")
+	self := fs.String("self", "", "this server's base URL as it appears in -peers")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			return fmt.Errorf("serve: -peers requires -self (this server's URL as listed in -peers)")
+		}
+		found := false
+		for _, p := range peerList {
+			found = found || p == *self
+		}
+		if !found {
+			return fmt.Errorf("serve: -self %q is not in -peers %q", *self, *peers)
+		}
+	}
 
-	s := serve.New(serve.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheSize:    *cacheSize,
-		Timeout:      *timeout,
-		DrainTimeout: *drain,
-		OptWorkers:   *optParallel,
+	s, err := serve.New(serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheSize:      *cacheSize,
+		Timeout:        *timeout,
+		DrainTimeout:   *drain,
+		OptWorkers:     *optParallel,
+		MaxBatch:       *maxBatch,
+		CacheDir:       *cacheDir,
+		DiskCacheBytes: *diskBytes,
+		DiskFsync:      *diskFsync,
+		Peers:          peerList,
+		Self:           *self,
 	})
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -74,6 +109,7 @@ type benchReport struct {
 		P99Millis      float64 `json:"p99_ms"`
 		CacheHits      int64   `json:"cache_hits"`
 		CacheMisses    int64   `json:"cache_misses"`
+		DupRequests    int     `json:"dup_requests"`
 		Shared         int64   `json:"singleflight_shared"`
 		Errors         int64   `json:"errors"`
 	} `json:"serve"`
@@ -91,7 +127,7 @@ type benchReport struct {
 // Table 1 run against the serial one, then writes the JSON report.
 func cmdBench(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
-	out := fs.String("out", "BENCH_serve.json", "report file")
+	out := fs.String("out", "", "serve/table1 report file (empty to skip writing; BENCH_serve.json is produced by `epre loadgen`)")
 	passMgrOut := fs.String("passmgr-out", "BENCH_passmgr.json", "pass-manager/analysis-cache report file (empty to skip)")
 	hotpathOut := fs.String("hotpath-out", "BENCH_hotpath.json", "hot-path allocation report file (empty to skip)")
 	hotpathIters := fs.Int("hotpath-iters", 10, "optimizer runs per hot-path measurement")
@@ -137,13 +173,16 @@ func cmdBench(args []string, stdout io.Writer) (err error) {
 		}
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
 	}
 	fmt.Fprintf(stdout, "serve:  %d reqs, %d clients: %.2f req/s (p50 %.1fms, p99 %.1fms; %d misses, %d hits, %d shared)\n",
 		rep.Serve.Requests, rep.Serve.Concurrency, rep.Serve.RequestsPerSec,
@@ -152,7 +191,6 @@ func cmdBench(args []string, stdout io.Writer) (err error) {
 	fmt.Fprintf(stdout, "table1: serial %.2fs, parallel(%d) %.2fs: %.2fx speedup, identical=%v\n",
 		rep.Table1.SerialSeconds, rep.Table1.Workers, rep.Table1.ParallelSeconds,
 		rep.Table1.Speedup, rep.Table1.Identical)
-	fmt.Fprintf(stdout, "report written to %s\n", *out)
 	return nil
 }
 
@@ -163,7 +201,10 @@ func benchServe(rep *benchReport, requests, concurrency int, level string) error
 	if len(corpus) == 0 {
 		return fmt.Errorf("bench: empty suite corpus")
 	}
-	s := serve.New(serve.Config{})
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		return err
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -221,6 +262,59 @@ func benchServe(rep *benchReport, requests, concurrency int, level string) error
 	}
 	wall := time.Since(start)
 
+	// Single-flight exercise: barrier-released bursts of identical
+	// requests at keys the main loop never touched (checked mode is its
+	// own cache dimension).  The first computes; the rest must coalesce
+	// onto that in-flight computation, so the dedup path — and its
+	// counter — is actually driven by the bench, not just by unit tests.
+	// Bursts start with the largest programs (the longest in-flight
+	// window) and retry smaller ones only if a burst ever lost the race.
+	const dupRequests = 16
+	bySize := make([]int, len(corpus))
+	for i := range bySize {
+		bySize[i] = i
+	}
+	sort.Slice(bySize, func(a, b int) bool { return len(corpus[bySize[a]].Source) > len(corpus[bySize[b]].Source) })
+	for attempt := 0; attempt < len(bySize); attempt++ {
+		dupBody, err := json.Marshal(serve.OptimizeRequest{Source: corpus[bySize[attempt]].Source, Level: level, Check: true})
+		if err != nil {
+			return err
+		}
+		var dupWG sync.WaitGroup
+		dupStart := make(chan struct{})
+		dupErrs := make([]error, dupRequests)
+		for i := 0; i < dupRequests; i++ {
+			dupWG.Add(1)
+			go func(i int) {
+				defer dupWG.Done()
+				<-dupStart
+				resp, err := client.Post(url, "application/json", bytes.NewReader(dupBody))
+				if err != nil {
+					dupErrs[i] = err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					dupErrs[i] = fmt.Errorf("bench: duplicate burst: status %d", resp.StatusCode)
+				}
+			}(i)
+		}
+		close(dupStart)
+		dupWG.Wait()
+		for _, err := range dupErrs {
+			if err != nil {
+				return err
+			}
+		}
+		if s.Metrics().Get("singleflight_shared") > 0 {
+			break
+		}
+	}
+	if shared := s.Metrics().Get("singleflight_shared"); shared == 0 {
+		return fmt.Errorf("bench: concurrent duplicate requests never produced singleflight_shared > 0; dedup is broken")
+	}
+
 	sorted := append([]time.Duration(nil), lats...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	pct := func(p float64) float64 {
@@ -238,6 +332,7 @@ func benchServe(rep *benchReport, requests, concurrency int, level string) error
 	rep.Serve.P99Millis = pct(0.99)
 	rep.Serve.CacheHits = m.Get("cache_hits")
 	rep.Serve.CacheMisses = m.Get("cache_misses")
+	rep.Serve.DupRequests = dupRequests
 	rep.Serve.Shared = m.Get("singleflight_shared")
 	rep.Serve.Errors = m.Get("errors")
 	return nil

@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // CacheKey computes the content-addressed key for an optimization
@@ -40,9 +41,10 @@ type cacheEntry struct {
 }
 
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	waiters atomic.Int64
+	val     any
+	err     error
 }
 
 // Cache is a bounded LRU result cache with single-flight deduplication:
@@ -84,6 +86,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 		return val, true, false, nil
 	}
 	if fl, ok := c.flights[key]; ok {
+		fl.waiters.Add(1)
 		c.mu.Unlock()
 		select {
 		case <-fl.done:
@@ -106,6 +109,27 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	c.mu.Unlock()
 	close(fl.done)
 	return fl.val, false, false, fl.err
+}
+
+// Put inserts a precomputed result (the disk-warming path), evicting
+// as needed.  It does not disturb any in-flight computation of the same
+// key.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	c.insert(key, val)
+	c.mu.Unlock()
+}
+
+// FlightWaiters reports how many callers are currently waiting on an
+// in-flight computation of key — observability for tests that need a
+// deterministic single-flight rendezvous.
+func (c *Cache) FlightWaiters(key string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fl, ok := c.flights[key]; ok {
+		return fl.waiters.Load()
+	}
+	return 0
 }
 
 // Get peeks at the cache without computing or refreshing recency.

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// storedResult is the disk representation of one optimization result —
+// exactly what the LRU caches minus the parsed program (which is
+// re-derived from the ILOC text on demand).
+type storedResult struct {
+	ILOC      string   `json:"iloc"`
+	StaticOps int      `json:"static_ops"`
+	Diags     []string `json:"diags,omitempty"`
+}
+
+// diskMagic heads every entry file, followed by the hex SHA-256 of the
+// payload; a reader that does not find magic+checksum+valid JSON treats
+// the entry as absent (and deletes it), so torn writes, truncation and
+// bit rot degrade to recomputation, never to a wrong answer.
+const diskMagic = "epre-disk-v1"
+
+// DiskStore is a persistent content-addressed result store: one file
+// per cache key under a two-level fan-out directory
+// (`dir/ab/cdef...`, first byte of the hex key as the shard), written
+// atomically via rename from a temp file in the same directory.  It
+// sits underneath the in-memory LRU so results survive process
+// restarts; an in-memory index (rebuilt from a directory walk at open)
+// tracks sizes and recency for the optional byte budget.
+type DiskStore struct {
+	mu     sync.Mutex
+	dir    string
+	budget int64 // max total bytes; 0 = unlimited
+	fsync  bool
+	total  int64
+	ll     *list.List // front = most recently used
+	index  map[string]*list.Element
+
+	// onCorrupt, when set, is invoked each time Get drops an entry whose
+	// file exists but fails validation (bad magic, checksum mismatch,
+	// unparseable payload) — the server wires it to the disk_corrupt
+	// counter.
+	onCorrupt func()
+}
+
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// OpenDiskStore opens (creating if needed) a store rooted at dir with
+// the given byte budget (0 = unlimited).  When fsync is set, entry
+// files are synced before the atomic rename — slower, but entries
+// survive power loss, not just process death.  Existing entries are
+// indexed by modification time so the budget and warming see the same
+// recency the previous process left behind; unreadable entries are
+// skipped (and deleted lazily on first Get).
+func OpenDiskStore(dir string, budget int64, fsync bool) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("diskstore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DiskStore{
+		dir:    dir,
+		budget: budget,
+		fsync:  fsync,
+		ll:     list.New(),
+		index:  map[string]*list.Element{},
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var entries []found
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			key := sh.Name() + f.Name()
+			if f.IsDir() || len(key) != 64 || !isHex(key) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, found{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		}
+	}
+	// Oldest first, so pushing each to the front leaves the newest
+	// entries as the most recently used.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mtime != entries[j].mtime {
+			return entries[i].mtime < entries[j].mtime
+		}
+		return entries[i].key < entries[j].key
+	})
+	for _, e := range entries {
+		d.index[e.key] = d.ll.PushFront(&diskEntry{key: e.key, size: e.size})
+		d.total += e.size
+	}
+	d.evictLocked()
+	return d, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DiskStore) path(key string) string {
+	return filepath.Join(d.dir, key[:2], key[2:])
+}
+
+// Get returns the stored result for key, refreshing its recency.  A
+// missing, truncated or corrupt entry is a miss; corrupt files are
+// deleted so the slot is rewritten cleanly after recomputation.
+func (d *DiskStore) Get(key string) (*storedResult, bool) {
+	if d == nil || len(key) != 64 {
+		return nil, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.index[key]
+	if !ok {
+		return nil, false
+	}
+	res, err := readEntry(d.path(key))
+	if err != nil {
+		// Corrupt or vanished: drop it from the index (and disk) so the
+		// caller recomputes and Put rewrites a clean entry.
+		if !errors.Is(err, os.ErrNotExist) && d.onCorrupt != nil {
+			d.onCorrupt()
+		}
+		d.removeLocked(el)
+		return nil, false
+	}
+	d.ll.MoveToFront(el)
+	return res, true
+}
+
+// Put stores the result under key via write-to-temp + atomic rename, so
+// concurrent writers of the same key are safe (last rename wins, and
+// readers only ever observe complete files).  Inserting may evict the
+// least recently used entries to honor the byte budget.
+func (d *DiskStore) Put(key string, res *storedResult) error {
+	if d == nil || len(key) != 64 {
+		return errors.New("diskstore: bad key")
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.Grow(len(diskMagic) + 1 + 64 + 1 + len(payload))
+	fmt.Fprintf(&buf, "%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
+	buf.Write(payload)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	shard := filepath.Join(d.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(shard, "."+key[2:]+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	if werr == nil && d.fsync {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), d.path(key))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	size := int64(buf.Len())
+	if el, ok := d.index[key]; ok {
+		e := el.Value.(*diskEntry)
+		d.total += size - e.size
+		e.size = size
+		d.ll.MoveToFront(el)
+	} else {
+		d.index[key] = d.ll.PushFront(&diskEntry{key: key, size: size})
+		d.total += size
+	}
+	d.evictLocked()
+	return nil
+}
+
+// RecentKeys lists up to limit keys, most recently used first — the hot
+// set the server warms into the in-memory LRU at startup.
+func (d *DiskStore) RecentKeys(limit int) []string {
+	if d == nil || limit <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]string, 0, limit)
+	for el := d.ll.Front(); el != nil && len(keys) < limit; el = el.Next() {
+		keys = append(keys, el.Value.(*diskEntry).key)
+	}
+	return keys
+}
+
+// Len reports the number of indexed entries; Bytes their total size.
+func (d *DiskStore) Len() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len()
+}
+
+func (d *DiskStore) Bytes() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// evictLocked removes least-recently-used entries until the byte budget
+// is satisfied.  Caller holds d.mu.
+func (d *DiskStore) evictLocked() {
+	if d.budget <= 0 {
+		return
+	}
+	for d.total > d.budget && d.ll.Len() > 0 {
+		d.removeLocked(d.ll.Back())
+	}
+}
+
+// removeLocked drops one entry from the index and the filesystem.
+// Caller holds d.mu.
+func (d *DiskStore) removeLocked(el *list.Element) {
+	e := el.Value.(*diskEntry)
+	d.ll.Remove(el)
+	delete(d.index, e.key)
+	d.total -= e.size
+	os.Remove(d.path(e.key))
+}
+
+// readEntry loads and verifies one entry file.
+func readEntry(path string) (*storedResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, errors.New("diskstore: missing header")
+	}
+	header, payload := data[:nl], data[nl+1:]
+	fields := bytes.Fields(header)
+	if len(fields) != 2 || string(fields[0]) != diskMagic {
+		return nil, errors.New("diskstore: bad magic")
+	}
+	sum := sha256.Sum256(payload)
+	if string(fields[1]) != hex.EncodeToString(sum[:]) {
+		return nil, errors.New("diskstore: checksum mismatch")
+	}
+	var res storedResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("diskstore: bad payload: %w", err)
+	}
+	return &res, nil
+}

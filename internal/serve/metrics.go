@@ -16,18 +16,29 @@ import (
 // the standard expvar JSON shape.
 type Metrics struct {
 	requests    expvar.Int // optimize requests received
-	cacheHits   expvar.Int // served straight from the result cache
+	cacheHits   expvar.Int // served straight from the in-memory result cache
 	cacheMisses expvar.Int // optimizations actually performed
 	shared      expvar.Int // requests coalesced onto another's in-flight computation
 	errors      expvar.Int // requests that failed (bad input, pass error)
 	timeouts    expvar.Int // requests that hit their deadline
 	rejected    expvar.Int // requests shed because the queue was full
 	inFlight    expvar.Int // requests currently being handled
-	passNanos   expvar.Map // pass name -> cumulative wall time, ns
-	passCount   expvar.Map // pass name -> applications
-	passChanged expvar.Map // pass name -> applications that changed the function
-	analysisMap expvar.Map // analysis kind -> cache rebuilds during passes
-	top         expvar.Map // the /debug/vars document
+
+	batchRequests expvar.Int // POST /optimize/batch requests received
+	batchItems    expvar.Int // items carried by those batch requests
+
+	diskHits    expvar.Int // misses answered by the on-disk store without recompute
+	diskWrites  expvar.Int // results persisted to the on-disk store
+	diskCorrupt expvar.Int // on-disk entries rejected (bad checksum/format) and dropped
+	diskWarmed  expvar.Int // entries pre-loaded from disk into the LRU at startup
+
+	peerForwards      expvar.Int // requests forwarded to their ring owner
+	peerForwardErrors expvar.Int // forwards that failed (request then served locally)
+	passNanos         expvar.Map // pass name -> cumulative wall time, ns
+	passCount         expvar.Map // pass name -> applications
+	passChanged       expvar.Map // pass name -> applications that changed the function
+	analysisMap       expvar.Map // analysis kind -> cache rebuilds during passes
+	top               expvar.Map // the /debug/vars document
 }
 
 // NewMetrics builds an unpublished metrics set; queueDepth (may be nil)
@@ -47,6 +58,14 @@ func NewMetrics(queueDepth func() int64) *Metrics {
 	m.top.Set("timeouts", &m.timeouts)
 	m.top.Set("rejected", &m.rejected)
 	m.top.Set("in_flight", &m.inFlight)
+	m.top.Set("batch_requests", &m.batchRequests)
+	m.top.Set("batch_items", &m.batchItems)
+	m.top.Set("disk_hits", &m.diskHits)
+	m.top.Set("disk_writes", &m.diskWrites)
+	m.top.Set("disk_corrupt", &m.diskCorrupt)
+	m.top.Set("disk_warmed", &m.diskWarmed)
+	m.top.Set("peer_forwards", &m.peerForwards)
+	m.top.Set("peer_forward_errors", &m.peerForwardErrors)
 	m.top.Set("pass_nanos", &m.passNanos)
 	m.top.Set("pass_count", &m.passCount)
 	m.top.Set("pass_changed", &m.passChanged)

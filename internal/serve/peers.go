@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// forwardHeader marks a request that has already been forwarded once by
+// a peer.  A server receiving it always serves locally, whatever its
+// own ring says — the loop guard that terminates forwarding even when
+// two peers (with, say, momentarily different peer lists) disagree
+// about who owns a key.  The value is the forwarding peer's identity,
+// for logs and tests.
+const forwardHeader = "X-Epre-Forwarded-By"
+
+// servedByHeader reports which peer actually computed/cached the
+// response that a forwarding peer relayed.
+const servedByHeader = "X-Epre-Served-By"
+
+// PeerStatus is one peer's health as seen from this server — surfaced
+// on /healthz.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// Reachable is true once the last contact (forward or probe)
+	// succeeded; false after a failure or before any contact.
+	Reachable bool `json:"reachable"`
+	// Contacted distinguishes "never talked to it" from "unreachable".
+	Contacted bool   `json:"contacted"`
+	LastError string `json:"last_error,omitempty"`
+	// Forwards / ForwardErrors count forwarding attempts to this peer.
+	Forwards      int64 `json:"forwards"`
+	ForwardErrors int64 `json:"forward_errors"`
+}
+
+type peerState struct {
+	status PeerStatus
+}
+
+// peerSet tracks the other members of the ring and carries forwarded
+// requests to them.
+type peerSet struct {
+	self   string
+	client *http.Client
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+}
+
+func newPeerSet(self string, urls []string) *peerSet {
+	ps := &peerSet{
+		self: self,
+		// Forwarded requests already run under the caller's deadline via
+		// ctx; the transport timeout is a backstop against a peer that
+		// accepts connections but never answers headers.
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost:   16,
+			ResponseHeaderTimeout: 30 * time.Second,
+		}},
+		peers: map[string]*peerState{},
+	}
+	for _, u := range urls {
+		if u == "" || u == self {
+			continue
+		}
+		if _, ok := ps.peers[u]; !ok {
+			ps.peers[u] = &peerState{status: PeerStatus{URL: u}}
+		}
+	}
+	return ps
+}
+
+// forward relays body to owner's path (e.g. "/optimize"), marking it
+// with the loop-guard header, and returns the owner's verbatim status
+// and response body.  Transport-level failures (dial, timeout) are
+// errors — the caller falls back to serving locally; an HTTP-level
+// response of any status is a success for forwarding purposes (the
+// owner answered; its 4xx/5xx is relayed as-is).
+func (ps *peerSet) forward(ctx context.Context, owner, path string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
+	if err != nil {
+		ps.record(owner, true, err)
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, ps.self)
+	resp, err := ps.client.Do(req)
+	if err != nil {
+		ps.record(owner, true, err)
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ps.record(owner, true, err)
+		return 0, nil, nil, err
+	}
+	ps.record(owner, true, nil)
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// probe checks one peer's liveness via GET /healthz.
+func (ps *peerSet) probe(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		ps.record(url, false, err)
+		return err
+	}
+	resp, err := ps.client.Do(req)
+	if err != nil {
+		ps.record(url, false, err)
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		err = fmt.Errorf("healthz status %d", resp.StatusCode)
+		ps.record(url, false, err)
+		return err
+	}
+	ps.record(url, false, nil)
+	return nil
+}
+
+// probeAll probes every peer concurrently within the context deadline.
+func (ps *peerSet) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, url := range ps.urls() {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			ps.probe(ctx, u)
+		}(url)
+	}
+	wg.Wait()
+}
+
+func (ps *peerSet) urls() []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]string, 0, len(ps.peers))
+	for u := range ps.peers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ps *peerSet) record(url string, wasForward bool, err error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st, ok := ps.peers[url]
+	if !ok {
+		st = &peerState{status: PeerStatus{URL: url}}
+		ps.peers[url] = st
+	}
+	st.status.Contacted = true
+	if wasForward {
+		st.status.Forwards++
+		if err != nil {
+			st.status.ForwardErrors++
+		}
+	}
+	if err != nil {
+		st.status.Reachable = false
+		st.status.LastError = err.Error()
+	} else {
+		st.status.Reachable = true
+		st.status.LastError = ""
+	}
+}
+
+// statuses snapshots every peer's health, sorted by URL.
+func (ps *peerSet) statuses() []PeerStatus {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]PeerStatus, 0, len(ps.peers))
+	for _, st := range ps.peers {
+		out = append(out, st.status)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}

@@ -29,11 +29,13 @@ type poolJob struct {
 // without running.  Close drains gracefully: no new work is admitted,
 // everything already queued runs to completion.
 type Pool struct {
-	mu     sync.RWMutex
-	closed bool
-	jobs   chan poolJob
-	wg     sync.WaitGroup
-	queued atomic.Int64
+	mu      sync.RWMutex
+	closed  bool
+	jobs    chan poolJob
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	senders sync.WaitGroup
+	queued  atomic.Int64
 }
 
 // NewPool starts a pool with the given worker and queue bounds
@@ -45,7 +47,7 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 0
 	}
-	p := &Pool{jobs: make(chan poolJob, workers+queue)}
+	p := &Pool{jobs: make(chan poolJob, workers+queue), quit: make(chan struct{})}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -95,6 +97,46 @@ func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context)) error {
 	}
 }
 
+// DoWait submits fn like Do, but blocks for a queue slot instead of
+// shedding with ErrQueueFull — the admission policy for work that has
+// already been admitted once at a coarser granularity (each item of an
+// accepted batch request).  It still returns ErrPoolClosed after Close
+// and ctx.Err() if the context expires while waiting for a slot or for
+// fn to complete.
+func (p *Pool) DoWait(ctx context.Context, fn func(ctx context.Context)) error {
+	j := poolJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	// Registering as a sender while holding the read lock means Close
+	// (which takes the write lock first) always sees us in the senders
+	// group before it closes the jobs channel — a blocked DoWait wakes
+	// on quit, never sends on a closed channel.
+	p.senders.Add(1)
+	p.mu.RUnlock()
+	defer p.senders.Done()
+
+	p.queued.Add(1)
+	select {
+	case p.jobs <- j:
+	case <-p.quit:
+		p.queued.Add(-1)
+		return ErrPoolClosed
+	case <-ctx.Done():
+		p.queued.Add(-1)
+		return ctx.Err()
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // QueueDepth reports how many admitted jobs have not yet started — the
 // admission gauge exported on /debug/vars.
 func (p *Pool) QueueDepth() int64 { return p.queued.Load() }
@@ -108,7 +150,11 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
-	close(p.jobs)
+	close(p.quit)
 	p.mu.Unlock()
+	// Blocked DoWait senders have woken on quit; once they are gone the
+	// jobs channel can close without racing a send.
+	p.senders.Wait()
+	close(p.jobs)
 	p.wg.Wait()
 }

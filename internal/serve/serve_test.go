@@ -27,6 +27,16 @@ func driver(n: int): int {
 }
 `
 
+// newServer builds a test server, failing the test on config errors.
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func postOptimize(t *testing.T, ts *httptest.Server, req OptimizeRequest) (int, OptimizeResponse, string) {
 	t.Helper()
 	body, err := json.Marshal(req)
@@ -55,7 +65,7 @@ func postOptimize(t *testing.T, ts *httptest.Server, req OptimizeRequest) (int, 
 // parseable ILOC back, interpret it via the run spec, and hit the cache
 // on a repeat request.
 func TestOptimizeEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -115,7 +125,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 // hash to the same cache key — the cache is addressed by canonical
 // content, not by the textual spelling of the request.
 func TestCanonicalAddressing(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -141,7 +151,7 @@ func TestCanonicalAddressing(t *testing.T) {
 // different GVN backends must address different cache slots — and an
 // invalid backend is a 400, not a cache entry.
 func TestGVNBackendCacheDimension(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -193,7 +203,7 @@ func TestGVNBackendCacheDimension(t *testing.T) {
 // cache entry, every backend pair gets its own slot, and all backends
 // agree on the program's result.
 func TestPREBackendCacheDimension(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -270,7 +280,7 @@ func TestPREBackendCacheDimension(t *testing.T) {
 // requests cost exactly one cache-miss optimization; everyone gets the
 // same bytes back.
 func TestSingleFlight100(t *testing.T) {
-	s := New(Config{Workers: 4})
+	s := newServer(t, Config{Workers: 4})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -333,7 +343,7 @@ func TestSingleFlight100(t *testing.T) {
 // TestCheckedMode: check:true routes through the per-pass validation
 // machinery and reports clean diagnostics for correct code.
 func TestCheckedMode(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -353,7 +363,7 @@ func TestCheckedMode(t *testing.T) {
 
 // TestBadRequests: malformed body, unknown level, broken source.
 func TestBadRequests(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -395,7 +405,7 @@ func TestBadRequests(t *testing.T) {
 // TestDebugPprof verifies the live-profiling surface: the pprof index
 // and a sample profile are served off the debug mux.
 func TestDebugPprof(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -413,7 +423,7 @@ func TestDebugPprof(t *testing.T) {
 }
 
 func TestDebugVars(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -476,7 +486,7 @@ func TestDebugVars(t *testing.T) {
 // TestLevelsEndpoint: /levels lists the pipelines and a sorted pass
 // inventory.
 func TestLevelsEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -515,7 +525,7 @@ func TestLevelsEndpoint(t *testing.T) {
 // admitted, so the outcome is deterministic; mid-interpretation
 // cancellation is covered by the interp and core context tests.)
 func TestTimeout(t *testing.T) {
-	s := New(Config{Timeout: time.Nanosecond})
+	s := newServer(t, Config{Timeout: time.Nanosecond})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -532,7 +542,7 @@ func TestTimeout(t *testing.T) {
 // gracefully when SIGTERM arrives — the in-flight request completes,
 // Run returns nil, and liveness flips to draining.
 func TestHealthzAndSIGTERM(t *testing.T) {
-	s := New(Config{DrainTimeout: 5 * time.Second})
+	s := newServer(t, Config{DrainTimeout: 5 * time.Second})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -4,44 +4,42 @@
 // pool, and returns the optimized ILOC together with static/dynamic
 // operation statistics and checker diagnostics.
 //
-// The daemon's spine is the same shape as an inference-serving stack:
+// The package is layered like an inference-serving stack, and the files
+// follow the layers:
 //
-//   - admission: a bounded worker pool ([Pool]) with a bounded queue;
-//     requests beyond capacity are shed with 503 rather than piling up;
-//   - deduplication: a content-addressed LRU result cache ([Cache])
-//     keyed by SHA-256 of (pipeline version, level, checked?, canonical
-//     ILOC), with single-flight coalescing so N concurrent identical
-//     requests cost one optimization;
-//   - deadlines: every request runs under a context deadline that is
-//     plumbed through the optimizer, the checker's differential
-//     interpretation, and the interpreter;
-//   - observability: request/cache/timeout counters, per-pass wall
-//     time, and a live queue-depth gauge on /debug/vars, plus /healthz
-//     for liveness (503 while draining);
-//   - graceful drain: Run shuts the listener down on context
-//     cancellation (the daemon wires SIGINT/SIGTERM to it), completes
-//     in-flight requests, and drains the pool.
+//   - transport (transport.go, batch.go): HTTP handlers decode
+//     requests, route them — including forwarding a request to the ring
+//     peer that owns its cache key — and map errors onto status codes.
+//     The batch endpoint amortizes HTTP+JSON overhead over many
+//     programs per request.
+//   - cache (cache.go, diskstore.go, ring.go, peers.go): a
+//     content-addressed LRU keyed by SHA-256 of (pipeline version,
+//     level, checked?, canonical ILOC) with single-flight coalescing,
+//     backed by an optional persistent on-disk store that survives
+//     restarts and is sharded across peers by a consistent-hash ring.
+//   - pool (pool.go): a bounded worker pool with a bounded admission
+//     queue; single requests beyond capacity are shed with 503, batch
+//     items block for a slot instead (the batch was already admitted).
+//
+// Everything runs under per-request context deadlines plumbed through
+// the optimizer, the checker and the interpreter; counters for every
+// layer are exported on /debug/vars and /healthz reports liveness plus
+// per-peer ring health.  Run drains gracefully on SIGINT/SIGTERM.
 package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
-	"sort"
-	"strconv"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/minift"
 )
 
 // Config tunes the service; the zero value picks sensible defaults.
@@ -51,7 +49,8 @@ type Config struct {
 	Workers int
 	// Queue bounds additionally queued optimizations (default 64).
 	Queue int
-	// CacheSize bounds the result cache, in entries (default 256).
+	// CacheSize bounds the in-memory result cache, in entries (default
+	// 256).
 	CacheSize int
 	// Timeout is the per-request deadline (default 30s).
 	Timeout time.Duration
@@ -62,6 +61,32 @@ type Config struct {
 	// with many concurrent requests, request-level parallelism already
 	// saturates the pool).
 	OptWorkers int
+	// MaxBatch bounds the item count of one /optimize/batch request
+	// (default 256).
+	MaxBatch int
+
+	// CacheDir, when set, roots a persistent content-addressed result
+	// store underneath the LRU: misses consult it before recomputing,
+	// results are written back, and at startup the most recent entries
+	// are warmed into the LRU so a restarted server keeps its hit rate.
+	CacheDir string
+	// DiskCacheBytes bounds the on-disk store (0 = unlimited); least
+	// recently used entries are evicted past the budget.
+	DiskCacheBytes int64
+	// DiskFsync syncs entry files before the atomic rename (slower;
+	// survives power loss, not just process death).
+	DiskFsync bool
+
+	// Peers is the full list of server base URLs forming a
+	// consistent-hash ring over the cache key space, including this
+	// server's own URL (Self).  With fewer than two distinct peers the
+	// ring is disabled and every key is owned locally.
+	Peers []string
+	// Self is this server's base URL as it appears in Peers.
+	Self string
+	// Vnodes is the virtual-node count per peer on the ring (default
+	// DefaultVnodes = 128).
+	Vnodes int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,85 +108,39 @@ func (c Config) withDefaults() Config {
 	if c.OptWorkers <= 0 {
 		c.OptWorkers = 1
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
 	return c
 }
 
-// OptimizeRequest is the POST /optimize body.
-type OptimizeRequest struct {
-	// Source is Mini-Fortran or textual ILOC.
-	Source string `json:"source"`
-	// Format forces the source language: "mf" or "iloc".  Empty means
-	// sniff (ILOC programs start with the "program" keyword).
-	Format string `json:"format,omitempty"`
-	// Level is the optimization level name (default "reassoc").
-	Level string `json:"level,omitempty"`
-	// GVN selects the value-numbering backend: "awz" (default) or
-	// "precise".  The backend is a cache-key dimension — each backend
-	// has its own pipeline version, so results never cross over.
-	GVN string `json:"gvn,omitempty"`
-	// PRE selects the redundancy-elimination backend: "drechsler"
-	// (default), "lcm" or "lospre".  Like GVN it is a cache-key
-	// dimension via the per-combination pipeline version.
-	PRE string `json:"pre,omitempty"`
-	// Check runs the optimization in checked mode: every pass is
-	// validated by the internal/check analyzers and the diagnostics are
-	// returned.
-	Check bool `json:"check,omitempty"`
-	// Run optionally interprets the optimized program.
-	Run *RunSpec `json:"run,omitempty"`
-}
-
-// RunSpec asks the service to interpret the optimized program.
-type RunSpec struct {
-	// Fn is the function to call (required).
-	Fn string `json:"fn"`
-	// Args are the call arguments, one per parameter, written like the
-	// CLI's -args values: "42" is an integer, "4.2" a float.
-	Args []string `json:"args,omitempty"`
-}
-
-// RunResult reports one interpretation.
-type RunResult struct {
-	Result     string   `json:"result"`
-	DynamicOps int64    `json:"dynamic_ops"`
-	Output     []string `json:"output,omitempty"`
-}
-
-// OptimizeResponse is the POST /optimize reply.
-type OptimizeResponse struct {
-	// Key is the content-addressed cache key of this result.
-	Key string `json:"key"`
-	// Cached reports that the result came from the cache; Shared that
-	// this request coalesced onto a concurrent identical one.
-	Cached bool   `json:"cached"`
-	Shared bool   `json:"shared,omitempty"`
-	Level  string `json:"level"`
-	// GVN is the value-numbering backend the result was produced with.
-	GVN string `json:"gvn"`
-	// PRE is the redundancy-elimination backend the result was
-	// produced with.
-	PRE string `json:"pre"`
-	// ILOC is the optimized program.
-	ILOC      string `json:"iloc"`
-	StaticOps int    `json:"static_ops"`
-	// Diagnostics are the checker findings (checked mode only; empty
-	// means the optimization validated cleanly).
-	Diagnostics []string   `json:"diagnostics,omitempty"`
-	Run         *RunResult `json:"run,omitempty"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// cachedResult is what the cache stores per key.  The program pointer
-// is immutable after construction: interpretation never mutates the
-// program, so concurrent Run requests can share it.
+// cachedResult is what the cache stores per key.  The parsed program is
+// derived lazily from the ILOC text (results warmed from disk never pay
+// for parsing unless a run is requested); once built it is immutable,
+// so concurrent Run requests share it.
 type cachedResult struct {
 	iloc      string
 	staticOps int
 	diags     []string
-	prog      *ir.Program
+
+	once    sync.Once
+	prog    *ir.Program
+	progErr error
+}
+
+// program returns the parsed optimized program, building it on first
+// use.  Results constructed by the optimizer carry their program
+// already; disk- and warm-path results parse their ILOC here.
+func (c *cachedResult) program() (*ir.Program, error) {
+	c.once.Do(func() {
+		if c.prog == nil {
+			c.prog, c.progErr = ir.ParseProgramString(c.iloc)
+		}
+	})
+	return c.prog, c.progErr
 }
 
 // Server is the optimization service.
@@ -169,12 +148,20 @@ type Server struct {
 	cfg      Config
 	pool     *Pool
 	cache    *Cache
+	disk     *DiskStore
+	ring     *Ring
+	peers    *peerSet
 	metrics  *Metrics
 	mux      *http.ServeMux
 	hs       *http.Server
 	version  string
 	versions map[backendPair]string
 	draining atomic.Bool
+
+	// computeGate, when set (tests only), is invoked at the start of
+	// every cache-miss computation — a rendezvous for deterministic
+	// single-flight tests.
+	computeGate func(key string)
 }
 
 // backendPair is one point of the (GVN × PRE) backend product — the
@@ -184,9 +171,10 @@ type backendPair struct {
 	pre core.PREBackend
 }
 
-// New assembles a server (pool, cache, metrics, routes); it does not
-// listen yet.
-func New(cfg Config) *Server {
+// New assembles a server (pool, cache, disk store, ring, metrics,
+// routes); it does not listen yet.  It fails only when a configured
+// CacheDir cannot be opened.
+func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg.withDefaults(), version: core.PipelineVersion()}
 	// Per-combination pipeline versions, each folded into the cache
 	// keys of the requests that select that backend pair: results
@@ -200,8 +188,22 @@ func New(cfg Config) *Server {
 	s.pool = NewPool(s.cfg.Workers, s.cfg.Queue)
 	s.cache = NewCache(s.cfg.CacheSize)
 	s.metrics = NewMetrics(s.pool.QueueDepth)
+	if s.cfg.CacheDir != "" {
+		disk, err := OpenDiskStore(s.cfg.CacheDir, s.cfg.DiskCacheBytes, s.cfg.DiskFsync)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.disk.onCorrupt = func() { s.metrics.diskCorrupt.Add(1) }
+		s.warm()
+	}
+	if ring := NewRing(s.cfg.Peers, s.cfg.Vnodes); ring != nil && len(ring.Nodes()) > 1 {
+		s.ring = ring
+		s.peers = newPeerSet(s.cfg.Self, ring.Nodes())
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/optimize/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/levels", s.handleLevels)
 	s.mux.Handle("/debug/vars", s.metrics)
@@ -214,7 +216,24 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
-	return s
+	return s, nil
+}
+
+// warm pre-loads the hot set — the most recently used disk entries, up
+// to the LRU's capacity — into the in-memory cache, so the first pass
+// of traffic after a restart hits memory, not disk.
+func (s *Server) warm() {
+	keys := s.disk.RecentKeys(s.cfg.CacheSize)
+	// Oldest of the hot set first, so LRU recency ends up matching disk
+	// recency.
+	for i := len(keys) - 1; i >= 0; i-- {
+		res, ok := s.disk.Get(keys[i])
+		if !ok {
+			continue
+		}
+		s.cache.Put(keys[i], &cachedResult{iloc: res.ILOC, staticOps: res.StaticOps, diags: res.Diags})
+		s.metrics.diskWarmed.Add(1)
+	}
 }
 
 // Handler exposes the service's routes, for tests and embedding.
@@ -225,6 +244,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Version is the pipeline version folded into every cache key.
 func (s *Server) Version() string { return s.version }
+
+// Disk exposes the persistent store (nil without CacheDir), for tests.
+func (s *Server) Disk() *DiskStore { return s.disk }
+
+// Ring exposes the peer ring (nil when unsharded), for tests.
+func (s *Server) Ring() *Ring { return s.ring }
 
 // Serve accepts connections on l until Shutdown.
 func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
@@ -259,105 +284,106 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 	return err
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// reqSpec is one parsed, validated, keyed optimization request — the
+// unit the cache/pool layers work on, shared by the single and batch
+// transports.
+type reqSpec struct {
+	prog    *ir.Program
+	level   core.Level
+	gvn     core.GVNBackend
+	pre     core.PREBackend
+	checked bool
+	run     *RunSpec
+	key     string
 }
 
-// handleLevels lists the optimization levels and their pass sequences,
-// plus the individually runnable passes (sorted by name) and the
-// pipeline version — the service's self-description.
-func (s *Server) handleLevels(w http.ResponseWriter, r *http.Request) {
-	type levelInfo struct {
-		Name   string   `json:"name"`
-		Passes []string `json:"passes"`
-	}
-	var levels []levelInfo
-	for _, l := range core.Levels {
-		levels = append(levels, levelInfo{Name: string(l), Passes: core.PassNames(l)})
-	}
-	var passes []string
-	for _, p := range core.AllPasses() {
-		passes = append(passes, p.Name)
-	}
-	sort.Strings(passes)
-	gvnVersions := make(map[string]string, len(core.GVNBackends))
-	for _, g := range core.GVNBackends {
-		gvnVersions[string(g)] = s.versions[backendPair{g, core.PREDrechsler}]
-	}
-	preVersions := make(map[string]string, len(core.PREBackends))
-	for _, p := range core.PREBackends {
-		preVersions[string(p)] = s.versions[backendPair{core.GVNAWZ, p}]
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version":      s.version,
-		"levels":       levels,
-		"passes":       passes,
-		"gvn_backends": gvnVersions,
-		"pre_backends": preVersions,
-	})
-}
-
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	s.metrics.requests.Add(1)
-	s.metrics.inFlight.Add(1)
-	defer s.metrics.inFlight.Add(-1)
-
-	var req OptimizeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
-	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
+// prepare validates one OptimizeRequest into a reqSpec.  All failures
+// here are the client's fault (HTTP 400).
+func (s *Server) prepare(req *OptimizeRequest) (*reqSpec, error) {
 	levelName := req.Level
 	if levelName == "" {
 		levelName = "reassoc"
 	}
 	level, err := core.ParseLevel(levelName)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	gvnBackend, err := core.ParseGVNBackend(req.GVN)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	preBackend, err := core.ParsePREBackend(req.PRE)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
 	prog, err := parseSource(req.Source, req.Format)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
+		return nil, err
 	}
-	canonical := prog.String()
-	key := CacheKey(canonical, string(level), s.versions[backendPair{gvnBackend, preBackend}], req.Check)
+	spec := &reqSpec{
+		prog:    prog,
+		level:   level,
+		gvn:     gvnBackend,
+		pre:     preBackend,
+		checked: req.Check,
+		run:     req.Run,
+	}
+	spec.key = CacheKey(prog.String(), string(level), s.versions[backendPair{gvnBackend, preBackend}], req.Check)
+	return spec, nil
+}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
-	defer cancel()
+// ownerOf maps a cache key to its ring owner.  local is true when this
+// server owns the key (or no ring is configured).
+func (s *Server) ownerOf(key string) (owner string, local bool) {
+	if s.ring == nil {
+		return "", true
+	}
+	owner = s.ring.Owner(key)
+	return owner, owner == s.cfg.Self
+}
 
-	val, hit, shared, err := s.cache.Do(ctx, key, func() (any, error) {
+// localOutcome reports how serveLocal satisfied a request, for the
+// response's cache-provenance fields.
+type localOutcome struct {
+	hit     bool // in-memory cache hit
+	shared  bool // coalesced onto a concurrent identical computation
+	diskHit bool // answered from the persistent store without recompute
+}
+
+// serveLocal answers one spec from this server: memory cache, then the
+// in-flight table, then the disk store, then an actual optimization on
+// the pool (written back to disk).  `admitted` selects the pool
+// admission policy: false sheds with ErrQueueFull when the queue is
+// full (single requests), true blocks for a slot (batch items, which
+// were admitted as part of their batch).
+func (s *Server) serveLocal(ctx context.Context, spec *reqSpec, admitted bool) (*cachedResult, localOutcome, error) {
+	var out localOutcome
+	val, hit, shared, err := s.cache.Do(ctx, spec.key, func() (any, error) {
+		if gate := s.computeGate; gate != nil {
+			gate(spec.key)
+		}
+		if res, ok := s.disk.Get(spec.key); ok {
+			out.diskHit = true
+			s.metrics.diskHits.Add(1)
+			return &cachedResult{iloc: res.ILOC, staticOps: res.StaticOps, diags: res.Diags}, nil
+		}
 		s.metrics.cacheMisses.Add(1)
 		var (
 			res  *cachedResult
 			oerr error
 			ran  bool
 		)
-		if perr := s.pool.Do(ctx, func(ctx context.Context) {
+		job := func(ctx context.Context) {
 			ran = true
-			res, oerr = s.optimize(ctx, prog, level, gvnBackend, preBackend, req.Check)
-		}); perr != nil {
+			res, oerr = s.optimize(ctx, spec)
+		}
+		var perr error
+		if admitted {
+			perr = s.pool.DoWait(ctx, job)
+		} else {
+			perr = s.pool.Do(ctx, job)
+		}
+		if perr != nil {
 			return nil, perr
 		}
 		if !ran {
@@ -368,8 +394,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			}
 			return nil, errors.New("serve: job skipped")
 		}
-		return res, oerr
+		if oerr != nil {
+			return nil, oerr
+		}
+		if s.disk != nil {
+			if derr := s.disk.Put(spec.key, &storedResult{ILOC: res.iloc, StaticOps: res.staticOps, Diags: res.diags}); derr == nil {
+				s.metrics.diskWrites.Add(1)
+			}
+		}
+		return res, nil
 	})
+	out.hit, out.shared = hit, shared
 	switch {
 	case hit:
 		s.metrics.cacheHits.Add(1)
@@ -377,52 +412,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.metrics.shared.Add(1)
 	}
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrPoolClosed):
-			s.metrics.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.failQuiet(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			s.metrics.timeouts.Add(1)
-			s.failQuiet(w, http.StatusGatewayTimeout, err)
-		default:
-			s.fail(w, http.StatusUnprocessableEntity, err)
-		}
-		return
+		return nil, out, err
 	}
-	res := val.(*cachedResult)
-
-	resp := &OptimizeResponse{
-		Key:         key,
-		Cached:      hit,
-		Shared:      shared,
-		Level:       string(level),
-		GVN:         string(gvnBackend),
-		PRE:         string(preBackend),
-		ILOC:        res.iloc,
-		StaticOps:   res.staticOps,
-		Diagnostics: res.diags,
-	}
-	if req.Run != nil {
-		rr, err := runProgram(ctx, res.prog, req.Run)
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				s.metrics.timeouts.Add(1)
-				s.failQuiet(w, http.StatusGatewayTimeout, err)
-			} else {
-				s.fail(w, http.StatusUnprocessableEntity, err)
-			}
-			return
-		}
-		resp.Run = rr
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return val.(*cachedResult), out, nil
 }
 
 // optimize is the cache-miss path, executed on a pool worker.
-func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Level, gvn core.GVNBackend, pre core.PREBackend, checked bool) (*cachedResult, error) {
-	if checked {
-		out, diags, err := core.CheckedOptimizeFor(ctx, prog, level, gvn, pre)
+func (s *Server) optimize(ctx context.Context, spec *reqSpec) (*cachedResult, error) {
+	if spec.checked {
+		out, diags, err := core.CheckedOptimizeFor(ctx, spec.prog, spec.level, spec.gvn, spec.pre)
 		if err != nil {
 			return nil, err
 		}
@@ -432,12 +430,12 @@ func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Leve
 		}
 		return &cachedResult{iloc: out.String(), staticOps: out.InstrCount(), diags: msgs, prog: out}, nil
 	}
-	out, err := core.OptimizeWith(prog, level, core.OptimizeOptions{
+	out, err := core.OptimizeWith(spec.prog, spec.level, core.OptimizeOptions{
 		Ctx:     ctx,
 		Workers: s.cfg.OptWorkers,
 		OnPass:  s.metrics.ObservePass,
-		GVN:     gvn,
-		PRE:     pre,
+		GVN:     spec.gvn,
+		PRE:     spec.pre,
 	})
 	if err != nil {
 		return nil, err
@@ -445,94 +443,31 @@ func (s *Server) optimize(ctx context.Context, prog *ir.Program, level core.Leve
 	return &cachedResult{iloc: out.String(), staticOps: out.InstrCount(), prog: out}, nil
 }
 
-// runProgram interprets the optimized program under the request
-// deadline.
-func runProgram(ctx context.Context, prog *ir.Program, spec *RunSpec) (*RunResult, error) {
-	if spec.Fn == "" {
-		return nil, errors.New("run: missing fn")
+// respond builds the wire response for a locally served spec, running
+// the optional interpretation.
+func (s *Server) respond(ctx context.Context, spec *reqSpec, res *cachedResult, out localOutcome) (*OptimizeResponse, error) {
+	resp := &OptimizeResponse{
+		Key:         spec.key,
+		Cached:      out.hit,
+		Shared:      out.shared,
+		DiskCached:  out.diskHit,
+		Level:       string(spec.level),
+		GVN:         string(spec.gvn),
+		PRE:         string(spec.pre),
+		ILOC:        res.iloc,
+		StaticOps:   res.staticOps,
+		Diagnostics: res.diags,
 	}
-	args, err := parseArgs(spec.Args)
-	if err != nil {
-		return nil, err
-	}
-	m := interp.NewMachine(prog)
-	m.SetContext(ctx)
-	v, err := m.Call(spec.Fn, args...)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, len(m.Output))
-	for i, o := range m.Output {
-		out[i] = o.String()
-	}
-	return &RunResult{Result: v.String(), DynamicOps: m.Steps, Output: out}, nil
-}
-
-// parseSource compiles Mini-Fortran or parses ILOC, verifying either
-// way.  An empty format sniffs: textual ILOC programs begin with the
-// "program" keyword.
-func parseSource(src, format string) (*ir.Program, error) {
-	if format == "" {
-		if strings.HasPrefix(strings.TrimSpace(src), "program") {
-			format = "iloc"
-		} else {
-			format = "mf"
-		}
-	}
-	switch format {
-	case "iloc":
-		p, err := ir.ParseProgramString(src)
+	if spec.run != nil {
+		prog, err := res.program()
 		if err != nil {
 			return nil, err
 		}
-		if err := ir.VerifyProgram(p); err != nil {
+		rr, err := runProgram(ctx, prog, spec.run)
+		if err != nil {
 			return nil, err
 		}
-		return p, nil
-	case "mf":
-		return minift.Compile(src)
+		resp.Run = rr
 	}
-	return nil, fmt.Errorf("unknown source format %q (want \"mf\" or \"iloc\")", format)
-}
-
-// parseArgs converts CLI-style argument strings ("42" int, "4.2"
-// float) into interpreter values.
-func parseArgs(specs []string) ([]interp.Value, error) {
-	vals := make([]interp.Value, 0, len(specs))
-	for _, tok := range specs {
-		tok = strings.TrimSpace(tok)
-		if strings.ContainsAny(tok, ".eE") {
-			f, err := strconv.ParseFloat(tok, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad argument %q", tok)
-			}
-			vals = append(vals, interp.FloatVal(f))
-		} else {
-			i, err := strconv.ParseInt(tok, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad argument %q", tok)
-			}
-			vals = append(vals, interp.IntVal(i))
-		}
-	}
-	return vals, nil
-}
-
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.metrics.errors.Add(1)
-	s.failQuiet(w, status, err)
-}
-
-// failQuiet writes an error response without bumping the error counter
-// (load shedding and timeouts have their own counters).
-func (s *Server) failQuiet(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	return resp, nil
 }

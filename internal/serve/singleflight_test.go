@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleFlightDeterministic pins the dedup path open with the
+// computeGate hook: the leader's computation blocks until every
+// follower has provably joined the in-flight table (observed via
+// FlightWaiters), so `singleflight_shared` is asserted exactly — no
+// timing luck, no flakes on fast machines.
+func TestSingleFlightDeterministic(t *testing.T) {
+	const followers = 6
+	s := newServer(t, Config{Workers: 2})
+	gateDone := make(chan struct{})
+	s.computeGate = func(key string) {
+		defer close(gateDone)
+		deadline := time.Now().Add(10 * time.Second)
+		for s.cache.FlightWaiters(key) < followers {
+			if time.Now().After(deadline) {
+				return // the assertions below will report the failure
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(OptimizeRequest{Source: serveSrc, Level: "dist"})
+	post := func() (OptimizeResponse, error) {
+		resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return OptimizeResponse{}, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return OptimizeResponse{}, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		}
+		var out OptimizeResponse
+		return out, json.Unmarshal(raw, &out)
+	}
+
+	var wg sync.WaitGroup
+	results := make([]OptimizeResponse, followers+1)
+	errs := make([]error, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = post()
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case <-gateDone:
+	default:
+		t.Fatal("computeGate never ran: no cache miss happened")
+	}
+
+	var leaders, sharedN int
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		switch {
+		case results[i].Shared:
+			sharedN++
+		case !results[i].Cached:
+			leaders++
+		}
+		if results[i].ILOC != results[0].ILOC || results[i].Key != results[0].Key {
+			t.Errorf("request %d returned different bytes", i)
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d, want exactly 1", leaders)
+	}
+	if sharedN != followers {
+		t.Errorf("shared responses = %d, want %d", sharedN, followers)
+	}
+	m := s.Metrics()
+	if got := m.Get("singleflight_shared"); got != followers {
+		t.Errorf("singleflight_shared = %d, want %d", got, followers)
+	}
+	if got := m.Get("cache_misses"); got != 1 {
+		t.Errorf("cache_misses = %d, want 1", got)
+	}
+}

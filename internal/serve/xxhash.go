@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxHash64 (XXH64, seed 0), implemented from the published algorithm so
+// the ring needs no dependency outside the standard library.  The ring
+// hashes short ASCII strings (peer URLs with vnode suffixes, 64-char
+// hex cache keys), where XXH64's avalanche quality keeps vnode
+// positions uniform; correctness is pinned against the reference
+// vectors in xxhash_test.go.
+
+const (
+	xxPrime1 uint64 = 11400714785074694791
+	xxPrime2 uint64 = 14029467366897019727
+	xxPrime3 uint64 = 1609587929392839161
+	xxPrime4 uint64 = 9650029242287828579
+	xxPrime5 uint64 = 2870177450012600261
+)
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = bits.RotateLeft64(acc, 31)
+	acc *= xxPrime1
+	return acc
+}
+
+func xxMergeRound(h, v uint64) uint64 {
+	h ^= xxRound(0, v)
+	h = h*xxPrime1 + xxPrime4
+	return h
+}
+
+// xxhash64 returns XXH64(b) with seed 0.
+func xxhash64(b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := xxPrime1
+		v1 += xxPrime2 // wrapping add; the constant sum overflows untyped arithmetic
+		v2 := xxPrime2
+		v3 := uint64(0)
+		v4 := uint64(0)
+		v4 -= xxPrime1
+		for len(b) >= 32 {
+			v1 = xxRound(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = xxRound(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = xxRound(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = xxRound(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMergeRound(h, v1)
+		h = xxMergeRound(h, v2)
+		h = xxMergeRound(h, v3)
+		h = xxMergeRound(h, v4)
+	} else {
+		h = xxPrime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(b[:8]))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}
+
+// xxhash64String is xxhash64 without forcing the caller to copy the
+// string into a byte slice first.
+func xxhash64String(s string) uint64 {
+	// The compiler does not eliminate this copy across the package
+	// boundary of binary.LittleEndian, but ring construction and key
+	// lookup hash short strings, so the copy is cheap and keeps the
+	// implementation obviously correct.
+	return xxhash64([]byte(s))
+}
