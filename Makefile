@@ -36,10 +36,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Short fuzz session over the parser round-trip corpus (not part of
-# `check`; the committed seeds already run under plain `go test`).
+# Short fuzz sessions over the parser round-trip corpus and the PL/0
+# front end (not part of `check`; the committed seeds already run under
+# plain `go test`).
 fuzz:
 	$(GO) test ./internal/ir/ -fuzz FuzzParseRoundTrip -fuzztime 30s
+	$(GO) test ./internal/pl0/ -fuzz FuzzPL0Parse -fuzztime 30s
 
 # Differential-fuzzing smoke test, part of `check`: 200 generated
 # programs at fixed seeds, every optimization level interpreted
@@ -53,6 +55,8 @@ fuzz-smoke:
 	$(GO) run ./cmd/epre fuzz -seed 1 -n 200 -workers 4
 	$(GO) run ./cmd/epre fuzz -seed 1000 -n 200 -workers 4 -gvn-diff
 	$(GO) run ./cmd/epre fuzz -seed 2000 -n 200 -workers 4 -pre-diff
+	$(GO) run ./cmd/epre fuzz -seed 3000 -n 150 -workers 4 -call-heavy \
+		-gvn-diff -pre-diff
 
 # Performance tracking: Go micro-benchmarks, the serve/table1 bench
 # (single-flight dedup assertion, analysis-cache counts into
@@ -90,3 +94,5 @@ bench-hotpath-smoke:
 bench-serve-smoke:
 	$(GO) run ./cmd/epre loadgen -out '' -requests 24 -corpus-n 6 \
 		-workers 4 -batch 6
+	$(GO) run ./cmd/epre loadgen -out '' -requests 16 -corpus suite \
+		-workers 4 -batch 4

@@ -18,7 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
-	"repro/internal/minift"
+	"repro/internal/lang"
 	"repro/internal/progen"
 	"repro/internal/serve"
 	"repro/internal/suite"
@@ -649,11 +649,9 @@ func cmdLoadgen(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// parseAny compiles Mini-Fortran or parses ILOC by sniffing, mirroring
-// the service's request parser.
+// parseAny compiles any supported source language by sniffing its
+// leading keyword, mirroring the service's request parser.
 func parseAny(src string) (*ir.Program, error) {
-	if p, err := ir.ParseProgramString(src); err == nil {
-		return p, nil
-	}
-	return minift.Compile(src)
+	p, _, err := lang.Compile(src, "")
+	return p, err
 }

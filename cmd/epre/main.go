@@ -1,13 +1,13 @@
-// Command epre is the reproduction driver: it compiles Mini-Fortran,
-// optimizes at the paper's levels, interprets with dynamic operation
-// counting, and regenerates the paper's tables.
+// Command epre is the reproduction driver: it compiles Mini-Fortran
+// and PL/0, optimizes at the paper's levels, interprets with dynamic
+// operation counting, and regenerates the paper's tables.
 //
 // Usage:
 //
-//	epre compile [-o out.iloc] file.mf             # Mini-Fortran → ILOC
-//	epre opt -level L [-o out.iloc] file.{mf,iloc} # optimize
-//	epre run [-level L] -fn driver [-args 1,2] file.{mf,iloc}
-//	epre lint [-level L | -passes p,..] file.{mf,iloc}  # semantic checks
+//	epre compile [-o out.iloc] file.{mf,pl0}           # source → ILOC
+//	epre opt -level L [-o out.iloc] file.{mf,pl0,iloc} # optimize
+//	epre run [-level L] -fn driver [-args 1,2] file.{mf,pl0,iloc}
+//	epre lint [-level L | -passes p,..] file.{mf,pl0,iloc}  # checks
 //	epre serve [-addr :8080]                       # optimization service
 //	epre table1 [-parallel N]                      # the paper's Table 1
 //	epre table2                                    # the paper's Table 2
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,7 +38,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ir"
-	"repro/internal/minift"
+	"repro/internal/lang"
 	"repro/internal/suite"
 )
 
@@ -96,11 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  epre compile [-o out.iloc] file.mf
-  epre opt -level LEVEL [-o out.iloc] file.{mf,iloc}
-  epre run [-level LEVEL] -fn NAME [-args a,b,...] file.{mf,iloc}
+  epre compile [-o out.iloc] file.{mf,pl0}
+  epre opt -level LEVEL [-o out.iloc] file.{mf,pl0,iloc}
+  epre run [-level LEVEL] -fn NAME [-args a,b,...] file.{mf,pl0,iloc}
   epre lint [-level LEVEL | -passes a,b,...] [-discipline] [-strict-ssa]
-            [-no-validate] file.{mf,iloc}
+            [-no-validate] file.{mf,pl0,iloc}
   epre serve [-addr :8080] [-workers N] [-queue N] [-cache N]
              [-timeout 30s]   run the concurrent optimization service
   epre table1 [-parallel N] [-gvn awz|precise]
@@ -131,7 +132,7 @@ func usage(w io.Writer) {
                      and counter deltas written to BENCH_serve.json
   epre fuzz [-seed N] [-n N] [-level L|all] [-workers N] [-shrink]
             [-artifact-dir DIR] [-per-pass] [-gvn-diff] [-pre-diff]
-            [-timeout 5m] [-stats]
+            [-call-heavy] [-timeout 5m] [-stats]
                      differential fuzzing: random programs vs. the
                      reference interpreter at every optimization level
                      (-gvn-diff additionally cross-checks the AWZ and
@@ -142,29 +143,30 @@ func usage(w io.Writer) {
   epre levels        list optimization levels and passes`)
 }
 
-// load reads a program from a .mf (Mini-Fortran) or .iloc file.
+// load reads a program from a .mf (Mini-Fortran), .pl0, or .iloc
+// file.  A known extension forces that language; anything else is
+// detected from the source's leading keyword.
 func load(path string) (*epre.Program, error) {
-	data, err := os.ReadFile(path)
+	p, err := loadIR(path)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(path, ".iloc") {
-		return epre.ParseILOC(string(data))
-	}
-	return epre.Compile(string(data))
+	return epre.ParseILOC(p.String())
 }
 
-// loadIR reads the raw IR program for the lint subcommand, which works
-// below the public facade.
+// loadIR reads the raw IR program (the lint subcommand works below
+// the public facade), dispatching through the language registry.
 func loadIR(path string) (*ir.Program, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	if strings.HasSuffix(path, ".iloc") {
-		return ir.ParseProgramString(string(data))
+	name := ""
+	if l := lang.ByExt(filepath.Ext(path)); l != nil {
+		name = l.Name
 	}
-	return minift.Compile(string(data))
+	prog, _, err := lang.Compile(string(data), name)
+	return prog, err
 }
 
 func output(out string, text string) error {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/lang"
 )
 
 func main() {
@@ -88,12 +89,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ilocfilter:", err)
 		return 1
 	}
-	prog, err := ir.ParseProgramString(string(text))
+	// Input is usually ILOC (the pipe case), but a front-end source —
+	// Mini-Fortran or PL/0 — works directly, letting a pipeline start
+	// at `ilocfilter reassoc < prog.pl0` without a compile stage.
+	prog, _, err := lang.Compile(string(text), "")
 	if err != nil {
-		fmt.Fprintln(stderr, "ilocfilter:", err)
-		return 1
-	}
-	if err := ir.VerifyProgram(prog); err != nil {
 		fmt.Fprintln(stderr, "ilocfilter: input:", err)
 		return 1
 	}

@@ -26,7 +26,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/lang"
 	"repro/internal/minift"
+	"repro/internal/pl0"
 	"repro/internal/reassoc"
 	"repro/internal/regalloc"
 )
@@ -80,6 +82,26 @@ func MustCompile(src string) *Program {
 		panic(err)
 	}
 	return p
+}
+
+// CompilePL0 compiles PL/0 source to an unoptimized ILOC program.
+func CompilePL0(src string) (*Program, error) {
+	p, err := pl0.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// CompileAny compiles source in any supported language — Mini-Fortran,
+// PL/0, or textual ILOC — detecting which from the source's leading
+// keyword.
+func CompileAny(src string) (*Program, error) {
+	p, _, err := lang.Compile(src, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
 }
 
 // ParseILOC parses a program in textual ILOC form.

@@ -1,0 +1,72 @@
+// PL/0 arrays: the paper's §3.1 address-arithmetic story on the
+// procedural front end.  The subscript a[(i-1)*n+j] lowers to a naive
+// base + (index-1)*8 chain rebuilt at every reference; partial
+// redundancy elimination alone cannot hoist the row offset out of the
+// inner loop because the chain is shaped wrong, but reassociation
+// rewrites it so PRE can — compare the partial and reassociation
+// levels below.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	epre "repro"
+)
+
+const src = `
+procedure matvec(n);
+var a[36], x[6], y[6], i, k, s;
+begin
+    i := 1;
+    while i <= n do begin
+        x[i] := i * 3 - 7;
+        k := 1;
+        while k <= n do begin
+            a[(i - 1) * n + k] := i * 10 + k;
+            k := k + 1
+        end;
+        i := i + 1
+    end;
+    i := 1;
+    while i <= n do begin
+        s := 0;
+        k := 1;
+        while k <= n do begin
+            s := s + a[(i - 1) * n + k] * x[k];
+            k := k + 1
+        end;
+        y[i] := s;
+        i := i + 1
+    end;
+    s := 0;
+    i := 1;
+    while i <= n do begin
+        s := s + y[i];
+        i := i + 1
+    end;
+    matvec := s
+end;
+
+write matvec(6).
+`
+
+func main() {
+	prog, err := epre.CompilePL0(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("levels (dynamic ILOC operations for matvec(6)):")
+	for _, level := range epre.Levels {
+		opt, err := prog.Optimize(level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := opt.Run("matvec", epre.Int(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %6d ops  static %3d  (matvec = %d)\n",
+			level, res.DynamicOps, opt.StaticOps(), res.Value.I)
+	}
+}

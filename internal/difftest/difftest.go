@@ -79,6 +79,11 @@ type Options struct {
 	// Config overrides the per-seed generator configuration; nil means
 	// progen.ForSeed, which sweeps the shape space.
 	Config *progen.Config
+	// CallHeavy forces the generator's call-heavy shape on top of the
+	// per-seed sweep (or the explicit Config): dense call sites and
+	// depth-two call chains, the silhouette procedural front ends
+	// produce.
+	CallHeavy bool
 	// Optimize overrides the optimizer under test (nil = real pipeline).
 	Optimize OptimizeFunc
 	// MaxSteps bounds each reference execution (default 1<<20); the
@@ -338,6 +343,9 @@ func testSeed(ctx context.Context, seed uint64, opt Options) []Failure {
 	cfg := progen.ForSeed(seed)
 	if opt.Config != nil {
 		cfg = *opt.Config
+	}
+	if opt.CallHeavy {
+		cfg.CallHeavy = true
 	}
 	prog := progen.Generate(cfg, seed)
 	refs := referenceRuns(ctx, prog, opt.maxSteps())

@@ -1,0 +1,188 @@
+// Package lang is the single source-language registry: every consumer
+// that accepts textual sources (suite routines, the serve API, the
+// epre and ilocfilter CLIs) dispatches through this table instead of
+// hand-rolled prefix sniffing.  Three languages are registered: raw
+// ILOC, Mini-Fortran, and PL/0.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/minift"
+	"repro/internal/pl0"
+)
+
+// Language describes one supported source language.
+type Language struct {
+	// Name is the canonical name used in serve requests and cache keys.
+	Name string
+	// Aliases are accepted alternate spellings (e.g. legacy serve
+	// Format values).
+	Aliases []string
+	// Ext is the file extension (with dot) the CLIs dispatch on.
+	Ext string
+	// Keywords are the words a source of this language can start with,
+	// used by Detect.
+	Keywords []string
+	// Compile translates source text into a verified ILOC program.
+	Compile func(src string) (*ir.Program, error)
+}
+
+func compileILOC(src string) (*ir.Program, error) {
+	p, err := ir.ParseProgramString(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyProgram(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// languages is the registry, in detection order.  Keyword sets are
+// disjoint: ILOC text always starts with "program", Mini-Fortran with
+// "func", and a valid PL/0 program with a declaration or statement
+// keyword (a bare leading identifier would be an assignment to an
+// undeclared variable, which cannot compile anyway).
+var languages = []*Language{
+	{
+		Name:     "iloc",
+		Keywords: []string{"program"},
+		Ext:      ".iloc",
+		Compile:  compileILOC,
+	},
+	{
+		Name:     "mf",
+		Aliases:  []string{"minift"},
+		Keywords: []string{"func"},
+		Ext:      ".mf",
+		Compile:  minift.Compile,
+	},
+	{
+		Name: "pl0",
+		Keywords: []string{
+			"const", "var", "procedure", "call", "begin",
+			"if", "while", "write", "odd",
+		},
+		Ext:     ".pl0",
+		Compile: pl0.Compile,
+	},
+}
+
+// All returns the registered languages in detection order.
+func All() []*Language {
+	out := make([]*Language, len(languages))
+	copy(out, languages)
+	return out
+}
+
+// Names returns the canonical language names in detection order.
+func Names() []string {
+	names := make([]string, len(languages))
+	for i, l := range languages {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// ByName resolves a canonical name or alias ("" resolves to nil,
+// meaning "detect").
+func ByName(name string) (*Language, error) {
+	if name == "" {
+		return nil, nil
+	}
+	for _, l := range languages {
+		if l.Name == name {
+			return l, nil
+		}
+		for _, a := range l.Aliases {
+			if a == name {
+				return l, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown language %q (want one of %s)", name, strings.Join(Names(), ", "))
+}
+
+// ByExt resolves a file extension like ".pl0"; unknown extensions
+// resolve to nil, meaning "detect from content".
+func ByExt(ext string) *Language {
+	for _, l := range languages {
+		if l.Ext == ext {
+			return l
+		}
+	}
+	return nil
+}
+
+// firstWord returns the first keyword-shaped word of src, skipping
+// whitespace and the comment syntax of every registered language
+// ("#" and "//" line comments, "(* ... *)" blocks).
+func firstWord(src string) string {
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '#', c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*)")
+			if end < 0 {
+				return ""
+			}
+			i += 2 + end + 2
+		default:
+			start := i
+			for i < len(src) {
+				c := src[i]
+				if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+					i++
+					continue
+				}
+				break
+			}
+			return src[start:i]
+		}
+	}
+	return ""
+}
+
+// Detect sniffs the language of a source from its first word.
+func Detect(src string) (*Language, error) {
+	word := firstWord(src)
+	for _, l := range languages {
+		for _, kw := range l.Keywords {
+			if word == kw {
+				return l, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unrecognized source language (starts with %q; iloc starts with \"program\", mf with \"func\", pl0 with a declaration or statement keyword)", word)
+}
+
+// Compile translates src using the named language, or by detection
+// when name is empty.  It returns the program and the canonical name
+// of the language that compiled it.
+func Compile(src, name string) (*ir.Program, string, error) {
+	l, err := ByName(name)
+	if err != nil {
+		return nil, "", err
+	}
+	if l == nil {
+		l, err = Detect(src)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	prog, err := l.Compile(src)
+	if err != nil {
+		return nil, l.Name, err
+	}
+	return prog, l.Name, nil
+}

@@ -1,0 +1,99 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDetect(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"program globalsize=0\n\nfunc f() {\nb0:\n    enter()\n    ret\n}\n", "iloc"},
+		{"  \n\tprogram globalsize=8", "iloc"},
+		{"func main(): int {\n  return 1\n}\n", "mf"},
+		{"# comment\nfunc f() {}", "mf"},
+		{"// comment\nfunc f() {}", "mf"},
+		{"write 1.", "pl0"},
+		{"(* hello *)\nconst n = 3; write n.", "pl0"},
+		{"var x; begin x := 1; write x end.", "pl0"},
+		{"procedure p; p := 1; write p().", "pl0"},
+		{"if 1 = 1 then write 1.", "pl0"},
+		{"while 0 > 1 do write 0.", "pl0"},
+		{"call p.", "pl0"},
+		{"odd", "pl0"},
+	}
+	for _, c := range cases {
+		l, err := Detect(c.src)
+		if err != nil {
+			t.Errorf("Detect(%q): %v", c.src, err)
+			continue
+		}
+		if l.Name != c.want {
+			t.Errorf("Detect(%q) = %s, want %s", c.src, l.Name, c.want)
+		}
+	}
+}
+
+func TestDetectRejects(t *testing.T) {
+	for _, src := range []string{"", "x := 1.", "123", "(* unterminated", "#only a comment"} {
+		if _, err := Detect(src); err == nil {
+			t.Errorf("Detect(%q): expected error", src)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"iloc": "iloc", "mf": "mf", "minift": "mf", "pl0": "pl0",
+	} {
+		l, err := ByName(name)
+		if err != nil || l == nil || l.Name != want {
+			t.Errorf("ByName(%q) = %v, %v; want %s", name, l, err, want)
+		}
+	}
+	if l, err := ByName(""); err != nil || l != nil {
+		t.Errorf("ByName(\"\") = %v, %v; want nil, nil", l, err)
+	}
+	if _, err := ByName("cobol"); err == nil || !strings.Contains(err.Error(), "unknown language") {
+		t.Errorf("ByName(cobol) err = %v", err)
+	}
+}
+
+func TestByExt(t *testing.T) {
+	for ext, want := range map[string]string{".iloc": "iloc", ".mf": "mf", ".pl0": "pl0"} {
+		if l := ByExt(ext); l == nil || l.Name != want {
+			t.Errorf("ByExt(%q) = %v, want %s", ext, l, want)
+		}
+	}
+	if l := ByExt(".txt"); l != nil {
+		t.Errorf("ByExt(.txt) = %v, want nil", l)
+	}
+}
+
+func TestCompileDispatch(t *testing.T) {
+	cases := []struct{ src, name, wantLang string }{
+		{"write 6 * 7.", "", "pl0"},
+		{"write 6 * 7.", "pl0", "pl0"},
+		{"func f(): int {\n  return 42\n}\n", "", "mf"},
+		{"program globalsize=0\n\nfunc f() {\nb0:\n    enter()\n    loadI 42 => r1\n    ret r1\n}\n", "", "iloc"},
+	}
+	for _, c := range cases {
+		prog, got, err := Compile(c.src, c.name)
+		if err != nil {
+			t.Errorf("Compile(%q, %q): %v", c.src, c.name, err)
+			continue
+		}
+		if got != c.wantLang {
+			t.Errorf("Compile(%q, %q) lang = %s, want %s", c.src, c.name, got, c.wantLang)
+		}
+		if prog == nil || len(prog.Funcs) == 0 {
+			t.Errorf("Compile(%q, %q): empty program", c.src, c.name)
+		}
+	}
+	// Forcing the wrong language must fail with that language's parser.
+	if _, _, err := Compile("write 1.", "mf"); err == nil {
+		t.Error("Compile(pl0 source as mf): expected error")
+	}
+	if _, _, err := Compile("write 1.", "cobol"); err == nil {
+		t.Error("Compile with unknown language: expected error")
+	}
+}

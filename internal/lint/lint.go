@@ -80,8 +80,12 @@ var nonPassPackages = map[string]bool{
 	"internal/ir":       true, // data-structure layer: printers/dumps, not transformation code
 	"internal/lint":     true, // the linter itself (its output is sorted, not pass output)
 	"internal/minift":   true, // frontend: compiles source, runs before the pipeline
-	"internal/progen":   true, // random-program generator: seeded, runs outside the pipeline
-	"internal/suite":    true, // benchmark harness: measures time and renders tables
+	// internal/pl0 and internal/lang are deliberately NOT here: the
+	// PL/0 front end and the language registry hold the determinism
+	// rules (no wall clock, no map-order iteration, balanced scratch)
+	// with zero suppressions, so they stay pass packages.
+	"internal/progen": true, // random-program generator: seeded, runs outside the pipeline
+	"internal/suite":  true, // benchmark harness: measures time and renders tables
 }
 
 // isPassPackage reports whether pkgRel holds pass bodies subject to

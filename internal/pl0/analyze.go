@@ -1,0 +1,314 @@
+package pl0
+
+// Semantic analysis: build the lexical scope tree, resolve every name,
+// mark scalars that are referenced from nested procedures (they get
+// demoted to static memory), and lay out the static data segment.
+
+type symKind uint8
+
+const (
+	symConst symKind = iota
+	symVar
+	symParam
+	symArray
+	symProc
+)
+
+func (k symKind) String() string {
+	switch k {
+	case symConst:
+		return "constant"
+	case symVar:
+		return "variable"
+	case symParam:
+		return "parameter"
+	case symArray:
+		return "array"
+	case symProc:
+		return "procedure"
+	}
+	return "symbol"
+}
+
+// symbol is one declared name.
+type symbol struct {
+	kind     symKind
+	pos      Pos
+	name     string
+	val      int64     // symConst: the constant's value
+	length   int64     // symArray: element count
+	captured bool      // scalar referenced from a nested procedure
+	addr     int64     // static address (arrays and captured scalars)
+	owner    *procInfo // scope that declares this symbol
+	proc     *procInfo // symProc: the procedure it names
+}
+
+// procInfo is one node of the scope tree: the top-level block ("main")
+// or a procedure, with its declarations and children.
+type procInfo struct {
+	name     string // scope-flattened dotted ir.Func name
+	node     *Proc  // nil for the top-level block
+	parent   *procInfo
+	block    *Block
+	syms     map[string]*symbol
+	order    []string // declaration order (determinism: never range syms)
+	children []*procInfo
+}
+
+// unit is an analyzed program: the scope tree in pre-order plus the
+// static data segment size.
+type unit struct {
+	root       *procInfo
+	procs      []*procInfo // pre-order walk of the scope tree
+	globalSize int64
+}
+
+func analyze(ast *Program) (*unit, error) {
+	u := &unit{}
+	root, err := u.buildScope(ast.Block, "main", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	u.root = root
+	for _, pi := range u.procs {
+		if err := u.resolveStmt(pi, pi.block.Body); err != nil {
+			return nil, err
+		}
+	}
+	// Static layout: one 8-byte word per captured scalar, 8·len bytes
+	// per array, assigned in a deterministic pre-order walk.
+	var cursor int64
+	for _, pi := range u.procs {
+		for _, n := range pi.order {
+			s := pi.syms[n]
+			switch s.kind {
+			case symArray:
+				s.addr = cursor
+				cursor += 8 * s.length
+			case symVar, symParam:
+				if s.captured {
+					s.addr = cursor
+					cursor += 8
+				}
+			}
+		}
+	}
+	u.globalSize = cursor
+	return u, nil
+}
+
+func (u *unit) buildScope(blk *Block, name string, parent *procInfo, node *Proc) (*procInfo, error) {
+	pi := &procInfo{name: name, node: node, parent: parent, block: blk, syms: map[string]*symbol{}}
+	u.procs = append(u.procs, pi)
+	declare := func(s *symbol) error {
+		if prev, dup := pi.syms[s.name]; dup {
+			return errf(s.pos, "%s redeclared (previous declaration was a %s)", s.name, prev.kind)
+		}
+		s.owner = pi
+		pi.syms[s.name] = s
+		pi.order = append(pi.order, s.name)
+		return nil
+	}
+	if node != nil {
+		for _, p := range node.Params {
+			if err := declare(&symbol{kind: symParam, pos: p.Pos, name: p.Name}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, c := range blk.Consts {
+		if err := declare(&symbol{kind: symConst, pos: c.Pos, name: c.Name, val: c.Val}); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range blk.Vars {
+		k := symVar
+		if v.ArrayLen > 0 {
+			k = symArray
+		}
+		if err := declare(&symbol{kind: k, pos: v.Pos, name: v.Name, length: v.ArrayLen}); err != nil {
+			return nil, err
+		}
+	}
+	for _, pr := range blk.Procs {
+		if parent == nil && pr.Name == "main" {
+			return nil, errf(pr.Pos, "procedure name main is reserved for the top-level block")
+		}
+		// Scope-flattened unique ir.Func name: top-level procedures keep
+		// their bare name; nested ones are dotted with their ancestry.
+		childName := pr.Name
+		if parent != nil {
+			childName = name + "." + pr.Name
+		}
+		child, err := u.buildScope(pr.Block, childName, pi, pr)
+		if err != nil {
+			return nil, err
+		}
+		pi.children = append(pi.children, child)
+		if err := declare(&symbol{kind: symProc, pos: pr.Pos, name: pr.Name, proc: child}); err != nil {
+			return nil, err
+		}
+	}
+	return pi, nil
+}
+
+// resolve looks a name up through the enclosing scopes.
+func resolve(pi *procInfo, name string) *symbol {
+	for s := pi; s != nil; s = s.parent {
+		if sym, ok := s.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+// markUse records an up-level reference: a scalar used outside its
+// declaring scope must live in static memory.
+func markUse(pi *procInfo, sym *symbol) {
+	if (sym.kind == symVar || sym.kind == symParam) && sym.owner != pi {
+		sym.captured = true
+	}
+}
+
+func (u *unit) resolveStmt(pi *procInfo, s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		sym := resolve(pi, st.Name)
+		if sym == nil {
+			return errf(st.Pos, "undefined name %s", st.Name)
+		}
+		switch sym.kind {
+		case symConst:
+			return errf(st.Pos, "cannot assign to constant %s", st.Name)
+		case symProc:
+			// Pascal-style return value: only the procedure being
+			// compiled may assign to its own name.
+			if sym.proc != pi {
+				return errf(st.Pos, "cannot assign to procedure %s", st.Name)
+			}
+			if st.Index != nil {
+				return errf(st.Pos, "cannot subscript procedure %s", st.Name)
+			}
+		case symArray:
+			if st.Index == nil {
+				return errf(st.Pos, "array %s assigned without a subscript", st.Name)
+			}
+		default:
+			if st.Index != nil {
+				return errf(st.Pos, "%s %s is not an array", sym.kind, st.Name)
+			}
+			markUse(pi, sym)
+		}
+		if st.Index != nil {
+			if err := u.resolveExpr(pi, st.Index); err != nil {
+				return err
+			}
+		}
+		return u.resolveExpr(pi, st.Value)
+
+	case *CallStmt:
+		return u.resolveCall(pi, st.Pos, st.Name, st.Args)
+
+	case *BeginStmt:
+		for _, sub := range st.List {
+			if err := u.resolveStmt(pi, sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *IfStmt:
+		if err := u.resolveCond(pi, st.Cond); err != nil {
+			return err
+		}
+		if err := u.resolveStmt(pi, st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return u.resolveStmt(pi, st.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		if err := u.resolveCond(pi, st.Cond); err != nil {
+			return err
+		}
+		return u.resolveStmt(pi, st.Body)
+
+	case *WriteStmt:
+		return u.resolveExpr(pi, st.Value)
+	}
+	return errf(s.stmtPos(), "unhandled statement")
+}
+
+func (u *unit) resolveCond(pi *procInfo, c Cond) error {
+	switch cn := c.(type) {
+	case *OddCond:
+		return u.resolveExpr(pi, cn.X)
+	case *RelCond:
+		if err := u.resolveExpr(pi, cn.A); err != nil {
+			return err
+		}
+		return u.resolveExpr(pi, cn.B)
+	}
+	return errf(c.condPos(), "unhandled condition")
+}
+
+func (u *unit) resolveExpr(pi *procInfo, e Expr) error {
+	switch ex := e.(type) {
+	case *NumberExpr:
+		return nil
+	case *Ident:
+		sym := resolve(pi, ex.Name)
+		if sym == nil {
+			return errf(ex.Pos, "undefined name %s", ex.Name)
+		}
+		switch sym.kind {
+		case symArray:
+			return errf(ex.Pos, "array %s used as a scalar", ex.Name)
+		case symProc:
+			return errf(ex.Pos, "procedure %s used as a value (call it with arguments)", ex.Name)
+		}
+		markUse(pi, sym)
+		return nil
+	case *IndexExpr:
+		sym := resolve(pi, ex.Name)
+		if sym == nil {
+			return errf(ex.Pos, "undefined name %s", ex.Name)
+		}
+		if sym.kind != symArray {
+			return errf(ex.Pos, "%s %s is not an array", sym.kind, ex.Name)
+		}
+		return u.resolveExpr(pi, ex.Index)
+	case *BinExpr:
+		if err := u.resolveExpr(pi, ex.L); err != nil {
+			return err
+		}
+		return u.resolveExpr(pi, ex.R)
+	case *UnaryExpr:
+		return u.resolveExpr(pi, ex.X)
+	case *CallExpr:
+		return u.resolveCall(pi, ex.Pos, ex.Name, ex.Args)
+	}
+	return errf(e.exprPos(), "unhandled expression")
+}
+
+func (u *unit) resolveCall(pi *procInfo, pos Pos, name string, args []Expr) error {
+	sym := resolve(pi, name)
+	if sym == nil {
+		return errf(pos, "undefined procedure %s", name)
+	}
+	if sym.kind != symProc {
+		return errf(pos, "%s %s is not a procedure", sym.kind, name)
+	}
+	want := len(sym.proc.node.Params)
+	if len(args) != want {
+		return errf(pos, "%s takes %d arguments, got %d", name, want, len(args))
+	}
+	for _, a := range args {
+		if err := u.resolveExpr(pi, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

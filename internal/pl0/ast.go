@@ -1,0 +1,168 @@
+package pl0
+
+// Program is a parsed PL/0 source: one top-level block, closed by ".".
+type Program struct {
+	Block *Block
+}
+
+// Block is a declaration region plus its body statement: constants,
+// variables (scalars or fixed-length arrays), nested procedures, then
+// exactly one statement.
+type Block struct {
+	Consts []ConstDecl
+	Vars   []VarDecl
+	Procs  []*Proc
+	Body   Stmt
+}
+
+// ConstDecl binds a name to an integer literal.
+type ConstDecl struct {
+	Pos  Pos
+	Name string
+	Val  int64
+}
+
+// VarDecl declares a scalar (ArrayLen == 0) or an array of ArrayLen
+// 8-byte words indexed 1..ArrayLen.
+type VarDecl struct {
+	Pos      Pos
+	Name     string
+	ArrayLen int64
+}
+
+// Proc is a (possibly nested) procedure with by-value integer
+// parameters.  A procedure returns a value by assigning to its own
+// name, Pascal-style; the value defaults to 0.
+type Proc struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Block  *Block
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// AssignStmt is "name := value" or "name[index] := value".
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// CallStmt is "call name(args)" in statement position (result dropped).
+type CallStmt struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// BeginStmt is "begin s1; s2; ... end".
+type BeginStmt struct {
+	Pos  Pos
+	List []Stmt
+}
+
+// IfStmt is "if cond then s [else s]".
+type IfStmt struct {
+	Pos  Pos
+	Cond Cond
+	Then Stmt
+	Else Stmt // nil when absent
+}
+
+// WhileStmt is "while cond do s".
+type WhileStmt struct {
+	Pos  Pos
+	Cond Cond
+	Body Stmt
+}
+
+// WriteStmt is "write expr".
+type WriteStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *CallStmt) stmtPos() Pos   { return s.Pos }
+func (s *BeginStmt) stmtPos() Pos  { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos  { return s.Pos }
+func (s *WriteStmt) stmtPos() Pos  { return s.Pos }
+
+// Cond is a boolean condition node ("odd e" or "a relop b").
+type Cond interface{ condPos() Pos }
+
+// OddCond is "odd expr".
+type OddCond struct {
+	Pos Pos
+	X   Expr
+}
+
+// RelCond is "a relop b" with Op one of TokEq/TokNe/TokLt/TokLe/TokGt/TokGe.
+type RelCond struct {
+	Pos  Pos
+	Op   Kind
+	A, B Expr
+}
+
+func (c *OddCond) condPos() Pos { return c.Pos }
+func (c *RelCond) condPos() Pos { return c.Pos }
+
+// Expr is an integer expression node.
+type Expr interface{ exprPos() Pos }
+
+// Ident references a constant, scalar variable, or parameter by name.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is "name[index]".
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// NumberExpr is an integer literal.
+type NumberExpr struct {
+	Pos Pos
+	Val int64
+}
+
+// BinExpr is "l op r" with Op one of TokPlus/TokMinus/TokStar/TokSlash.
+type BinExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// UnaryExpr is unary minus.
+type UnaryExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+// CallExpr is "name(args)" in expression position: the called
+// procedure's return value.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *NumberExpr) exprPos() Pos { return e.Pos }
+func (e *BinExpr) exprPos() Pos    { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }

@@ -1,0 +1,371 @@
+package pl0
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// lower translates the analyzed scope tree into one ir.Func per
+// procedure (pre-order, so "main" comes first).  The code is
+// deliberately naive, like the Mini-Fortran front end: fresh
+// temporaries per expression node, a copy per assignment, explicit
+// base+(i-1)*8 address chains, and branch targets attached to the
+// emitted cbr/jump only after the destination blocks exist.
+func lower(u *unit) (*ir.Program, error) {
+	prog := &ir.Program{GlobalSize: u.globalSize}
+	for _, pi := range u.procs {
+		f, err := genProc(pi)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog, nil
+}
+
+// fnCtx carries per-procedure lowering state.
+type fnCtx struct {
+	pi     *procInfo
+	fn     *ir.Func
+	cur    *ir.Block
+	retReg ir.Reg             // Pascal-style return value slot
+	regs   map[*symbol]ir.Reg // uncaptured scalars
+}
+
+func genProc(pi *procInfo) (*ir.Func, error) {
+	nparams := 0
+	if pi.node != nil {
+		nparams = len(pi.node.Params)
+	}
+	f := ir.NewFunc(pi.name, nparams)
+	ctx := &fnCtx{pi: pi, fn: f, cur: f.Entry(), regs: map[*symbol]ir.Reg{}}
+
+	// Return value defaults to 0; "p := e" inside p overwrites it.
+	ctx.retReg = f.NewReg()
+	z := ctx.emitLoadI(0)
+	ctx.emit(f.NewCopy(ctx.retReg, z))
+
+	// Bind parameters: captured ones are spilled to their static slot
+	// at entry and accessed through memory from then on.
+	if pi.node != nil {
+		for i, p := range pi.node.Params {
+			sym := pi.syms[p.Name]
+			if sym.captured {
+				addr := ctx.emitLoadI(sym.addr)
+				ctx.cur.Append(f.NewInstr(ir.OpStoreW, ir.NoReg, f.Params[i], addr))
+			} else {
+				ctx.regs[sym] = f.Params[i]
+			}
+		}
+	}
+	// Local scalars start at 0.  Captured ones live in memory and are
+	// re-zeroed on every activation of their declaring procedure;
+	// uncaptured ones are plain registers.
+	for _, n := range pi.order {
+		sym := pi.syms[n]
+		if sym.kind != symVar {
+			continue
+		}
+		if sym.captured {
+			zero := ctx.emitLoadI(0)
+			addr := ctx.emitLoadI(sym.addr)
+			ctx.cur.Append(f.NewInstr(ir.OpStoreW, ir.NoReg, zero, addr))
+		} else {
+			reg := f.NewReg()
+			ctx.regs[sym] = reg
+			zero := ctx.emitLoadI(0)
+			ctx.emit(f.NewCopy(reg, zero))
+		}
+	}
+
+	if err := ctx.stmt(pi.block.Body); err != nil {
+		return nil, err
+	}
+	ctx.cur.Append(f.NewInstr(ir.OpRet, ir.NoReg, ctx.retReg))
+	return f, nil
+}
+
+// emit appends an instruction to the current block and returns its
+// destination register.
+func (ctx *fnCtx) emit(in *ir.Instr) ir.Reg {
+	ctx.cur.Append(in)
+	return in.Dst
+}
+
+func (ctx *fnCtx) emitLoadI(v int64) ir.Reg {
+	return ctx.emit(ctx.fn.NewLoadI(ctx.fn.NewReg(), v))
+}
+
+func (ctx *fnCtx) emitOp(op ir.Op, args ...ir.Reg) ir.Reg {
+	return ctx.emit(ctx.fn.NewInstr(op, ctx.fn.NewReg(), args...))
+}
+
+func (ctx *fnCtx) jumpTo(target *ir.Block) {
+	ctx.cur.Append(ctx.fn.NewInstr(ir.OpJump, ir.NoReg))
+	ir.AddEdge(ctx.cur, target)
+}
+
+func (ctx *fnCtx) branchTo(cond ir.Reg, then, els *ir.Block) {
+	ctx.cur.Append(ctx.fn.NewInstr(ir.OpCBr, ir.NoReg, cond))
+	ir.AddEdge(ctx.cur, then)
+	ir.AddEdge(ctx.cur, els)
+}
+
+// startBlock begins a new block, jumping to it from the current one.
+func (ctx *fnCtx) startBlock() *ir.Block {
+	b := ctx.fn.NewBlock()
+	ctx.jumpTo(b)
+	ctx.cur = b
+	return b
+}
+
+// readScalar loads a scalar's current value: register for uncaptured
+// symbols, a fresh ldw through the static slot otherwise.
+func (ctx *fnCtx) readScalar(sym *symbol) ir.Reg {
+	if sym.captured {
+		addr := ctx.emitLoadI(sym.addr)
+		return ctx.emitOp(ir.OpLoadW, addr)
+	}
+	return ctx.regs[sym]
+}
+
+// writeScalar stores v into a scalar.
+func (ctx *fnCtx) writeScalar(sym *symbol, v ir.Reg) {
+	if sym.captured {
+		addr := ctx.emitLoadI(sym.addr)
+		ctx.cur.Append(ctx.fn.NewInstr(ir.OpStoreW, ir.NoReg, v, addr))
+		return
+	}
+	ctx.emit(ctx.fn.NewCopy(ctx.regs[sym], v))
+}
+
+// arrayAddr emits the naive 1-based address chain
+//
+//	addr = base + (i − 1) · 8
+//
+// with fresh temporaries for every node — the §3.1 subscript shape
+// whose redundancy reassociation exposes.
+func (ctx *fnCtx) arrayAddr(sym *symbol, index Expr) (ir.Reg, error) {
+	base := ctx.emitLoadI(sym.addr)
+	iv, err := ctx.expr(index)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	one := ctx.emitLoadI(1)
+	off := ctx.emitOp(ir.OpSub, iv, one)
+	eight := ctx.emitLoadI(8)
+	boff := ctx.emitOp(ir.OpMul, off, eight)
+	return ctx.emitOp(ir.OpAdd, base, boff), nil
+}
+
+func (ctx *fnCtx) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		sym := resolve(ctx.pi, st.Name)
+		if sym.kind == symArray {
+			addr, err := ctx.arrayAddr(sym, st.Index)
+			if err != nil {
+				return err
+			}
+			v, err := ctx.expr(st.Value)
+			if err != nil {
+				return err
+			}
+			ctx.cur.Append(ctx.fn.NewInstr(ir.OpStoreW, ir.NoReg, v, addr))
+			return nil
+		}
+		v, err := ctx.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		if sym.kind == symProc {
+			ctx.emit(ctx.fn.NewCopy(ctx.retReg, v))
+			return nil
+		}
+		ctx.writeScalar(sym, v)
+		return nil
+
+	case *CallStmt:
+		sym := resolve(ctx.pi, st.Name)
+		args, err := ctx.exprList(st.Args)
+		if err != nil {
+			return err
+		}
+		// Statement position: the return value is dropped.
+		ctx.cur.Append(ctx.fn.NewCall(sym.proc.name, ir.NoReg, args...))
+		return nil
+
+	case *BeginStmt:
+		for _, sub := range st.List {
+			if err := ctx.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *IfStmt:
+		cond, err := ctx.cond(st.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := ctx.fn.NewBlock()
+		joinB := ctx.fn.NewBlock()
+		if st.Else != nil {
+			elseB := ctx.fn.NewBlock()
+			ctx.branchTo(cond, thenB, elseB)
+			ctx.cur = thenB
+			if err := ctx.stmt(st.Then); err != nil {
+				return err
+			}
+			ctx.jumpTo(joinB)
+			ctx.cur = elseB
+			if err := ctx.stmt(st.Else); err != nil {
+				return err
+			}
+			ctx.jumpTo(joinB)
+		} else {
+			ctx.branchTo(cond, thenB, joinB)
+			ctx.cur = thenB
+			if err := ctx.stmt(st.Then); err != nil {
+				return err
+			}
+			ctx.jumpTo(joinB)
+		}
+		ctx.cur = joinB
+		return nil
+
+	case *WhileStmt:
+		headB := ctx.startBlock()
+		cond, err := ctx.cond(st.Cond)
+		if err != nil {
+			return err
+		}
+		bodyB := ctx.fn.NewBlock()
+		exitB := ctx.fn.NewBlock()
+		ctx.branchTo(cond, bodyB, exitB)
+		ctx.cur = bodyB
+		if err := ctx.stmt(st.Body); err != nil {
+			return err
+		}
+		ctx.jumpTo(headB)
+		ctx.cur = exitB
+		return nil
+
+	case *WriteStmt:
+		v, err := ctx.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		ctx.cur.Append(ctx.fn.NewCall("print", ir.NoReg, v))
+		return nil
+	}
+	return errf(s.stmtPos(), "unhandled statement")
+}
+
+func (ctx *fnCtx) cond(c Cond) (ir.Reg, error) {
+	switch cn := c.(type) {
+	case *OddCond:
+		x, err := ctx.expr(cn.X)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		one := ctx.emitLoadI(1)
+		return ctx.emitOp(ir.OpAnd, x, one), nil
+	case *RelCond:
+		a, err := ctx.expr(cn.A)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		b, err := ctx.expr(cn.B)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		op, ok := relOps[cn.Op]
+		if !ok {
+			return ir.NoReg, errf(cn.Pos, "unhandled relational operator %s", cn.Op)
+		}
+		return ctx.emitOp(op, a, b), nil
+	}
+	return ir.NoReg, errf(c.condPos(), "unhandled condition")
+}
+
+var relOps = map[Kind]ir.Op{
+	TokEq: ir.OpCmpEQ, TokNe: ir.OpCmpNE, TokLt: ir.OpCmpLT,
+	TokLe: ir.OpCmpLE, TokGt: ir.OpCmpGT, TokGe: ir.OpCmpGE,
+}
+
+var arithOps = map[Kind]ir.Op{
+	TokPlus: ir.OpAdd, TokMinus: ir.OpSub,
+	TokStar: ir.OpMul, TokSlash: ir.OpDiv,
+}
+
+func (ctx *fnCtx) exprList(list []Expr) ([]ir.Reg, error) {
+	regs := make([]ir.Reg, len(list))
+	for i, e := range list {
+		v, err := ctx.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = v
+	}
+	return regs, nil
+}
+
+func (ctx *fnCtx) expr(e Expr) (ir.Reg, error) {
+	switch ex := e.(type) {
+	case *NumberExpr:
+		return ctx.emitLoadI(ex.Val), nil
+
+	case *Ident:
+		sym := resolve(ctx.pi, ex.Name)
+		if sym.kind == symConst {
+			return ctx.emitLoadI(sym.val), nil
+		}
+		return ctx.readScalar(sym), nil
+
+	case *IndexExpr:
+		sym := resolve(ctx.pi, ex.Name)
+		addr, err := ctx.arrayAddr(sym, ex.Index)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		return ctx.emitOp(ir.OpLoadW, addr), nil
+
+	case *BinExpr:
+		l, err := ctx.expr(ex.L)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		r, err := ctx.expr(ex.R)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		op, ok := arithOps[ex.Op]
+		if !ok {
+			return ir.NoReg, errf(ex.Pos, "unhandled operator %s", ex.Op)
+		}
+		return ctx.emitOp(op, l, r), nil
+
+	case *UnaryExpr:
+		v, err := ctx.expr(ex.X)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		return ctx.emitOp(ir.OpNeg, v), nil
+
+	case *CallExpr:
+		sym := resolve(ctx.pi, ex.Name)
+		args, err := ctx.exprList(ex.Args)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		return ctx.emit(ctx.fn.NewCall(sym.proc.name, ctx.fn.NewReg(), args...)), nil
+	}
+	return ir.NoReg, errf(e.exprPos(), "unhandled expression")
+}
+
+// String renders a scope-tree summary for debugging.
+func (u *unit) String() string {
+	return fmt.Sprintf("pl0 unit: %d procs, %d bytes static", len(u.procs), u.globalSize)
+}

@@ -1,0 +1,42 @@
+package pl0
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/ir"
+)
+
+// FuzzPL0Parse feeds arbitrary text to the front end.  Rejection is
+// fine; acceptance obliges the compiler to hand over a structurally
+// valid program: ir.Verify must pass (Compile enforces that), the
+// printed ILOC must re-parse to a byte-identical print, and the
+// checked-mode def-use analysis must report no errors.  Seeds live in
+// testdata/fuzz/FuzzPL0Parse.
+func FuzzPL0Parse(f *testing.F) {
+	f.Add("write 1.")
+	f.Add("var x; begin x := 2; write x * x end.")
+	f.Add("const n = 3; var a[7], i; begin i := 1; while i <= n do begin a[i] := i; i := i + 1 end; write a[n] end.")
+	f.Add("procedure g(a, b);\nif b = 0 then g := a else g := g(b, a - (a / b) * b);\nwrite g(12, 18).")
+	f.Add("procedure o(n);\nvar s;\n\tprocedure in;\n\ts := s + n;\nbegin\n\tcall in;\n\to := s\nend;\nwrite o(5).")
+	f.Add("var x; if odd x then x := -x else x := x / 2.")
+	f.Add("(* comment *) write -(1 + 2) * 3.")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			t.Skip()
+		}
+		printed := prog.String()
+		back, err := ir.ParseProgramString(printed)
+		if err != nil {
+			t.Fatalf("compiled program does not re-parse: %v\nsource:\n%s\niloc:\n%s", err, src, printed)
+		}
+		if back.String() != printed {
+			t.Fatalf("print∘parse not idempotent for compiled program\nsource:\n%s", src)
+		}
+		diags := check.Program(prog, check.Options{})
+		if errs := check.Errors(diags); len(errs) != 0 {
+			t.Fatalf("checker rejects compiled program: %v\nsource:\n%s\niloc:\n%s", errs, src, printed)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package pl0
+
+import "strconv"
+
+// lexer turns source text into tokens.  PL/0 comments are Pascal-style
+// "(* ... *)" blocks (non-nesting).
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *lexer) nextByte() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Next returns the next token.
+func (lx *lexer) Next() (Token, error) {
+	// Skip whitespace and (* ... *) comments.
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.nextByte()
+		case c == '(' && lx.peekByteAt(1) == '*':
+			open := lx.pos()
+			lx.nextByte() // (
+			lx.nextByte() // *
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == ')' {
+					lx.nextByte()
+					lx.nextByte()
+					closed = true
+					break
+				}
+				lx.nextByte()
+			}
+			if !closed {
+				return Token{}, errf(open, "unterminated comment")
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.nextByte()
+	switch {
+	case isAlpha(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && (isAlpha(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.nextByte()
+		}
+		word := lx.src[start:lx.off]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+
+	case isDigit(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.nextByte()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad number literal %q", text)
+		}
+		return Token{Kind: TokNumber, Pos: pos, Num: v}, nil
+	}
+
+	switch c {
+	case '.':
+		return Token{Kind: TokPeriod, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ':':
+		if lx.peekByte() == '=' {
+			lx.nextByte()
+			return Token{Kind: TokAssign, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "expected ':=' after ':'")
+	case '=':
+		return Token{Kind: TokEq, Pos: pos}, nil
+	case '#':
+		return Token{Kind: TokNe, Pos: pos}, nil
+	case '<':
+		if lx.peekByte() == '=' {
+			lx.nextByte()
+			return Token{Kind: TokLe, Pos: pos}, nil
+		}
+		return Token{Kind: TokLt, Pos: pos}, nil
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.nextByte()
+			return Token{Kind: TokGe, Pos: pos}, nil
+		}
+		return Token{Kind: TokGt, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}

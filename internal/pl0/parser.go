@@ -1,0 +1,486 @@
+package pl0
+
+// parser is a recursive-descent parser over the token stream, one
+// token of lookahead.
+type parser struct {
+	lx  *lexer
+	tok Token
+}
+
+// parse parses a complete PL/0 program: block ".".
+func parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	blk, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPeriod); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errf(p.tok.Pos, "trailing input after '.'")
+	}
+	return &Program{Block: blk}, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, got %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(k Kind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// block = { "const" ident "=" number {"," ident "=" number} ";"
+//
+//	| "var" vardecl {"," vardecl} ";"
+//	| "procedure" ident ["(" params ")"] ";" block ";" }
+//	statement .
+func (p *parser) block() (*Block, error) {
+	blk := &Block{}
+	for {
+		switch p.tok.Kind {
+		case TokConst:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				name, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokEq); err != nil {
+					return nil, err
+				}
+				neg := false
+				if ok, err := p.accept(TokMinus); err != nil {
+					return nil, err
+				} else if ok {
+					neg = true
+				}
+				num, err := p.expect(TokNumber)
+				if err != nil {
+					return nil, err
+				}
+				v := num.Num
+				if neg {
+					v = -v
+				}
+				blk.Consts = append(blk.Consts, ConstDecl{Pos: name.Pos, Name: name.Text, Val: v})
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+
+		case TokVar:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				name, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				d := VarDecl{Pos: name.Pos, Name: name.Text}
+				if ok, err := p.accept(TokLBracket); err != nil {
+					return nil, err
+				} else if ok {
+					n, err := p.expect(TokNumber)
+					if err != nil {
+						return nil, err
+					}
+					if n.Num <= 0 {
+						return nil, errf(n.Pos, "array length must be positive, got %d", n.Num)
+					}
+					d.ArrayLen = n.Num
+					if _, err := p.expect(TokRBracket); err != nil {
+						return nil, err
+					}
+				}
+				blk.Vars = append(blk.Vars, d)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+
+		case TokProcedure:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			proc := &Proc{Pos: name.Pos, Name: name.Text}
+			if ok, err := p.accept(TokLParen); err != nil {
+				return nil, err
+			} else if ok {
+				if p.tok.Kind != TokRParen {
+					for {
+						pn, err := p.expect(TokIdent)
+						if err != nil {
+							return nil, err
+						}
+						proc.Params = append(proc.Params, Param{Pos: pn.Pos, Name: pn.Text})
+						if ok, err := p.accept(TokComma); err != nil {
+							return nil, err
+						} else if !ok {
+							break
+						}
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			proc.Block = body
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+			blk.Procs = append(blk.Procs, proc)
+
+		default:
+			stmt, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			blk.Body = stmt
+			return blk, nil
+		}
+	}
+}
+
+// statement = ident [ "[" expr "]" ] ":=" expr
+//
+//	| "call" ident ["(" args ")"]
+//	| "begin" statement {";" statement} "end"
+//	| "if" condition "then" statement ["else" statement]
+//	| "while" condition "do" statement
+//	| "write" expr .
+func (p *parser) statement() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st := &AssignStmt{Pos: pos, Name: name}
+		if ok, err := p.accept(TokLBracket); err != nil {
+			return nil, err
+		} else if ok {
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			st.Index = idx
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = val
+		return st, nil
+
+	case TokCall:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		st := &CallStmt{Pos: pos, Name: name.Text}
+		args, err := p.callArgs()
+		if err != nil {
+			return nil, err
+		}
+		st.Args = args
+		return st, nil
+
+	case TokBegin:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st := &BeginStmt{Pos: pos}
+		for {
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			st.List = append(st.List, s)
+			if ok, err := p.accept(TokSemi); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokEnd); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case TokIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokThen); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+		if ok, err := p.accept(TokElse); err != nil {
+			return nil, err
+		} else if ok {
+			els, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case TokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDo); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case TokWrite:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &WriteStmt{Pos: pos, Value: v}, nil
+	}
+	return nil, errf(pos, "expected statement, got %s", p.tok.Kind)
+}
+
+// callArgs parses an optional parenthesized argument list.
+func (p *parser) callArgs() ([]Expr, error) {
+	ok, err := p.accept(TokLParen)
+	if err != nil || !ok {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.Kind != TokRParen {
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// condition = "odd" expr | expr relop expr .
+func (p *parser) condition() (Cond, error) {
+	pos := p.tok.Pos
+	if ok, err := p.accept(TokOdd); err != nil {
+		return nil, err
+	} else if ok {
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &OddCond{Pos: pos, X: x}, nil
+	}
+	a, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	op := p.tok.Kind
+	switch op {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+	default:
+		return nil, errf(p.tok.Pos, "expected relational operator, got %s", op)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	b, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &RelCond{Pos: pos, Op: op, A: a, B: b}, nil
+}
+
+// expression = ["+"|"-"] term {("+"|"-") term} .
+func (p *parser) expression() (Expr, error) {
+	pos := p.tok.Pos
+	neg := false
+	if p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		neg = p.tok.Kind == TokMinus
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	e, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		e = &UnaryExpr{Pos: pos, X: e}
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := p.tok.Kind
+		opPos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		e = &BinExpr{Pos: opPos, Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+// term = factor {("*"|"/") factor} .
+func (p *parser) term() (Expr, error) {
+	e, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash {
+		op := p.tok.Kind
+		opPos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		e = &BinExpr{Pos: opPos, Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+// factor = ident ["[" expr "]" | "(" args ")"] | number | "(" expr ")" .
+func (p *parser) factor() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokLBracket:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: pos, Name: name, Index: idx}, nil
+		case TokLParen:
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: pos, Name: name, Args: args}, nil
+		}
+		return &Ident{Pos: pos, Name: name}, nil
+
+	case TokNumber:
+		v := p.tok.Num
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberExpr{Pos: pos, Val: v}, nil
+
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(pos, "expected expression, got %s", p.tok.Kind)
+}

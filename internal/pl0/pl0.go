@@ -1,0 +1,53 @@
+// Package pl0 implements a PL/0-style procedural front end: a second
+// source language beside Mini-Fortran, in the spirit of Wirth's PL/0
+// and of is-hoku/pl0dash-go's recursive-descent compiler.  The dialect
+// keeps PL/0's shape — const/var/procedure declarations, nested
+// procedures with lexical scoping, begin/end, if/then/else, while/do,
+// call, odd — and adds what the optimizer study needs:
+//
+//   - procedures take by-value integer parameters and return a value
+//     Pascal-style, by assignment to the procedure's own name, so
+//     call-heavy and recursive workloads (gcd, ackermann) are
+//     expressible;
+//   - a small array extension, "var a[n]" with subscripted load/store,
+//     so loop nests emit real 1-based address arithmetic — the §3.1
+//     shape whose redundancy only appears after reassociation;
+//   - "write e" prints a value through the interpreter's print builtin,
+//     giving workloads observable output.
+//
+// Lowering is deliberately naive, exactly like the Mini-Fortran front
+// end: every expression node gets a fresh temporary, every assignment
+// is a copy, array addresses are left-associated base+(i-1)*8 chains,
+// and branch targets are backpatched after their blocks exist.  Nested
+// procedures are scope-flattened onto top-level ir.Funcs with dotted
+// names ("outer.inner"); variables referenced from an inner procedure
+// are demoted to statically allocated memory slots (a FORTRAN-style
+// deviation from PL/0's display/static-link semantics — see DESIGN.md
+// §18), which conveniently turns up-level traffic into the load/store
+// redundancy PRE is paid to remove.
+package pl0
+
+import "repro/internal/ir"
+
+// Compile translates PL/0 source into an unoptimized, structurally
+// verified ILOC program.  The program's entry function is "main" (the
+// top-level block); each procedure becomes its own function under its
+// scope-flattened name.
+func Compile(src string) (*ir.Program, error) {
+	ast, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	root, err := analyze(ast)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower(root)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyProgram(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

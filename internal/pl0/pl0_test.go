@@ -1,0 +1,417 @@
+package pl0
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// run compiles src and calls fn with integer args, returning the result.
+func run(t *testing.T, src, fn string, args ...int64) (int64, []interp.Value) {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := interp.NewMachine(prog)
+	vals := make([]interp.Value, len(args))
+	for i, a := range args {
+		vals[i] = interp.IntVal(a)
+	}
+	got, err := m.Call(fn, vals...)
+	if err != nil {
+		t.Fatalf("Call(%s): %v", fn, err)
+	}
+	return got.I, m.Output
+}
+
+func TestLexer(t *testing.T) {
+	lx := newLexer("const n = 10; (* comment *) x := n <= 3 # 4 >= a[2].")
+	var kinds []Kind
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex: %v", err)
+		}
+		kinds = append(kinds, tok.Kind)
+		if tok.Kind == TokEOF {
+			break
+		}
+	}
+	want := []Kind{
+		TokConst, TokIdent, TokEq, TokNumber, TokSemi,
+		TokIdent, TokAssign, TokIdent, TokLe, TokNumber, TokNe,
+		TokNumber, TokGe, TokIdent, TokLBracket, TokNumber, TokRBracket,
+		TokPeriod, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"(* open", "x : y", "?", "99999999999999999999"} {
+		lx := newLexer(src)
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			var tok Token
+			tok, err = lx.Next()
+			if tok.Kind == TokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestCompileSimple(t *testing.T) {
+	got, out := run(t, `
+		procedure answer;
+		answer := 6 * 7;
+		write 42.
+	`, "main")
+	if got != 0 {
+		t.Fatalf("main returned %d, want 0", got)
+	}
+	if len(out) != 1 || out[0].I != 42 {
+		t.Fatalf("output = %v, want [42]", out)
+	}
+}
+
+func TestProcReturn(t *testing.T) {
+	src := `
+		procedure square(x);
+		square := x * x;
+		write square(9).
+	`
+	got, out := run(t, src, "square", 12)
+	if got != 144 {
+		t.Fatalf("square(12) = %d, want 144", got)
+	}
+	if len(out) != 0 {
+		t.Fatalf("square printed %v", out)
+	}
+	_, out = run(t, src, "main")
+	if len(out) != 1 || out[0].I != 81 {
+		t.Fatalf("main output = %v, want [81]", out)
+	}
+}
+
+func TestRecursionGCD(t *testing.T) {
+	src := `
+		procedure gcd(a, b);
+		if b = 0 then gcd := a
+		else begin
+			gcd := gcd(b, a - (a / b) * b)
+		end;
+		write gcd(1071, 462).
+	`
+	got, _ := run(t, src, "gcd", 1071, 462)
+	if got != 21 {
+		t.Fatalf("gcd(1071,462) = %d, want 21", got)
+	}
+}
+
+func TestWhileOddNeg(t *testing.T) {
+	// Collatz step count from 27 (111 steps) exercises while, odd, and
+	// division; the negation checks odd on negative values.
+	src := `
+		procedure collatz(n);
+		var steps;
+		begin
+			steps := 0;
+			while n # 1 do begin
+				if odd n then n := 3 * n + 1
+				else n := n / 2;
+				steps := steps + 1
+			end;
+			collatz := steps
+		end;
+		procedure oddneg(n);
+		if odd n then oddneg := 1 else oddneg := 0;
+		write collatz(27).
+	`
+	got, _ := run(t, src, "collatz", 27)
+	if got != 111 {
+		t.Fatalf("collatz(27) = %d, want 111", got)
+	}
+	if got, _ := run(t, src, "oddneg", -3); got != 1 {
+		t.Fatalf("oddneg(-3) = %d, want 1", got)
+	}
+	if got, _ := run(t, src, "oddneg", -4); got != 0 {
+		t.Fatalf("oddneg(-4) = %d, want 0", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	// Fill a[i] = i*i, then sum.
+	src := `
+		procedure sumsq(n);
+		var a[50], i, s;
+		begin
+			i := 1;
+			while i <= n do begin
+				a[i] := i * i;
+				i := i + 1
+			end;
+			s := 0;
+			i := 1;
+			while i <= n do begin
+				s := s + a[i];
+				i := i + 1
+			end;
+			sumsq := s
+		end;
+		write sumsq(10).
+	`
+	got, _ := run(t, src, "sumsq", 10)
+	if got != 385 {
+		t.Fatalf("sumsq(10) = %d, want 385", got)
+	}
+}
+
+func TestNestedCapture(t *testing.T) {
+	// An inner procedure reads and writes its parent's locals.
+	src := `
+		procedure outer(n);
+		var acc, i;
+			procedure bump;
+			acc := acc + i * i;
+		begin
+			acc := 0;
+			i := 1;
+			while i <= n do begin
+				call bump;
+				i := i + 1
+			end;
+			outer := acc
+		end;
+		write outer(4).
+	`
+	got, _ := run(t, src, "outer", 4)
+	if got != 30 {
+		t.Fatalf("outer(4) = %d, want 30", got)
+	}
+	// Fresh activations must re-zero captured locals.
+	got, _ = run(t, `
+		procedure f(n);
+		var acc;
+			procedure g;
+			acc := acc + n;
+		begin
+			call g;
+			call g;
+			f := acc
+		end;
+		procedure twice(n);
+		begin
+			call f(n);
+			twice := f(n)
+		end;
+		write twice(5).
+	`, "twice", 5)
+	if got != 10 {
+		t.Fatalf("twice(5) = %d, want 10 (captured acc not re-zeroed)", got)
+	}
+}
+
+func TestConstScopingShadowing(t *testing.T) {
+	src := `
+		const k = 7;
+		var g;
+		procedure inner;
+		const k = 100;
+		inner := k;
+		procedure outerk;
+		outerk := k;
+		begin
+			g := 1;
+			write g
+		end.
+	`
+	if got, _ := run(t, src, "inner"); got != 100 {
+		t.Fatalf("inner = %d, want 100 (shadowing broken)", got)
+	}
+	if got, _ := run(t, src, "outerk"); got != 7 {
+		t.Fatalf("outerk = %d, want 7", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// isEven/isOdd by mutual recursion: later siblings are callable.
+	src := `
+		procedure iseven(n);
+		if n = 0 then iseven := 1 else iseven := isodd(n - 1);
+		procedure isodd(n);
+		if n = 0 then isodd := 0 else isodd := iseven(n - 1);
+		write iseven(10).
+	`
+	if got, _ := run(t, src, "iseven", 10); got != 1 {
+		t.Fatalf("iseven(10) = %d, want 1", got)
+	}
+	if got, _ := run(t, src, "isodd", 7); got != 1 {
+		t.Fatalf("isodd(7) = %d, want 1", got)
+	}
+}
+
+func TestFlattenedNames(t *testing.T) {
+	src := `
+		procedure a;
+			procedure b;
+				procedure c;
+				c := 3;
+			b := c() + 2;
+		a := b() + 1;
+		write a().
+	`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var names []string
+	for _, f := range prog.Funcs {
+		names = append(names, f.Name)
+	}
+	want := []string{"main", "a", "a.b", "a.b.c"}
+	if len(names) != len(want) {
+		t.Fatalf("funcs = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("funcs = %v, want %v", names, want)
+		}
+	}
+	m := interp.NewMachine(prog)
+	got, err := m.Call("a")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got.I != 6 {
+		t.Fatalf("a() = %d, want 6", got.I)
+	}
+}
+
+func TestUnaryAndPrecedence(t *testing.T) {
+	got, out := run(t, `
+		begin
+			write -3 + 4 * 5;
+			write (2 + 3) * (7 - 5);
+			write -(2 + 3);
+			write 17 / 5;
+			write -17 / 5
+		end.
+	`, "main")
+	_ = got
+	want := []int64{17, 10, -5, 3, -3}
+	if len(out) != len(want) {
+		t.Fatalf("output %v, want %v", out, want)
+	}
+	for i, w := range want {
+		if out[i].I != w {
+			t.Fatalf("output[%d] = %d, want %d", i, out[i].I, w)
+		}
+	}
+}
+
+func TestVerifyAndRoundTrip(t *testing.T) {
+	src := `
+		var total;
+		procedure fib(n);
+		if n < 2 then fib := n
+		else fib := fib(n - 1) + fib(n - 2);
+		begin
+			total := fib(10);
+			write total
+		end.
+	`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	text := prog.String()
+	back, err := ir.ParseProgramString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.String() != text {
+		t.Fatalf("print/parse round trip not stable")
+	}
+	diags := check.Program(prog, check.Options{})
+	if errs := check.Errors(diags); len(errs) != 0 {
+		t.Fatalf("checker: %v", errs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"", "expected statement"},
+		{"x := 1", "expected '.'"},
+		{"begin x := 1 end.", "undefined name x"},
+		{"var x; x := .", "expected expression"},
+		{"var x; if x then x := 1.", "expected relational operator"},
+		{"var x; x := (1 + 2.", "expected ')'"},
+		{"const c = 1; c := 2.", "cannot assign to constant"},
+		{"var a[3]; a := 1.", "without a subscript"},
+		{"var a[3], a; a[1] := 1.", "redeclared"},
+		{"var x; x[1] := 2.", "not an array"},
+		{"var x; x := y.", "undefined name y"},
+		{"var x; procedure p; p := 1; x := p.", "procedure p used as a value"},
+		{"procedure p; p := 1; begin call p(1) end.", "takes 0 arguments, got 1"},
+		{"procedure p(a, b); p := a + b; begin call p(1) end.", "takes 2 arguments, got 1"},
+		{"procedure main; main := 1; write 1.", "reserved"},
+		{"var a[0]; a[1] := 1.", "array length must be positive"},
+		{"procedure q; q := 1; q := 2.", "cannot assign to procedure"},
+		{"var x; begin x := 1; write x end. extra", "trailing input"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("Compile(%q): expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q): error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestStaticLayout(t *testing.T) {
+	src := `
+		var g, a[4];
+		procedure p(x);
+			procedure q;
+			q := x;
+		p := q();
+		begin
+			g := 2;
+			a[1] := p(5);
+			write a[1] + g
+		end.
+	`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// g captured? no — only main uses g, but p's x is captured by q.
+	// Layout: a (32 bytes) + x (8) = 40; g stays in a register.
+	if prog.GlobalSize != 40 {
+		t.Fatalf("GlobalSize = %d, want 40", prog.GlobalSize)
+	}
+	m := interp.NewMachine(prog)
+	if _, err := m.Call("main"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(m.Output) != 1 || m.Output[0].I != 7 {
+		t.Fatalf("output = %v, want [7]", m.Output)
+	}
+}

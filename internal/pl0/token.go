@@ -1,0 +1,103 @@
+package pl0
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	TokEOF Kind = iota
+	TokIdent
+	TokNumber
+
+	// Keywords.
+	TokConst
+	TokVar
+	TokProcedure
+	TokCall
+	TokBegin
+	TokEnd
+	TokIf
+	TokThen
+	TokElse
+	TokWhile
+	TokDo
+	TokOdd
+	TokWrite
+
+	// Punctuation and operators.
+	TokPeriod   // .
+	TokComma    // ,
+	TokSemi     // ;
+	TokAssign   // :=
+	TokEq       // =
+	TokNe       // #
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+)
+
+var kindNames = map[Kind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokNumber: "number",
+	TokConst: "'const'", TokVar: "'var'", TokProcedure: "'procedure'",
+	TokCall: "'call'", TokBegin: "'begin'", TokEnd: "'end'", TokIf: "'if'",
+	TokThen: "'then'", TokElse: "'else'", TokWhile: "'while'", TokDo: "'do'",
+	TokOdd: "'odd'", TokWrite: "'write'",
+	TokPeriod: "'.'", TokComma: "','", TokSemi: "';'", TokAssign: "':='",
+	TokEq: "'='", TokNe: "'#'", TokLt: "'<'", TokLe: "'<='", TokGt: "'>'",
+	TokGe: "'>='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokLParen: "'('", TokRParen: "')'",
+	TokLBracket: "'['", TokRBracket: "']'",
+}
+
+// String names the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"const": TokConst, "var": TokVar, "procedure": TokProcedure,
+	"call": TokCall, "begin": TokBegin, "end": TokEnd, "if": TokIf,
+	"then": TokThen, "else": TokElse, "while": TokWhile, "do": TokDo,
+	"odd": TokOdd, "write": TokWrite,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier text
+	Num  int64  // number literal value
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pl0:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -71,6 +71,12 @@ type Config struct {
 	// exercise the rank-0/clobber rules (calls read and write memory,
 	// so no load may move across one).
 	Calls bool
+	// CallHeavy (implies Calls) shifts the shape toward procedural
+	// code: call sites are emitted ~5x as often, the helper gains a
+	// second-level callee so call chains reach depth two, and the body
+	// gets extra blocks.  This is the silhouette PL/0-style front ends
+	// produce, where PRE must reason around many clobber points.
+	CallHeavy bool
 	// Irreducible forces a two-entry cycle — a region no structured
 	// source would produce but every CFG-level pass must survive.
 	Irreducible bool
@@ -122,6 +128,7 @@ func ForSeed(seed uint64) Config {
 	c.Unreachable = rng.Intn(4) == 0
 	c.BiasRedundant = rng.Intn(3) != 0
 	c.BiasChains = rng.Intn(3) != 0
+	c.CallHeavy = rng.Intn(5) == 0
 	return c
 }
 
@@ -142,6 +149,10 @@ func (c Config) withDefaults() Config {
 	if c.Fuel <= 0 {
 		c.Fuel = d.Fuel
 	}
+	if c.CallHeavy {
+		c.Calls = true
+		c.Blocks += 3
+	}
 	return c
 }
 
@@ -157,7 +168,7 @@ func Generate(cfg Config, seed uint64) *ir.Program {
 	}
 	prog := &ir.Program{GlobalSize: GlobalSize}
 	if cfg.Calls {
-		prog.Funcs = append(prog.Funcs, g.genCallee())
+		prog.Funcs = append(prog.Funcs, g.genCallees()...)
 	}
 	prog.Funcs = append([]*ir.Func{g.genMain()}, prog.Funcs...)
 	if err := ir.VerifyProgram(prog); err != nil {
@@ -407,7 +418,11 @@ func (g *gen) emitRandom(b *ir.Block) {
 		cands = append(cands, emitter{7, g.emitStore}, emitter{7, g.emitLoad})
 	}
 	if g.cfg.Calls {
-		cands = append(cands, emitter{5, g.emitCall})
+		w := 5
+		if g.cfg.CallHeavy {
+			w = 25
+		}
+		cands = append(cands, emitter{w, g.emitCall})
 	}
 	total := 0
 	for _, c := range cands {
@@ -751,6 +766,17 @@ func (g *gen) addUnreachable() {
 // ---------------------------------------------------------------------
 // callee generation
 
+// genCallees builds the helper functions call sites in main target.
+// The base shape is one straight-line helper; CallHeavy adds a leaf
+// helper below it so call chains reach depth two.
+func (g *gen) genCallees() []*ir.Func {
+	funcs := []*ir.Func{g.genCallee()}
+	if g.cfg.CallHeavy {
+		funcs = append(funcs, g.genLeafCallee())
+	}
+	return funcs
+}
+
 // genCallee builds a small straight-line helper that hashes its two
 // integer arguments, stores into its private arena slice, loads the
 // value back and returns a mix.  Because call reads and writes memory,
@@ -783,6 +809,30 @@ func (g *gen) genCallee() *ir.Func {
 	emit(f.NewInstr(ir.OpLoadW, v, addr))
 	res := f.NewReg()
 	emit(f.NewInstr(ir.OpAdd, res, v, t1))
+	if g.cfg.CallHeavy {
+		leaf := f.NewReg()
+		emit(f.NewCall("auxleaf", leaf, res, t1))
+		res = f.NewReg()
+		emit(f.NewInstr(ir.OpXor, res, leaf, v))
+	}
 	emit(f.NewInstr(ir.OpRet, ir.NoReg, res))
+	return f
+}
+
+// genLeafCallee builds the depth-two leaf helper: pure integer mixing,
+// no memory traffic, so a correct optimizer may still value-number
+// across it only by proving it harmless — which it cannot, since calls
+// are uniformly treated as clobbers.
+func (g *gen) genLeafCallee() *ir.Func {
+	f := ir.NewFunc("auxleaf", 2)
+	b := f.Entry()
+	p0, p1 := f.Params[0], f.Params[1]
+	emit := func(in *ir.Instr) { b.Instrs = append(b.Instrs, in.ID()) }
+	ops := []ir.Op{ir.OpAdd, ir.OpXor, ir.OpSub, ir.OpMul}
+	t1 := f.NewReg()
+	emit(f.NewInstr(ops[g.rng.Intn(len(ops))], t1, p0, p1))
+	t2 := f.NewReg()
+	emit(f.NewInstr(ops[g.rng.Intn(len(ops))], t2, t1, p1))
+	emit(f.NewInstr(ir.OpRet, ir.NoReg, t2))
 	return f
 }

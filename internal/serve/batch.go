@@ -21,6 +21,7 @@ type BatchRequest struct {
 // BatchDefaults are request fields applied to items that leave them
 // empty.
 type BatchDefaults struct {
+	Lang   string `json:"lang,omitempty"`
 	Format string `json:"format,omitempty"`
 	Level  string `json:"level,omitempty"`
 	GVN    string `json:"gvn,omitempty"`
@@ -214,6 +215,9 @@ func (s *Server) forwardSubBatch(ctx context.Context, owner string, req *BatchRe
 }
 
 func applyDefaults(item *OptimizeRequest, d *BatchDefaults) {
+	if item.Lang == "" {
+		item.Lang = d.Lang
+	}
 	if item.Format == "" {
 		item.Format = d.Format
 	}

@@ -11,17 +11,22 @@ import (
 )
 
 // CacheKey computes the content-addressed key for an optimization
-// request: a SHA-256 over the pipeline version, the optimization
-// recipe (level name plus whether checked mode is on) and the
-// canonical ILOC text of the input program.  Canonical means the
-// parsed-and-reprinted form, so Mini-Fortran source and the ILOC it
-// compiles to, or two textual spellings of the same ILOC, address the
-// same cache slot.  Identical inputs hash identically across processes
-// and runs; any change to the pass pipelines changes the version and
-// so the key.
-func CacheKey(canonicalILOC, level, version string, checked bool) string {
+// request: a SHA-256 over the pipeline version, the resolved source
+// language, the optimization recipe (level name plus whether checked
+// mode is on) and the canonical ILOC text of the input program.
+// Canonical means the parsed-and-reprinted form, so two textual
+// spellings of the same ILOC address the same cache slot — but the
+// language is a separate dimension: identical canonical ILOC arriving
+// as "mf" and as "pl0" (or raw "iloc") occupies distinct slots, so a
+// front-end bug in one language can never poison another's cached
+// results.  Identical inputs hash identically across processes and
+// runs; any change to the pass pipelines changes the version and so
+// the key.
+func CacheKey(canonicalILOC, lang, level, version string, checked bool) string {
 	h := sha256.New()
 	io.WriteString(h, version)
+	h.Write([]byte{0})
+	io.WriteString(h, lang)
 	h.Write([]byte{0})
 	io.WriteString(h, level)
 	h.Write([]byte{0})

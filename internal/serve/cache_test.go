@@ -24,9 +24,8 @@ func driver(n: int): int {
 `
 
 // TestCacheKeyStability: identical inputs hash identically across
-// independent computations; levels, checked mode and the pipeline
-// version all separate keys; and canonicalization makes the
-// Mini-Fortran source and its compiled ILOC address the same slot.
+// independent computations; levels, checked mode, the pipeline
+// version and the source language all separate keys.
 func TestCacheKeyStability(t *testing.T) {
 	version := core.PipelineVersion()
 	canon := func() string {
@@ -36,19 +35,22 @@ func TestCacheKeyStability(t *testing.T) {
 		}
 		return p.String()
 	}
-	k1 := CacheKey(canon(), "reassociation", version, false)
-	k2 := CacheKey(canon(), "reassociation", version, false)
+	k1 := CacheKey(canon(), "mf", "reassociation", version, false)
+	k2 := CacheKey(canon(), "mf", "reassociation", version, false)
 	if k1 != k2 {
 		t.Errorf("identical input produced distinct keys:\n%s\n%s", k1, k2)
 	}
-	if kOther := CacheKey(canon(), "baseline", version, false); kOther == k1 {
+	if kOther := CacheKey(canon(), "mf", "baseline", version, false); kOther == k1 {
 		t.Error("distinct levels share a key")
 	}
-	if kChecked := CacheKey(canon(), "reassociation", version, true); kChecked == k1 {
+	if kChecked := CacheKey(canon(), "mf", "reassociation", version, true); kChecked == k1 {
 		t.Error("checked and unchecked mode share a key")
 	}
-	if kVer := CacheKey(canon(), "reassociation", "other-version", false); kVer == k1 {
+	if kVer := CacheKey(canon(), "mf", "reassociation", "other-version", false); kVer == k1 {
 		t.Error("distinct pipeline versions share a key")
+	}
+	if kLang := CacheKey(canon(), "pl0", "reassociation", version, false); kLang == k1 {
+		t.Error("distinct source languages share a key")
 	}
 	if len(k1) != 64 {
 		t.Errorf("key is not a hex SHA-256: %q", k1)
@@ -267,7 +269,7 @@ func TestPoolSkipsExpired(t *testing.T) {
 }
 
 func ExampleCacheKey() {
-	k := CacheKey("program globalsize=0\n", "baseline", "v1", false)
+	k := CacheKey("program globalsize=0\n", "iloc", "baseline", "v1", false)
 	fmt.Println(len(k))
 	// Output: 64
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func diskKey(i int) string {
-	return CacheKey(fmt.Sprintf("program %d", i), "reassoc", "test-version", false)
+	return CacheKey(fmt.Sprintf("program %d", i), "iloc", "reassoc", "test-version", false)
 }
 
 // TestDiskStoreRoundTrip: Put then Get returns the same payload, Len and

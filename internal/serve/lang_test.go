@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const pl0ServeSrc = `
+procedure triple(n);
+var i, s;
+begin
+	s := 0;
+	i := 1;
+	while i <= n do begin
+		s := s + 3;
+		i := i + 1
+	end;
+	triple := s
+end;
+write triple(5).
+`
+
+// TestPL0Optimize: a PL/0 source served end-to-end — detected, compiled,
+// optimized, interpreted — with the resolved language reported.
+func TestPL0Optimize(t *testing.T) {
+	s := newServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := OptimizeRequest{
+		Source: pl0ServeSrc,
+		Level:  "reassoc",
+		Run:    &RunSpec{Fn: "triple", Args: []string{"7"}},
+	}
+	code, out, raw := postOptimize(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if out.Lang != "pl0" {
+		t.Errorf("resolved lang = %q, want pl0", out.Lang)
+	}
+	if out.Run == nil || out.Run.Result != "21" {
+		t.Errorf("run result = %+v, want 21", out.Run)
+	}
+	if !strings.Contains(out.ILOC, "func triple(") {
+		t.Errorf("optimized ILOC lacks the pl0 procedure:\n%s", out.ILOC)
+	}
+
+	// Forcing the language explicitly lands on the same cache slot as
+	// detection.
+	code2, out2, _ := postOptimize(t, ts, OptimizeRequest{
+		Source: pl0ServeSrc, Lang: "pl0", Level: "reassoc",
+		Run: &RunSpec{Fn: "triple", Args: []string{"7"}},
+	})
+	if code2 != http.StatusOK || out2.Key != out.Key || !out2.Cached {
+		t.Errorf("explicit lang=pl0: status %d key match=%v cached=%v",
+			code2, out2.Key == out.Key, out2.Cached)
+	}
+}
+
+// TestLangCacheKeySeparation: byte-identical canonical ILOC arriving
+// under different resolved languages must not collide in the cache.
+func TestLangCacheKeySeparation(t *testing.T) {
+	const canon = "program globalsize=0\n"
+	version := "test-version"
+	kMF := CacheKey(canon, "mf", "reassociation", version, false)
+	kPL0 := CacheKey(canon, "pl0", "reassociation", version, false)
+	kILOC := CacheKey(canon, "iloc", "reassociation", version, false)
+	if kMF == kPL0 || kMF == kILOC || kPL0 == kILOC {
+		t.Fatalf("languages share cache keys: mf=%s pl0=%s iloc=%s", kMF, kPL0, kILOC)
+	}
+}
+
+// TestLangRejected: an unknown lang value is the client's fault.
+func TestLangRejected(t *testing.T) {
+	s := newServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, raw := postOptimize(t, ts, OptimizeRequest{Source: pl0ServeSrc, Lang: "cobol"})
+	if code != http.StatusBadRequest {
+		t.Errorf("lang=cobol: status %d (%s), want 400", code, raw)
+	}
+	// Forcing the wrong language fails in that language's parser.
+	code2, _, _ := postOptimize(t, ts, OptimizeRequest{Source: pl0ServeSrc, Lang: "mf"})
+	if code2 != http.StatusBadRequest {
+		t.Errorf("pl0 source as mf: status %d, want 400", code2)
+	}
+}
+
+// TestBatchLangDefaults: a batch-level lang default is inherited by
+// items that leave it empty, and overridable per item.
+func TestBatchLangDefaults(t *testing.T) {
+	s := newServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := BatchRequest{
+		Defaults: &BatchDefaults{Lang: "pl0", Level: "partial"},
+		Items: []OptimizeRequest{
+			{Source: pl0ServeSrc},                     // inherits lang=pl0
+			{Source: serveSrc, Lang: "mf"},            // overrides
+			{Source: "write 1.", Level: "baseline"},   // inherits lang, keeps level
+			{Source: serveSrc /* mf as pl0: fails */}, // inherited lang mismatches
+		},
+	}
+	code, out, raw := postBatch(t, ts, req)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	if len(out.Items) != 4 {
+		t.Fatalf("got %d items", len(out.Items))
+	}
+	if it := out.Items[0]; it.Error != "" || it.Lang != "pl0" || it.Level != "partial" {
+		t.Errorf("item 0: %+v", it)
+	}
+	if it := out.Items[1]; it.Error != "" || it.Lang != "mf" || it.Level != "partial" {
+		t.Errorf("item 1: %+v", it)
+	}
+	if it := out.Items[2]; it.Error != "" || it.Lang != "pl0" || it.Level != "baseline" {
+		t.Errorf("item 2: %+v", it)
+	}
+	if it := out.Items[3]; it.Error == "" || it.Status != http.StatusBadRequest {
+		t.Errorf("item 3 should fail as a 400: %+v", it)
+	}
+}

@@ -121,9 +121,12 @@ func TestOptimizeEndpoint(t *testing.T) {
 	}
 }
 
-// TestCanonicalAddressing: Mini-Fortran source and its compiled ILOC
-// hash to the same cache key — the cache is addressed by canonical
-// content, not by the textual spelling of the request.
+// TestCanonicalAddressing: within one language, the cache is addressed
+// by canonical content — two textual spellings of the same ILOC hash
+// to the same key.  Across languages, the resolved language is its own
+// key dimension: Mini-Fortran source and the canonical ILOC it
+// compiles to occupy distinct slots (resolved langs "mf" vs "iloc"),
+// so a front-end bug cannot poison raw-ILOC results or vice versa.
 func TestCanonicalAddressing(t *testing.T) {
 	s := newServer(t, Config{})
 	ts := httptest.NewServer(s.Handler())
@@ -133,17 +136,40 @@ func TestCanonicalAddressing(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("status %d: %s", code, raw)
 	}
+	if fromMF.Lang != "mf" {
+		t.Errorf("resolved lang = %q, want mf", fromMF.Lang)
+	}
 	// "none" leaves the program untouched, so its ILOC is the canonical
-	// form of the input; resubmitting it must be a cache hit.
+	// form of the input — but it arrives as language "iloc", which is a
+	// different cache dimension: distinct key, no cache hit.
 	code2, fromILOC, _ := postOptimize(t, ts, OptimizeRequest{Source: fromMF.ILOC, Level: "none"})
 	if code2 != http.StatusOK {
 		t.Fatal("resubmit failed")
 	}
-	if fromILOC.Key != fromMF.Key {
-		t.Errorf("mf and its canonical ILOC hash differently:\n%s\n%s", fromMF.Key, fromILOC.Key)
+	if fromILOC.Lang != "iloc" {
+		t.Errorf("resolved lang = %q, want iloc", fromILOC.Lang)
 	}
-	if !fromILOC.Cached {
-		t.Error("canonical resubmission should hit the cache")
+	if fromILOC.Key == fromMF.Key {
+		t.Errorf("mf and raw iloc share a cache key despite distinct languages:\n%s", fromMF.Key)
+	}
+	if fromILOC.Cached {
+		t.Error("cross-language resubmission must not hit the cache")
+	}
+	if fromILOC.ILOC != fromMF.ILOC {
+		t.Error("same canonical program must still optimize identically across languages")
+	}
+	// Same spelling, same language: reformatting the ILOC (extra blank
+	// lines) still lands on the first iloc slot — canonical addressing
+	// within the language.
+	code3, reformatted, _ := postOptimize(t, ts, OptimizeRequest{Source: "\n\n" + fromMF.ILOC, Level: "none"})
+	if code3 != http.StatusOK {
+		t.Fatal("reformatted resubmit failed")
+	}
+	if reformatted.Key != fromILOC.Key {
+		t.Error("two spellings of the same ILOC hash differently within one language")
+	}
+	if !reformatted.Cached {
+		t.Error("canonical resubmission within a language should hit the cache")
 	}
 }
 

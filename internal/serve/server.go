@@ -289,6 +289,7 @@ func (s *Server) Run(ctx context.Context, l net.Listener) error {
 // transports.
 type reqSpec struct {
 	prog    *ir.Program
+	lang    string
 	level   core.Level
 	gvn     core.GVNBackend
 	pre     core.PREBackend
@@ -316,19 +317,24 @@ func (s *Server) prepare(req *OptimizeRequest) (*reqSpec, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := parseSource(req.Source, req.Format)
+	langName := req.Lang
+	if langName == "" {
+		langName = req.Format // legacy field
+	}
+	prog, langName, err := parseSource(req.Source, langName)
 	if err != nil {
 		return nil, err
 	}
 	spec := &reqSpec{
 		prog:    prog,
+		lang:    langName,
 		level:   level,
 		gvn:     gvnBackend,
 		pre:     preBackend,
 		checked: req.Check,
 		run:     req.Run,
 	}
-	spec.key = CacheKey(prog.String(), string(level), s.versions[backendPair{gvnBackend, preBackend}], req.Check)
+	spec.key = CacheKey(prog.String(), langName, string(level), s.versions[backendPair{gvnBackend, preBackend}], req.Check)
 	return spec, nil
 }
 
@@ -452,6 +458,7 @@ func (s *Server) respond(ctx context.Context, spec *reqSpec, res *cachedResult, 
 		Shared:      out.shared,
 		DiskCached:  out.diskHit,
 		Level:       string(spec.level),
+		Lang:        spec.lang,
 		GVN:         string(spec.gvn),
 		PRE:         string(spec.pre),
 		ILOC:        res.iloc,

@@ -83,7 +83,7 @@ func postURL(t *testing.T, base string, req OptimizeRequest) (int, OptimizeRespo
 // from outside.
 func defaultKeyFor(t *testing.T, src, level string) string {
 	t.Helper()
-	prog, err := parseSource(src, "")
+	prog, langName, err := parseSource(src, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func defaultKeyFor(t *testing.T, src, level string) string {
 		t.Fatal(err)
 	}
 	version := core.PipelineVersionFor(core.GVNAWZ, core.PREDrechsler)
-	return CacheKey(prog.String(), string(lvl), version, false)
+	return CacheKey(prog.String(), langName, string(lvl), version, false)
 }
 
 // TestTwoPeerSharding is the acceptance scenario: two in-process peers
@@ -134,7 +134,7 @@ func TestTwoPeerSharding(t *testing.T) {
 
 	// The forwarded path returns exactly the bytes a direct, in-process
 	// optimization produces.
-	prog, err := parseSource(shardSrc(0), "")
+	prog, _, err := parseSource(shardSrc(0), "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/minift"
+	"repro/internal/lang"
 )
 
 // maxBodyBytes bounds any request body.
@@ -24,10 +24,15 @@ const maxBodyBytes = 64 << 20
 // OptimizeRequest is the POST /optimize body (and one item of a
 // /optimize/batch request).
 type OptimizeRequest struct {
-	// Source is Mini-Fortran or textual ILOC.
+	// Source is Mini-Fortran, PL/0, or textual ILOC.
 	Source string `json:"source"`
-	// Format forces the source language: "mf" or "iloc".  Empty means
-	// sniff (ILOC programs start with the "program" keyword).
+	// Lang forces the source language: "mf", "pl0" or "iloc".  Empty
+	// means detect from the source's leading keyword.  The resolved
+	// language is a cache-key dimension: the same canonical ILOC
+	// arriving through two front ends occupies two cache slots.
+	Lang string `json:"lang,omitempty"`
+	// Format is the legacy spelling of Lang, kept for old clients; Lang
+	// wins when both are set.
 	Format string `json:"format,omitempty"`
 	// Level is the optimization level name (default "reassoc").
 	Level string `json:"level,omitempty"`
@@ -75,6 +80,8 @@ type OptimizeResponse struct {
 	Shared     bool   `json:"shared,omitempty"`
 	DiskCached bool   `json:"disk_cached,omitempty"`
 	Level      string `json:"level"`
+	// Lang is the resolved source language ("mf", "pl0" or "iloc").
+	Lang string `json:"lang"`
 	// GVN is the value-numbering backend the result was produced with.
 	GVN string `json:"gvn"`
 	// PRE is the redundancy-elimination backend the result was
@@ -280,31 +287,11 @@ func runProgram(ctx context.Context, prog *ir.Program, spec *RunSpec) (*RunResul
 	return &RunResult{Result: v.String(), DynamicOps: m.Steps, Output: out}, nil
 }
 
-// parseSource compiles Mini-Fortran or parses ILOC, verifying either
-// way.  An empty format sniffs: textual ILOC programs begin with the
-// "program" keyword.
-func parseSource(src, format string) (*ir.Program, error) {
-	if format == "" {
-		if strings.HasPrefix(strings.TrimSpace(src), "program") {
-			format = "iloc"
-		} else {
-			format = "mf"
-		}
-	}
-	switch format {
-	case "iloc":
-		p, err := ir.ParseProgramString(src)
-		if err != nil {
-			return nil, err
-		}
-		if err := ir.VerifyProgram(p); err != nil {
-			return nil, err
-		}
-		return p, nil
-	case "mf":
-		return minift.Compile(src)
-	}
-	return nil, fmt.Errorf("unknown source format %q (want \"mf\" or \"iloc\")", format)
+// parseSource compiles a source through the language registry,
+// verified either way, and reports the canonical language name.  An
+// empty name detects from the source's leading keyword.
+func parseSource(src, name string) (*ir.Program, string, error) {
+	return lang.Compile(src, name)
 }
 
 // parseArgs converts CLI-style argument strings ("42" int, "4.2"

@@ -20,8 +20,8 @@ import (
 // is what makes golden_levels.txt comparable across representations.
 func TestSuiteRoundTrip(t *testing.T) {
 	routines := All()
-	if len(routines) != 39 {
-		t.Fatalf("suite has %d routines, want 39", len(routines))
+	if len(routines) != 47 {
+		t.Fatalf("suite has %d routines, want 47", len(routines))
 	}
 	check := func(t *testing.T, label, text string) {
 		t.Helper()

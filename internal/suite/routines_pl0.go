@@ -1,0 +1,487 @@
+package suite
+
+import "repro/internal/interp"
+
+// The PL/0 family: procedural workloads compiled through the second
+// front end (internal/pl0).  The paper's suite was FORTRAN; these
+// routines exercise the shapes FORTRAN-style procedural code produces
+// that the Mini-Fortran family underrepresents — nested procedures
+// with up-level addressing, deep call chains, recursion, and 1-based
+// array subscripting lowered through the naive §3.1 address chains
+// (base + (i-1)*8 rebuilt at every reference) that reassociation and
+// PRE were designed to clean up.
+
+// ---------------------------------------------------------------------
+// pl0gcd — subtraction-form Euclid under a driver loop.  The loop body
+// rebuilds the two argument expressions and a loop-invariant bias every
+// iteration; PRE hoists the invariants, the call stays a barrier.
+// ---------------------------------------------------------------------
+
+const pl0gcdSrc = `
+procedure gcd(a, b);
+begin
+    while a # b do
+        if a > b then a := a - b
+        else b := b - a;
+    gcd := a
+end;
+
+procedure pl0gcd(n);
+var i, s;
+begin
+    s := 0;
+    i := 1;
+    while i <= n do begin
+        s := s + gcd(i * 6 + 12, i * 4 + 8) + (n * 3 + 7);
+        i := i + 1
+    end;
+    pl0gcd := s
+end;
+
+write pl0gcd(40).
+`
+
+func pl0gcdRef(n int64) int64 {
+	gcd := func(a, b int64) int64 {
+		for a != b {
+			if a > b {
+				a -= b
+			} else {
+				b -= a
+			}
+		}
+		return a
+	}
+	var s int64
+	for i := int64(1); i <= n; i++ {
+		s += gcd(i*6+12, i*4+8) + (n*3 + 7)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// pl0ack — Ackermann's function, the recursion stressor: every value
+// flows through call/return, so the optimizer wins only inside the
+// small bodies and the driver loop.
+// ---------------------------------------------------------------------
+
+const pl0ackSrc = `
+procedure ack(m, n);
+begin
+    if m = 0 then ack := n + 1
+    else if n = 0 then ack := ack(m - 1, 1)
+    else ack := ack(m - 1, ack(m, n - 1))
+end;
+
+procedure pl0ack(k);
+var i, s;
+begin
+    s := 0;
+    i := 1;
+    while i <= k do begin
+        s := s + ack(1, i) + ack(2, i) + (k * k + 3);
+        i := i + 1
+    end;
+    pl0ack := s
+end;
+
+write pl0ack(5).
+`
+
+func pl0ackRef(k int64) int64 {
+	var ack func(m, n int64) int64
+	ack = func(m, n int64) int64 {
+		switch {
+		case m == 0:
+			return n + 1
+		case n == 0:
+			return ack(m-1, 1)
+		default:
+			return ack(m-1, ack(m, n-1))
+		}
+	}
+	var s int64
+	for i := int64(1); i <= k; i++ {
+		s += ack(1, i) + ack(2, i) + (k*k + 3)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// pl0nest — nested procedure with up-level addressing.  The captured
+// locals live in static memory, so every access in the inner loop is
+// an address materialization plus a load or store; PRE hoists the
+// invariant address arithmetic out of the loop.
+// ---------------------------------------------------------------------
+
+const pl0nestSrc = `
+procedure pl0nest(n);
+var total, i;
+    procedure bump(k);
+    var j;
+    begin
+        j := 0;
+        while j < k do begin
+            total := total + i * i + j;
+            j := j + 1
+        end
+    end;
+begin
+    total := 0;
+    i := 1;
+    while i <= n do begin
+        call bump(3);
+        i := i + 1
+    end;
+    pl0nest := total
+end;
+
+write pl0nest(25).
+`
+
+func pl0nestRef(n int64) int64 {
+	var total int64
+	for i := int64(1); i <= n; i++ {
+		for j := int64(0); j < 3; j++ {
+			total += i*i + j
+		}
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------
+// pl0chain — a depth-four call chain fanning out 2^3 leaf calls per
+// driver iteration: the call-density silhouette, where code motion
+// must stop at every call site.
+// ---------------------------------------------------------------------
+
+const pl0chainSrc = `
+procedure s1(x);
+    s1 := x + x * 3;
+
+procedure s2(x);
+    s2 := s1(x) + s1(x + 1) + x * 5;
+
+procedure s3(x);
+    s3 := s2(x) + s2(x + 1) - x;
+
+procedure s4(x);
+    s4 := s3(x) + s3(x + 1);
+
+procedure pl0chain(n);
+var i, t;
+begin
+    t := 0;
+    i := 1;
+    while i <= n do begin
+        t := t + s4(i) + (n * 2 - 3);
+        i := i + 1
+    end;
+    pl0chain := t
+end;
+
+write pl0chain(15).
+`
+
+func pl0chainRef(n int64) int64 {
+	s1 := func(x int64) int64 { return x + x*3 }
+	s2 := func(x int64) int64 { return s1(x) + s1(x+1) + x*5 }
+	s3 := func(x int64) int64 { return s2(x) + s2(x+1) - x }
+	s4 := func(x int64) int64 { return s3(x) + s3(x+1) }
+	var t int64
+	for i := int64(1); i <= n; i++ {
+		t += s4(i) + (n*2 - 3)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// pl0sieve — Eratosthenes over a flag array.  The naive subscript
+// lowering rebuilds base/(i-1)*8 chains at every flags[i] touch; the
+// loop-invariant parts are PRE's to hoist.
+// ---------------------------------------------------------------------
+
+const pl0sieveSrc = `
+procedure pl0sieve(n);
+var flags[400], i, j, count;
+begin
+    count := 0;
+    i := 2;
+    while i <= n do begin
+        if flags[i] = 0 then begin
+            count := count + 1;
+            j := i + i;
+            while j <= n do begin
+                flags[j] := 1;
+                j := j + i
+            end
+        end;
+        i := i + 1
+    end;
+    pl0sieve := count
+end;
+
+write pl0sieve(100).
+`
+
+func pl0sieveRef(n int64) int64 {
+	flags := make([]bool, n+1)
+	var count int64
+	for i := int64(2); i <= n; i++ {
+		if !flags[i] {
+			count++
+			for j := i + i; j <= n; j += i {
+				flags[j] = true
+			}
+		}
+	}
+	return count
+}
+
+// ---------------------------------------------------------------------
+// pl0matmul — matrix multiply over linearized 1-based arrays: the
+// paper's §3.1 shape verbatim.  Every a[(i-1)*n+k] reference rebuilds
+// the full row-offset chain; reassociation exposes (i-1)*n as
+// loop-invariant to the k loop so PRE can hoist it, which plain PRE
+// on the unreassociated chain cannot.
+// ---------------------------------------------------------------------
+
+const pl0matmulSrc = `
+procedure pl0matmul(n);
+var a[36], b[36], c[36], i, j, k, s;
+begin
+    i := 1;
+    while i <= n do begin
+        j := 1;
+        while j <= n do begin
+            a[(i - 1) * n + j] := i * 3 + j;
+            b[(i - 1) * n + j] := i - j * 2;
+            j := j + 1
+        end;
+        i := i + 1
+    end;
+    i := 1;
+    while i <= n do begin
+        j := 1;
+        while j <= n do begin
+            s := 0;
+            k := 1;
+            while k <= n do begin
+                s := s + a[(i - 1) * n + k] * b[(k - 1) * n + j];
+                k := k + 1
+            end;
+            c[(i - 1) * n + j] := s;
+            j := j + 1
+        end;
+        i := i + 1
+    end;
+    s := 0;
+    i := 1;
+    while i <= n * n do begin
+        s := s + c[i];
+        i := i + 1
+    end;
+    pl0matmul := s
+end;
+
+write pl0matmul(6).
+`
+
+func pl0matmulRef(n int64) int64 {
+	a := make([]int64, n*n+1)
+	b := make([]int64, n*n+1)
+	c := make([]int64, n*n+1)
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			a[(i-1)*n+j] = i*3 + j
+			b[(i-1)*n+j] = i - j*2
+		}
+	}
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			var s int64
+			for k := int64(1); k <= n; k++ {
+				s += a[(i-1)*n+k] * b[(k-1)*n+j]
+			}
+			c[(i-1)*n+j] = s
+		}
+	}
+	var s int64
+	for i := int64(1); i <= n*n; i++ {
+		s += c[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// pl0stencil — 1-D three-point relaxation: a[i-1] this iteration is
+// a[i] of the previous one, the classic partially redundant load that
+// PRE turns into a rotating value.
+// ---------------------------------------------------------------------
+
+const pl0stencilSrc = `
+procedure pl0stencil(n);
+var a[130], b[130], i, t, s;
+begin
+    i := 1;
+    while i <= n do begin
+        a[i] := i * i - n;
+        i := i + 1
+    end;
+    t := 1;
+    while t <= 4 do begin
+        i := 2;
+        while i < n do begin
+            b[i] := a[i - 1] + a[i] * 2 + a[i + 1];
+            i := i + 1
+        end;
+        i := 2;
+        while i < n do begin
+            a[i] := b[i] - a[i] / 3;
+            i := i + 1
+        end;
+        t := t + 1
+    end;
+    s := 0;
+    i := 1;
+    while i <= n do begin
+        s := s + a[i];
+        i := i + 1
+    end;
+    pl0stencil := s
+end;
+
+write pl0stencil(100).
+`
+
+func pl0stencilRef(n int64) int64 {
+	a := make([]int64, n+2)
+	b := make([]int64, n+2)
+	for i := int64(1); i <= n; i++ {
+		a[i] = i*i - n
+	}
+	for t := 0; t < 4; t++ {
+		for i := int64(2); i < n; i++ {
+			b[i] = a[i-1] + a[i]*2 + a[i+1]
+		}
+		for i := int64(2); i < n; i++ {
+			a[i] = b[i] - a[i]/3
+		}
+	}
+	var s int64
+	for i := int64(1); i <= n; i++ {
+		s += a[i]
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// pl0sort — bubble sort plus weighted checksum: a[j] and a[j+1] are
+// each loaded for the comparison and again for the swap, and the
+// inner bound n-i is invariant there — redundancy at every level.
+// ---------------------------------------------------------------------
+
+const pl0sortSrc = `
+procedure pl0sort(n);
+var a[64], i, j, t, s;
+begin
+    i := 1;
+    while i <= n do begin
+        a[i] := (i * 37 + 11) - (i * 37 + 11) / 13 * 13;
+        i := i + 1
+    end;
+    i := 1;
+    while i < n do begin
+        j := 1;
+        while j <= n - i do begin
+            if a[j] > a[j + 1] then begin
+                t := a[j];
+                a[j] := a[j + 1];
+                a[j + 1] := t
+            end;
+            j := j + 1
+        end;
+        i := i + 1
+    end;
+    s := 0;
+    i := 1;
+    while i <= n do begin
+        s := s + a[i] * i;
+        i := i + 1
+    end;
+    pl0sort := s
+end;
+
+write pl0sort(40).
+`
+
+func pl0sortRef(n int64) int64 {
+	a := make([]int64, n+1)
+	for i := int64(1); i <= n; i++ {
+		v := i*37 + 11
+		a[i] = v - v/13*13
+	}
+	for i := int64(1); i < n; i++ {
+		for j := int64(1); j <= n-i; j++ {
+			if a[j] > a[j+1] {
+				a[j], a[j+1] = a[j+1], a[j]
+			}
+		}
+	}
+	var s int64
+	for i := int64(1); i <= n; i++ {
+		s += a[i] * i
+	}
+	return s
+}
+
+func init() {
+	register(Routine{
+		Name: "pl0gcd", Note: "PL/0 subtraction-form Euclid under a driver loop",
+		Source: pl0gcdSrc, Driver: "pl0gcd",
+		Args:   []interp.Value{interp.IntVal(40)},
+		RefInt: intRef(pl0gcdRef(40)),
+	})
+	register(Routine{
+		Name: "pl0ack", Note: "PL/0 Ackermann recursion under a driver loop",
+		Source: pl0ackSrc, Driver: "pl0ack",
+		Args:   []interp.Value{interp.IntVal(5)},
+		RefInt: intRef(pl0ackRef(5)),
+	})
+	register(Routine{
+		Name: "pl0nest", Note: "PL/0 nested procedure with up-level (captured) addressing",
+		Source: pl0nestSrc, Driver: "pl0nest",
+		Args:   []interp.Value{interp.IntVal(25)},
+		RefInt: intRef(pl0nestRef(25)),
+	})
+	register(Routine{
+		Name: "pl0chain", Note: "PL/0 depth-four call chain, 8 leaf calls per iteration",
+		Source: pl0chainSrc, Driver: "pl0chain",
+		Args:   []interp.Value{interp.IntVal(15)},
+		RefInt: intRef(pl0chainRef(15)),
+	})
+	register(Routine{
+		Name: "pl0sieve", Note: "PL/0 sieve of Eratosthenes over a flag array",
+		Source: pl0sieveSrc, Driver: "pl0sieve",
+		Args:   []interp.Value{interp.IntVal(100)},
+		RefInt: intRef(pl0sieveRef(100)),
+	})
+	register(Routine{
+		Name: "pl0matmul", Note: "PL/0 linearized matrix multiply (the §3.1 address shape)",
+		Source: pl0matmulSrc, Driver: "pl0matmul",
+		Args:   []interp.Value{interp.IntVal(6)},
+		RefInt: intRef(pl0matmulRef(6)),
+	})
+	register(Routine{
+		Name: "pl0stencil", Note: "PL/0 three-point relaxation, partially redundant loads",
+		Source: pl0stencilSrc, Driver: "pl0stencil",
+		Args:   []interp.Value{interp.IntVal(100)},
+		RefInt: intRef(pl0stencilRef(100)),
+	})
+	register(Routine{
+		Name: "pl0sort", Note: "PL/0 bubble sort with weighted checksum",
+		Source: pl0sortSrc, Driver: "pl0sort",
+		Args:   []interp.Value{interp.IntVal(40)},
+		RefInt: intRef(pl0sortRef(40)),
+	})
+}

@@ -18,15 +18,15 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/minift"
+	"repro/internal/lang"
 )
 
-// Routine is one benchmark workload: a Mini-Fortran program, the
-// driver entry point, and a reference result for validation.
+// Routine is one benchmark workload: a source program (Mini-Fortran,
+// PL/0, or raw ILOC), the driver entry point, and a reference result
+// for validation.
 type Routine struct {
 	Name   string
 	Note   string // which paper routine/idiom this mirrors
@@ -42,26 +42,35 @@ type Routine struct {
 	Tol      float64
 }
 
-// Compile translates the routine's source to IR.  Most routines are
-// Mini-Fortran; routines whose source is already textual ILOC (the
-// "gen" family, promoted from the differential fuzzer's random
-// program generator) begin with the "program" keyword and are parsed
-// directly.  All consumers must compile through this method rather
-// than calling minift.Compile themselves so both families work.
+// Compile translates the routine's source to IR through the language
+// registry: Mini-Fortran for most routines, PL/0 for the procedural
+// family, and a raw ILOC parse for routines promoted from the
+// differential fuzzer's random program generator.  All consumers must
+// compile through this method rather than calling a front end
+// directly so every family works.
 func (r *Routine) Compile() (*ir.Program, error) {
-	if r.Generated() {
-		return ir.ParseProgramString(r.Source)
+	prog, _, err := lang.Compile(r.Source, "")
+	return prog, err
+}
+
+// Lang reports the routine's canonical source language ("mf", "pl0",
+// or "iloc" for generated routines); unrecognizable sources return "".
+func (r *Routine) Lang() string {
+	l, err := lang.Detect(r.Source)
+	if err != nil {
+		return ""
 	}
-	return minift.Compile(r.Source)
+	return l.Name
 }
 
 // Generated reports whether the routine is raw ILOC promoted from the
-// fuzzer's program generator rather than Mini-Fortran.  Measurements
-// calibrated against the paper's FORTRAN corpus (the analysis-cache
-// reduction numbers) exclude generated routines; correctness gates
-// (golden hashes, checked mode, Table 1/2) include them.
+// fuzzer's program generator rather than a front-end language.
+// Measurements calibrated against the paper's FORTRAN corpus (the
+// analysis-cache reduction numbers) exclude generated routines;
+// correctness gates (golden hashes, checked mode, Table 1/2) include
+// them.
 func (r *Routine) Generated() bool {
-	return strings.HasPrefix(strings.TrimLeft(r.Source, " \t\r\n"), "program")
+	return r.Lang() == "iloc"
 }
 
 // Check validates an interpreted result against the reference.
